@@ -1,0 +1,59 @@
+// Command rakis-bench regenerates the paper's evaluation figures (§6) on
+// the simulated testbed: one table of series per figure, across the five
+// environments.
+//
+// Usage:
+//
+//	rakis-bench [-fig 4a|4b|4c|5a|5b|5c|2|all] [-scale 0.25]
+//
+// Scale stretches or shrinks workload volumes; the shapes (who wins, by
+// what factor) are stable across scales. See EXPERIMENTS.md for recorded
+// paper-vs-measured comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rakis/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 4a, 4b, 4c, 5a, 5b, 5c, or all")
+	scale := flag.Float64("scale", 0.25, "workload scale factor (1.0 = figure-sized)")
+	flag.Parse()
+
+	type figure struct {
+		id    string
+		title string
+		run   func(experiments.Scale) ([]experiments.Row, error)
+	}
+	figures := []figure{
+		{"2", "Figure 2: enclave exits (log-scale in the paper)", experiments.Fig2Exits},
+		{"4a", "Figure 4(a): iperf3 UDP throughput vs packet size", experiments.Fig4aIperf},
+		{"4b", "Figure 4(b): Curl QUIC download duration vs file size", experiments.Fig4bCurl},
+		{"4c", "Figure 4(c): Memcached throughput vs server threads", experiments.Fig4cMemcached},
+		{"5a", "Figure 5(a): fstime write throughput vs block size", experiments.Fig5aFstime},
+		{"5b", "Figure 5(b): Redis throughput normalized to Native", experiments.Fig5bRedis},
+		{"5c", "Figure 5(c): MCrypt encryption time vs read block size", experiments.Fig5cMcrypt},
+	}
+
+	ran := 0
+	for _, f := range figures {
+		if *fig != "all" && *fig != f.id {
+			continue
+		}
+		ran++
+		rows, err := f.run(experiments.Scale(*scale))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rakis-bench: %s: %v\n", f.id, err)
+			os.Exit(1)
+		}
+		experiments.PrintRows(os.Stdout, f.title, rows)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "rakis-bench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

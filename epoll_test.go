@@ -1,0 +1,152 @@
+package rakis_test
+
+// Tests for the epoll extension (the capability §6.2 notes the paper's
+// prototype lacked): enclave-side epoll over armed io_uring polls under
+// RAKIS, host epoll under the baselines — same unmodified caller code.
+
+import (
+	"testing"
+	"time"
+
+	"rakis/internal/experiments"
+	"rakis/internal/sys"
+	"rakis/internal/workloads"
+)
+
+func TestEpollAllEnvironments(t *testing.T) {
+	for _, env := range []experiments.Environment{
+		experiments.Native, experiments.GramineSGX, experiments.RakisSGX,
+	} {
+		t.Run(env.String(), func(t *testing.T) {
+			w := newWorld(t, env, nil)
+			srv, err := w.ServerThread()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ufd, _ := srv.Socket(sys.UDP)
+			if err := srv.Bind(ufd, 7100); err != nil {
+				t.Fatal(err)
+			}
+			epfd, err := srv.EpollCreate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.EpollCtl(epfd, sys.EpollCtlAdd, ufd, sys.PollIn); err != nil {
+				t.Fatal(err)
+			}
+
+			// Nothing ready: zero-timeout wait reports nothing.
+			evs := make([]sys.EpollEvent, 4)
+			if n, err := srv.EpollWait(epfd, evs, 0); err != nil || n != 0 {
+				t.Fatalf("idle wait = %d, %v", n, err)
+			}
+
+			// A datagram arrives: the wait fires with the right fd.
+			cli := w.ClientThread()
+			cfd, _ := cli.Socket(sys.UDP)
+			go func() {
+				time.Sleep(5 * time.Millisecond)
+				cli.SendTo(cfd, []byte("wake"), sys.Addr{IP: w.ServerIP, Port: 7100})
+			}()
+			n, err := srv.EpollWait(epfd, evs, 2*time.Second)
+			if err != nil || n != 1 {
+				t.Fatalf("wait = %d, %v", n, err)
+			}
+			if evs[0].FD != ufd || evs[0].Events&sys.PollIn == 0 {
+				t.Fatalf("event = %+v", evs[0])
+			}
+			buf := make([]byte, 64)
+			if rn, _, err := srv.RecvFrom(ufd, buf, false); err != nil || rn != 4 {
+				t.Fatalf("recv after epoll = %d, %v", rn, err)
+			}
+
+			// Deregistration stops delivery.
+			if err := srv.EpollCtl(epfd, sys.EpollCtlDel, ufd, 0); err != nil {
+				t.Fatal(err)
+			}
+			cli.SendTo(cfd, []byte("silent"), sys.Addr{IP: w.ServerIP, Port: 7100})
+			time.Sleep(20 * time.Millisecond)
+			if n, _ := srv.EpollWait(epfd, evs, 0); n != 0 {
+				t.Fatal("deleted fd must not fire")
+			}
+			if err := srv.Close(epfd); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestEpollMixedProvidersUnderRakis(t *testing.T) {
+	// One epoll instance spanning an enclave UDP socket and a host TCP
+	// connection — the cross-provider scenario of §4.2, now with epoll
+	// semantics (quiet descriptors stay armed between waits).
+	w := newWorld(t, experiments.RakisSGX, nil)
+	srv, err := w.ServerThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ufd, _ := srv.Socket(sys.UDP)
+	srv.Bind(ufd, 7101)
+	lfd, _ := srv.Socket(sys.TCP)
+	srv.Bind(lfd, 6400)
+	srv.Listen(lfd, 4)
+
+	cli := w.ClientThread()
+	tfd, _ := cli.Socket(sys.TCP)
+	if err := cli.Connect(tfd, sys.Addr{IP: experiments.KernelIP, Port: 6400}); err != nil {
+		t.Fatal(err)
+	}
+	sfd, _, err := srv.Accept(lfd, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	epfd, _ := srv.EpollCreate()
+	srv.EpollCtl(epfd, sys.EpollCtlAdd, ufd, sys.PollIn)
+	srv.EpollCtl(epfd, sys.EpollCtlAdd, sfd, sys.PollIn)
+
+	before := w.Counters.Snapshot()
+	// TCP data fires the host-side entry.
+	cli.Send(tfd, []byte("tcp"))
+	evs := make([]sys.EpollEvent, 4)
+	n, err := srv.EpollWait(epfd, evs, 2*time.Second)
+	if err != nil || n != 1 || evs[0].FD != sfd {
+		t.Fatalf("tcp wait = %d, %v, %+v", n, err, evs[0])
+	}
+	buf := make([]byte, 64)
+	srv.Recv(sfd, buf, true)
+
+	// UDP data fires the enclave-side entry.
+	cfd, _ := cli.Socket(sys.UDP)
+	cli.SendTo(cfd, []byte("udp"), sys.Addr{IP: w.ServerIP, Port: 7101})
+	n, err = srv.EpollWait(epfd, evs, 2*time.Second)
+	if err != nil || n != 1 || evs[0].FD != ufd {
+		t.Fatalf("udp wait = %d, %v, %+v", n, err, evs[0])
+	}
+	// The whole dance happened without enclave exits.
+	diff := w.Counters.Snapshot().Sub(before)
+	if diff.EnclaveExits != 0 {
+		t.Fatalf("epoll path caused %d exits, want 0", diff.EnclaveExits)
+	}
+}
+
+func TestRedisWithEpollAllEnvironments(t *testing.T) {
+	// The full Redis workload on the epoll event loop — exercising the
+	// extension end to end in three environments.
+	for _, env := range []experiments.Environment{
+		experiments.Native, experiments.RakisSGX,
+	} {
+		t.Run(env.String(), func(t *testing.T) {
+			w := newWorld(t, env, nil)
+			res, err := workloads.Redis(w.WorkloadEnv(), workloads.RedisParams{
+				Command: "GET", Ops: 200, Connections: 10, UseEpoll: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 200 || res.OpsPerSec <= 0 {
+				t.Fatalf("res = %+v", res)
+			}
+		})
+	}
+}

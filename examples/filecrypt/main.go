@@ -1,0 +1,53 @@
+// filecrypt: the paper's MCrypt scenario as a runnable example — block
+// encryption of a file whose reads and writes flow through io_uring
+// instead of exit-paying syscalls. The ciphertext is real AES-CTR and is
+// verified against a direct encryption of the same input.
+//
+//	go run ./examples/filecrypt
+package main
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+	"log"
+
+	"rakis/internal/experiments"
+	"rakis/internal/workloads"
+)
+
+func main() {
+	const size = 8 << 20
+	input := workloads.PrepareMcryptInput(size)
+	key := []byte("0123456789abcdef")
+
+	// Reference ciphertext, computed directly.
+	blk, _ := aes.NewCipher(key)
+	want := make([]byte, size)
+	cipher.NewCTR(blk, make([]byte, aes.BlockSize)).XORKeyStream(want, input)
+
+	fmt.Printf("Encrypting %d MiB in 64 KiB blocks\n\n", size>>20)
+	for _, env := range []experiments.Environment{
+		experiments.Native, experiments.RakisSGX, experiments.GramineSGX,
+	} {
+		w, err := experiments.NewWorld(experiments.Options{Env: env})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.VFS().WriteFile("/data/mcrypt.in", input)
+		res, err := workloads.Mcrypt(w.WorkloadEnv(), workloads.McryptParams{
+			BlockSize: 65536, Key: key,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", env, err)
+		}
+		got, err := w.VFS().ReadFile("/data/mcrypt.out")
+		if err != nil || !bytes.Equal(got, want) {
+			log.Fatalf("%v: ciphertext mismatch (err=%v)", env, err)
+		}
+		fmt.Printf("  %-16s %7.2f virtual ms   (exits: %d, io_uring ops: %d)  ciphertext OK\n",
+			env, res.Seconds*1e3, w.Counters.EnclaveExits.Load(), w.Counters.IoUringOps.Load())
+		w.Close()
+	}
+}

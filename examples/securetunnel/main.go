@@ -1,0 +1,103 @@
+// securetunnel: the §7 "Data protection" extension as a runnable example.
+// RAKIS itself (like exit-based LibOSes) does not protect IO payloads —
+// applications use TLS, or, thanks to the in-enclave UDP/IP stack, a
+// layer-3 tunnel. Here a WireGuard-style tunnel terminates inside the
+// enclave over the XSK fast path: the host OS forwards only sealed
+// datagrams and provably cannot read or forge the inner packets.
+//
+//	go run ./examples/securetunnel
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"rakis/internal/experiments"
+	"rakis/internal/sys"
+	"rakis/internal/wgtun"
+)
+
+func main() {
+	w, err := experiments.NewWorld(experiments.Options{Env: experiments.RakisSGX})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	psk := bytes.Repeat([]byte{0xA5}, wgtun.KeyBytes)
+
+	// Enclave endpoint: respond to handshakes, echo decrypted packets.
+	srv, err := w.ServerThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sfd, _ := srv.Socket(sys.UDP)
+	if err := srv.Bind(sfd, 51820); err != nil {
+		log.Fatal(err)
+	}
+	enclave, _ := wgtun.New(psk)
+	go func() {
+		buf := make([]byte, 65536)
+		for {
+			n, src, err := srv.RecvFrom(sfd, buf, true)
+			if err != nil {
+				return
+			}
+			reply, payload, err := enclave.HandleMessage(buf[:n])
+			if err != nil {
+				continue // hostile datagrams are dropped
+			}
+			if reply != nil {
+				srv.SendTo(sfd, reply, src)
+			}
+			if payload != nil {
+				sealed, err := enclave.Seal(payload)
+				if err == nil {
+					srv.SendTo(sfd, sealed, src)
+				}
+			}
+		}
+	}()
+
+	// Native peer: handshake, then tunnel traffic.
+	cli := w.ClientThread()
+	cfd, _ := cli.Socket(sys.UDP)
+	peer, _ := wgtun.New(psk)
+	dst := sys.Addr{IP: w.ServerIP, Port: 51820}
+
+	init, _ := peer.HandshakeInit()
+	cli.SendTo(cfd, init, dst)
+	buf := make([]byte, 65536)
+	n, _, err := cli.RecvFrom(cfd, buf, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := peer.HandleMessage(buf[:n]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tunnel established through the XSK fast path")
+
+	const rounds = 200
+	var wireBytes, innerBytes int
+	for i := 0; i < rounds; i++ {
+		inner := []byte(fmt.Sprintf("secret packet %03d: the host sees only ciphertext", i))
+		sealed, _ := peer.Seal(inner)
+		wireBytes += len(sealed)
+		innerBytes += len(inner)
+		cli.SendTo(cfd, sealed, dst)
+		n, _, err := cli.RecvFrom(cfd, buf, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, echoed, err := peer.HandleMessage(buf[:n])
+		if err != nil || !bytes.Equal(echoed, inner) {
+			log.Fatalf("round %d: %v", i, err)
+		}
+	}
+	snap := w.Counters.Snapshot()
+	fmt.Printf("%d encrypted round trips, %d inner bytes (%.1f%% overhead on the wire)\n",
+		rounds, innerBytes, 100*float64(wireBytes-innerBytes)/float64(innerBytes))
+	fmt.Printf("enclave exits beyond startup: %d; ring violations: %d\n",
+		snap.EnclaveExits-42, snap.RingViolations)
+	fmt.Printf("client virtual time: %.2f ms\n", w.Model.Seconds(cli.Clock().Now())*1e3)
+}

@@ -1,0 +1,3 @@
+module rakis
+
+go 1.23

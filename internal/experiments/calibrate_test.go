@@ -1,0 +1,214 @@
+package experiments
+
+// Calibration tests: assert that the simulated environments land inside
+// the bands the paper reports (the claims C1..C6 of the artifact
+// appendix), in *shape* — who wins and by roughly what factor.
+
+import (
+	"os"
+	"testing"
+
+	"rakis/internal/workloads"
+)
+
+// measure runs one function against every environment.
+func measure(t *testing.T, opt Options, f func(*World) float64) map[Environment]float64 {
+	t.Helper()
+	out := map[Environment]float64{}
+	for _, env := range Environments {
+		o := opt
+		o.Env = env
+		w, err := NewWorld(o)
+		if err != nil {
+			t.Fatalf("%v: %v", env, err)
+		}
+		out[env] = f(w)
+		w.Close()
+	}
+	return out
+}
+
+func ratio(a, b float64) float64 { return a / b }
+
+func TestCalibrationIperf(t *testing.T) {
+	vals := measure(t, Options{}, func(w *World) float64 {
+		res, err := workloads.IperfUDP(w.WorkloadEnv(), workloads.IperfParams{PacketSize: 1460, Count: 1500})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		return res.Gbps
+	})
+	t.Logf("iperf3 1460B Gbps: %v", vals)
+
+	// C1: RAKIS-SGX ~ +11% over Native (band: 1.0 .. 1.4).
+	r := ratio(vals[RakisSGX], vals[Native])
+	if r < 1.0 || r > 1.45 {
+		t.Errorf("C1: Rakis-SGX/Native = %.2f, want ~1.11 (band 1.0..1.45)", r)
+	}
+	// Gramine-SGX ~17% of Native (band 8%..30%).
+	g := ratio(vals[GramineSGX], vals[Native])
+	if g < 0.08 || g > 0.35 {
+		t.Errorf("Gramine-SGX/Native = %.2f, want ~0.17", g)
+	}
+	// Gramine-Direct ~75% of Native (band 55%..95%).
+	d := ratio(vals[GramineDirect], vals[Native])
+	if d < 0.55 || d > 0.97 {
+		t.Errorf("Gramine-Direct/Native = %.2f, want ~0.75", d)
+	}
+	// RAKIS-SGX ~= RAKIS-Direct.
+	rr := ratio(vals[RakisSGX], vals[RakisDirect])
+	if rr < 0.85 || rr > 1.15 {
+		t.Errorf("Rakis-SGX/Rakis-Direct = %.2f, want ~1", rr)
+	}
+}
+
+func TestCalibrationFstime(t *testing.T) {
+	vals := measure(t, Options{}, func(w *World) float64 {
+		res, err := workloads.Fstime(w.WorkloadEnv(), workloads.FstimeParams{BlockSize: 4096, TotalBytes: 2 << 20})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		return res.KBps
+	})
+	t.Logf("fstime 4K KB/s: %v", vals)
+
+	// C4: RAKIS-SGX ~2.8x Gramine-SGX (band 2..4).
+	r := ratio(vals[RakisSGX], vals[GramineSGX])
+	if r < 2.0 || r > 4.0 {
+		t.Errorf("C4: Rakis-SGX/Gramine-SGX = %.2f, want ~2.8", r)
+	}
+	// RAKIS below Native (the async-wait overhead).
+	if vals[RakisSGX] >= vals[Native] {
+		t.Errorf("fstime: Rakis-SGX (%.0f) must trail Native (%.0f)", vals[RakisSGX], vals[Native])
+	}
+}
+
+func TestCalibrationMcrypt(t *testing.T) {
+	input := workloads.PrepareMcryptInput(4 << 20)
+	vals := measure(t, Options{}, func(w *World) float64 {
+		w.VFS().WriteFile("/data/mcrypt.in", input)
+		res, err := workloads.Mcrypt(w.WorkloadEnv(), workloads.McryptParams{BlockSize: 65536})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		return res.Seconds
+	})
+	t.Logf("mcrypt 64K seconds: %v", vals)
+
+	// C6: RAKIS ~3% over Native (band: up to 15% overhead), and ~10%
+	// faster than Gramine-SGX (band 3%..30% reduction).
+	over := vals[RakisSGX]/vals[Native] - 1
+	if over < -0.02 || over > 0.15 {
+		t.Errorf("C6: Rakis-SGX overhead vs Native = %.1f%%, want ~3%%", over*100)
+	}
+	red := 1 - vals[RakisSGX]/vals[GramineSGX]
+	if red < 0.03 || red > 0.35 {
+		t.Errorf("C6: Rakis-SGX reduction vs Gramine-SGX = %.1f%%, want ~10%%", red*100)
+	}
+}
+
+func TestCalibrationMemcached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-environment memcached run")
+	}
+	vals := measure(t, Options{NumXSKs: 4, ServerQueues: 8}, func(w *World) float64 {
+		res, err := workloads.Memcached(w.WorkloadEnv(), workloads.MemcachedParams{
+			ServerThreads: 4, Ops: 1500,
+		})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		return res.OpsPerSec
+	})
+	t.Logf("memcached 4thr ops/s: %v", vals)
+
+	// C3: RAKIS ~ Native (band 0.8..1.3) and ~4.6x Gramine-SGX (band 3..7).
+	r := ratio(vals[RakisSGX], vals[Native])
+	if r < 0.8 || r > 1.3 {
+		t.Errorf("C3: Rakis-SGX/Native = %.2f, want ~1", r)
+	}
+	g := ratio(vals[RakisSGX], vals[GramineSGX])
+	if g < 3.0 || g > 7.0 {
+		t.Errorf("C3: Rakis-SGX/Gramine-SGX = %.2f, want ~4.6", g)
+	}
+}
+
+func TestCalibrationRedis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-environment redis run")
+	}
+	vals := measure(t, Options{}, func(w *World) float64 {
+		res, err := workloads.Redis(w.WorkloadEnv(), workloads.RedisParams{Command: "GET", Ops: 600, Connections: 20})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		return res.OpsPerSec
+	})
+	t.Logf("redis GET ops/s: %v", vals)
+
+	// C5: RAKIS-SGX ~2.6x Gramine-SGX (band 1.8..4).
+	g := ratio(vals[RakisSGX], vals[GramineSGX])
+	if g < 1.8 || g > 4.0 {
+		t.Errorf("C5: Rakis-SGX/Gramine-SGX = %.2f, want ~2.6", g)
+	}
+	// ~40% below Native (band 15%..60% overhead).
+	over := 1 - vals[RakisSGX]/vals[Native]
+	if over < 0.15 || over > 0.60 {
+		t.Errorf("C5: Rakis-SGX below Native by %.0f%%, want ~40%%", over*100)
+	}
+}
+
+func TestCalibrationCurl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-environment curl run")
+	}
+	data := workloads.PrepareMcryptInput(2 << 20)
+	vals := measure(t, Options{}, func(w *World) float64 {
+		res, err := workloads.Curl(w.WorkloadEnv(), workloads.CurlParams{Path: "/f"},
+			func(string) ([]byte, error) { return data, nil })
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		if res.Bytes != uint64(len(data)) {
+			t.Fatalf("curl got %d bytes", res.Bytes)
+		}
+		return res.Seconds
+	})
+	t.Logf("curl 2MB seconds: %v", vals)
+
+	// C2: RAKIS ~ Native (band 0.85..1.35 of native duration), and
+	// Gramine-SGX ~2.5x native duration (band 1.6..4).
+	r := ratio(vals[RakisSGX], vals[Native])
+	if r < 0.85 || r > 1.35 {
+		t.Errorf("C2: Rakis-SGX/Native duration = %.2f, want ~1", r)
+	}
+	g := ratio(vals[GramineSGX], vals[Native])
+	if g < 1.6 || g > 4.0 {
+		t.Errorf("C2: Gramine-SGX/Native duration = %.2f, want ~2.5", g)
+	}
+}
+
+func TestFig2ExitShape(t *testing.T) {
+	rows, err := Fig2Exits(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(env Environment, param string) float64 {
+		for _, r := range rows {
+			if r.Env == env && r.Param == param {
+				return r.Value
+			}
+		}
+		t.Fatalf("missing row %v/%s", env, param)
+		return 0
+	}
+	PrintRows(os.Stderr, "Figure 2 (enclave exits)", rows)
+	// Gramine-SGX iperf3 must dwarf its HelloWorld baseline; RAKIS-SGX
+	// iperf3 must stay within a small factor of the baseline.
+	if get(GramineSGX, "iperf3") < 10*get(GramineSGX, "HelloWorld") {
+		t.Error("Gramine-SGX iperf3 exits should be orders of magnitude above HelloWorld")
+	}
+	if get(RakisSGX, "iperf3") > 5*get(RakisSGX, "HelloWorld") {
+		t.Error("Rakis-SGX iperf3 exits should stay near the HelloWorld baseline")
+	}
+}

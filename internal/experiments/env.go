@@ -1,0 +1,248 @@
+// Package experiments builds the five test environments of §6 and drives
+// the workloads that regenerate every figure of the paper's evaluation:
+// Native, Gramine-Direct, Gramine-SGX, RAKIS-Direct, and RAKIS-SGX, all
+// on one simulated machine with two 25 Gbps interfaces wired in loopback.
+package experiments
+
+import (
+	"fmt"
+
+	"rakis"
+	"rakis/internal/hostos"
+	"rakis/internal/libos"
+	"rakis/internal/mem"
+	"rakis/internal/netsim"
+	"rakis/internal/netstack"
+	"rakis/internal/sys"
+	"rakis/internal/vtime"
+)
+
+// Environment selects one of the paper's five test environments.
+type Environment int
+
+const (
+	// Native runs the workload on the host kernel.
+	Native Environment = iota
+	// GramineDirect runs under the LibOS outside SGX.
+	GramineDirect
+	// GramineSGX runs under the LibOS inside SGX (exits per syscall).
+	GramineSGX
+	// RakisDirect runs under RAKIS outside SGX.
+	RakisDirect
+	// RakisSGX runs under RAKIS inside SGX.
+	RakisSGX
+)
+
+// Environments lists all five in the paper's presentation order.
+var Environments = []Environment{Native, RakisDirect, RakisSGX, GramineDirect, GramineSGX}
+
+// String returns the environment name as the figures label it.
+func (e Environment) String() string {
+	switch e {
+	case Native:
+		return "Native"
+	case GramineDirect:
+		return "Gramine-Direct"
+	case GramineSGX:
+		return "Gramine-SGX"
+	case RakisDirect:
+		return "Rakis-Direct"
+	default:
+		return "Rakis-SGX"
+	}
+}
+
+// IsRakis reports whether the environment runs under RAKIS.
+func (e Environment) IsRakis() bool { return e == RakisDirect || e == RakisSGX }
+
+// Addresses of the simulated testbed.
+var (
+	// ClientIP is the load generator's address ("its own network
+	// namespace", §6.1).
+	ClientIP = netstack.IP4{10, 0, 0, 1}
+	// KernelIP is the server kernel stack's address, used by the
+	// baseline environments.
+	KernelIP = netstack.IP4{10, 0, 0, 2}
+	// RakisIP is the in-enclave stack's address, used by the RAKIS
+	// environments (the XDP program steers it to the XSKs).
+	RakisIP = netstack.IP4{10, 0, 0, 3}
+)
+
+// Options configures a World.
+type Options struct {
+	// Env is the environment under test.
+	Env Environment
+	// ServerQueues is the server NIC queue count (default 4).
+	ServerQueues int
+	// NumXSKs is the XSK count for RAKIS environments (default 1;
+	// Memcached uses 4, §6.1).
+	NumXSKs int
+	// RingSize is the XSK ring size (default 2048, §6.1).
+	RingSize uint32
+	// GlobalLockStack enables the enclave-stack global-lock ablation.
+	GlobalLockStack bool
+	// TrustedBytes and UntrustedBytes size the simulated address space.
+	TrustedBytes, UntrustedBytes int
+
+	// paramLabel labels rows produced from these options.
+	paramLabel string
+}
+
+func (o *Options) fill() {
+	if o.ServerQueues <= 0 {
+		o.ServerQueues = 4
+	}
+	if o.NumXSKs <= 0 {
+		o.NumXSKs = 1
+	}
+	if o.RingSize == 0 {
+		o.RingSize = 2048
+	}
+	if o.TrustedBytes == 0 {
+		o.TrustedBytes = 1 << 24
+	}
+	if o.UntrustedBytes == 0 {
+		o.UntrustedBytes = 1 << 28
+	}
+}
+
+// World is one fully wired test environment.
+type World struct {
+	Opt      Options
+	Model    *vtime.Model
+	Space    *mem.Space
+	Kern     *hostos.Kernel
+	ClientNS *hostos.NetNS
+	ServerNS *hostos.NetNS
+
+	// Counters aggregates server-side events (exits, syscalls, drops).
+	Counters *vtime.Counters
+
+	// ServerIP is where workload servers listen in this environment.
+	ServerIP netstack.IP4
+
+	rakisRT    *rakis.Runtime
+	serverProc *libos.Process
+	clientProc *libos.Process
+}
+
+// clientModel is the uncosted load generator's model: the client "runs
+// natively in its own namespace" and must never be the virtual
+// bottleneck, so its per-packet costs are tiny. The shared wire still
+// paces it at 25 Gbps.
+func clientModel(m *vtime.Model) *vtime.Model {
+	c := *m
+	c.Syscall = 10
+	c.KernelNetPerPacket = 20
+	c.KernelTCPPerSegment = 30
+	c.SocketOp = 5
+	c.VfsOp = 10
+	c.PollPerFD = 5
+	c.KernelCopyPerByte = 0.002
+	c.UserCopyPerByte = 0.002
+	return &c
+}
+
+// rakisDirectModel removes the SGX boundary tax for RAKIS-Direct: copies
+// in and out of the (non-encrypted) shared memory cost a plain copy.
+func rakisDirectModel(m *vtime.Model) *vtime.Model {
+	c := *m
+	c.BoundaryCopyPerByte = c.UserCopyPerByte
+	return &c
+}
+
+// NewWorld wires the full testbed for one environment.
+func NewWorld(opt Options) (*World, error) {
+	opt.fill()
+	model := vtime.Default()
+	w := &World{
+		Opt:      opt,
+		Model:    model,
+		Space:    mem.NewSpace(opt.TrustedBytes, opt.UntrustedBytes),
+		Counters: &vtime.Counters{},
+	}
+	w.Kern = hostos.NewKernel(w.Space, model)
+	cliDev, srvDev := netsim.NewPair(model,
+		netsim.Config{Name: "eth-client", MAC: [6]byte{2, 0, 0, 0, 0, 1}, Queues: 2},
+		netsim.Config{Name: "eth-server", MAC: [6]byte{2, 0, 0, 0, 0, 2}, Queues: opt.ServerQueues},
+	)
+	var err error
+	w.ClientNS, err = w.Kern.AddNetNS("client", cliDev, ClientIP, clientModel(model), nil)
+	if err != nil {
+		return nil, err
+	}
+	w.ServerNS, err = w.Kern.AddNetNS("server", srvDev, KernelIP, model, w.Counters)
+	if err != nil {
+		return nil, err
+	}
+
+	cp := w.Kern.NewProc(w.ClientNS, nil)
+	cp.Free = true
+	w.clientProc = libos.NewProcess(cp, libos.Native, nil)
+
+	switch opt.Env {
+	case Native:
+		w.ServerIP = KernelIP
+		w.serverProc = libos.NewProcess(w.Kern.NewProc(w.ServerNS, w.Counters), libos.Native, w.Counters)
+	case GramineDirect:
+		// Direct mode never takes the OCALL path, so exit and boundary
+		// costs are structurally absent; only the LibOS handling cost
+		// remains.
+		w.ServerIP = KernelIP
+		w.serverProc = libos.NewProcess(w.Kern.NewProc(w.ServerNS, w.Counters), libos.Direct, w.Counters)
+	case GramineSGX:
+		w.ServerIP = KernelIP
+		w.serverProc = libos.NewProcess(w.Kern.NewProc(w.ServerNS, w.Counters), libos.SGX, w.Counters)
+	case RakisDirect, RakisSGX:
+		w.ServerIP = RakisIP
+		mode := libos.Direct
+		encModel := rakisDirectModel(model)
+		if opt.Env == RakisSGX {
+			mode = libos.SGX
+			encModel = model
+		}
+		w.rakisRT, err = rakis.Boot(w.Kern, w.ServerNS, rakis.Config{
+			IP:              RakisIP,
+			NumXSKs:         opt.NumXSKs,
+			RingSize:        opt.RingSize,
+			Mode:            mode,
+			Model:           encModel,
+			Counters:        w.Counters,
+			GlobalLockStack: opt.GlobalLockStack,
+		})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown environment %d", opt.Env)
+	}
+	return w, nil
+}
+
+// ServerThread returns a fresh application thread in the server
+// environment.
+func (w *World) ServerThread() (sys.Sys, error) {
+	if w.rakisRT != nil {
+		return w.rakisRT.NewThread()
+	}
+	return w.serverProc.NewThread(), nil
+}
+
+// ClientThread returns a fresh load-generator thread (native, uncosted).
+func (w *World) ClientThread() sys.Sys {
+	return w.clientProc.NewThread()
+}
+
+// Rakis exposes the RAKIS runtime in RAKIS environments (nil otherwise).
+func (w *World) Rakis() *rakis.Runtime { return w.rakisRT }
+
+// VFS exposes the shared filesystem for workload setup.
+func (w *World) VFS() *hostos.VFS { return w.Kern.VFS() }
+
+// Close tears the world down.
+func (w *World) Close() {
+	if w.rakisRT != nil {
+		w.rakisRT.Close()
+	}
+	w.Kern.Close()
+}

@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"rakis/internal/workloads"
+)
+
+// WorkloadEnv adapts a World to the workloads' environment surface.
+func (w *World) WorkloadEnv() workloads.Env {
+	return workloads.Env{
+		ServerThread: w.ServerThread,
+		ClientThread: w.ClientThread,
+		ServerIP:     w.ServerIP,
+		KernelIP:     KernelIP,
+		Model:        w.Model,
+	}
+}
+
+// Scale shrinks experiment sizes: 1.0 regenerates figure-sized runs,
+// smaller values keep tests fast. Durations in the paper (10 s streams,
+// 1 GB files) are expressed as volumes here.
+type Scale float64
+
+// Row is one measured point of a figure: an environment, a swept
+// parameter, and the measured value in the figure's unit.
+type Row struct {
+	Env   Environment
+	Param string
+	Value float64
+	Unit  string
+}
+
+// PrintRows renders rows as an aligned table grouped by parameter.
+func PrintRows(out io.Writer, title string, rows []Row) {
+	fmt.Fprintf(out, "\n%s\n", title)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	byParam := map[string][]Row{}
+	var order []string
+	for _, r := range rows {
+		if len(byParam[r.Param]) == 0 {
+			order = append(order, r.Param)
+		}
+		byParam[r.Param] = append(byParam[r.Param], r)
+	}
+	fmt.Fprintf(tw, "param")
+	for _, e := range Environments {
+		fmt.Fprintf(tw, "\t%s", e)
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(tw, "\t[%s]", rows[0].Unit)
+	}
+	fmt.Fprintln(tw)
+	for _, p := range order {
+		fmt.Fprintf(tw, "%s", p)
+		for _, e := range Environments {
+			v := 0.0
+			for _, r := range byParam[p] {
+				if r.Env == e {
+					v = r.Value
+				}
+			}
+			fmt.Fprintf(tw, "\t%.2f", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// runPerEnv builds a world per environment and applies f.
+func runPerEnv(opt Options, f func(*World) (float64, string, error)) ([]Row, map[Environment]float64, error) {
+	var rows []Row
+	vals := map[Environment]float64{}
+	for _, env := range Environments {
+		o := opt
+		o.Env = env
+		w, err := NewWorld(o)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%v: %w", env, err)
+		}
+		v, unit, err := f(w)
+		w.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%v: %w", env, err)
+		}
+		rows = append(rows, Row{Env: env, Param: opt.paramLabel, Value: v, Unit: unit})
+		vals[env] = v
+	}
+	return rows, vals, nil
+}
+
+// Fig4aIperf reproduces Figure 4(a): iperf3 UDP throughput (Gbps) across
+// packet sizes for the five environments.
+func Fig4aIperf(scale Scale) ([]Row, error) {
+	sizes := []int{64, 128, 256, 512, 1024, 1460}
+	count := int(float64(4000) * float64(scale))
+	if count < 200 {
+		count = 200
+	}
+	var rows []Row
+	for _, size := range sizes {
+		opt := Options{paramLabel: fmt.Sprintf("%dB", size)}
+		r, _, err := runPerEnv(opt, func(w *World) (float64, string, error) {
+			res, err := workloads.IperfUDP(w.WorkloadEnv(), workloads.IperfParams{
+				PacketSize: size, Count: count,
+			})
+			return res.Gbps, "Gbps", err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// Fig4bCurl reproduces Figure 4(b): QUIC download duration (seconds,
+// lower is better) across file sizes.
+func Fig4bCurl(scale Scale) ([]Row, error) {
+	// Paper: 10 MB .. 1 GB. Scaled for practicality.
+	sizes := []int{
+		int(float64(2<<20) * float64(scale) * 8),
+		int(float64(8<<20) * float64(scale) * 8),
+	}
+	var rows []Row
+	for _, size := range sizes {
+		if size < 64<<10 {
+			size = 64 << 10
+		}
+		data := workloads.PrepareMcryptInput(size)
+		opt := Options{paramLabel: fmt.Sprintf("%dMB", size>>20)}
+		r, _, err := runPerEnv(opt, func(w *World) (float64, string, error) {
+			res, err := workloads.Curl(w.WorkloadEnv(), workloads.CurlParams{Path: "/srv/file"},
+				func(string) ([]byte, error) { return data, nil })
+			if err != nil {
+				return 0, "s", err
+			}
+			if res.Bytes != uint64(size) {
+				return 0, "s", fmt.Errorf("curl got %d bytes, want %d", res.Bytes, size)
+			}
+			return res.Seconds, "s", nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// Fig4cMemcached reproduces Figure 4(c): memcached throughput (kops/s)
+// across server thread counts, with four XSKs (§6.1).
+func Fig4cMemcached(scale Scale) ([]Row, error) {
+	threads := []int{1, 2, 4, 8}
+	ops := int(float64(4000) * float64(scale))
+	if ops < 400 {
+		ops = 400
+	}
+	var rows []Row
+	for _, t := range threads {
+		opt := Options{NumXSKs: 4, ServerQueues: 8, paramLabel: fmt.Sprintf("%dthr", t)}
+		r, _, err := runPerEnv(opt, func(w *World) (float64, string, error) {
+			res, err := workloads.Memcached(w.WorkloadEnv(), workloads.MemcachedParams{
+				ServerThreads: t, Ops: ops,
+			})
+			return res.OpsPerSec / 1e3, "kops/s", err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// Fig5aFstime reproduces Figure 5(a): fstime write throughput (MB/s)
+// across block sizes.
+func Fig5aFstime(scale Scale) ([]Row, error) {
+	blocks := []int{256, 1024, 4096, 16384, 65536, 262144, 1048576}
+	var rows []Row
+	for _, b := range blocks {
+		total := int(float64(8<<20) * float64(scale))
+		if total < b*16 {
+			total = b * 16
+		}
+		opt := Options{paramLabel: fmt.Sprintf("%dB", b)}
+		r, _, err := runPerEnv(opt, func(w *World) (float64, string, error) {
+			res, err := workloads.Fstime(w.WorkloadEnv(), workloads.FstimeParams{
+				BlockSize: b, TotalBytes: total,
+			})
+			return res.KBps / 1024, "MB/s", err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// Fig5bRedis reproduces Figure 5(b): Redis throughput normalized to
+// Native, per command.
+func Fig5bRedis(scale Scale) ([]Row, error) {
+	cmds := []string{"PING", "SET", "GET"}
+	ops := int(float64(2000) * float64(scale))
+	if ops < 250 {
+		ops = 250
+	}
+	var rows []Row
+	for _, cmd := range cmds {
+		opt := Options{paramLabel: cmd}
+		r, vals, err := runPerEnv(opt, func(w *World) (float64, string, error) {
+			res, err := workloads.Redis(w.WorkloadEnv(), workloads.RedisParams{
+				Command: cmd, Ops: ops,
+			})
+			return res.OpsPerSec, "normalized", err
+		})
+		if err != nil {
+			return nil, err
+		}
+		base := vals[Native]
+		for i := range r {
+			r[i].Value /= base
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// Fig5cMcrypt reproduces Figure 5(c): MCrypt encryption duration
+// (seconds) across read block sizes.
+func Fig5cMcrypt(scale Scale) ([]Row, error) {
+	blocks := []int{4096, 16384, 65536, 262144, 1048576}
+	size := int(float64(32<<20) * float64(scale))
+	if size < 1<<20 {
+		size = 1 << 20
+	}
+	input := workloads.PrepareMcryptInput(size)
+	var rows []Row
+	for _, b := range blocks {
+		opt := Options{paramLabel: fmt.Sprintf("%dKB", b>>10)}
+		r, _, err := runPerEnv(opt, func(w *World) (float64, string, error) {
+			w.VFS().WriteFile("/data/mcrypt.in", input)
+			res, err := workloads.Mcrypt(w.WorkloadEnv(), workloads.McryptParams{BlockSize: b})
+			if err != nil {
+				return 0, "s", err
+			}
+			if res.Bytes != uint64(size) {
+				return 0, "s", fmt.Errorf("mcrypt processed %d bytes, want %d", res.Bytes, size)
+			}
+			return res.Seconds, "s", nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// Fig2Exits reproduces Figure 2: enclave exit counts for HelloWorld and
+// an iperf3 run, on Gramine-SGX vs RAKIS-SGX.
+func Fig2Exits(scale Scale) ([]Row, error) {
+	count := int(float64(4000) * float64(scale))
+	if count < 200 {
+		count = 200
+	}
+	var rows []Row
+	for _, env := range []Environment{GramineSGX, RakisSGX} {
+		// HelloWorld baseline.
+		w, err := NewWorld(Options{Env: env})
+		if err != nil {
+			return nil, err
+		}
+		if err := workloads.HelloWorld(w.WorkloadEnv()); err != nil {
+			w.Close()
+			return nil, err
+		}
+		rows = append(rows, Row{Env: env, Param: "HelloWorld",
+			Value: float64(w.Counters.EnclaveExits.Load()), Unit: "exits"})
+		w.Close()
+
+		// iperf3.
+		w, err = NewWorld(Options{Env: env})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := workloads.IperfUDP(w.WorkloadEnv(), workloads.IperfParams{
+			PacketSize: 1460, Count: count,
+		}); err != nil {
+			w.Close()
+			return nil, err
+		}
+		rows = append(rows, Row{Env: env, Param: "iperf3",
+			Value: float64(w.Counters.EnclaveExits.Load()), Unit: "exits"})
+		w.Close()
+	}
+	return rows, nil
+}

@@ -1,0 +1,340 @@
+// Package fm implements the FastPath Module orchestration (§4.1): the
+// per-XSK receive pump threads and the per-user-thread io_uring FMs with
+// their trusted bounce-buffer management.
+//
+// The XSK pump is the paper's "distinct SGX enclave thread assigned to
+// each XSK": it moves incoming frames from untrusted UMem into trusted
+// memory and invokes the in-enclave UDP/IP stack, keeping the fill ring
+// stocked so the kernel never runs out of RX frames (§4.1 "Quality of
+// service assurance").
+//
+// The io_uring FM owns a bounce buffer in untrusted shared memory: write
+// payloads are copied out of the enclave before submission, read results
+// are copied in only after the completion passes validation. RAKIS never
+// places enclave pointers in SQEs — the inverse of the liburing flaw in
+// Appendix A.
+package fm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rakis/internal/iouring"
+	"rakis/internal/mem"
+	"rakis/internal/netstack"
+	"rakis/internal/vtime"
+	"rakis/internal/xsk"
+)
+
+// Errno converts a negative CQE result into an error.
+func Errno(res int32) error {
+	if res >= 0 {
+		return nil
+	}
+	switch res {
+	case -9:
+		return errors.New("fm: EBADF")
+	case -14:
+		return errors.New("fm: EFAULT")
+	case -22:
+		return errors.New("fm: EINVAL")
+	case -32:
+		return errors.New("fm: EPIPE")
+	default:
+		return fmt.Errorf("fm: errno %d", -res)
+	}
+}
+
+// CursorOff is the Off value requesting cursor-relative file IO.
+const CursorOff = ^uint64(0)
+
+// XskPump is the dedicated enclave thread driving one XSK.
+type XskPump struct {
+	sock  *xsk.Socket
+	stack *netstack.Stack
+	model *vtime.Model
+
+	clk  vtime.Clock
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewXskPump wires an XSK to the in-enclave stack.
+func NewXskPump(sock *xsk.Socket, stack *netstack.Stack, model *vtime.Model) *XskPump {
+	if model == nil {
+		model = vtime.Default()
+	}
+	return &XskPump{
+		sock:  sock,
+		stack: stack,
+		model: model,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Clock returns the pump thread's virtual clock.
+func (p *XskPump) Clock() *vtime.Clock { return &p.clk }
+
+// Socket returns the underlying XSK.
+func (p *XskPump) Socket() *xsk.Socket { return p.sock }
+
+// Start launches the pump thread.
+func (p *XskPump) Start() {
+	go p.run()
+}
+
+func (p *XskPump) run() {
+	defer close(p.done)
+	p.sock.Refill(&p.clk)
+	idle := 0
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		payload, ok := p.sock.Recv(&p.clk)
+		if !ok {
+			p.sock.Reap(&p.clk)
+			p.sock.Refill(&p.clk)
+			idle++
+			if idle > 16 {
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		idle = 0
+		p.clk.Advance(p.model.FMPerPacket)
+		p.stack.Input(payload, &p.clk)
+		p.sock.Refill(&p.clk)
+	}
+}
+
+// Close stops the pump and waits for it to exit.
+func (p *XskPump) Close() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}
+
+// UringFM is one user thread's io_uring FastPath Module. It is not safe
+// for concurrent use: RAKIS gives every user thread its own instance to
+// avoid contention (§4.1).
+type UringFM struct {
+	ring  *iouring.Ring
+	space *mem.Space
+	model *vtime.Model
+
+	bounce    mem.Addr
+	bounceLen int
+}
+
+// NewUringFM attaches the FM to a validated ring and allocates its
+// untrusted bounce buffer.
+func NewUringFM(ring *iouring.Ring, space *mem.Space, model *vtime.Model, bounceLen int) (*UringFM, error) {
+	if model == nil {
+		model = vtime.Default()
+	}
+	if bounceLen <= 0 {
+		bounceLen = 256 * 1024
+	}
+	addr, err := space.Alloc(mem.Untrusted, uint64(bounceLen), 64)
+	if err != nil {
+		return nil, err
+	}
+	return &UringFM{
+		ring:   ring,
+		space:  space,
+		model:  model,
+		bounce: addr, bounceLen: bounceLen,
+	}, nil
+}
+
+// Ring returns the underlying certified ring pair.
+func (u *UringFM) Ring() *iouring.Ring { return u.ring }
+
+// submitWait is the synchronous submit-then-wait core.
+func (u *UringFM) submitWait(e iouring.SQE, clk *vtime.Clock) (int32, error) {
+	tok, err := u.ring.Submit(e, clk)
+	if err != nil {
+		return 0, err
+	}
+	return u.ring.Wait(tok, clk)
+}
+
+// bounceView returns the enclave's view of the first n bounce bytes.
+func (u *UringFM) bounceView(n int) ([]byte, error) {
+	return u.space.Bytes(mem.RoleEnclave, u.bounce, uint64(n))
+}
+
+// ReadAt reads into trusted p through the bounce buffer. off == CursorOff
+// reads at the file cursor.
+func (u *UringFM) ReadAt(fd int, p []byte, off uint64, clk *vtime.Clock) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		chunk := len(p)
+		if chunk > u.bounceLen {
+			chunk = u.bounceLen
+		}
+		res, err := u.submitWait(iouring.SQE{
+			Op: iouring.OpRead, FD: int32(fd), Off: off,
+			Addr: u.bounce, Len: uint32(chunk),
+		}, clk)
+		if err != nil {
+			return total, err
+		}
+		if res < 0 {
+			return total, Errno(res)
+		}
+		n := int(res)
+		if n > 0 {
+			src, err := u.bounceView(n)
+			if err != nil {
+				return total, err
+			}
+			copy(p, src[:n])
+			clk.Advance(vtime.Bytes(u.model.BoundaryCopyPerByte, n))
+		}
+		total += n
+		if n < chunk {
+			break // EOF
+		}
+		p = p[n:]
+		if off != CursorOff {
+			off += uint64(n)
+		}
+	}
+	return total, nil
+}
+
+// WriteAt writes trusted p through the bounce buffer. off == CursorOff
+// writes at the file cursor.
+func (u *UringFM) WriteAt(fd int, p []byte, off uint64, clk *vtime.Clock) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		chunk := len(p)
+		if chunk > u.bounceLen {
+			chunk = u.bounceLen
+		}
+		dst, err := u.bounceView(chunk)
+		if err != nil {
+			return total, err
+		}
+		copy(dst, p[:chunk])
+		clk.Advance(vtime.Bytes(u.model.BoundaryCopyPerByte, chunk))
+		res, err := u.submitWait(iouring.SQE{
+			Op: iouring.OpWrite, FD: int32(fd), Off: off,
+			Addr: u.bounce, Len: uint32(chunk),
+		}, clk)
+		if err != nil {
+			return total, err
+		}
+		if res < 0 {
+			return total, Errno(res)
+		}
+		n := int(res)
+		total += n
+		if n < chunk {
+			break
+		}
+		p = p[n:]
+		if off != CursorOff {
+			off += uint64(n)
+		}
+	}
+	return total, nil
+}
+
+// Send transmits trusted p on a kernel TCP socket.
+func (u *UringFM) Send(fd int, p []byte, clk *vtime.Clock) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		chunk := len(p)
+		if chunk > u.bounceLen {
+			chunk = u.bounceLen
+		}
+		dst, err := u.bounceView(chunk)
+		if err != nil {
+			return total, err
+		}
+		copy(dst, p[:chunk])
+		clk.Advance(vtime.Bytes(u.model.BoundaryCopyPerByte, chunk))
+		res, err := u.submitWait(iouring.SQE{
+			Op: iouring.OpSend, FD: int32(fd),
+			Addr: u.bounce, Len: uint32(chunk),
+		}, clk)
+		if err != nil {
+			return total, err
+		}
+		if res < 0 {
+			return total, Errno(res)
+		}
+		total += int(res)
+		p = p[res:]
+	}
+	return total, nil
+}
+
+// Recv receives into trusted p from a kernel TCP socket.
+func (u *UringFM) Recv(fd int, p []byte, clk *vtime.Clock) (int, error) {
+	chunk := len(p)
+	if chunk > u.bounceLen {
+		chunk = u.bounceLen
+	}
+	res, err := u.submitWait(iouring.SQE{
+		Op: iouring.OpRecv, FD: int32(fd),
+		Addr: u.bounce, Len: uint32(chunk),
+	}, clk)
+	if err != nil {
+		return 0, err
+	}
+	if res < 0 {
+		return 0, Errno(res)
+	}
+	n := int(res)
+	if n > 0 {
+		src, err := u.bounceView(n)
+		if err != nil {
+			return 0, err
+		}
+		copy(p, src[:n])
+		clk.Advance(vtime.Bytes(u.model.BoundaryCopyPerByte, n))
+	}
+	return n, nil
+}
+
+// Fsync flushes a file.
+func (u *UringFM) Fsync(fd int, clk *vtime.Clock) error {
+	res, err := u.submitWait(iouring.SQE{Op: iouring.OpFsync, FD: int32(fd)}, clk)
+	if err != nil {
+		return err
+	}
+	return Errno(res)
+}
+
+// SubmitPoll arms an asynchronous poll on a host descriptor and returns
+// its token; the API submodule aggregates it with enclave-side sources.
+func (u *UringFM) SubmitPoll(fd int, events uint32, clk *vtime.Clock) (uint64, error) {
+	return u.ring.Submit(iouring.SQE{
+		Op: iouring.OpPollAdd, FD: int32(fd), OpFlags: events,
+	}, clk)
+}
+
+// TryPoll checks an armed poll without blocking.
+func (u *UringFM) TryPoll(token uint64, clk *vtime.Clock) (int32, bool, error) {
+	return u.ring.TryWait(token, clk)
+}
+
+// CancelPoll abandons an armed poll: a poll_remove operation cancels the
+// kernel-side wait, and both completions are silently discarded.
+func (u *UringFM) CancelPoll(token uint64, clk *vtime.Clock) {
+	if rm, err := u.ring.Submit(iouring.SQE{Op: iouring.OpPollRemove, Off: token}, clk); err == nil {
+		u.ring.Forget(rm)
+	}
+	u.ring.Forget(token)
+}

@@ -1,0 +1,113 @@
+package hostos
+
+import (
+	"sync"
+	"time"
+
+	"rakis/internal/vtime"
+)
+
+// epoll: the readiness-notification interface the paper's evaluation had
+// to avoid ("As RAKIS does not currently support epoll, we compiled Redis
+// to use the select syscall instead", §6.2). The host kernel provides it
+// for the baselines; the RAKIS extension in the root package builds its
+// enclave-side equivalent over armed io_uring polls.
+
+// Epoll ctl ops.
+const (
+	EpollCtlAdd = 1
+	EpollCtlDel = 2
+	EpollCtlMod = 3
+)
+
+// EpollEvent is one readiness report.
+type EpollEvent struct {
+	FD     int
+	Events uint32
+}
+
+// epollObj is the kernel object behind an epoll descriptor.
+type epollObj struct {
+	mu       sync.Mutex
+	interest map[int]uint32
+}
+
+// EpollCreate installs an epoll instance and returns its descriptor.
+func (p *Proc) EpollCreate(clk *vtime.Clock) (int, error) {
+	p.enter(clk)
+	return p.kern.installFD(&epollObj{interest: make(map[int]uint32)}), nil
+}
+
+// EpollCtl adds, removes, or modifies interest in fd.
+func (p *Proc) EpollCtl(epfd, op, fd int, events uint32, clk *vtime.Clock) error {
+	p.enter(clk)
+	obj, err := p.kern.lookupFD(epfd)
+	if err != nil {
+		return err
+	}
+	ep, ok := obj.(*epollObj)
+	if !ok {
+		return ErrInval
+	}
+	if _, err := p.kern.lookupFD(fd); err != nil && op != EpollCtlDel {
+		return err
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	switch op {
+	case EpollCtlAdd, EpollCtlMod:
+		ep.interest[fd] = events
+	case EpollCtlDel:
+		delete(ep.interest, fd)
+	default:
+		return ErrInval
+	}
+	return nil
+}
+
+// EpollWait reports ready descriptors, waiting up to timeout (in real
+// time; < 0 blocks). Unlike poll, the virtual cost scales with the
+// *ready* set plus a constant, which is epoll's entire point.
+func (p *Proc) EpollWait(epfd int, events []EpollEvent, timeout time.Duration, clk *vtime.Clock) (int, error) {
+	p.enter(clk)
+	obj, err := p.kern.lookupFD(epfd)
+	if err != nil {
+		return 0, err
+	}
+	ep, ok := obj.(*epollObj)
+	if !ok {
+		return 0, ErrInval
+	}
+	var deadline time.Time
+	if timeout >= 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		n := 0
+		ep.mu.Lock()
+		for fd, want := range ep.interest {
+			if n == len(events) {
+				break
+			}
+			re := p.readiness(fd, want)
+			if re != 0 {
+				events[n] = EpollEvent{FD: fd, Events: re}
+				n++
+			}
+		}
+		ep.mu.Unlock()
+		if n > 0 {
+			if !p.Free {
+				clk.Advance(uint64(n) * p.kern.Model.PollPerFD)
+			}
+			return n, nil
+		}
+		if timeout == 0 {
+			return 0, nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return 0, nil
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}

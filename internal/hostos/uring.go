@@ -1,0 +1,347 @@
+package hostos
+
+import (
+	"sync"
+	"time"
+
+	"rakis/internal/iouring"
+	"rakis/internal/mem"
+	"rakis/internal/netstack"
+	"rakis/internal/ring"
+	"rakis/internal/vtime"
+)
+
+// uringKernel is the kernel side of one io_uring instance: a worker that
+// consumes iSub and produces iCompl. The worker is kicked by the
+// io_uring_enter syscall (from the Monitor Module in RAKIS deployments)
+// and models the dedicated kernel routine the paper cites [20-22].
+type uringKernel struct {
+	fd   int
+	kern *Kernel
+	proc *Proc // namespace context for socket fds
+
+	sub   *ring.Ring // kernel consumes
+	compl *ring.Ring // kernel produces
+
+	wake     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	complMu sync.Mutex // serializes CQE production from async op goroutines
+
+	pollMu      sync.Mutex
+	pollCancels map[uint64]chan struct{} // armed polls by user data
+}
+
+// IoUringSetup performs the untrusted initialization of one io_uring.
+func (p *Proc) IoUringSetup(entries uint32, clk *vtime.Clock) (iouring.Setup, error) {
+	p.enter(clk)
+	k := p.kern
+	subB, err := k.Space.Alloc(mem.Untrusted, ring.TotalBytes(entries, iouring.SQEBytes), 64)
+	if err != nil {
+		return iouring.Setup{}, err
+	}
+	complB, err := k.Space.Alloc(mem.Untrusted, ring.TotalBytes(entries, iouring.CQEBytes), 64)
+	if err != nil {
+		return iouring.Setup{}, err
+	}
+	u := &uringKernel{
+		kern: k, proc: p,
+		wake:        make(chan struct{}, 1),
+		done:        make(chan struct{}),
+		pollCancels: make(map[uint64]chan struct{}),
+	}
+	if u.sub, err = ring.New(ring.Config{
+		Space: k.Space, Access: mem.RoleHost, Base: subB,
+		Size: entries, EntrySize: iouring.SQEBytes, Side: ring.Consumer,
+	}); err != nil {
+		return iouring.Setup{}, err
+	}
+	if u.compl, err = ring.New(ring.Config{
+		Space: k.Space, Access: mem.RoleHost, Base: complB,
+		Size: entries, EntrySize: iouring.CQEBytes, Side: ring.Producer,
+	}); err != nil {
+		return iouring.Setup{}, err
+	}
+	u.fd = k.installFD(u)
+	go u.worker()
+	return iouring.Setup{FD: u.fd, SubBase: subB, ComplBase: complB}, nil
+}
+
+// IoUringEnter kicks the worker to process pending submissions (§4.3).
+// It does not block: the kernel routine runs asynchronously.
+func (p *Proc) IoUringEnter(fd int, clk *vtime.Clock) error {
+	p.enter(clk)
+	obj, err := p.kern.lookupFD(fd)
+	if err != nil {
+		return err
+	}
+	u, ok := obj.(*uringKernel)
+	if !ok {
+		return ErrInval
+	}
+	if p.Counters != nil {
+		p.Counters.Wakeups.Add(1)
+	}
+	select {
+	case u.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (u *uringKernel) stop() {
+	u.stopOnce.Do(func() { close(u.done) })
+}
+
+// worker drains the submission ring whenever kicked.
+func (u *uringKernel) worker() {
+	for {
+		select {
+		case <-u.done:
+			return
+		case <-u.wake:
+		case <-time.After(5 * time.Millisecond):
+			// Periodic scan as a safety net against lost wakeups.
+		}
+		for {
+			avail, _ := u.sub.Available()
+			if avail == 0 {
+				break
+			}
+			slot, err := u.sub.SlotBytes(0)
+			if err != nil {
+				u.sub.Release(1)
+				continue
+			}
+			sqe := iouring.GetSQE(slot)
+			// The wake latency models the gap between the producer's
+			// advance and this routine being scheduled. Each operation
+			// runs asynchronously with its own virtual clock — as in
+			// real io_uring, a blocking recv or an armed poll never
+			// stalls later submissions.
+			m := u.kern.Model
+			start := u.sub.SlotStamp(0) + m.IoUringWakeLatency
+			u.sub.Release(1)
+			// Fast-path ops complete inline in the worker; anything that
+			// can block (reads, recvs, unready polls) gets a goroutine,
+			// as real io_uring punts blocking work to async context.
+			var clk vtime.Clock
+			clk.SyncAdvance(start, m.IoUringDispatch)
+			switch sqe.Op {
+			case iouring.OpNop, iouring.OpPollRemove, iouring.OpFsync, iouring.OpWrite:
+				u.complete(sqe.UserData, u.execute(sqe, &clk), clk.Now())
+				continue
+			case iouring.OpPollAdd:
+				if obj, err := u.kern.lookupFD(int(sqe.FD)); err == nil {
+					if re := pollReadiness(sqe, obj); re > 0 {
+						clk.Advance(m.PollPerFD)
+						u.complete(sqe.UserData, re, clk.Now())
+						continue
+					}
+				}
+			}
+			now := clk.Now()
+			go func(sqe iouring.SQE, start uint64) {
+				var opClk vtime.Clock
+				opClk.Sync(start)
+				res := u.execute(sqe, &opClk)
+				u.complete(sqe.UserData, res, opClk.Now())
+			}(sqe, now)
+		}
+	}
+}
+
+// complete publishes one CQE.
+func (u *uringKernel) complete(userData uint64, res int32, now uint64) {
+	u.complMu.Lock()
+	defer u.complMu.Unlock()
+	free, _ := u.compl.Free()
+	if free == 0 {
+		// Completion overflow: drop, as the kernel does when the CQ is
+		// full and overflow handling is off.
+		return
+	}
+	cslot, err := u.compl.SlotBytes(0)
+	if err != nil {
+		return
+	}
+	iouring.PutCQE(cslot, iouring.CQE{UserData: userData, Res: res})
+	u.compl.Submit(1, now)
+}
+
+// Errno values surfaced through CQE results.
+const (
+	errnoEFAULT    = -14
+	errnoEINVAL    = -22
+	errnoEBADF     = -9
+	errnoEPIPE     = -32
+	errnoECANCELED = -125
+)
+
+// execute performs one submitted operation in the worker's context. The
+// user buffer must lie in untrusted memory: a buffer pointing into the
+// enclave fails exactly as SGX hardware would make it fail (the
+// liburing attack of Appendix A is dead on arrival here).
+func (u *uringKernel) execute(sqe iouring.SQE, clk *vtime.Clock) int32 {
+	m := u.kern.Model
+	var buf []byte
+	needBuf := sqe.Op == iouring.OpRead || sqe.Op == iouring.OpWrite ||
+		sqe.Op == iouring.OpSend || sqe.Op == iouring.OpRecv
+	if needBuf {
+		var err error
+		buf, err = u.kern.Space.Bytes(mem.RoleHost, sqe.Addr, uint64(sqe.Len))
+		if err != nil {
+			return errnoEFAULT
+		}
+	}
+	obj, err := u.kern.lookupFD(int(sqe.FD))
+	if err != nil && sqe.Op != iouring.OpNop && sqe.Op != iouring.OpPollRemove {
+		return errnoEBADF
+	}
+	switch sqe.Op {
+	case iouring.OpNop:
+		return 0
+	case iouring.OpRead:
+		f, ok := obj.(*File)
+		if !ok {
+			return errnoEBADF
+		}
+		var n int
+		if sqe.Off == ^uint64(0) {
+			f.mu.Lock()
+			n = f.ino.ReadAt(buf, f.off)
+			f.off += int64(n)
+			f.mu.Unlock()
+		} else {
+			n = f.ino.ReadAt(buf, int64(sqe.Off))
+		}
+		clk.Advance(m.VfsOp + vtime.Bytes(m.KernelCopyPerByte, n))
+		return int32(n)
+	case iouring.OpWrite:
+		f, ok := obj.(*File)
+		if !ok {
+			return errnoEBADF
+		}
+		var n int
+		if sqe.Off == ^uint64(0) {
+			f.mu.Lock()
+			n = f.ino.WriteAt(buf, f.off)
+			f.off += int64(n)
+			f.mu.Unlock()
+		} else {
+			n = f.ino.WriteAt(buf, int64(sqe.Off))
+		}
+		clk.Advance(m.VfsOp + vtime.Bytes(m.KernelCopyPerByte, n))
+		return int32(n)
+	case iouring.OpSend:
+		t, ok := obj.(*tcpObj)
+		if !ok || t.sock == nil || t.listener {
+			return errnoEBADF
+		}
+		n, err := t.sock.Send(buf, clk)
+		if err != nil {
+			return errnoEPIPE
+		}
+		return int32(n)
+	case iouring.OpRecv:
+		t, ok := obj.(*tcpObj)
+		if !ok || t.sock == nil || t.listener {
+			return errnoEBADF
+		}
+		n, err := t.sock.Recv(buf, clk, true)
+		if err != nil {
+			if err == netstack.ErrReset {
+				return errnoEPIPE
+			}
+			return errnoEPIPE
+		}
+		return int32(n)
+	case iouring.OpPollAdd:
+		return u.pollAdd(sqe, obj, clk)
+	case iouring.OpPollRemove:
+		// Cancel the armed poll whose user data is in Off.
+		u.pollMu.Lock()
+		ch, ok := u.pollCancels[sqe.Off]
+		if ok {
+			delete(u.pollCancels, sqe.Off)
+		}
+		u.pollMu.Unlock()
+		if !ok {
+			return -2 // ENOENT: already completed or never armed
+		}
+		close(ch)
+		return 0
+	case iouring.OpFsync:
+		if _, ok := obj.(*File); !ok {
+			return errnoEBADF
+		}
+		clk.Advance(m.VfsOp)
+		return 0
+	default:
+		return errnoEINVAL
+	}
+}
+
+// pollReadiness computes the immediate revents mask for a descriptor, or
+// a negative errno if the descriptor cannot be polled.
+func pollReadiness(sqe iouring.SQE, obj any) int32 {
+	var re uint32
+	switch o := obj.(type) {
+	case *udpObj:
+		if sqe.OpFlags&uint32(iouring.PollIn) != 0 && o.sock.Readable() {
+			re |= uint32(iouring.PollIn)
+		}
+		if sqe.OpFlags&uint32(iouring.PollOut) != 0 {
+			re |= uint32(iouring.PollOut)
+		}
+	case *tcpObj:
+		if o.sock == nil {
+			return errnoEBADF
+		}
+		if sqe.OpFlags&uint32(iouring.PollIn) != 0 && o.sock.Readable() {
+			re |= uint32(iouring.PollIn)
+		}
+		if sqe.OpFlags&uint32(iouring.PollOut) != 0 && !o.listener && o.sock.Writable() {
+			re |= uint32(iouring.PollOut)
+		}
+	case *File:
+		re = sqe.OpFlags & (uint32(iouring.PollIn) | uint32(iouring.PollOut))
+	default:
+		return errnoEBADF
+	}
+	return int32(re)
+}
+
+// pollAdd waits (in its own goroutine, like an armed io_uring poll)
+// until the descriptor is ready or the poll is cancelled by a
+// poll_remove, returning the revents mask.
+func (u *uringKernel) pollAdd(sqe iouring.SQE, obj any, clk *vtime.Clock) int32 {
+	cancel := make(chan struct{})
+	u.pollMu.Lock()
+	u.pollCancels[sqe.UserData] = cancel
+	u.pollMu.Unlock()
+	defer func() {
+		u.pollMu.Lock()
+		delete(u.pollCancels, sqe.UserData)
+		u.pollMu.Unlock()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		re := pollReadiness(sqe, obj)
+		if re != 0 {
+			if re > 0 {
+				clk.Advance(u.kern.Model.PollPerFD)
+			}
+			return re
+		}
+		if time.Now().After(deadline) {
+			return 0
+		}
+		select {
+		case <-u.done:
+			return errnoEBADF
+		case <-time.After(50 * time.Microsecond):
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package hostos
+
+import (
+	"fmt"
+	"sync"
+
+	"rakis/internal/mem"
+	"rakis/internal/ring"
+	"rakis/internal/vtime"
+	"rakis/internal/xsk"
+)
+
+// xskKernel is the kernel side of one XDP socket: the consumer of xFill
+// and xTX, the producer of xRX and xCompl. Receive delivery runs in
+// softirq context (the XDP redirect path); transmit processing runs when
+// the sendto wakeup syscall arrives, honouring XDP_USE_NEED_WAKEUP — in
+// RAKIS deployments that syscall comes from the Monitor Module.
+type xskKernel struct {
+	fd      int
+	ns      *NetNS
+	queueID int
+
+	fill, rx, tx, compl *ring.Ring
+	umemBase            mem.Addr
+	frameSize           uint32
+	frameCount          uint32
+
+	rxMu sync.Mutex // serializes softirq delivery (one per queue, but be safe)
+	txMu sync.Mutex // serializes sendto processing
+
+	counters *vtime.Counters
+}
+
+// XSKSetupResult carries what the in-enclave FM needs to attach.
+type XSKSetupResult struct {
+	Setup xsk.Setup
+}
+
+// XSKSetup performs the untrusted initialization of one XDP socket bound
+// to the given interface queue (§4.1: "at least 14 syscalls" collapsed
+// into one simulated control-plane call — initialization runs outside
+// the enclave either way). It allocates the four rings and the UMem in
+// shared untrusted memory and returns their addresses.
+func (p *Proc) XSKSetup(ns *NetNS, queueID int, ringSize, frameSize, frameCount uint32, clk *vtime.Clock) (XSKSetupResult, error) {
+	// Represent the multi-syscall setup cost.
+	for i := 0; i < 14; i++ {
+		p.enter(clk)
+	}
+	k := p.kern
+	if queueID < 0 || queueID >= ns.Dev.NumQueues() {
+		return XSKSetupResult{}, fmt.Errorf("%w: queue %d", ErrInval, queueID)
+	}
+	alloc := func(n uint64) (mem.Addr, error) { return k.Space.Alloc(mem.Untrusted, n, 64) }
+	fillB, err := alloc(ring.TotalBytes(ringSize, xsk.FillEntryBytes))
+	if err != nil {
+		return XSKSetupResult{}, err
+	}
+	rxB, err := alloc(ring.TotalBytes(ringSize, xsk.DescBytes))
+	if err != nil {
+		return XSKSetupResult{}, err
+	}
+	txB, err := alloc(ring.TotalBytes(ringSize, xsk.DescBytes))
+	if err != nil {
+		return XSKSetupResult{}, err
+	}
+	complB, err := alloc(ring.TotalBytes(ringSize, xsk.FillEntryBytes))
+	if err != nil {
+		return XSKSetupResult{}, err
+	}
+	umemB, err := alloc(uint64(frameSize) * uint64(frameCount))
+	if err != nil {
+		return XSKSetupResult{}, err
+	}
+
+	mk := func(base mem.Addr, entry uint32, side ring.Side) (*ring.Ring, error) {
+		return ring.New(ring.Config{
+			Space: k.Space, Access: mem.RoleHost, Base: base,
+			Size: ringSize, EntrySize: entry, Side: side,
+		})
+	}
+	x := &xskKernel{
+		ns: ns, queueID: queueID,
+		umemBase: umemB, frameSize: frameSize, frameCount: frameCount,
+		counters: p.Counters,
+	}
+	if x.fill, err = mk(fillB, xsk.FillEntryBytes, ring.Consumer); err != nil {
+		return XSKSetupResult{}, err
+	}
+	if x.rx, err = mk(rxB, xsk.DescBytes, ring.Producer); err != nil {
+		return XSKSetupResult{}, err
+	}
+	if x.tx, err = mk(txB, xsk.DescBytes, ring.Consumer); err != nil {
+		return XSKSetupResult{}, err
+	}
+	if x.compl, err = mk(complB, xsk.FillEntryBytes, ring.Producer); err != nil {
+		return XSKSetupResult{}, err
+	}
+	x.fd = k.installFD(x)
+
+	ns.mu.Lock()
+	ns.xsks[queueID] = x
+	ns.mu.Unlock()
+
+	return XSKSetupResult{Setup: xsk.Setup{
+		FD:        x.fd,
+		FillBase:  fillB,
+		RXBase:    rxB,
+		TXBase:    txB,
+		ComplBase: complB,
+		UMemBase:  umemB,
+	}}, nil
+}
+
+// unbind detaches the XSK from its queue.
+func (x *xskKernel) unbind() {
+	x.ns.mu.Lock()
+	if x.ns.xsks[x.queueID] == x {
+		delete(x.ns.xsks, x.queueID)
+	}
+	x.ns.mu.Unlock()
+}
+
+// umemOK bounds-checks a user-supplied UMem range. The kernel validates
+// user descriptors just as Linux does — the kernel is not RAKIS's victim,
+// but it protects itself.
+func (x *xskKernel) umemOK(off uint64, n uint32) bool {
+	total := uint64(x.frameSize) * uint64(x.frameCount)
+	return off < total && uint64(n) <= total-off
+}
+
+// deliver places one received frame into a fill-ring UMem slot and
+// publishes an xRX descriptor. Without fill entries the frame is dropped
+// (§4.1 "Quality of service assurance") and need-wakeup is flagged.
+func (x *xskKernel) deliver(frame []byte, clk *vtime.Clock) {
+	x.rxMu.Lock()
+	defer x.rxMu.Unlock()
+	m := x.ns.kern.Model
+	clk.Advance(m.XskKernelPerFrame)
+	avail, _ := x.fill.Available()
+	if avail == 0 {
+		x.fill.SetFlags(ring.FlagNeedWakeup)
+		if x.counters != nil {
+			x.counters.PacketsDropped.Add(1)
+		}
+		return
+	}
+	rxFree, _ := x.rx.Free()
+	if rxFree == 0 {
+		if x.counters != nil {
+			x.counters.PacketsDropped.Add(1)
+		}
+		return
+	}
+	off, err := x.fill.ReadU64(0)
+	if err != nil || !x.umemOK(off, uint32(len(frame))) || uint32(len(frame)) > x.frameSize {
+		// Hostile or nonsense fill entry: consume and drop.
+		x.fill.Release(1)
+		if x.counters != nil {
+			x.counters.PacketsDropped.Add(1)
+		}
+		return
+	}
+	dst, err := x.ns.kern.Space.Bytes(mem.RoleHost, x.umemBase+mem.Addr(off), uint64(len(frame)))
+	if err != nil {
+		x.fill.Release(1)
+		return
+	}
+	copy(dst, frame)
+	clk.Advance(vtime.Bytes(m.KernelCopyPerByte, len(frame)))
+	x.fill.Release(1)
+	slot, err := x.rx.SlotBytes(0)
+	if err != nil {
+		return
+	}
+	xsk.PutDesc(slot, xsk.Desc{Addr: off, Len: uint32(len(frame))})
+	x.rx.Submit(1, clk.Now())
+}
+
+// processTX consumes xTX, transmits the frames, and produces completions.
+// It runs in syscall context — the sendto wakeup from the Monitor Module.
+func (x *xskKernel) processTX(clk *vtime.Clock) int {
+	x.txMu.Lock()
+	defer x.txMu.Unlock()
+	m := x.ns.kern.Model
+	n := 0
+	for {
+		avail, _ := x.tx.Available()
+		if avail == 0 {
+			break
+		}
+		clk.Sync(x.tx.SlotStamp(0))
+		slot, err := x.tx.SlotBytes(0)
+		if err != nil {
+			x.tx.Release(1)
+			continue
+		}
+		d := xsk.GetDesc(slot)
+		if !x.umemOK(d.Addr, d.Len) {
+			x.tx.Release(1)
+			continue
+		}
+		src, err := x.ns.kern.Space.Bytes(mem.RoleHost, x.umemBase+mem.Addr(d.Addr), uint64(d.Len))
+		if err != nil {
+			x.tx.Release(1)
+			continue
+		}
+		clk.Advance(m.XskKernelPerFrame + vtime.Bytes(m.KernelCopyPerByte, int(d.Len)))
+		frame := make([]byte, d.Len)
+		copy(frame, src)
+		x.ns.Dev.Transmit(frame, clk.Now())
+		x.tx.Release(1)
+		// Completion: hand the frame back.
+		free, _ := x.compl.Free()
+		if free > 0 {
+			x.compl.WriteU64(0, d.Addr)
+			x.compl.Submit(1, clk.Now())
+		}
+		n++
+	}
+	return n
+}
+
+// XSKSendto is the sendto(fd) wakeup: it prompts the kernel to drain the
+// socket's xTX ring (§4.3).
+func (p *Proc) XSKSendto(fd int, clk *vtime.Clock) (int, error) {
+	p.enter(clk)
+	obj, err := p.kern.lookupFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	x, ok := obj.(*xskKernel)
+	if !ok {
+		return 0, ErrNotSocket
+	}
+	if p.Counters != nil {
+		p.Counters.Wakeups.Add(1)
+	}
+	return x.processTX(clk), nil
+}
+
+// XSKRecvfrom is the recvfrom(fd) wakeup: it clears the fill ring's
+// need-wakeup flag so the receive path resumes consuming fill entries.
+func (p *Proc) XSKRecvfrom(fd int, clk *vtime.Clock) error {
+	p.enter(clk)
+	obj, err := p.kern.lookupFD(fd)
+	if err != nil {
+		return err
+	}
+	x, ok := obj.(*xskKernel)
+	if !ok {
+		return ErrNotSocket
+	}
+	if p.Counters != nil {
+		p.Counters.Wakeups.Add(1)
+	}
+	x.fill.SetFlags(0)
+	return nil
+}

@@ -1,0 +1,403 @@
+// Package iouring implements the FastPath Module side of an io_uring
+// instance (§4.1, "Enabling the io_uring primitive") plus the SQE/CQE
+// wire encoding shared with the simulated kernel.
+//
+// Two RAKIS-certified rings connect the enclave to the kernel (Table 1):
+// iSub (FM produces submission entries) and iCompl (FM consumes
+// completion entries). RAKIS uses io_uring for five syscalls — send and
+// recv on TCP sockets, read, write, and poll — expressed through eight
+// operations; it deliberately avoids liburing (§5: liburing trusts
+// host-provided pointers, enabling enclave-memory exfiltration).
+//
+// Completion validation (Table 2, "IO operations status codes"): every
+// CQE must carry the user-data token of an outstanding request, and its
+// result must be plausible for the operation (e.g. a read may not claim
+// more bytes than were requested). Implausible completions are refused
+// and surfaced as -EPERM to the caller.
+package iouring
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"rakis/internal/mem"
+	"rakis/internal/ring"
+	"rakis/internal/vtime"
+)
+
+// Entry sizes.
+const (
+	SQEBytes = 64
+	CQEBytes = 16
+)
+
+// Op is an io_uring operation code. RAKIS uses exactly these eight.
+type Op uint8
+
+const (
+	OpNop Op = iota
+	OpRead
+	OpWrite
+	OpSend
+	OpRecv
+	OpPollAdd
+	OpPollRemove
+	OpFsync
+	opMax
+)
+
+var opNames = [...]string{"nop", "read", "write", "send", "recv", "poll_add", "poll_remove", "fsync"}
+
+// String returns the operation mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Poll event masks for OpPollAdd.
+const (
+	PollIn  uint32 = 1 << 0
+	PollOut uint32 = 1 << 2
+)
+
+// SQE is a submission-queue entry.
+type SQE struct {
+	Op       Op
+	Flags    uint8
+	FD       int32
+	Off      uint64
+	Addr     mem.Addr // untrusted buffer address (bounce buffer)
+	Len      uint32
+	OpFlags  uint32
+	UserData uint64
+}
+
+// PutSQE encodes an SQE into a 64-byte slot.
+func PutSQE(b []byte, e SQE) {
+	_ = b[SQEBytes-1]
+	for i := range b[:SQEBytes] {
+		b[i] = 0
+	}
+	b[0] = byte(e.Op)
+	b[1] = e.Flags
+	le32(b[4:8], uint32(e.FD))
+	le64(b[8:16], e.Off)
+	le64(b[16:24], uint64(e.Addr))
+	le32(b[24:28], e.Len)
+	le32(b[28:32], e.OpFlags)
+	le64(b[32:40], e.UserData)
+}
+
+// GetSQE decodes an SQE from a 64-byte slot.
+func GetSQE(b []byte) SQE {
+	_ = b[SQEBytes-1]
+	return SQE{
+		Op:       Op(b[0]),
+		Flags:    b[1],
+		FD:       int32(ld32(b[4:8])),
+		Off:      ld64(b[8:16]),
+		Addr:     mem.Addr(ld64(b[16:24])),
+		Len:      ld32(b[24:28]),
+		OpFlags:  ld32(b[28:32]),
+		UserData: ld64(b[32:40]),
+	}
+}
+
+// CQE is a completion-queue entry.
+type CQE struct {
+	UserData uint64
+	Res      int32
+	Flags    uint32
+}
+
+// PutCQE encodes a CQE into a 16-byte slot.
+func PutCQE(b []byte, e CQE) {
+	_ = b[CQEBytes-1]
+	le64(b[0:8], e.UserData)
+	le32(b[8:12], uint32(e.Res))
+	le32(b[12:16], e.Flags)
+}
+
+// GetCQE decodes a CQE from a 16-byte slot.
+func GetCQE(b []byte) CQE {
+	_ = b[CQEBytes-1]
+	return CQE{UserData: ld64(b[0:8]), Res: int32(ld32(b[8:12])), Flags: ld32(b[12:16])}
+}
+
+func le32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+func le64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+func ld32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func ld64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// Setup is what the untrusted initialization hands the enclave.
+type Setup struct {
+	FD        int
+	SubBase   mem.Addr
+	ComplBase mem.Addr
+}
+
+// Config is the FM's trusted configuration for one io_uring.
+type Config struct {
+	Space    *mem.Space
+	Setup    Setup
+	Entries  uint32 // trusted ring size
+	Counters *vtime.Counters
+	Model    *vtime.Model
+}
+
+// Errors returned by the FM.
+var (
+	// ErrSetup reports failed initialization validation.
+	ErrSetup = errors.New("iouring: untrusted setup rejected")
+	// ErrFull reports a full submission ring.
+	ErrFull = errors.New("iouring: submission ring full")
+	// EPERM is surfaced when a completion fails validation (Table 2
+	// fail action: return -EPERM).
+	EPERM = errors.New("iouring: completion refused (-EPERM)")
+	// ErrTimeout reports a completion that never arrived (availability
+	// failure; the host controls liveness, never integrity).
+	ErrTimeout = errors.New("iouring: completion wait timed out")
+)
+
+// Ring is the FM's trusted handle on one io_uring instance. Each user
+// thread owns its own Ring (§4.1: per-thread FMs avoid contention), so
+// methods need no internal locking.
+type Ring struct {
+	Sub   *ring.Ring
+	Compl *ring.Ring
+
+	fd       int
+	space    *mem.Space
+	model    *vtime.Model
+	counters *vtime.Counters
+
+	nextToken   uint64
+	outstanding map[uint64]SQE // trusted copies of submitted requests
+	results     map[uint64]result
+	dropSet     map[uint64]bool // abandoned tokens awaiting disposal
+}
+
+// result is a validated completion parked until its requester asks.
+type result struct {
+	res   int32
+	eperm bool
+}
+
+// Attach validates the untrusted setup and constructs the trusted handle.
+func Attach(cfg Config) (*Ring, error) {
+	if cfg.Model == nil {
+		cfg.Model = vtime.Default()
+	}
+	if cfg.Setup.FD < 0 {
+		return nil, fmt.Errorf("%w: fd %d", ErrSetup, cfg.Setup.FD)
+	}
+	subBytes := ring.TotalBytes(cfg.Entries, SQEBytes)
+	complBytes := ring.TotalBytes(cfg.Entries, CQEBytes)
+	if !cfg.Space.InUntrusted(cfg.Setup.SubBase, subBytes) {
+		return nil, fmt.Errorf("%w: iSub not exclusively in untrusted memory", ErrSetup)
+	}
+	if !cfg.Space.InUntrusted(cfg.Setup.ComplBase, complBytes) {
+		return nil, fmt.Errorf("%w: iCompl not exclusively in untrusted memory", ErrSetup)
+	}
+	if mem.Overlaps(cfg.Setup.SubBase, subBytes, cfg.Setup.ComplBase, complBytes) {
+		return nil, fmt.Errorf("%w: iSub overlaps iCompl", ErrSetup)
+	}
+	r := &Ring{
+		fd: cfg.Setup.FD, space: cfg.Space, model: cfg.Model,
+		counters:    cfg.Counters,
+		outstanding: make(map[uint64]SQE),
+		results:     make(map[uint64]result),
+	}
+	var err error
+	r.Sub, err = ring.New(ring.Config{
+		Space: cfg.Space, Access: mem.RoleEnclave, Base: cfg.Setup.SubBase,
+		Size: cfg.Entries, EntrySize: SQEBytes, Side: ring.Producer,
+		Certified: true, Counters: cfg.Counters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Compl, err = ring.New(ring.Config{
+		Space: cfg.Space, Access: mem.RoleEnclave, Base: cfg.Setup.ComplBase,
+		Size: cfg.Entries, EntrySize: CQEBytes, Side: ring.Consumer,
+		Certified: true, Counters: cfg.Counters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// FD returns the ring's file descriptor (used by the Monitor Module).
+func (r *Ring) FD() int { return r.fd }
+
+// Submit places one request on iSub. The returned token identifies the
+// request's completion. The Monitor Module notices the producer advance
+// and issues io_uring_enter on the FM's behalf.
+func (r *Ring) Submit(e SQE, clk *vtime.Clock) (uint64, error) {
+	free, _ := r.Sub.Free()
+	if free == 0 {
+		return 0, ErrFull
+	}
+	r.nextToken++
+	e.UserData = r.nextToken
+	slot, err := r.Sub.SlotBytes(0)
+	if err != nil {
+		return 0, err
+	}
+	PutSQE(slot, e)
+	clk.Advance(r.model.RingOp)
+	r.Sub.Submit(1, clk.Now())
+	r.outstanding[e.UserData] = e
+	if r.counters != nil {
+		r.counters.IoUringOps.Add(1)
+	}
+	return e.UserData, nil
+}
+
+// resPlausible applies the per-op result validation of Table 2.
+func resPlausible(req SQE, res int32) bool {
+	if res < 0 {
+		// Errors are always a plausible outcome.
+		return res > -4096
+	}
+	switch req.Op {
+	case OpRead, OpRecv, OpWrite, OpSend:
+		return uint32(res) <= req.Len
+	case OpPollAdd:
+		// Result is a revents mask; only requested events may fire,
+		// plus error/hangup which the kernel may always report.
+		return uint32(res)&^(req.OpFlags|0x18) == 0
+	case OpNop, OpFsync, OpPollRemove:
+		return res == 0
+	default:
+		return false
+	}
+}
+
+// Drain consumes every available completion, validating each against its
+// outstanding request (Table 2). Foreign completions are refused and
+// skipped; implausible results are parked as -EPERM for their requester.
+func (r *Ring) Drain(clk *vtime.Clock) {
+	for {
+		avail, _ := r.Compl.Available()
+		if avail == 0 {
+			return
+		}
+		slot, err := r.Compl.SlotBytes(0)
+		if err != nil {
+			r.Compl.Release(1)
+			continue
+		}
+		cqe := GetCQE(slot)
+		clk.Sync(r.Compl.SlotStamp(0))
+		clk.Advance(r.model.RingOp)
+		pending, known := r.outstanding[cqe.UserData]
+		if !known {
+			r.Compl.Release(1)
+			if r.dropSet[cqe.UserData] {
+				// An abandoned request's completion: silently discard.
+				delete(r.dropSet, cqe.UserData)
+				continue
+			}
+			// A completion we never asked for: refuse and advance.
+			if r.counters != nil {
+				r.counters.CQEViolations.Add(1)
+			}
+			continue
+		}
+		r.Compl.Release(1)
+		delete(r.outstanding, cqe.UserData)
+		if !resPlausible(pending, cqe.Res) {
+			// Status code impossible for the request: -EPERM.
+			if r.counters != nil {
+				r.counters.CQEViolations.Add(1)
+			}
+			r.results[cqe.UserData] = result{eperm: true}
+			continue
+		}
+		r.results[cqe.UserData] = result{res: cqe.Res}
+	}
+}
+
+// TryWait reports whether token's completion has arrived, without
+// blocking. The boolean is false while the request is still in flight.
+func (r *Ring) TryWait(token uint64, clk *vtime.Clock) (int32, bool, error) {
+	r.Drain(clk)
+	res, ok := r.results[token]
+	if !ok {
+		if _, inFlight := r.outstanding[token]; !inFlight {
+			return 0, true, fmt.Errorf("iouring: unknown token %d", token)
+		}
+		return 0, false, nil
+	}
+	delete(r.results, token)
+	if res.eperm {
+		return 0, true, EPERM
+	}
+	return res.res, true, nil
+}
+
+// Forget abandons an in-flight request (e.g. a poll that lost the race
+// in the API submodule's aggregation, §4.2); its eventual completion is
+// silently discarded by a later Drain instead of counting as hostile.
+func (r *Ring) Forget(token uint64) {
+	if _, ok := r.outstanding[token]; ok {
+		delete(r.outstanding, token)
+		if r.dropSet == nil {
+			r.dropSet = make(map[uint64]bool)
+		}
+		r.dropSet[token] = true
+	}
+	delete(r.results, token)
+}
+
+// ResPlausibleForTest exposes the Table 2 result validator to the
+// Testing Module, which checks it exhaustively against an independent
+// oracle (§5.1).
+func ResPlausibleForTest(req SQE, res int32) bool { return resPlausible(req, res) }
+
+// Wait blocks until the completion for token arrives, validates it, and
+// returns its result (the SyncProxy path: the user expects synchronous
+// semantics, §4.2).
+func (r *Ring) Wait(token uint64, clk *vtime.Clock) (int32, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	spins := 0
+	for {
+		res, done, err := r.TryWait(token, clk)
+		if done {
+			return res, err
+		}
+		spins++
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+		if time.Now().After(deadline) {
+			delete(r.outstanding, token)
+			return 0, ErrTimeout
+		}
+	}
+}
+
+// Outstanding returns the number of in-flight requests (for tests).
+func (r *Ring) Outstanding() int { return len(r.outstanding) }

@@ -1,0 +1,139 @@
+package libos
+
+import (
+	"testing"
+
+	"rakis/internal/hostos"
+	"rakis/internal/mem"
+	"rakis/internal/netsim"
+	"rakis/internal/netstack"
+	"rakis/internal/sys"
+	"rakis/internal/vtime"
+)
+
+func newProcess(t *testing.T, mode Mode) (*Process, *vtime.Counters) {
+	t.Helper()
+	m := vtime.Default()
+	kern := hostos.NewKernel(mem.NewSpace(1<<20, 1<<22), m)
+	a, b := netsim.NewPair(m, netsim.Config{Name: "a"}, netsim.Config{Name: "b"})
+	ns, err := kern.AddNetNS("ns", a, netstack.IP4{10, 0, 0, 1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b
+	t.Cleanup(func() { kern.Close(); b.Close() })
+	ctrs := &vtime.Counters{}
+	return NewProcess(kern.NewProc(ns, ctrs), mode, ctrs), ctrs
+}
+
+func TestModeStrings(t *testing.T) {
+	if Native.String() != "Native" || Direct.String() != "Gramine-Direct" || SGX.String() != "Gramine-SGX" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestSGXStartupExits(t *testing.T) {
+	_, ctrs := newProcess(t, SGX)
+	if got := ctrs.EnclaveExits.Load(); got != vtime.Default().EnclaveStartupExits {
+		t.Fatalf("startup exits = %d, want %d", got, vtime.Default().EnclaveStartupExits)
+	}
+	_, dctrs := newProcess(t, Direct)
+	if dctrs.EnclaveExits.Load() != 0 {
+		t.Fatal("Direct mode must not charge startup exits")
+	}
+}
+
+func TestExitPerSyscallOnlyInSGX(t *testing.T) {
+	run := func(mode Mode) (exits, libosCalls uint64, cycles uint64) {
+		p, ctrs := newProcess(t, mode)
+		th := p.NewThread()
+		start := ctrs.EnclaveExits.Load()
+		fd, err := th.Open("/f", sys.OCreate|sys.ORdwr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			th.Write(fd, make([]byte, 128))
+		}
+		th.Close(fd)
+		return ctrs.EnclaveExits.Load() - start, ctrs.LibOSCalls.Load(), th.Clock().Now()
+	}
+	nExits, nLibos, nCycles := run(Native)
+	dExits, dLibos, dCycles := run(Direct)
+	sExits, sLibos, sCycles := run(SGX)
+
+	if nExits != 0 || nLibos != 0 {
+		t.Fatalf("Native: exits=%d libos=%d, want 0/0", nExits, nLibos)
+	}
+	if dExits != 0 || dLibos != 12 {
+		t.Fatalf("Direct: exits=%d libos=%d, want 0/12", dExits, dLibos)
+	}
+	if sExits != 12 || sLibos != 12 {
+		t.Fatalf("SGX: exits=%d libos=%d, want 12/12", sExits, sLibos)
+	}
+	if !(nCycles < dCycles && dCycles < sCycles) {
+		t.Fatalf("cost ordering broken: native=%d direct=%d sgx=%d", nCycles, dCycles, sCycles)
+	}
+	// The SGX premium must be dominated by exit costs.
+	model := vtime.Default()
+	if sCycles-dCycles < 12*model.EnclaveExit {
+		t.Fatalf("SGX premium %d below 12 exits (%d)", sCycles-dCycles, 12*model.EnclaveExit)
+	}
+}
+
+func TestFutexEmulatedInLibOS(t *testing.T) {
+	pN, cN := newProcess(t, Native)
+	thN := pN.NewThread()
+	before := cN.Syscalls.Load()
+	thN.Futex()
+	if cN.Syscalls.Load() != before+1 {
+		t.Fatal("Native futex must be a host syscall")
+	}
+
+	pD, cD := newProcess(t, Direct)
+	thD := pD.NewThread()
+	before = cD.Syscalls.Load()
+	thD.Futex()
+	if cD.Syscalls.Load() != before {
+		t.Fatal("Direct futex must be handled inside the LibOS")
+	}
+}
+
+func TestBoundaryCopiesChargedOnPayloads(t *testing.T) {
+	// Writing N bytes under SGX must cost at least the exit plus the
+	// boundary copy of N bytes more than under Direct.
+	p, _ := newProcess(t, SGX)
+	th := p.NewThread()
+	fd, _ := th.Open("/f", sys.OCreate|sys.OWronly)
+	small := th.Clock().Now()
+	th.Write(fd, make([]byte, 1))
+	smallCost := th.Clock().Now() - small
+	big := th.Clock().Now()
+	th.Write(fd, make([]byte, 1<<20))
+	bigCost := th.Clock().Now() - big
+	model := vtime.Default()
+	wantExtra := vtime.Bytes(model.BoundaryCopyPerByte, 1<<20)
+	if bigCost-smallCost < wantExtra {
+		t.Fatalf("1MiB write extra cost %d, want >= %d (boundary copy)", bigCost-smallCost, wantExtra)
+	}
+}
+
+func TestCloneSharesProcess(t *testing.T) {
+	p, _ := newProcess(t, SGX)
+	t1 := p.NewThread()
+	t2 := t1.Clone()
+	fd, err := t1.Open("/shared", sys.OCreate|sys.ORdwr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Write(fd, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// The descriptor is process-wide: the sibling thread can use it.
+	if _, err := t2.Pread(fd, make([]byte, 1), 0); err != nil {
+		t.Fatalf("clone cannot use shared fd: %v", err)
+	}
+	if t1.Clock() == t2.Clock() {
+		t.Fatal("threads must have distinct clocks")
+	}
+}

@@ -1,0 +1,270 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newTestSpace(t *testing.T) *Space {
+	t.Helper()
+	return NewSpace(1<<20, 1<<20)
+}
+
+func TestAllocBasic(t *testing.T) {
+	sp := newTestSpace(t)
+	a, err := sp.Alloc(Untrusted, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.InUntrusted(a, 128) {
+		t.Fatalf("allocation %#x not in untrusted segment", uint64(a))
+	}
+	b, err := sp.Alloc(Untrusted, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Overlaps(a, 128, b, 64) {
+		t.Fatalf("allocations overlap: %#x/%d and %#x/%d", uint64(a), 128, uint64(b), 64)
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	sp := newTestSpace(t)
+	if _, err := sp.Alloc(Trusted, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	a, err := sp.Alloc(Trusted, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(a)%64 != 0 {
+		t.Fatalf("aligned alloc at %#x, want 64-byte alignment", uint64(a))
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	sp := NewSpace(64, 64)
+	if _, err := sp.Alloc(Trusted, 65, 1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("oversized alloc error = %v, want ErrNoSpace", err)
+	}
+	if _, err := sp.Alloc(Trusted, 64, 1); err != nil {
+		t.Fatalf("exact-fit alloc failed: %v", err)
+	}
+	if _, err := sp.Alloc(Trusted, 1, 1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("post-exhaustion alloc error = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestHostCannotTouchEnclaveMemory(t *testing.T) {
+	sp := newTestSpace(t)
+	a, err := sp.Alloc(Trusted, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Bytes(RoleHost, a, 64); !errors.Is(err, ErrProtected) {
+		t.Fatalf("host read of trusted memory error = %v, want ErrProtected", err)
+	}
+	if err := sp.PutU32(RoleHost, a, 0xdead); !errors.Is(err, ErrProtected) {
+		t.Fatalf("host write of trusted memory error = %v, want ErrProtected", err)
+	}
+	if _, err := sp.Atomic32(RoleHost, a); !errors.Is(err, ErrProtected) {
+		t.Fatalf("host atomic on trusted memory error = %v, want ErrProtected", err)
+	}
+	// The enclave itself can access its own memory.
+	if _, err := sp.Bytes(RoleEnclave, a, 64); err != nil {
+		t.Fatalf("enclave read of trusted memory failed: %v", err)
+	}
+}
+
+func TestEnclaveCanTouchUntrusted(t *testing.T) {
+	sp := newTestSpace(t)
+	a, err := sp.Alloc(Untrusted, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.PutU64(RoleEnclave, a, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	// The host sees the same bytes: it is shared memory.
+	v, err := sp.U64(RoleHost, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x1122334455667788 {
+		t.Fatalf("host read %#x, want the enclave-written value", v)
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	sp := newTestSpace(t)
+	a, _ := sp.Alloc(Untrusted, 16, 0)
+	if _, err := sp.Bytes(RoleHost, a, 1<<21); !errors.Is(err, ErrBounds) {
+		t.Fatalf("oversized read error = %v, want ErrBounds", err)
+	}
+	if _, err := sp.Bytes(RoleHost, Addr(0x42), 4); !errors.Is(err, ErrBounds) {
+		t.Fatalf("unmapped read error = %v, want ErrBounds", err)
+	}
+	// A range straddling the end of the untrusted segment must fail even
+	// if its start is valid.
+	end := UntrustedBase + Addr(1<<20) - 4
+	if _, err := sp.Bytes(RoleHost, end, 8); !errors.Is(err, ErrBounds) {
+		t.Fatalf("straddling read error = %v, want ErrBounds", err)
+	}
+}
+
+func TestU32RoundTrip(t *testing.T) {
+	sp := newTestSpace(t)
+	a, _ := sp.Alloc(Untrusted, 8, 4)
+	f := func(v uint32) bool {
+		if err := sp.PutU32(RoleEnclave, a, v); err != nil {
+			return false
+		}
+		got, err := sp.U32(RoleHost, a)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	sp := newTestSpace(t)
+	a, _ := sp.Alloc(Untrusted, 8, 8)
+	f := func(v uint64) bool {
+		if err := sp.PutU64(RoleHost, a, v); err != nil {
+			return false
+		}
+		got, err := sp.U64(RoleEnclave, a)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomic32Shared(t *testing.T) {
+	sp := newTestSpace(t)
+	a, _ := sp.Alloc(Untrusted, 4, 4)
+	host, err := sp.Atomic32(RoleHost, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := sp.Atomic32(RoleEnclave, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host != encl {
+		t.Fatal("both roles must receive the same atomic cell")
+	}
+	host.Store(7)
+	if encl.Load() != 7 {
+		t.Fatal("store through one handle not visible through the other")
+	}
+}
+
+func TestAtomic32Unaligned(t *testing.T) {
+	sp := newTestSpace(t)
+	a, _ := sp.Alloc(Untrusted, 8, 4)
+	if _, err := sp.Atomic32(RoleHost, a+1); !errors.Is(err, ErrUnaligned) {
+		t.Fatalf("unaligned atomic error = %v, want ErrUnaligned", err)
+	}
+}
+
+func TestStampCellShared(t *testing.T) {
+	sp := newTestSpace(t)
+	a, _ := sp.Alloc(Untrusted, 16, 0)
+	s1 := sp.StampCell(a)
+	s2 := sp.StampCell(a)
+	if s1 != s2 {
+		t.Fatal("StampCell must return the same cell for the same address")
+	}
+	s1.Raise(42)
+	if s2.Load() != 42 {
+		t.Fatal("stamp written through one handle not visible through the other")
+	}
+}
+
+func TestInUntrustedInTrusted(t *testing.T) {
+	sp := newTestSpace(t)
+	u, _ := sp.Alloc(Untrusted, 32, 0)
+	tr, _ := sp.Alloc(Trusted, 32, 0)
+	if !sp.InUntrusted(u, 32) || sp.InTrusted(u, 32) {
+		t.Fatal("untrusted allocation misclassified")
+	}
+	if !sp.InTrusted(tr, 32) || sp.InUntrusted(tr, 32) {
+		t.Fatal("trusted allocation misclassified")
+	}
+	// A range that starts in-bounds but runs past the end is not "in".
+	if sp.InUntrusted(u, 1<<21) {
+		t.Fatal("overlong range must not classify as in-untrusted")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	cases := []struct {
+		a      Addr
+		an     uint64
+		b      Addr
+		bn     uint64
+		expect bool
+	}{
+		{100, 10, 110, 10, false}, // adjacent
+		{100, 10, 109, 10, true},  // one byte shared
+		{100, 10, 90, 10, false},  // adjacent below
+		{100, 10, 90, 11, true},
+		{100, 10, 100, 10, true}, // identical
+		{100, 10, 102, 2, true},  // contained
+		{100, 0, 100, 10, false}, // empty range
+		{100, 10, 105, 0, false}, // empty range
+	}
+	for _, c := range cases {
+		if got := Overlaps(c.a, c.an, c.b, c.bn); got != c.expect {
+			t.Errorf("Overlaps(%d,%d,%d,%d) = %v, want %v", c.a, c.an, c.b, c.bn, got, c.expect)
+		}
+	}
+}
+
+func TestCopyAcrossBoundary(t *testing.T) {
+	sp := newTestSpace(t)
+	u, _ := sp.Alloc(Untrusted, 64, 0)
+	tr, _ := sp.Alloc(Trusted, 64, 0)
+	ub, _ := sp.Bytes(RoleHost, u, 64)
+	for i := range ub {
+		ub[i] = byte(i)
+	}
+	// The enclave pulls untrusted bytes into trusted memory.
+	if err := sp.Copy(RoleEnclave, tr, u, 64); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := sp.Bytes(RoleEnclave, tr, 64)
+	for i := range tb {
+		if tb[i] != byte(i) {
+			t.Fatalf("byte %d = %d after copy, want %d", i, tb[i], i)
+		}
+	}
+	// The host cannot copy out of trusted memory.
+	if err := sp.Copy(RoleHost, u, tr, 64); !errors.Is(err, ErrProtected) {
+		t.Fatalf("host copy from trusted error = %v, want ErrProtected", err)
+	}
+}
+
+func TestCheckRole(t *testing.T) {
+	sp := newTestSpace(t)
+	tr, _ := sp.Alloc(Trusted, 8, 0)
+	if err := sp.Check(RoleEnclave, tr, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Check(RoleHost, tr, 8); !errors.Is(err, ErrProtected) {
+		t.Fatalf("Check host/trusted = %v, want ErrProtected", err)
+	}
+}
+
+func TestKindRoleStrings(t *testing.T) {
+	if Trusted.String() != "trusted" || Untrusted.String() != "untrusted" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if RoleEnclave.String() != "enclave" || RoleHost.String() != "host" {
+		t.Fatal("Role.String mismatch")
+	}
+}

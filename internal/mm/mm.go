@@ -1,0 +1,173 @@
+// Package mm implements the Monitor Module (§4.3): a single dedicated
+// thread running *outside* the enclave that watches the shared producer
+// indices of the rings where RAKIS is the producer — xFill and xTX of
+// every XSK, and iSub of every io_uring — and issues the residual
+// syscalls (recvfrom, sendto, io_uring_enter) on the FastPath Modules'
+// behalf, so no FM ever pays an enclave exit.
+//
+// The MM holds no trusted state and touches only untrusted memory; its
+// failure affects availability, never integrity (§5: it is outside the
+// TCB and excluded from the security analysis).
+package mm
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rakis/internal/hostos"
+	"rakis/internal/iouring"
+	"rakis/internal/mem"
+	"rakis/internal/ring"
+	"rakis/internal/vtime"
+	"rakis/internal/xsk"
+)
+
+// watchKind selects the wakeup syscall for a ring.
+type watchKind int
+
+const (
+	watchXskTX watchKind = iota
+	watchXskFill
+	watchUring
+)
+
+type watch struct {
+	kind  watchKind
+	fd    int
+	prod  *atomic.Uint32
+	flags *atomic.Uint32
+	last  uint32
+}
+
+// Monitor is the Monitor Module thread.
+type Monitor struct {
+	proc *hostos.Proc
+	clk  vtime.Clock
+
+	mu      sync.Mutex
+	watches []*watch
+
+	stop chan struct{}
+	done chan struct{}
+	// Interval is the real-time poll period of the monitor loop.
+	Interval time.Duration
+}
+
+// New creates a Monitor issuing syscalls through the given host process
+// (which runs outside the enclave: its syscalls are not exits).
+func New(proc *hostos.Proc) *Monitor {
+	return &Monitor{
+		proc:     proc,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		Interval: 5 * time.Microsecond,
+	}
+}
+
+// Clock returns the monitor thread's virtual clock.
+func (m *Monitor) Clock() *vtime.Clock { return &m.clk }
+
+// WatchXSK registers both producer-side rings of an XSK: xTX (sendto
+// wakeups) and xFill (recvfrom wakeups when the kernel flagged
+// need-wakeup). The shared cells are read with host role — the MM lives
+// outside the enclave.
+func (m *Monitor) WatchXSK(space *mem.Space, setup xsk.Setup) error {
+	txProd, err := space.Atomic32(mem.RoleHost, setup.TXBase)
+	if err != nil {
+		return err
+	}
+	fillProd, err := space.Atomic32(mem.RoleHost, setup.FillBase)
+	if err != nil {
+		return err
+	}
+	fillFlags, err := space.Atomic32(mem.RoleHost, setup.FillBase+8)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.watches = append(m.watches,
+		&watch{kind: watchXskTX, fd: setup.FD, prod: txProd},
+		&watch{kind: watchXskFill, fd: setup.FD, prod: fillProd, flags: fillFlags},
+	)
+	return nil
+}
+
+// WatchUring registers an io_uring's iSub producer for io_uring_enter
+// wakeups.
+func (m *Monitor) WatchUring(space *mem.Space, setup iouring.Setup) error {
+	prod, err := space.Atomic32(mem.RoleHost, setup.SubBase)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.watches = append(m.watches, &watch{kind: watchUring, fd: setup.FD, prod: prod})
+	return nil
+}
+
+// Start launches the monitor thread.
+func (m *Monitor) Start() {
+	go m.run()
+}
+
+func (m *Monitor) run() {
+	defer close(m.done)
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		m.Sweep()
+		time.Sleep(m.Interval)
+	}
+}
+
+// Sweep performs one pass over all watched rings, issuing wakeups where
+// producers moved. Exported so tests (and the verification binary) can
+// drive the monitor deterministically.
+func (m *Monitor) Sweep() int {
+	m.mu.Lock()
+	watches := make([]*watch, len(m.watches))
+	copy(watches, m.watches)
+	m.mu.Unlock()
+	fired := 0
+	for _, w := range watches {
+		p := w.prod.Load()
+		switch w.kind {
+		case watchXskTX:
+			if p != w.last {
+				w.last = p
+				m.proc.XSKSendto(w.fd, &m.clk)
+				fired++
+			}
+		case watchXskFill:
+			if p != w.last || w.flags.Load()&ring.FlagNeedWakeup != 0 {
+				w.last = p
+				if w.flags.Load()&ring.FlagNeedWakeup != 0 {
+					m.proc.XSKRecvfrom(w.fd, &m.clk)
+					fired++
+				}
+			}
+		case watchUring:
+			if p != w.last {
+				w.last = p
+				m.proc.IoUringEnter(w.fd, &m.clk)
+				fired++
+			}
+		}
+	}
+	return fired
+}
+
+// Close stops the monitor thread.
+func (m *Monitor) Close() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	<-m.done
+}

@@ -1,0 +1,249 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rakis/internal/vtime"
+)
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func devPair(t *testing.T, aq, bq int) (*Device, *Device) {
+	t.Helper()
+	m := vtime.Default()
+	a, b := NewPair(m,
+		Config{Name: "eth0", MAC: [6]byte{2, 0, 0, 0, 0, 1}, Queues: aq, QueueDepth: 64},
+		Config{Name: "eth1", MAC: [6]byte{2, 0, 0, 0, 0, 2}, Queues: bq, QueueDepth: 64},
+	)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// ethFrame builds a minimal Ethernet+IPv4+UDP frame for RSS testing.
+func ethFrame(srcPort, dstPort uint16, payload int) []byte {
+	f := make([]byte, EthHeaderBytes+20+8+payload)
+	f[12], f[13] = 0x08, 0x00 // IPv4
+	ip := f[EthHeaderBytes:]
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[9] = 17   // UDP
+	copy(ip[12:16], []byte{10, 0, 0, 1})
+	copy(ip[16:20], []byte{10, 0, 0, 2})
+	udp := ip[20:]
+	udp[0], udp[1] = byte(srcPort>>8), byte(srcPort)
+	udp[2], udp[3] = byte(dstPort>>8), byte(dstPort)
+	return f
+}
+
+func TestDeliveryAndStamp(t *testing.T) {
+	a, b := devPair(t, 1, 1)
+	got := make(chan Frame, 1)
+	b.Start(func(q int, f Frame, clk *vtime.Clock) { got <- f })
+	a.Start(func(q int, f Frame, clk *vtime.Clock) {})
+
+	end, err := a.Transmit(ethFrame(1000, 2000, 100), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end == 0 {
+		t.Fatal("transmit end time must be positive (serialization)")
+	}
+	f := <-got
+	if len(f.Data) != EthHeaderBytes+28+100 {
+		t.Fatalf("delivered %d bytes", len(f.Data))
+	}
+	if f.Stamp < end {
+		t.Fatalf("frame stamp %d before wire end %d", f.Stamp, end)
+	}
+}
+
+func TestWireEnforcesLineRate(t *testing.T) {
+	a, b := devPair(t, 1, 1)
+	var n atomic.Uint64
+	b.Start(func(q int, f Frame, clk *vtime.Clock) { n.Add(1) })
+	a.Start(func(q int, f Frame, clk *vtime.Clock) {})
+
+	frame := ethFrame(1, 2, 1432) // 1474-byte frame
+	var last uint64
+	for i := 0; i < 1000; i++ {
+		end, err := a.Transmit(frame, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = end
+	}
+	// Every frame serialized on the wire; those that found the RX queue
+	// full were dropped by the NIC, exactly like hardware under overload.
+	waitFor(t, func() bool { return n.Load()+b.Queue(0).Dropped() == 1000 })
+	m := vtime.Default()
+	// 1000 frames * WireCycles each must serialize back to back.
+	want := 1000 * m.WireCycles(len(frame))
+	if last != want {
+		t.Fatalf("wire end = %d, want %d (strict serialization)", last, want)
+	}
+	// Sanity: that corresponds to ~25 Gbps.
+	gbps := float64(1000*(len(frame)+24)*8) / m.Seconds(last) / 1e9
+	if gbps < 24 || gbps > 26 {
+		t.Fatalf("wire rate = %.1f Gbps, want ~25", gbps)
+	}
+}
+
+func TestRSSSpreadsFlows(t *testing.T) {
+	a, b := devPair(t, 1, 4)
+	var mu sync.Mutex
+	seen := map[int]int{}
+	var wg sync.WaitGroup
+	wg.Add(64)
+	b.Start(func(q int, f Frame, clk *vtime.Clock) {
+		mu.Lock()
+		seen[q]++
+		mu.Unlock()
+		wg.Done()
+	})
+	a.Start(func(q int, f Frame, clk *vtime.Clock) {})
+
+	for i := 0; i < 64; i++ {
+		if _, err := a.Transmit(ethFrame(uint16(5000+i), 53, 32), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) < 2 {
+		t.Fatalf("RSS used %d queues for 64 flows, want >= 2", len(seen))
+	}
+	// Same flow always lands on the same queue.
+	if q := DefaultRSS(ethFrame(7777, 53, 10), 4); q != DefaultRSS(ethFrame(7777, 53, 500), 4) {
+		t.Fatal("RSS not stable per flow")
+	}
+}
+
+func TestRSSFallbacks(t *testing.T) {
+	if DefaultRSS([]byte{1, 2, 3}, 4) != 0 {
+		t.Fatal("short frame must hash to 0")
+	}
+	arp := make([]byte, 64)
+	arp[12], arp[13] = 0x08, 0x06
+	if DefaultRSS(arp, 4) != 0 {
+		t.Fatal("non-IP frame must hash to 0")
+	}
+	if DefaultRSS(ethFrame(1, 2, 10), 1) != 0 {
+		t.Fatal("single queue must be 0")
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	m := vtime.Default()
+	ctrs := &vtime.Counters{}
+	a, b := NewPair(m,
+		Config{Name: "a", QueueDepth: 8},
+		Config{Name: "b", QueueDepth: 8, Counters: ctrs},
+	)
+	defer a.Close()
+	defer b.Close()
+	// b is never started: its queue fills and further frames drop.
+	f := ethFrame(1, 2, 10)
+	for i := 0; i < 20; i++ {
+		a.Transmit(f, 0)
+	}
+	if got := b.Queue(0).Dropped(); got != 12 {
+		t.Fatalf("dropped = %d, want 12", got)
+	}
+	if ctrs.PacketsDropped.Load() != 12 {
+		t.Fatalf("counter dropped = %d, want 12", ctrs.PacketsDropped.Load())
+	}
+	b.Start(func(q int, fr Frame, clk *vtime.Clock) {})
+}
+
+func TestMTUEnforced(t *testing.T) {
+	a, b := devPair(t, 1, 1)
+	b.Start(func(q int, f Frame, clk *vtime.Clock) {})
+	a.Start(func(q int, f Frame, clk *vtime.Clock) {})
+	big := make([]byte, EthHeaderBytes+1501)
+	if _, err := a.Transmit(big, 0); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("oversized frame err = %v, want ErrTooLong", err)
+	}
+	ok := make([]byte, EthHeaderBytes+1500)
+	if _, err := a.Transmit(ok, 0); err != nil {
+		t.Fatalf("MTU-sized frame err = %v", err)
+	}
+}
+
+func TestTransmitAfterClose(t *testing.T) {
+	a, b := devPair(t, 1, 1)
+	b.Start(func(q int, f Frame, clk *vtime.Clock) {})
+	a.Start(func(q int, f Frame, clk *vtime.Clock) {})
+	b.Close()
+	if _, err := a.Transmit(ethFrame(1, 2, 10), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("transmit to closed peer err = %v, want ErrClosed", err)
+	}
+	a.Close()
+	a.Close() // idempotent
+}
+
+func TestSoftirqClockAdvances(t *testing.T) {
+	a, b := devPair(t, 1, 1)
+	done := make(chan uint64, 1)
+	b.Start(func(q int, f Frame, clk *vtime.Clock) { done <- clk.Now() })
+	a.Start(func(q int, f Frame, clk *vtime.Clock) {})
+	end, _ := a.Transmit(ethFrame(1, 2, 64), 12345)
+	now := <-done
+	if now < end+vtime.Default().NicPerFrame {
+		t.Fatalf("softirq clock %d, want >= %d", now, end+vtime.Default().NicPerFrame)
+	}
+}
+
+func TestDeviceAccessors(t *testing.T) {
+	a, b := devPair(t, 2, 4)
+	if a.Name() != "eth0" || b.Name() != "eth1" {
+		t.Fatal("names")
+	}
+	if a.MAC() != [6]byte{2, 0, 0, 0, 0, 1} {
+		t.Fatal("mac")
+	}
+	if a.MTU() != 1500 {
+		t.Fatal("default MTU")
+	}
+	if a.NumQueues() != 2 || b.NumQueues() != 4 {
+		t.Fatal("queue counts")
+	}
+	if a.Peer() != b || b.Peer() != a {
+		t.Fatal("peers")
+	}
+	if a.Queue(1) == nil || a.Queue(1).Clock() == nil {
+		t.Fatal("queue access")
+	}
+}
+
+func TestCustomRSS(t *testing.T) {
+	a, b := devPair(t, 1, 4)
+	hit := make(chan int, 1)
+	b.Start(func(q int, f Frame, clk *vtime.Clock) { hit <- q })
+	a.Start(func(q int, f Frame, clk *vtime.Clock) {})
+	// RSS is configured on the *receiving* interface.
+	b.SetRSS(func(data []byte, queues int) int { return 3 })
+	a.Transmit(ethFrame(1, 2, 10), 0)
+	if q := <-hit; q != 3 {
+		t.Fatalf("custom RSS queue = %d, want 3", q)
+	}
+	// Out-of-range RSS results clamp to queue 0.
+	b.SetRSS(func(data []byte, queues int) int { return 99 })
+	a.Transmit(ethFrame(1, 2, 10), 0)
+	if q := <-hit; q != 0 {
+		t.Fatalf("out-of-range RSS queue = %d, want 0", q)
+	}
+}

@@ -1,0 +1,108 @@
+package netstack
+
+import (
+	"sync"
+	"time"
+)
+
+// arpPacketBytes is the size of an Ethernet/IPv4 ARP packet.
+const arpPacketBytes = 28
+
+// ARP opcodes.
+const (
+	arpOpRequest uint16 = 1
+	arpOpReply   uint16 = 2
+)
+
+type arpPacket struct {
+	op  uint16
+	sha [6]byte
+	spa IP4
+	tha [6]byte
+	tpa IP4
+}
+
+func parseARP(b []byte) (arpPacket, bool) {
+	var p arpPacket
+	if len(b) < arpPacketBytes {
+		return p, false
+	}
+	if be16(b[0:2]) != 1 || be16(b[2:4]) != EtherTypeIPv4 || b[4] != 6 || b[5] != 4 {
+		return p, false
+	}
+	p.op = be16(b[6:8])
+	copy(p.sha[:], b[8:14])
+	copy(p.spa[:], b[14:18])
+	copy(p.tha[:], b[18:24])
+	copy(p.tpa[:], b[24:28])
+	return p, true
+}
+
+func marshalARP(p arpPacket) []byte {
+	b := make([]byte, arpPacketBytes)
+	put16(b[0:2], 1)
+	put16(b[2:4], EtherTypeIPv4)
+	b[4], b[5] = 6, 4
+	put16(b[6:8], p.op)
+	copy(b[8:14], p.sha[:])
+	copy(b[14:18], p.spa[:])
+	copy(b[18:24], p.tha[:])
+	copy(b[24:28], p.tpa[:])
+	return b
+}
+
+// arpTable is the stack's neighbour cache. Static entries (from the RAKIS
+// configuration, which carries the peer MAC as §7 "Deployment Simplicity"
+// describes) never expire; learned entries are kept until the stack dies —
+// the simulated segment has no mobility.
+type arpTable struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries map[IP4][6]byte
+}
+
+func newARPTable(static map[IP4][6]byte) *arpTable {
+	t := &arpTable{entries: make(map[IP4][6]byte)}
+	t.cond = sync.NewCond(&t.mu)
+	for ip, mac := range static {
+		t.entries[ip] = mac
+	}
+	return t
+}
+
+func (t *arpTable) lookup(ip IP4) ([6]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	mac, ok := t.entries[ip]
+	return mac, ok
+}
+
+func (t *arpTable) learn(ip IP4, mac [6]byte) {
+	t.mu.Lock()
+	t.entries[ip] = mac
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// waitFor blocks until ip resolves or the real-time deadline passes.
+func (t *arpTable) waitFor(ip IP4, deadline time.Time) ([6]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	timedOut := false
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		t.mu.Lock()
+		timedOut = true
+		t.mu.Unlock()
+		t.cond.Broadcast()
+	})
+	defer timer.Stop()
+	for {
+		if mac, ok := t.entries[ip]; ok {
+			return mac, true
+		}
+		if timedOut {
+			return [6]byte{}, false
+		}
+		t.cond.Wait()
+	}
+}

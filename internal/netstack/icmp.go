@@ -1,0 +1,60 @@
+package netstack
+
+import "rakis/internal/vtime"
+
+// ICMP types handled by the full stack configuration.
+const (
+	icmpEchoReply      byte = 0
+	icmpUnreachable    byte = 3
+	icmpEchoRequest    byte = 8
+	icmpCodePortUnrch  byte = 3
+	icmpMinBytes            = 8                   // type, code, checksum, rest-of-header
+	icmpUnreachPayload      = IPv4HeaderBytes + 8 // original header + 8 bytes
+)
+
+// marshalICMP builds an ICMP message: type, code, checksum, then body
+// (body includes the 4 rest-of-header bytes: id/seq or unused).
+func marshalICMP(typ, code byte, body []byte) []byte {
+	b := make([]byte, 4+len(body))
+	b[0], b[1] = typ, code
+	copy(b[4:], body)
+	put16(b[2:4], Checksum(b))
+	return b
+}
+
+// handleICMP implements echo replies. Other types are accepted silently;
+// the trimmed enclave stack never reaches this code.
+func (s *Stack) handleICMP(ip IPv4Header, payload []byte, clk *vtime.Clock) {
+	if len(payload) < icmpMinBytes {
+		return
+	}
+	if Checksum(payload) != 0 {
+		return
+	}
+	switch payload[0] {
+	case icmpEchoRequest:
+		reply := make([]byte, len(payload))
+		copy(reply, payload)
+		reply[0] = icmpEchoReply
+		put16(reply[2:4], 0)
+		put16(reply[2:4], Checksum(reply))
+		s.sendIP(ProtoICMP, ip.Src, reply, clk)
+	default:
+	}
+}
+
+// sendPortUnreachable notifies the sender of a datagram that hit a closed
+// port, as the Linux kernel does.
+func (s *Stack) sendPortUnreachable(origHdr IPv4Header, origPkt []byte, clk *vtime.Clock) {
+	if !s.cfg.EnableICMP {
+		return
+	}
+	n := icmpUnreachPayload
+	if n > len(origPkt) {
+		n = len(origPkt)
+	}
+	body := make([]byte, 4+n) // 4 unused bytes, then original datagram
+	copy(body[4:], origPkt[:n])
+	msg := marshalICMP(icmpUnreachable, icmpCodePortUnrch, body)
+	s.sendIP(ProtoICMP, origHdr.Src, msg, clk)
+}

@@ -1,0 +1,222 @@
+package netstack
+
+import (
+	"errors"
+	"sync"
+)
+
+// IPv4HeaderBytes is the length of an IPv4 header without options.
+const IPv4HeaderBytes = 20
+
+// IPv4Header is a decoded IPv4 header (options are validated but not
+// retained).
+type IPv4Header struct {
+	TotalLen uint16
+	ID       uint16
+	DF       bool
+	MF       bool
+	FragOff  uint16 // in bytes
+	TTL      byte
+	Proto    byte
+	Src      IP4
+	Dst      IP4
+	HdrLen   int
+}
+
+// IPv4 parsing errors, distinguished for fuzzing triage.
+var (
+	ErrIPVersion  = errors.New("netstack: not IPv4")
+	ErrIPHeader   = errors.New("netstack: bad IPv4 header")
+	ErrIPChecksum = errors.New("netstack: bad IPv4 checksum")
+	ErrIPTTL      = errors.New("netstack: TTL expired")
+)
+
+// ParseIPv4 decodes and validates an IPv4 header, returning the header
+// and the L4 payload (trimmed to TotalLen).
+func ParseIPv4(pkt []byte) (IPv4Header, []byte, error) {
+	var h IPv4Header
+	if len(pkt) < IPv4HeaderBytes {
+		return h, nil, ErrIPHeader
+	}
+	if pkt[0]>>4 != 4 {
+		return h, nil, ErrIPVersion
+	}
+	hdrLen := int(pkt[0]&0x0F) * 4
+	if hdrLen < IPv4HeaderBytes || len(pkt) < hdrLen {
+		return h, nil, ErrIPHeader
+	}
+	h.HdrLen = hdrLen
+	h.TotalLen = be16(pkt[2:4])
+	if int(h.TotalLen) < hdrLen || int(h.TotalLen) > len(pkt) {
+		return h, nil, ErrIPHeader
+	}
+	if Checksum(pkt[:hdrLen]) != 0 {
+		return h, nil, ErrIPChecksum
+	}
+	h.ID = be16(pkt[4:6])
+	fl := be16(pkt[6:8])
+	h.DF = fl&0x4000 != 0
+	h.MF = fl&0x2000 != 0
+	h.FragOff = (fl & 0x1FFF) * 8
+	h.TTL = pkt[8]
+	if h.TTL == 0 {
+		return h, nil, ErrIPTTL
+	}
+	h.Proto = pkt[9]
+	copy(h.Src[:], pkt[12:16])
+	copy(h.Dst[:], pkt[16:20])
+	return h, pkt[hdrLen:h.TotalLen], nil
+}
+
+// MarshalIPv4 encodes an IPv4 packet (20-byte header, no options) around
+// the payload.
+func MarshalIPv4(h IPv4Header, payload []byte) []byte {
+	pkt := make([]byte, IPv4HeaderBytes+len(payload))
+	pkt[0] = 0x45
+	total := IPv4HeaderBytes + len(payload)
+	put16(pkt[2:4], uint16(total))
+	put16(pkt[4:6], h.ID)
+	var fl uint16
+	if h.DF {
+		fl |= 0x4000
+	}
+	if h.MF {
+		fl |= 0x2000
+	}
+	fl |= (h.FragOff / 8) & 0x1FFF
+	put16(pkt[6:8], fl)
+	ttl := h.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	pkt[8] = ttl
+	pkt[9] = h.Proto
+	copy(pkt[12:16], h.Src[:])
+	copy(pkt[16:20], h.Dst[:])
+	put16(pkt[10:12], Checksum(pkt[:IPv4HeaderBytes]))
+	copy(pkt[IPv4HeaderBytes:], payload)
+	return pkt
+}
+
+// fragKey identifies one in-progress reassembly.
+type fragKey struct {
+	src, dst IP4
+	id       uint16
+	proto    byte
+}
+
+type fragBuf struct {
+	parts   map[uint16][]byte // offset -> data
+	gotLast bool
+	lastEnd int
+	bytes   int
+	seq     uint64 // insertion order for eviction
+}
+
+// reassembler rebuilds fragmented IPv4 datagrams. It caps both the number
+// of concurrent reassemblies and the per-datagram size to bound memory
+// under hostile fragment floods.
+type reassembler struct {
+	mu    sync.Mutex
+	bufs  map[fragKey]*fragBuf
+	seq   uint64
+	limit int
+	max   int
+}
+
+func newReassembler() *reassembler {
+	return &reassembler{bufs: make(map[fragKey]*fragBuf), limit: 32, max: 1 << 16}
+}
+
+// add feeds one fragment. It returns the full payload once complete, or
+// nil while the datagram is still partial (or invalid).
+func (r *reassembler) add(h IPv4Header, payload []byte) []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := fragKey{h.Src, h.Dst, h.ID, h.Proto}
+	fb := r.bufs[key]
+	if fb == nil {
+		if len(r.bufs) >= r.limit {
+			r.evictOldest()
+		}
+		r.seq++
+		fb = &fragBuf{parts: make(map[uint16][]byte), seq: r.seq}
+		r.bufs[key] = fb
+	}
+	end := int(h.FragOff) + len(payload)
+	if end > r.max {
+		delete(r.bufs, key)
+		return nil
+	}
+	if !h.MF {
+		// Non-final fragments must be multiples of 8; the final fragment
+		// fixes the datagram length.
+		fb.gotLast = true
+		fb.lastEnd = end
+	} else if len(payload)%8 != 0 {
+		delete(r.bufs, key)
+		return nil
+	}
+	if _, dup := fb.parts[h.FragOff]; !dup {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		fb.parts[h.FragOff] = cp
+		fb.bytes += len(payload)
+		if fb.bytes > r.max {
+			delete(r.bufs, key)
+			return nil
+		}
+	}
+	if !fb.gotLast {
+		return nil
+	}
+	// Check hole-freeness from 0 to lastEnd.
+	full := make([]byte, fb.lastEnd)
+	covered := 0
+	for covered < fb.lastEnd {
+		part, ok := fb.parts[uint16(covered)]
+		if !ok {
+			return nil // hole remains
+		}
+		copy(full[covered:], part)
+		covered += len(part)
+		if len(part) == 0 {
+			return nil
+		}
+	}
+	delete(r.bufs, key)
+	return full
+}
+
+func (r *reassembler) evictOldest() {
+	var oldKey fragKey
+	oldSeq := uint64(1<<63 - 1)
+	for k, v := range r.bufs {
+		if v.seq < oldSeq {
+			oldSeq, oldKey = v.seq, k
+		}
+	}
+	delete(r.bufs, oldKey)
+}
+
+// fragmentIPv4 splits an L4 payload into IPv4 packets that fit the MTU.
+func fragmentIPv4(h IPv4Header, payload []byte, mtu int) [][]byte {
+	maxData := (mtu - IPv4HeaderBytes) &^ 7
+	if len(payload)+IPv4HeaderBytes <= mtu || maxData <= 0 {
+		return [][]byte{MarshalIPv4(h, payload)}
+	}
+	var pkts [][]byte
+	for off := 0; off < len(payload); off += maxData {
+		end := off + maxData
+		mf := true
+		if end >= len(payload) {
+			end = len(payload)
+			mf = false
+		}
+		fh := h
+		fh.FragOff = uint16(off)
+		fh.MF = mf
+		pkts = append(pkts, MarshalIPv4(fh, payload[off:end]))
+	}
+	return pkts
+}

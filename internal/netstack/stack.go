@@ -1,0 +1,240 @@
+package netstack
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"rakis/internal/vtime"
+)
+
+// Config configures a Stack instance.
+type Config struct {
+	// Name identifies the stack in diagnostics ("kernel", "enclave").
+	Name string
+	// Dev is the layer-2 output.
+	Dev LinkDevice
+	// IP is the interface address.
+	IP IP4
+	// Model supplies cost constants; nil uses vtime.Default.
+	Model *vtime.Model
+	// Counters receives statistics; it may be nil.
+	Counters *vtime.Counters
+	// EnableTCP compiles in the TCP layer (full kernel configuration).
+	// The trimmed enclave build leaves it false, per §4.2/§7: a TCP
+	// stack inside the enclave would inflate the TCB.
+	EnableTCP bool
+	// EnableICMP compiles in ICMP echo/unreachable handling.
+	EnableICMP bool
+	// PerPacketCost is the processing cost charged per packet (the
+	// kernel-stack hop for the full build, the trimmed-stack hop for the
+	// enclave build). Zero selects the model's KernelNetPerPacket.
+	PerPacketCost uint64
+	// GlobalLock routes all packet costs through one serialization
+	// resource, reproducing the original LWIP global-lock contention the
+	// paper removed (ablation; §4.2 implementation note).
+	GlobalLock bool
+	// StaticARP seeds the neighbour cache (the RAKIS deployment config
+	// carries the peer MAC).
+	StaticARP map[IP4][6]byte
+}
+
+// Stack is one network-stack instance.
+type Stack struct {
+	cfg   Config
+	model *vtime.Model
+	dev   LinkDevice
+	ip    IP4
+	arp   *arpTable
+	reasm *reassembler
+
+	udp *udpTable
+	tcp *tcpTable
+
+	globalRes *vtime.Resource
+	ipID      atomic.Uint32
+	closed    atomic.Bool
+}
+
+// New creates a stack bound to cfg.Dev.
+func New(cfg Config) (*Stack, error) {
+	if cfg.Dev == nil {
+		return nil, fmt.Errorf("netstack: nil device")
+	}
+	if cfg.Model == nil {
+		cfg.Model = vtime.Default()
+	}
+	if cfg.PerPacketCost == 0 {
+		cfg.PerPacketCost = cfg.Model.KernelNetPerPacket
+	}
+	s := &Stack{
+		cfg:   cfg,
+		model: cfg.Model,
+		dev:   cfg.Dev,
+		ip:    cfg.IP,
+		arp:   newARPTable(cfg.StaticARP),
+		reasm: newReassembler(),
+		udp:   newUDPTable(),
+	}
+	if cfg.EnableTCP {
+		s.tcp = newTCPTable(s)
+	}
+	if cfg.GlobalLock {
+		s.globalRes = &vtime.Resource{}
+	}
+	return s, nil
+}
+
+// IP returns the interface address.
+func (s *Stack) IP() IP4 { return s.ip }
+
+// Model returns the stack's cost model.
+func (s *Stack) Model() *vtime.Model { return s.model }
+
+// Close shuts the stack down: all sockets error out.
+func (s *Stack) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.udp.closeAll()
+	if s.tcp != nil {
+		s.tcp.closeAll()
+	}
+}
+
+// charge applies the per-packet processing cost to clk, serializing
+// through the global lock resource when the ablation flag is on.
+func (s *Stack) charge(clk *vtime.Clock, cost uint64) {
+	if s.globalRes != nil {
+		clk.Sync(s.globalRes.Use(clk.Now(), cost))
+		return
+	}
+	clk.Advance(cost)
+}
+
+// Input feeds one received Ethernet frame into the stack. It runs on the
+// caller's (softirq or FM) virtual clock and never retains frame.
+func (s *Stack) Input(frame []byte, clk *vtime.Clock) {
+	if s.closed.Load() {
+		return
+	}
+	s.charge(clk, s.cfg.PerPacketCost)
+	eth, payload, err := ParseEth(frame)
+	if err != nil {
+		return
+	}
+	switch eth.Type {
+	case EtherTypeARP:
+		s.inputARP(payload, clk)
+	case EtherTypeIPv4:
+		s.inputIPv4(eth, payload, clk)
+	}
+}
+
+func (s *Stack) inputARP(payload []byte, clk *vtime.Clock) {
+	p, ok := parseARP(payload)
+	if !ok {
+		return
+	}
+	switch p.op {
+	case arpOpRequest:
+		// Learn the asker and answer if they want us.
+		s.arp.learn(p.spa, p.sha)
+		if p.tpa == s.ip {
+			reply := arpPacket{
+				op:  arpOpReply,
+				sha: s.dev.MAC(), spa: s.ip,
+				tha: p.sha, tpa: p.spa,
+			}
+			s.sendFrame(p.sha, EtherTypeARP, marshalARP(reply), clk)
+		}
+	case arpOpReply:
+		s.arp.learn(p.spa, p.sha)
+	}
+}
+
+func (s *Stack) inputIPv4(eth EthHeader, pkt []byte, clk *vtime.Clock) {
+	h, payload, err := ParseIPv4(pkt)
+	if err != nil {
+		return
+	}
+	if h.Dst != s.ip && h.Dst != (IP4{255, 255, 255, 255}) {
+		return // not for us; the simulated hosts never forward
+	}
+	// Learn the sender's MAC so replies never stall on ARP resolution in
+	// softirq context (the single-segment network makes this safe).
+	s.arp.learn(h.Src, eth.Src)
+	if h.MF || h.FragOff != 0 {
+		payload = s.reasm.add(h, payload)
+		if payload == nil {
+			return
+		}
+	}
+	if s.cfg.Counters != nil {
+		s.cfg.Counters.PacketsRx.Add(1)
+		s.cfg.Counters.BytesRx.Add(uint64(len(payload)))
+	}
+	switch h.Proto {
+	case ProtoUDP:
+		s.inputUDP(h, payload, pkt, clk)
+	case ProtoTCP:
+		if s.tcp != nil {
+			s.tcp.input(h, payload, clk)
+		}
+	case ProtoICMP:
+		if s.cfg.EnableICMP {
+			s.handleICMP(h, payload, clk)
+		}
+	}
+}
+
+// sendFrame transmits one layer-2 frame.
+func (s *Stack) sendFrame(dst [6]byte, etherType uint16, payload []byte, clk *vtime.Clock) (uint64, error) {
+	frame := MarshalEth(EthHeader{Dst: dst, Src: s.dev.MAC(), Type: etherType}, payload)
+	return s.dev.SendFrame(frame, clk)
+}
+
+// resolve finds the MAC for dst, emitting ARP requests as needed.
+func (s *Stack) resolve(dst IP4, clk *vtime.Clock) ([6]byte, error) {
+	if mac, ok := s.arp.lookup(dst); ok {
+		return mac, nil
+	}
+	req := arpPacket{op: arpOpRequest, sha: s.dev.MAC(), spa: s.ip, tpa: dst}
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, err := s.sendFrame(Broadcast, EtherTypeARP, marshalARP(req), clk); err != nil {
+			return [6]byte{}, err
+		}
+		if mac, ok := s.arp.waitFor(dst, time.Now().Add(200*time.Millisecond)); ok {
+			return mac, nil
+		}
+	}
+	return [6]byte{}, fmt.Errorf("%w: %v", ErrNoRoute, dst)
+}
+
+// sendIP encapsulates an L4 payload and transmits it, fragmenting to the
+// MTU when necessary. It returns the virtual time of the last fragment's
+// serialization.
+func (s *Stack) sendIP(proto byte, dst IP4, payload []byte, clk *vtime.Clock) (uint64, error) {
+	mac, err := s.resolve(dst, clk)
+	if err != nil {
+		return clk.Now(), err
+	}
+	h := IPv4Header{
+		ID:    uint16(s.ipID.Add(1)),
+		TTL:   64,
+		Proto: proto,
+		Src:   s.ip,
+		Dst:   dst,
+	}
+	end := clk.Now()
+	for _, pkt := range fragmentIPv4(h, payload, s.dev.MTU()) {
+		end, err = s.sendFrame(mac, EtherTypeIPv4, pkt, clk)
+		if err != nil {
+			return end, err
+		}
+	}
+	if s.cfg.Counters != nil {
+		s.cfg.Counters.PacketsTx.Add(1)
+	}
+	return end, nil
+}

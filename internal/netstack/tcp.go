@@ -1,0 +1,888 @@
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rakis/internal/vtime"
+)
+
+// TCP constants. The implementation is deliberately compact but real:
+// three-way handshake, sequence/ack bookkeeping, flow-control windows,
+// retransmission as a safety net, and orderly close. Congestion control
+// is omitted — the simulated wire is lossless and single-hop, so flow
+// control alone governs throughput, which is what the Redis experiment
+// exercises. Only the full (kernel) stack configuration enables TCP; the
+// enclave build excludes it by design (§7 "TCP Stack Considerations").
+const (
+	TCPHeaderBytes = 20
+	// MSS is the maximum segment payload (1500 MTU - 20 IP - 20 TCP).
+	MSS = 1460
+	// rcvBufCap is the receive buffer and maximum advertised window.
+	rcvBufCap = 65535
+	// sndBufCap is the send buffer capacity.
+	sndBufCap = 256 * 1024
+	// rtoInitial is the real-time retransmission timeout. The wire is
+	// lossless, so this fires only when a queue overflowed.
+	rtoInitial = 200 * time.Millisecond
+	rtoMax     = 2 * time.Second
+	// connectTimeout bounds the real-time handshake wait.
+	connectTimeout = 5 * time.Second
+)
+
+// TCP flags.
+const (
+	flagFIN = 1 << 0
+	flagSYN = 1 << 1
+	flagRST = 1 << 2
+	flagPSH = 1 << 3
+	flagACK = 1 << 4
+)
+
+// tcpState is the connection state machine.
+type tcpState int
+
+const (
+	stateClosed tcpState = iota
+	stateListen
+	stateSynSent
+	stateSynRcvd
+	stateEstablished
+	stateFinWait1
+	stateFinWait2
+	stateCloseWait
+	stateClosing
+	stateLastAck
+	stateTimeWait
+)
+
+var stateNames = map[tcpState]string{
+	stateClosed: "CLOSED", stateListen: "LISTEN", stateSynSent: "SYN_SENT",
+	stateSynRcvd: "SYN_RCVD", stateEstablished: "ESTABLISHED",
+	stateFinWait1: "FIN_WAIT_1", stateFinWait2: "FIN_WAIT_2",
+	stateCloseWait: "CLOSE_WAIT", stateClosing: "CLOSING",
+	stateLastAck: "LAST_ACK", stateTimeWait: "TIME_WAIT",
+}
+
+func (s tcpState) String() string { return stateNames[s] }
+
+// ErrReset reports a connection reset by the peer.
+var ErrReset = errors.New("netstack: connection reset by peer")
+
+type tcpSeg struct {
+	srcPort, dstPort uint16
+	seq, ack         uint32
+	flags            byte
+	wnd              uint16
+	payload          []byte
+}
+
+func parseTCP(b []byte) (tcpSeg, bool) {
+	var s tcpSeg
+	if len(b) < TCPHeaderBytes {
+		return s, false
+	}
+	s.srcPort = be16(b[0:2])
+	s.dstPort = be16(b[2:4])
+	s.seq = be32(b[4:8])
+	s.ack = be32(b[8:12])
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < TCPHeaderBytes || dataOff > len(b) {
+		return s, false
+	}
+	s.flags = b[13] & 0x3F
+	s.wnd = be16(b[14:16])
+	s.payload = b[dataOff:]
+	return s, true
+}
+
+func marshalTCP(src, dst IP4, s tcpSeg) []byte {
+	b := make([]byte, TCPHeaderBytes+len(s.payload))
+	put16(b[0:2], s.srcPort)
+	put16(b[2:4], s.dstPort)
+	put32(b[4:8], s.seq)
+	put32(b[8:12], s.ack)
+	b[12] = (TCPHeaderBytes / 4) << 4
+	b[13] = s.flags
+	put16(b[14:16], s.wnd)
+	copy(b[TCPHeaderBytes:], s.payload)
+	sum := pseudoHeaderSum(src, dst, ProtoTCP, len(b))
+	put16(b[16:18], checksumFold(checksumPartial(sum, b)))
+	return b
+}
+
+// connKey identifies a connection from the stack's point of view.
+type connKey struct {
+	remoteIP   IP4
+	remotePort uint16
+	localPort  uint16
+}
+
+// tcpTable holds connections and listeners.
+type tcpTable struct {
+	stack     *Stack
+	mu        sync.RWMutex
+	conns     map[connKey]*TCPSocket
+	listeners map[uint16]*TCPSocket
+	ephemeral uint16
+	issBase   atomic.Uint32
+}
+
+func newTCPTable(s *Stack) *tcpTable {
+	return &tcpTable{
+		stack:     s,
+		conns:     make(map[connKey]*TCPSocket),
+		listeners: make(map[uint16]*TCPSocket),
+		ephemeral: 40000,
+	}
+}
+
+func (t *tcpTable) closeAll() {
+	t.mu.Lock()
+	var socks []*TCPSocket
+	for _, c := range t.conns {
+		socks = append(socks, c)
+	}
+	for _, l := range t.listeners {
+		socks = append(socks, l)
+	}
+	t.mu.Unlock()
+	for _, c := range socks {
+		c.abort(ErrClosed)
+	}
+}
+
+func (t *tcpTable) nextISS() uint32 { return t.issBase.Add(0x1000_1) * 31 }
+
+func (t *tcpTable) register(key connKey, c *TCPSocket) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.conns[key]; dup {
+		return fmt.Errorf("%w: tcp %v", ErrPortInUse, key)
+	}
+	t.conns[key] = c
+	return nil
+}
+
+func (t *tcpTable) deregister(key connKey) {
+	t.mu.Lock()
+	if t.conns[key] != nil {
+		delete(t.conns, key)
+	}
+	t.mu.Unlock()
+}
+
+// TCPSocket is a TCP endpoint (listener or connection).
+type TCPSocket struct {
+	stack *Stack
+	table *tcpTable
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	state  tcpState
+	local  Addr
+	remote Addr
+	key    connKey
+
+	// Send side: sndBuf holds bytes [sndUna, sndUna+len); the first
+	// sndNxt-sndUna of them are in flight.
+	sndBuf     []byte
+	sndUna     uint32
+	sndNxt     uint32
+	sndWnd     uint32
+	finPending bool
+	finSent    bool
+	finSeq     uint32
+
+	// Receive side: rcvBuf holds in-order bytes ready for the app.
+	rcvBuf    []byte
+	rcvNxt    uint32
+	rcvClosed bool
+
+	err     error
+	backlog chan *TCPSocket // listeners only
+	parent  *TCPSocket      // SYN_RCVD children
+
+	stamp     vtime.Stamp // raised when data/EOF arrives
+	lastVTime atomic.Uint64
+
+	rto      *time.Timer
+	rtoD     time.Duration
+	deadDone bool
+}
+
+func newTCPSocket(t *tcpTable) *TCPSocket {
+	c := &TCPSocket{stack: t.stack, table: t, state: stateClosed, rtoD: rtoInitial}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// --- public API -----------------------------------------------------------
+
+// TCPListen creates a listening socket on port.
+func (s *Stack) TCPListen(port uint16, backlog int) (*TCPSocket, error) {
+	if s.tcp == nil {
+		return nil, ErrTrimmed
+	}
+	if backlog <= 0 {
+		backlog = 16
+	}
+	t := s.tcp
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, used := t.listeners[port]; used {
+		return nil, fmt.Errorf("%w: tcp/%d", ErrPortInUse, port)
+	}
+	l := newTCPSocket(t)
+	l.state = stateListen
+	l.local = Addr{IP: s.ip, Port: port}
+	l.backlog = make(chan *TCPSocket, backlog)
+	t.listeners[port] = l
+	return l, nil
+}
+
+// TCPConnect opens a connection to dst, blocking (in real time) until the
+// handshake completes.
+func (s *Stack) TCPConnect(dst Addr, clk *vtime.Clock) (*TCPSocket, error) {
+	if s.tcp == nil {
+		return nil, ErrTrimmed
+	}
+	t := s.tcp
+	c := newTCPSocket(t)
+	c.remote = dst
+
+	t.mu.Lock()
+	var port uint16
+	for i := 0; i < 65536; i++ {
+		t.ephemeral++
+		if t.ephemeral < 40000 {
+			t.ephemeral = 40000
+		}
+		key := connKey{dst.IP, dst.Port, t.ephemeral}
+		if _, used := t.conns[key]; !used {
+			port = t.ephemeral
+			c.key = key
+			t.conns[key] = c
+			break
+		}
+	}
+	t.mu.Unlock()
+	if port == 0 {
+		return nil, fmt.Errorf("%w: no ephemeral TCP ports", ErrPortInUse)
+	}
+	c.local = Addr{IP: s.ip, Port: port}
+
+	c.mu.Lock()
+	iss := t.nextISS()
+	c.sndUna, c.sndNxt = iss, iss+1
+	c.state = stateSynSent
+	c.lastVTime.Store(clk.Now())
+	c.sendSegLocked(tcpSeg{flags: flagSYN, seq: iss}, clk)
+	c.armRTOLocked()
+	ok := c.waitLocked(func() bool {
+		return c.state == stateEstablished || c.err != nil
+	}, connectTimeout)
+	err := c.err
+	state := c.state
+	c.mu.Unlock()
+
+	if err != nil || !ok || state != stateEstablished {
+		c.abort(nil)
+		t.deregister(c.key)
+		if err == nil {
+			err = ErrTimeout
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+// Accept returns the next established connection on a listener.
+func (l *TCPSocket) Accept(clk *vtime.Clock, block bool) (*TCPSocket, error) {
+	l.mu.Lock()
+	if l.state != stateListen {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("netstack: accept on non-listener (%v)", l.state)
+	}
+	l.mu.Unlock()
+	if !block {
+		select {
+		case c, ok := <-l.backlog:
+			if !ok {
+				return nil, ErrClosed
+			}
+			clk.Sync(c.stamp.Load())
+			return c, nil
+		default:
+			return nil, ErrWouldBlock
+		}
+	}
+	c, ok := <-l.backlog
+	if !ok {
+		return nil, ErrClosed
+	}
+	clk.Sync(c.stamp.Load())
+	return c, nil
+}
+
+// Send queues data for transmission, blocking while the send buffer is
+// full, and returns when all of p is queued.
+func (c *TCPSocket) Send(p []byte, clk *vtime.Clock) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		c.mu.Lock()
+		ok := c.waitLocked(func() bool {
+			return c.err != nil || !c.stateSendableLocked() || len(c.sndBuf) < sndBufCap
+		}, rtoMax*4)
+		if c.err != nil {
+			err := c.err
+			c.mu.Unlock()
+			return total, err
+		}
+		if !c.stateSendableLocked() {
+			c.mu.Unlock()
+			return total, ErrClosed
+		}
+		if !ok {
+			c.mu.Unlock()
+			return total, ErrTimeout
+		}
+		room := sndBufCap - len(c.sndBuf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		c.sndBuf = append(c.sndBuf, p[:n]...)
+		c.trySendLocked(clk)
+		c.mu.Unlock()
+		p = p[n:]
+		total += n
+	}
+	return total, nil
+}
+
+func (c *TCPSocket) stateSendableLocked() bool {
+	return c.state == stateEstablished || c.state == stateCloseWait
+}
+
+// Recv copies received bytes into p. It returns 0, nil at EOF (peer
+// closed). With block=false it returns ErrWouldBlock when no data is
+// buffered.
+func (c *TCPSocket) Recv(p []byte, clk *vtime.Clock, block bool) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if len(c.rcvBuf) > 0 {
+			break
+		}
+		if c.err != nil {
+			return 0, c.err
+		}
+		if c.rcvClosed {
+			return 0, nil // EOF
+		}
+		if c.state == stateClosed {
+			return 0, ErrClosed
+		}
+		if !block {
+			return 0, ErrWouldBlock
+		}
+		c.cond.Wait()
+	}
+	n := copy(p, c.rcvBuf)
+	before := len(c.rcvBuf)
+	c.rcvBuf = c.rcvBuf[n:]
+	clk.Sync(c.stamp.Load())
+	clk.Advance(c.stack.model.SocketOp + vtime.Bytes(c.stack.model.UserCopyPerByte, n))
+	// Window update: if we just opened significant space, tell the peer.
+	if before >= rcvBufCap/2 && len(c.rcvBuf) < rcvBufCap/2 {
+		c.sendAckLocked(clk)
+	}
+	return n, nil
+}
+
+// Readable reports data, EOF, or a pending accept (poll support).
+func (c *TCPSocket) Readable() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == stateListen {
+		return len(c.backlog) > 0
+	}
+	return len(c.rcvBuf) > 0 || c.rcvClosed || c.err != nil
+}
+
+// Writable reports send-buffer space on an open connection.
+func (c *TCPSocket) Writable() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stateSendableLocked() && len(c.sndBuf) < sndBufCap
+}
+
+// WaitReadable blocks (in real time, up to d) until Readable.
+func (c *TCPSocket) WaitReadable(d time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == stateListen {
+		// Listener readability is backlog occupancy; poll it.
+		c.mu.Unlock()
+		deadline := time.Now().Add(d)
+		for {
+			if len(c.backlog) > 0 {
+				c.mu.Lock()
+				return true
+			}
+			if time.Now().After(deadline) {
+				c.mu.Lock()
+				return false
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	return c.waitLocked(func() bool {
+		return len(c.rcvBuf) > 0 || c.rcvClosed || c.err != nil
+	}, d)
+}
+
+// LocalAddr returns the bound address.
+func (c *TCPSocket) LocalAddr() Addr { return c.local }
+
+// RemoteAddr returns the peer address.
+func (c *TCPSocket) RemoteAddr() Addr { return c.remote }
+
+// State returns the connection state (for tests).
+func (c *TCPSocket) State() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state.String()
+}
+
+// Close performs an orderly close: pending data is flushed, then a FIN.
+func (c *TCPSocket) Close(clk *vtime.Clock) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case stateListen:
+		c.state = stateClosed
+		c.table.mu.Lock()
+		delete(c.table.listeners, c.local.Port)
+		c.table.mu.Unlock()
+		close(c.backlog)
+		return nil
+	case stateEstablished:
+		c.state = stateFinWait1
+	case stateCloseWait:
+		c.state = stateLastAck
+	case stateSynSent, stateSynRcvd:
+		c.teardownLocked(nil)
+		return nil
+	default:
+		return nil
+	}
+	c.finPending = true
+	c.trySendLocked(clk)
+	return nil
+}
+
+// abort hard-kills the socket (RST semantics or stack shutdown).
+func (c *TCPSocket) abort(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == stateListen {
+		c.state = stateClosed
+		c.table.mu.Lock()
+		delete(c.table.listeners, c.local.Port)
+		c.table.mu.Unlock()
+		if !c.deadDone {
+			c.deadDone = true
+			close(c.backlog)
+		}
+		return
+	}
+	c.teardownLocked(err)
+}
+
+// teardownLocked finalizes the socket and removes it from the table.
+func (c *TCPSocket) teardownLocked(err error) {
+	if c.state == stateClosed && c.deadDone {
+		return
+	}
+	c.state = stateClosed
+	c.deadDone = true
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	if c.rto != nil {
+		c.rto.Stop()
+	}
+	c.table.deregister(c.key)
+	c.cond.Broadcast()
+}
+
+// --- internals ------------------------------------------------------------
+
+// waitLocked waits on the condition variable until pred holds or the
+// real-time duration elapses; it reports whether pred held.
+func (c *TCPSocket) waitLocked(pred func() bool, d time.Duration) bool {
+	if pred() {
+		return true
+	}
+	timedOut := false
+	timer := time.AfterFunc(d, func() {
+		c.mu.Lock()
+		timedOut = true
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	})
+	defer timer.Stop()
+	for {
+		if pred() {
+			return true
+		}
+		if timedOut {
+			return false
+		}
+		c.cond.Wait()
+	}
+}
+
+// sendSegLocked transmits one segment for this connection. The window
+// field is filled from the current receive buffer occupancy.
+func (c *TCPSocket) sendSegLocked(seg tcpSeg, clk *vtime.Clock) {
+	seg.srcPort = c.local.Port
+	seg.dstPort = c.remote.Port
+	wnd := rcvBufCap - len(c.rcvBuf)
+	if wnd < 0 {
+		wnd = 0
+	}
+	seg.wnd = uint16(wnd)
+	clk.Advance(c.stack.model.KernelTCPPerSegment +
+		vtime.Bytes(c.stack.model.KernelCopyPerByte, len(seg.payload)))
+	c.lastVTime.Store(clk.Now())
+	payload := marshalTCP(c.stack.ip, c.remote.IP, seg)
+	c.stack.sendIP(ProtoTCP, c.remote.IP, payload, clk)
+}
+
+func (c *TCPSocket) sendAckLocked(clk *vtime.Clock) {
+	c.sendSegLocked(tcpSeg{flags: flagACK, seq: c.sndNxt, ack: c.rcvNxt}, clk)
+}
+
+// trySendLocked pushes as much buffered data as the peer window allows,
+// and the FIN once the buffer drains.
+func (c *TCPSocket) trySendLocked(clk *vtime.Clock) {
+	for {
+		inFlight := c.sndNxt - c.sndUna
+		if c.finSent && inFlight > 0 {
+			inFlight-- // the FIN occupies one sequence number beyond the data
+		}
+		if inFlight > uint32(len(c.sndBuf)) {
+			return // stale ACK state; nothing sane to transmit
+		}
+		unsent := uint32(len(c.sndBuf)) - inFlight
+		if unsent > 0 && inFlight < c.sndWnd {
+			n := c.sndWnd - inFlight
+			if n > unsent {
+				n = unsent
+			}
+			if n > MSS {
+				n = MSS
+			}
+			off := inFlight
+			seg := tcpSeg{
+				flags:   flagACK | flagPSH,
+				seq:     c.sndNxt,
+				ack:     c.rcvNxt,
+				payload: c.sndBuf[off : off+n],
+			}
+			c.sndNxt += n
+			c.sendSegLocked(seg, clk)
+			c.armRTOLocked()
+			continue
+		}
+		if c.finPending && !c.finSent && unsent == 0 {
+			c.finSeq = c.sndNxt
+			c.sndNxt++
+			c.finSent = true
+			c.sendSegLocked(tcpSeg{flags: flagFIN | flagACK, seq: c.finSeq, ack: c.rcvNxt}, clk)
+			c.armRTOLocked()
+		}
+		return
+	}
+}
+
+// armRTOLocked schedules the retransmission safety net.
+func (c *TCPSocket) armRTOLocked() {
+	if c.rto == nil {
+		c.rto = time.AfterFunc(c.rtoD, c.onRTO)
+		return
+	}
+	c.rto.Reset(c.rtoD)
+}
+
+// onRTO fires in real time when an ACK is overdue; it retransmits the
+// oldest unacknowledged segment. On the lossless wire this only happens
+// after a queue-overflow drop.
+func (c *TCPSocket) onRTO() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == stateClosed || c.sndNxt == c.sndUna {
+		return
+	}
+	var clk vtime.Clock
+	clk.Sync(c.lastVTime.Load())
+	switch {
+	case c.state == stateSynSent:
+		c.sendSegLocked(tcpSeg{flags: flagSYN, seq: c.sndUna}, &clk)
+	case c.state == stateSynRcvd:
+		c.sendSegLocked(tcpSeg{flags: flagSYN | flagACK, seq: c.sndUna, ack: c.rcvNxt}, &clk)
+	case uint32(len(c.sndBuf)) > 0:
+		n := uint32(len(c.sndBuf))
+		if n > MSS {
+			n = MSS
+		}
+		c.sendSegLocked(tcpSeg{
+			flags: flagACK | flagPSH, seq: c.sndUna, ack: c.rcvNxt,
+			payload: c.sndBuf[:n],
+		}, &clk)
+	case c.finSent:
+		c.sendSegLocked(tcpSeg{flags: flagFIN | flagACK, seq: c.finSeq, ack: c.rcvNxt}, &clk)
+	}
+	c.rtoD *= 2
+	if c.rtoD > rtoMax {
+		c.rtoD = rtoMax
+	}
+	c.armRTOLocked()
+}
+
+// input demuxes one TCP segment.
+func (t *tcpTable) input(h IPv4Header, payload []byte, clk *vtime.Clock) {
+	seg, ok := parseTCP(payload)
+	if !ok {
+		return
+	}
+	sum := pseudoHeaderSum(h.Src, h.Dst, ProtoTCP, len(payload))
+	if checksumFold(checksumPartial(sum, payload)) != 0 {
+		return
+	}
+	key := connKey{h.Src, seg.srcPort, seg.dstPort}
+	t.mu.RLock()
+	c := t.conns[key]
+	l := t.listeners[seg.dstPort]
+	t.mu.RUnlock()
+
+	t.stack.charge(clk, t.stack.model.KernelTCPPerSegment)
+
+	if c != nil {
+		c.segArrives(seg, clk)
+		return
+	}
+	if l != nil && seg.flags&flagSYN != 0 && seg.flags&flagACK == 0 {
+		t.handleSYN(l, key, h, seg, clk)
+		return
+	}
+	if seg.flags&flagRST == 0 {
+		t.sendRST(h.Src, seg, clk)
+	}
+}
+
+// sendRST answers a segment that matches no connection.
+func (t *tcpTable) sendRST(dst IP4, in tcpSeg, clk *vtime.Clock) {
+	out := tcpSeg{
+		srcPort: in.dstPort,
+		dstPort: in.srcPort,
+		flags:   flagRST | flagACK,
+		ack:     in.seq + uint32(len(in.payload)),
+	}
+	if in.flags&flagSYN != 0 {
+		out.ack++
+	}
+	if in.flags&flagACK != 0 {
+		out.seq = in.ack
+		out.flags = flagRST
+	}
+	pkt := marshalTCP(t.stack.ip, dst, out)
+	t.stack.sendIP(ProtoTCP, dst, pkt, clk)
+}
+
+// handleSYN spawns a SYN_RCVD child for a listener.
+func (t *tcpTable) handleSYN(l *TCPSocket, key connKey, h IPv4Header, seg tcpSeg, clk *vtime.Clock) {
+	c := newTCPSocket(t)
+	c.parent = l
+	c.key = key
+	c.local = Addr{IP: t.stack.ip, Port: seg.dstPort}
+	c.remote = Addr{IP: h.Src, Port: seg.srcPort}
+	c.rcvNxt = seg.seq + 1
+	iss := t.nextISS()
+	c.sndUna, c.sndNxt = iss, iss+1
+	c.sndWnd = uint32(seg.wnd)
+	c.state = stateSynRcvd
+	if err := t.register(key, c); err != nil {
+		return // stale duplicate SYN
+	}
+	c.mu.Lock()
+	c.sendSegLocked(tcpSeg{flags: flagSYN | flagACK, seq: iss, ack: c.rcvNxt}, clk)
+	c.armRTOLocked()
+	c.mu.Unlock()
+}
+
+// segArrives is the per-connection segment processor.
+func (c *TCPSocket) segArrives(seg tcpSeg, clk *vtime.Clock) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if seg.flags&flagRST != 0 {
+		if c.state == stateSynSent && seg.ack != c.sndNxt {
+			return // blind RST with wrong ack
+		}
+		err := ErrReset
+		if c.state == stateSynSent {
+			err = ErrRefused
+		}
+		c.teardownLocked(err)
+		return
+	}
+
+	// Handshake progress.
+	switch c.state {
+	case stateSynSent:
+		if seg.flags&(flagSYN|flagACK) == flagSYN|flagACK && seg.ack == c.sndNxt {
+			c.rcvNxt = seg.seq + 1
+			c.sndUna = seg.ack
+			c.sndWnd = uint32(seg.wnd)
+			c.state = stateEstablished
+			c.rtoD = rtoInitial
+			if c.rto != nil {
+				c.rto.Stop()
+			}
+			c.sendAckLocked(clk)
+			c.cond.Broadcast()
+		}
+		return
+	case stateSynRcvd:
+		if seg.flags&flagACK != 0 && seg.ack == c.sndNxt {
+			c.sndUna = seg.ack
+			c.sndWnd = uint32(seg.wnd)
+			c.state = stateEstablished
+			c.rtoD = rtoInitial
+			if c.rto != nil {
+				c.rto.Stop()
+			}
+			c.stamp.Raise(clk.Now())
+			if c.parent != nil {
+				select {
+				case c.parent.backlog <- c:
+				default:
+					// Backlog overflow: drop the connection.
+					c.teardownLocked(ErrRefused)
+					return
+				}
+			}
+			// Fall through: the ACK may carry data.
+		} else {
+			return
+		}
+	case stateClosed, stateListen:
+		return
+	}
+
+	// ACK processing.
+	if seg.flags&flagACK != 0 {
+		acked := seg.ack - c.sndUna
+		inFlight := c.sndNxt - c.sndUna
+		if acked > 0 && acked <= inFlight {
+			dataAcked := acked
+			if c.finSent && seg.ack == c.sndNxt {
+				dataAcked-- // the FIN consumed one sequence number
+			}
+			if dataAcked > uint32(len(c.sndBuf)) {
+				dataAcked = uint32(len(c.sndBuf))
+			}
+			c.sndBuf = c.sndBuf[dataAcked:]
+			c.sndUna = seg.ack
+			c.rtoD = rtoInitial
+			if c.sndUna == c.sndNxt && c.rto != nil {
+				c.rto.Stop()
+			} else {
+				c.armRTOLocked()
+			}
+			c.cond.Broadcast()
+			// Our FIN is acknowledged?
+			if c.finSent && seg.ack == c.sndNxt {
+				switch c.state {
+				case stateFinWait1:
+					c.state = stateFinWait2
+				case stateClosing:
+					c.enterTimeWaitLocked()
+				case stateLastAck:
+					c.teardownLocked(nil)
+					return
+				}
+			}
+		}
+		c.sndWnd = uint32(seg.wnd)
+	}
+
+	// Data processing.
+	data := seg.payload
+	seq := seg.seq
+	if len(data) > 0 {
+		// Trim a retransmitted prefix we already have.
+		if diff := c.rcvNxt - seq; diff > 0 && diff <= uint32(len(data)) {
+			data = data[diff:]
+			seq += diff
+		}
+		if seq == c.rcvNxt && len(data) > 0 && !c.rcvClosed {
+			room := rcvBufCap - len(c.rcvBuf)
+			if room > 0 {
+				if len(data) > room {
+					data = data[:room] // excess is dropped; peer retransmits
+				}
+				c.rcvBuf = append(c.rcvBuf, data...)
+				c.rcvNxt += uint32(len(data))
+				c.stamp.Raise(clk.Now())
+				c.cond.Broadcast()
+			}
+			c.sendAckLocked(clk)
+		} else if len(data) > 0 {
+			// Out-of-order or duplicate: dup-ACK so the peer resyncs.
+			c.sendAckLocked(clk)
+		}
+	}
+
+	// FIN processing.
+	if seg.flags&flagFIN != 0 && seq+uint32(len(data)) == c.rcvNxt || seg.flags&flagFIN != 0 && seg.seq == c.rcvNxt {
+		if !c.rcvClosed {
+			c.rcvNxt++
+			c.rcvClosed = true
+			c.stamp.Raise(clk.Now())
+			c.sendAckLocked(clk)
+			c.cond.Broadcast()
+			switch c.state {
+			case stateEstablished:
+				c.state = stateCloseWait
+			case stateFinWait1:
+				c.state = stateClosing
+			case stateFinWait2:
+				c.enterTimeWaitLocked()
+			}
+		} else {
+			c.sendAckLocked(clk) // retransmitted FIN
+		}
+	}
+
+	// Window may have opened: push more data.
+	if c.stateSendableLocked() || c.state == stateFinWait1 || c.state == stateLastAck {
+		c.trySendLocked(clk)
+	}
+}
+
+// enterTimeWaitLocked models TIME_WAIT as immediate reclamation: the
+// simulated network cannot deliver old duplicates out of order.
+func (c *TCPSocket) enterTimeWaitLocked() {
+	c.state = stateTimeWait
+	c.teardownLocked(nil)
+	c.state = stateTimeWait // teardown sets Closed; report TIME_WAIT
+}

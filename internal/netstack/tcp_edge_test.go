@@ -1,0 +1,265 @@
+package netstack
+
+// Edge-case TCP tests: loss recovery via the RTO safety net, receive-
+// window stalls and window-update wakeups, handshake retransmission, and
+// state-machine corners that the happy-path tests never touch.
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rakis/internal/netsim"
+	"rakis/internal/vtime"
+)
+
+// lossyLink wraps a devLink and drops the Nth outbound frame once.
+type lossyLink struct {
+	devLink
+	dropAt  int64
+	counter atomic.Int64
+}
+
+func (l *lossyLink) SendFrame(data []byte, clk *vtime.Clock) (uint64, error) {
+	if l.counter.Add(1) == l.dropAt {
+		return clk.Now(), nil // swallowed: the wire "lost" it
+	}
+	return l.devLink.SendFrame(data, clk)
+}
+
+// lossyWorld wires a stack with a frame-dropping link on side a.
+func lossyWorld(t *testing.T, dropAt int64) (*Stack, *Stack) {
+	t.Helper()
+	m := vtime.Default()
+	da, db := netsim.NewPair(m,
+		netsim.Config{Name: "la", MAC: [6]byte{2, 0, 0, 0, 1, 1}},
+		netsim.Config{Name: "lb", MAC: [6]byte{2, 0, 0, 0, 1, 2}},
+	)
+	ll := &lossyLink{devLink: devLink{da}, dropAt: dropAt}
+	sa, err := New(Config{Name: "a", Dev: ll, IP: IP4{10, 1, 0, 1}, Model: m, EnableTCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := New(Config{Name: "b", Dev: devLink{db}, IP: IP4{10, 1, 0, 2}, Model: m, EnableTCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	da.Start(func(q int, f netsim.Frame, clk *vtime.Clock) { sa.Input(f.Data, clk) })
+	db.Start(func(q int, f netsim.Frame, clk *vtime.Clock) { sb.Input(f.Data, clk) })
+	t.Cleanup(func() { sa.Close(); sb.Close(); da.Close(); db.Close() })
+	return sa, sb
+}
+
+func TestTCPRetransmitsLostData(t *testing.T) {
+	// Drop one data frame mid-stream; the RTO safety net must recover.
+	sa, sb := lossyWorld(t, 8)
+	l, _ := sb.TCPListen(9100, 4)
+	got := make(chan []byte, 1)
+	go func() {
+		var clk vtime.Clock
+		c, err := l.Accept(&clk, true)
+		if err != nil {
+			return
+		}
+		var data []byte
+		buf := make([]byte, 4096)
+		for len(data) < 20000 {
+			n, err := c.Recv(buf, &clk, true)
+			if err != nil || n == 0 {
+				break
+			}
+			data = append(data, buf[:n]...)
+		}
+		got <- data
+	}()
+
+	var clk vtime.Clock
+	c, err := sa.TCPConnect(Addr{IP4{10, 1, 0, 2}, 9100}, &clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 20000)
+	for i := range want {
+		want[i] = byte(i * 3)
+	}
+	if _, err := c.Send(want, &clk); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case data := <-got:
+		if !bytes.Equal(data, want) {
+			t.Fatalf("stream corrupted after loss: %d bytes", len(data))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("retransmission never recovered the stream")
+	}
+}
+
+func TestTCPHandshakeSYNLoss(t *testing.T) {
+	// Drop the very first frame (the SYN): the connect must still
+	// succeed via SYN retransmission.
+	sa, sb := lossyWorld(t, 1)
+	l, _ := sb.TCPListen(9101, 4)
+	go func() {
+		var clk vtime.Clock
+		l.Accept(&clk, true)
+	}()
+	var clk vtime.Clock
+	c, err := sa.TCPConnect(Addr{IP4{10, 1, 0, 2}, 9101}, &clk)
+	if err != nil {
+		t.Fatalf("connect after SYN loss: %v", err)
+	}
+	if c.State() != "ESTABLISHED" {
+		t.Fatalf("state = %s", c.State())
+	}
+}
+
+func TestTCPZeroWindowStallAndRecovery(t *testing.T) {
+	// The receiver stops reading: the sender must fill the 64 KB window
+	// and stall rather than overrun; when the reader drains, the window
+	// update un-stalls it.
+	w := newWorld(t, nil)
+	l, _ := w.b.TCPListen(9102, 4)
+	acc := make(chan *TCPSocket, 1)
+	go func() {
+		var clk vtime.Clock
+		c, err := l.Accept(&clk, true)
+		if err == nil {
+			acc <- c
+		}
+	}()
+	var clk vtime.Clock
+	c, err := w.a.TCPConnect(Addr{IP4{10, 0, 0, 2}, 9102}, &clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-acc
+
+	// Push 300 KB without any reader; Send must complete (buffered +
+	// windowed) while the unread portion stays bounded by window+buffer.
+	payload := make([]byte, 300*1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	sendDone := make(chan error, 1)
+	go func() {
+		_, err := c.Send(payload, &clk)
+		sendDone <- err
+	}()
+
+	// Give the transfer a moment: the receive buffer must cap at the
+	// advertised window, proving flow control engaged.
+	time.Sleep(100 * time.Millisecond)
+	srv.mu.Lock()
+	buffered := len(srv.rcvBuf)
+	srv.mu.Unlock()
+	if buffered > rcvBufCap {
+		t.Fatalf("receiver buffered %d > window %d", buffered, rcvBufCap)
+	}
+
+	// Drain; the stalled sender resumes and the bytes are exact.
+	var sclk vtime.Clock
+	var got []byte
+	buf := make([]byte, 32768)
+	for len(got) < len(payload) {
+		n, err := srv.Recv(buf, &sclk, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if err := <-sendDone; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("flow-controlled stream corrupted")
+	}
+}
+
+func TestTCPListenerBacklogOverflow(t *testing.T) {
+	w := newWorld(t, nil)
+	l, err := w.b.TCPListen(9103, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two connects without an accept: the first fills the backlog; the
+	// second client may believe it connected (its handshake completed
+	// before the overflow was detected, as with a real kernel), but the
+	// server side must have dropped it — only one accept is possible.
+	var clk vtime.Clock
+	if _, err := w.a.TCPConnect(Addr{IP4{10, 0, 0, 2}, 9103}, &clk); err != nil {
+		t.Fatalf("first connect: %v", err)
+	}
+	w.a.TCPConnect(Addr{IP4{10, 0, 0, 2}, 9103}, &clk) // may or may not error
+	time.Sleep(20 * time.Millisecond)
+	if _, err := l.Accept(&clk, false); err != nil {
+		t.Fatalf("first accept: %v", err)
+	}
+	if _, err := l.Accept(&clk, false); err != ErrWouldBlock {
+		t.Fatalf("second accept = %v, want ErrWouldBlock (child dropped)", err)
+	}
+}
+
+func TestTCPSimultaneousClose(t *testing.T) {
+	w := newWorld(t, nil)
+	l, _ := w.b.TCPListen(9104, 4)
+	acc := make(chan *TCPSocket, 1)
+	go func() {
+		var clk vtime.Clock
+		c, err := l.Accept(&clk, true)
+		if err == nil {
+			acc <- c
+		}
+	}()
+	var cclk, sclk vtime.Clock
+	c, err := w.a.TCPConnect(Addr{IP4{10, 0, 0, 2}, 9104}, &cclk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-acc
+	// Close both ends at once; both must reach EOF cleanly.
+	c.Close(&cclk)
+	srv.Close(&sclk)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		cs, ss := c.State(), srv.State()
+		if (cs == "CLOSED" || cs == "TIME_WAIT") && (ss == "CLOSED" || ss == "TIME_WAIT") {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("close never settled: client=%s server=%s", c.State(), srv.State())
+}
+
+func TestTCPRecvAfterPeerReset(t *testing.T) {
+	w := newWorld(t, nil)
+	l, _ := w.b.TCPListen(9105, 4)
+	acc := make(chan *TCPSocket, 1)
+	go func() {
+		var clk vtime.Clock
+		c, err := l.Accept(&clk, true)
+		if err == nil {
+			acc <- c
+		}
+	}()
+	var clk vtime.Clock
+	c, err := w.a.TCPConnect(Addr{IP4{10, 0, 0, 2}, 9105}, &clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-acc
+	srv.abort(ErrReset) // hard kill, like a process dying
+	// Any blocking receive on the peer eventually errors or EOFs; it
+	// must not hang. (The abort is silent — no RST is emitted by the
+	// test hook — so rely on the retransmit path erroring out or the
+	// nonblocking state check.)
+	if srv.State() != "CLOSED" {
+		t.Fatalf("aborted socket state = %s", srv.State())
+	}
+	buf := make([]byte, 8)
+	if _, err := srv.Recv(buf, &clk, false); err == nil {
+		t.Fatal("recv on aborted socket must error")
+	}
+	_ = c
+}

@@ -1,0 +1,306 @@
+package netstack
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rakis/internal/vtime"
+)
+
+// UDPHeaderBytes is the UDP header length.
+const UDPHeaderBytes = 8
+
+// MaxUDPPayload is the largest datagram payload the stack accepts.
+const MaxUDPPayload = 65507
+
+// Datagram is one received UDP payload with its source and stamp.
+type Datagram struct {
+	Payload []byte
+	Src     Addr
+	Stamp   uint64
+}
+
+// udpTable holds the bound UDP sockets. It uses a read/write lock: the
+// hot path (demux on receive) takes only the read side, matching the
+// paper's move away from a single global stack lock.
+type udpTable struct {
+	mu        sync.RWMutex
+	ports     map[uint16]*UDPSocket
+	ephemeral uint16
+	closed    bool
+}
+
+func newUDPTable() *udpTable {
+	return &udpTable{ports: make(map[uint16]*UDPSocket), ephemeral: 32768}
+}
+
+func (t *udpTable) closeAll() {
+	t.mu.Lock()
+	socks := make([]*UDPSocket, 0, len(t.ports))
+	for _, s := range t.ports {
+		socks = append(socks, s)
+	}
+	t.closed = true
+	t.mu.Unlock()
+	for _, s := range socks {
+		s.Close()
+	}
+}
+
+// UDPSocket is a bound UDP endpoint with a per-socket receive queue and
+// its own virtual-time serialization resource (the fine-grained-locking
+// design of §4.2).
+type UDPSocket struct {
+	stack *Stack
+	local Addr
+
+	mu        sync.Mutex
+	connected *Addr
+	closed    bool
+
+	queue  chan Datagram
+	closeC chan struct{}
+}
+
+// RecvQueueCap is the per-socket receive queue capacity in datagrams,
+// sized like the 16 MB / 2K-ring memory budget of §6.1.
+const RecvQueueCap = 2048
+
+// UDPBind creates a socket bound to (stack IP, port); port 0 picks an
+// ephemeral port.
+func (s *Stack) UDPBind(port uint16) (*UDPSocket, error) {
+	t := s.udp
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if port == 0 {
+		for i := 0; i < 65536; i++ {
+			t.ephemeral++
+			if t.ephemeral < 32768 {
+				t.ephemeral = 32768
+			}
+			if _, used := t.ports[t.ephemeral]; !used {
+				port = t.ephemeral
+				break
+			}
+		}
+		if port == 0 {
+			return nil, fmt.Errorf("%w: no ephemeral UDP ports", ErrPortInUse)
+		}
+	} else if _, used := t.ports[port]; used {
+		return nil, fmt.Errorf("%w: udp/%d", ErrPortInUse, port)
+	}
+	sock := &UDPSocket{
+		stack:  s,
+		local:  Addr{IP: s.ip, Port: port},
+		queue:  make(chan Datagram, RecvQueueCap),
+		closeC: make(chan struct{}),
+	}
+	t.ports[port] = sock
+	return sock, nil
+}
+
+// lookupUDP finds the socket for a destination port.
+func (s *Stack) lookupUDP(port uint16) *UDPSocket {
+	s.udp.mu.RLock()
+	defer s.udp.mu.RUnlock()
+	return s.udp.ports[port]
+}
+
+// inputUDP demuxes one UDP datagram to its socket queue.
+func (s *Stack) inputUDP(h IPv4Header, payload, origPkt []byte, clk *vtime.Clock) {
+	if len(payload) < UDPHeaderBytes {
+		return
+	}
+	srcPort := be16(payload[0:2])
+	dstPort := be16(payload[2:4])
+	ulen := int(be16(payload[4:6]))
+	if ulen < UDPHeaderBytes || ulen > len(payload) {
+		return
+	}
+	if be16(payload[6:8]) != 0 { // checksum present
+		sum := pseudoHeaderSum(h.Src, h.Dst, ProtoUDP, ulen)
+		if checksumFold(checksumPartial(sum, payload[:ulen])) != 0 {
+			return
+		}
+	}
+	sock := s.lookupUDP(dstPort)
+	if sock == nil {
+		s.sendPortUnreachable(h, origPkt, clk)
+		return
+	}
+	// Socket-layer work. Per-socket locks are held for far less than a
+	// scheduling quantum, so sharded mode charges plain time; only the
+	// global-lock ablation serializes through a shared resource (via
+	// Stack.charge).
+	if s.globalRes == nil {
+		clk.Advance(s.model.SocketOp)
+	}
+	data := make([]byte, ulen-UDPHeaderBytes)
+	copy(data, payload[UDPHeaderBytes:ulen])
+	d := Datagram{Payload: data, Src: Addr{IP: h.Src, Port: srcPort}, Stamp: clk.Now()}
+	select {
+	case sock.queue <- d:
+	default:
+		// Socket buffer full: the kernel drops, like Linux.
+		if s.cfg.Counters != nil {
+			s.cfg.Counters.PacketsDropped.Add(1)
+		}
+	}
+}
+
+// LocalAddr returns the socket's bound address.
+func (u *UDPSocket) LocalAddr() Addr { return u.local }
+
+// Connect fixes the default peer for Send/Recv.
+func (u *UDPSocket) Connect(dst Addr) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.connected = &dst
+}
+
+// RemoteAddr returns the connected peer, if any.
+func (u *UDPSocket) RemoteAddr() (Addr, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.connected == nil {
+		return Addr{}, false
+	}
+	return *u.connected, true
+}
+
+// SendTo transmits one datagram to dst, charging the caller's clock for
+// socket and stack work and pacing on the wire.
+func (u *UDPSocket) SendTo(payload []byte, dst Addr, clk *vtime.Clock) error {
+	if len(payload) > MaxUDPPayload {
+		return ErrMsgSize
+	}
+	u.mu.Lock()
+	closed := u.closed
+	u.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	s := u.stack
+	s.charge(clk, s.cfg.PerPacketCost)
+	if s.globalRes == nil {
+		clk.Advance(s.model.SocketOp)
+	}
+	dgram := make([]byte, UDPHeaderBytes+len(payload))
+	put16(dgram[0:2], u.local.Port)
+	put16(dgram[2:4], dst.Port)
+	put16(dgram[4:6], uint16(len(dgram)))
+	copy(dgram[UDPHeaderBytes:], payload)
+	sum := pseudoHeaderSum(s.ip, dst.IP, ProtoUDP, len(dgram))
+	ck := checksumFold(checksumPartial(sum, dgram))
+	if ck == 0 {
+		ck = 0xFFFF
+	}
+	put16(dgram[6:8], ck)
+	_, err := s.sendIP(ProtoUDP, dst.IP, dgram, clk)
+	return err
+}
+
+// Send transmits to the connected peer.
+func (u *UDPSocket) Send(payload []byte, clk *vtime.Clock) error {
+	dst, ok := u.RemoteAddr()
+	if !ok {
+		return fmt.Errorf("%w: socket not connected", ErrNoRoute)
+	}
+	return u.SendTo(payload, dst, clk)
+}
+
+// RecvFrom returns the next datagram. With block=false it returns
+// ErrWouldBlock when the queue is empty; with block=true it waits until
+// data arrives or the socket closes. The caller's clock is synced to the
+// datagram's arrival stamp (idle waiting costs no virtual busy time).
+func (u *UDPSocket) RecvFrom(clk *vtime.Clock, block bool) (Datagram, error) {
+	if !block {
+		select {
+		case d, ok := <-u.queue:
+			if !ok {
+				return Datagram{}, ErrClosed
+			}
+			u.finishRecv(&d, clk)
+			return d, nil
+		default:
+			select {
+			case <-u.closeC:
+				return Datagram{}, ErrClosed
+			default:
+			}
+			return Datagram{}, ErrWouldBlock
+		}
+	}
+	select {
+	case d, ok := <-u.queue:
+		if !ok {
+			return Datagram{}, ErrClosed
+		}
+		u.finishRecv(&d, clk)
+		return d, nil
+	case <-u.closeC:
+		// Drain anything that raced with close.
+		select {
+		case d, ok := <-u.queue:
+			if ok {
+				u.finishRecv(&d, clk)
+				return d, nil
+			}
+		default:
+		}
+		return Datagram{}, ErrClosed
+	}
+}
+
+// RecvTimeout is RecvFrom with a real-time cap on the wait, used by
+// workload drivers to detect quiescence.
+func (u *UDPSocket) RecvTimeout(clk *vtime.Clock, d time.Duration) (Datagram, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case dg, ok := <-u.queue:
+		if !ok {
+			return Datagram{}, ErrClosed
+		}
+		u.finishRecv(&dg, clk)
+		return dg, nil
+	case <-u.closeC:
+		return Datagram{}, ErrClosed
+	case <-timer.C:
+		return Datagram{}, ErrTimeout
+	}
+}
+
+func (u *UDPSocket) finishRecv(d *Datagram, clk *vtime.Clock) {
+	s := u.stack
+	clk.Sync(d.Stamp)
+	s.charge(clk, s.model.SocketOp)
+}
+
+// Readable reports whether a datagram is queued (poll support).
+func (u *UDPSocket) Readable() bool { return len(u.queue) > 0 }
+
+// QueueLen returns the number of queued datagrams.
+func (u *UDPSocket) QueueLen() int { return len(u.queue) }
+
+// Close unbinds the socket; blocked receivers return ErrClosed.
+func (u *UDPSocket) Close() {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return
+	}
+	u.closed = true
+	u.mu.Unlock()
+	t := u.stack.udp
+	t.mu.Lock()
+	if t.ports[u.local.Port] == u {
+		delete(t.ports, u.local.Port)
+	}
+	t.mu.Unlock()
+	close(u.closeC)
+}

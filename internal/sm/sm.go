@@ -1,0 +1,340 @@
+// Package sm implements the Service Module (§4.2): the layer that bridges
+// the gap between what the FIOKPs deliver (layer-2 frames, raw CQEs) and
+// what unmodified applications expect (POSIX socket and file syscalls).
+//
+// It has three parts, as in the paper:
+//
+//   - The in-enclave UDP/IP stack: a trimmed netstack configuration
+//     (UDP-only — the LWIP 80K→5K cut) whose link device round-robins
+//     outgoing frames across the XSK FastPath Modules.
+//   - The SyncProxy: a thin per-thread stub that forwards the five
+//     io_uring-served syscalls to a UringFM and blocks for the result.
+//   - The API submodule: routes syscalls to the right IO provider and
+//     aggregates poll across providers by arming asynchronous io_uring
+//     polls for host descriptors while busy-watching enclave UDP sockets.
+package sm
+
+import (
+	"sync/atomic"
+	"time"
+
+	"rakis/internal/fm"
+	"rakis/internal/netstack"
+	"rakis/internal/vtime"
+	"rakis/internal/xsk"
+)
+
+// XskLink exposes a set of XSK FastPath Modules as the enclave stack's
+// layer-2 device. Sends round-robin across the sockets; the sockets
+// themselves serialize concurrent users internally.
+type XskLink struct {
+	socks []*xsk.Socket
+	next  atomic.Uint32
+	mac   [6]byte
+	mtu   int
+}
+
+// NewXskLink bundles the XSKs behind one link device.
+func NewXskLink(socks []*xsk.Socket, mac [6]byte, mtu int) *XskLink {
+	return &XskLink{
+		socks: socks,
+		mac:   mac,
+		mtu:   mtu,
+	}
+}
+
+// SendFrame copies the frame into a UMem slot and publishes it on xTX;
+// the Monitor Module's sendto wakeup makes the kernel transmit it.
+func (l *XskLink) SendFrame(data []byte, clk *vtime.Clock) (uint64, error) {
+	i := int(l.next.Add(1)) % len(l.socks)
+	s := l.socks[i]
+	err := s.Send(data, clk)
+	if err == xsk.ErrRingFull || err == xsk.ErrNoFrame {
+		// Reap completions and retry once; persistent fullness means the
+		// wire is the bottleneck and the frame is dropped like a NIC
+		// queue overflow would.
+		s.Reap(clk)
+		err = s.Send(data, clk)
+	}
+	return clk.Now(), err
+}
+
+// MAC returns the interface hardware address.
+func (l *XskLink) MAC() [6]byte { return l.mac }
+
+// MTU returns the link MTU.
+func (l *XskLink) MTU() int { return l.mtu }
+
+// NewEnclaveStack builds the trimmed in-enclave UDP/IP stack over the
+// given XSK link.
+func NewEnclaveStack(link *XskLink, ip netstack.IP4, model *vtime.Model, counters *vtime.Counters, globalLock bool) (*netstack.Stack, error) {
+	if model == nil {
+		model = vtime.Default()
+	}
+	return netstack.New(netstack.Config{
+		Name:          "enclave",
+		Dev:           link,
+		IP:            ip,
+		Model:         model,
+		Counters:      counters,
+		EnableTCP:     false, // §7: no TCP stack inside the enclave
+		EnableICMP:    false,
+		PerPacketCost: model.EnclaveStackPerPacket,
+		GlobalLock:    globalLock,
+	})
+}
+
+// SyncProxy forwards synchronous IO requests to a per-thread io_uring FM
+// and waits for completion (§4.2). It is per-thread, like its FM.
+type SyncProxy struct {
+	FM    *fm.UringFM
+	model *vtime.Model
+}
+
+// NewSyncProxy wraps a UringFM.
+func NewSyncProxy(u *fm.UringFM, model *vtime.Model) *SyncProxy {
+	if model == nil {
+		model = vtime.Default()
+	}
+	return &SyncProxy{FM: u, model: model}
+}
+
+func (sp *SyncProxy) charge(clk *vtime.Clock) {
+	clk.Advance(sp.model.SyncProxyOp)
+}
+
+// Read reads from a host file through io_uring.
+func (sp *SyncProxy) Read(fd int, p []byte, clk *vtime.Clock) (int, error) {
+	sp.charge(clk)
+	return sp.FM.ReadAt(fd, p, fm.CursorOff, clk)
+}
+
+// Pread reads at an offset.
+func (sp *SyncProxy) Pread(fd int, p []byte, off int64, clk *vtime.Clock) (int, error) {
+	sp.charge(clk)
+	return sp.FM.ReadAt(fd, p, uint64(off), clk)
+}
+
+// Write writes to a host file through io_uring.
+func (sp *SyncProxy) Write(fd int, p []byte, clk *vtime.Clock) (int, error) {
+	sp.charge(clk)
+	return sp.FM.WriteAt(fd, p, fm.CursorOff, clk)
+}
+
+// Pwrite writes at an offset.
+func (sp *SyncProxy) Pwrite(fd int, p []byte, off int64, clk *vtime.Clock) (int, error) {
+	sp.charge(clk)
+	return sp.FM.WriteAt(fd, p, uint64(off), clk)
+}
+
+// Send sends on a host TCP socket through io_uring.
+func (sp *SyncProxy) Send(fd int, p []byte, clk *vtime.Clock) (int, error) {
+	sp.charge(clk)
+	return sp.FM.Send(fd, p, clk)
+}
+
+// Recv receives from a host TCP socket through io_uring.
+func (sp *SyncProxy) Recv(fd int, p []byte, clk *vtime.Clock) (int, error) {
+	sp.charge(clk)
+	return sp.FM.Recv(fd, p, clk)
+}
+
+// Fsync flushes a host file through io_uring.
+func (sp *SyncProxy) Fsync(fd int, clk *vtime.Clock) error {
+	sp.charge(clk)
+	return sp.FM.Fsync(fd, clk)
+}
+
+// PollSource is one descriptor in a cross-provider poll: either an
+// enclave UDP socket or a host descriptor reached through io_uring.
+type PollSource struct {
+	// UDP, when non-nil, is an enclave-stack socket.
+	UDP *netstack.UDPSocket
+	// HostFD is a host descriptor (TCP socket or file), used when UDP is
+	// nil.
+	HostFD int
+	// Events is the interest mask (PollIn/PollOut as in iouring).
+	Events uint32
+	// Revents receives the ready mask.
+	Revents uint32
+}
+
+// PollCache keeps io_uring polls armed across Poll calls, the way an
+// event loop wants: a descriptor that stayed quiet through one select
+// need not be re-armed (two ring operations plus a kernel wakeup) on the
+// next. The cache is per-thread, like the io_uring FM it feeds.
+type PollCache struct {
+	armed map[int]pollArm
+}
+
+type pollArm struct {
+	token  uint64
+	events uint32
+}
+
+// NewPollCache returns an empty cache.
+func NewPollCache() *PollCache {
+	return &PollCache{armed: make(map[int]pollArm)}
+}
+
+// Drop cancels any armed poll for fd (call on close).
+func (c *PollCache) Drop(fd int, sp *SyncProxy, clk *vtime.Clock) {
+	if c == nil {
+		return
+	}
+	if arm, ok := c.armed[fd]; ok {
+		sp.FM.CancelPoll(arm.token, clk)
+		delete(c.armed, fd)
+	}
+}
+
+// Poll is the API submodule's cross-provider aggregation (§4.2): host
+// descriptors get asynchronous io_uring poll operations; enclave UDP
+// sockets are watched directly; the caller busy-waits over both so no
+// provider's events starve the other's. timeout < 0 blocks indefinitely.
+// Armed polls are cancelled before returning.
+func Poll(srcs []PollSource, timeout time.Duration, sp *SyncProxy, model *vtime.Model, clk *vtime.Clock) (int, error) {
+	return PollCached(srcs, timeout, sp, model, clk, nil)
+}
+
+// PollCached is Poll with an optional armed-poll cache: with a cache,
+// un-fired polls stay armed across calls instead of being cancelled.
+func PollCached(srcs []PollSource, timeout time.Duration, sp *SyncProxy, model *vtime.Model, clk *vtime.Clock, cache *PollCache) (int, error) {
+	if model == nil {
+		model = vtime.Default()
+	}
+	// The per-descriptor cost is paid for work actually done: arming a
+	// poll, checking an enclave socket, or consuming a completion.
+	// Descriptors left armed in the cache cost nothing while quiet —
+	// that is the epoll-shaped O(ready) advantage over re-scanned poll.
+	clk.Advance(model.APIHook)
+
+	// Arm async polls for host descriptors, reusing cached arms whose
+	// interest mask matches.
+	tokens := make([]uint64, len(srcs))
+	armed := make([]bool, len(srcs))
+	arm := func(i int) error {
+		clk.Advance(model.PollPerFD)
+		tok, err := sp.FM.SubmitPoll(srcs[i].HostFD, srcs[i].Events, clk)
+		if err != nil {
+			return err
+		}
+		tokens[i] = tok
+		armed[i] = true
+		if cache != nil {
+			cache.armed[srcs[i].HostFD] = pollArm{token: tok, events: srcs[i].Events}
+		}
+		return nil
+	}
+	for i := range srcs {
+		srcs[i].Revents = 0
+		if srcs[i].UDP != nil {
+			clk.Advance(model.PollPerFD)
+			continue
+		}
+		if cache != nil {
+			if prev, ok := cache.armed[srcs[i].HostFD]; ok {
+				if prev.events == srcs[i].Events {
+					tokens[i] = prev.token
+					armed[i] = true
+					continue
+				}
+				sp.FM.CancelPoll(prev.token, clk)
+				delete(cache.armed, srcs[i].HostFD)
+			}
+		}
+		if err := arm(i); err != nil {
+			return 0, err
+		}
+	}
+	cancelRest := func() {
+		if cache != nil {
+			return // keep un-fired polls armed for the next call
+		}
+		for i := range srcs {
+			if armed[i] {
+				sp.FM.CancelPoll(tokens[i], clk)
+			}
+		}
+	}
+
+	// A zero timeout still needs one kernel round trip for armed polls:
+	// the completion of an already-ready descriptor takes a Monitor
+	// Module sweep plus the SQ worker. Bound that wait instead of
+	// reporting a false not-ready.
+	anyArmed := false
+	for i := range srcs {
+		if armed[i] {
+			anyArmed = true
+		}
+	}
+	if timeout == 0 && anyArmed {
+		timeout = time.Millisecond
+	}
+	var deadline time.Time
+	if timeout >= 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		n := 0
+		for i := range srcs {
+			if srcs[i].Revents != 0 {
+				n++
+				continue
+			}
+			if srcs[i].UDP != nil {
+				if srcs[i].Events&PollIn != 0 && srcs[i].UDP.Readable() {
+					srcs[i].Revents |= PollIn
+				}
+				if srcs[i].Events&PollOut != 0 {
+					srcs[i].Revents |= PollOut // enclave UDP is always writable
+				}
+				if srcs[i].Revents != 0 {
+					n++
+				}
+				continue
+			}
+			if armed[i] {
+				res, done, err := sp.FM.TryPoll(tokens[i], clk)
+				if err != nil {
+					srcs[i].Revents |= PollErr
+					armed[i] = false
+					if cache != nil {
+						delete(cache.armed, srcs[i].HostFD)
+					}
+					n++
+					continue
+				}
+				if done {
+					armed[i] = false
+					if cache != nil {
+						delete(cache.armed, srcs[i].HostFD)
+					}
+					if res > 0 {
+						srcs[i].Revents = uint32(res)
+						n++
+					} else if res == 0 {
+						// The kernel-side wait expired; re-arm.
+						arm(i)
+					}
+				}
+			}
+		}
+		if n > 0 {
+			cancelRest()
+			return n, nil
+		}
+		if timeout == 0 || (!deadline.IsZero() && time.Now().After(deadline)) {
+			cancelRest()
+			return 0, nil
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// Poll event bits, re-exported for API users.
+const (
+	PollIn  = uint32(1) << 0
+	PollOut = uint32(1) << 2
+	PollErr = uint32(1) << 3
+)

@@ -1,0 +1,204 @@
+package sm
+
+import (
+	"testing"
+	"time"
+
+	"rakis/internal/fm"
+	"rakis/internal/hostos"
+	"rakis/internal/iouring"
+	"rakis/internal/mem"
+	"rakis/internal/mm"
+	"rakis/internal/netsim"
+	"rakis/internal/netstack"
+	"rakis/internal/vtime"
+)
+
+type fixture struct {
+	kern  *hostos.Kernel
+	ns    *hostos.NetNS
+	proc  *hostos.Proc
+	mon   *mm.Monitor
+	proxy *SyncProxy
+	clk   vtime.Clock
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	m := vtime.Default()
+	kern := hostos.NewKernel(mem.NewSpace(1<<20, 1<<24), m)
+	a, b := netsim.NewPair(m, netsim.Config{Name: "a"}, netsim.Config{Name: "b"})
+	ns, err := kern.AddNetNS("a", a, netstack.IP4{10, 0, 0, 1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kern.AddNetNS("b", b, netstack.IP4{10, 0, 0, 2}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(kern.Close)
+	f := &fixture{kern: kern, ns: ns, proc: kern.NewProc(ns, &vtime.Counters{})}
+
+	setup, err := f.proc.IoUringSetup(64, &f.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringFM, err := iouring.Attach(iouring.Config{Space: kern.Space, Setup: setup, Entries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ufm, err := fm.NewUringFM(ringFM, kern.Space, m, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.proxy = NewSyncProxy(ufm, m)
+	f.mon = mm.New(f.proc)
+	f.mon.WatchUring(kern.Space, setup)
+	f.mon.Start()
+	t.Cleanup(f.mon.Close)
+	return f
+}
+
+func TestSyncProxyFileOps(t *testing.T) {
+	f := newFixture(t)
+	f.kern.VFS().WriteFile("/f", []byte("0123456789"))
+	fd, err := f.proc.Open("/f", hostos.ORdwr, &f.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	n, err := f.proxy.Pread(fd, buf, 3, &f.clk)
+	if err != nil || n != 4 || string(buf) != "3456" {
+		t.Fatalf("pread = %d %q %v", n, buf, err)
+	}
+	if n, err := f.proxy.Pwrite(fd, []byte("XY"), 0, &f.clk); err != nil || n != 2 {
+		t.Fatalf("pwrite = %d %v", n, err)
+	}
+	if err := f.proxy.Fsync(fd, &f.clk); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := f.kern.VFS().ReadFile("/f")
+	if string(data) != "XY23456789" {
+		t.Fatalf("file = %q", data)
+	}
+	// Cursor-based sequential reads hit EOF cleanly.
+	big := make([]byte, 64)
+	n, err = f.proxy.Read(fd, big, &f.clk)
+	if err != nil || n != 10 {
+		t.Fatalf("read = %d %v", n, err)
+	}
+	n, err = f.proxy.Read(fd, big, &f.clk)
+	if err != nil || n != 0 {
+		t.Fatalf("EOF read = %d %v", n, err)
+	}
+}
+
+func TestSyncProxyLargeTransferChunks(t *testing.T) {
+	// Larger than the 64 KiB bounce buffer: must chunk and still be
+	// byte-exact.
+	f := newFixture(t)
+	payload := make([]byte, 200*1024)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	fd, err := f.proc.Open("/big", hostos.OCreate|hostos.ORdwr, &f.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.proxy.Write(fd, payload, &f.clk); err != nil || n != len(payload) {
+		t.Fatalf("write = %d %v", n, err)
+	}
+	got := make([]byte, len(payload))
+	if n, err := f.proxy.Pread(fd, got, 0, &f.clk); err != nil || n != len(payload) {
+		t.Fatalf("read = %d %v", n, err)
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+}
+
+func TestPollAggregatesUDPAndHost(t *testing.T) {
+	f := newFixture(t)
+	// An enclave-side UDP socket (plain netstack socket here) and a host
+	// file (always readable).
+	link := sinkLink{}
+	encl, err := netstack.New(netstack.Config{Name: "encl", Dev: link, IP: netstack.IP4{10, 9, 9, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usock, err := encl.UDPBind(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffd, err := f.proc.Open("/pollfile", hostos.OCreate|hostos.ORdwr, &f.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Host file is immediately ready.
+	srcs := []PollSource{
+		{UDP: usock, Events: PollIn},
+		{HostFD: ffd, Events: PollIn | PollOut},
+	}
+	n, err := Poll(srcs, 2*time.Second, f.proxy, nil, &f.clk)
+	if err != nil || n != 1 {
+		t.Fatalf("poll = %d %v", n, err)
+	}
+	if srcs[1].Revents == 0 || srcs[0].Revents != 0 {
+		t.Fatalf("revents = %v/%v", srcs[0].Revents, srcs[1].Revents)
+	}
+
+	// Now only the UDP socket, with a datagram injected mid-poll.
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		var clk vtime.Clock
+		frame := buildUDPFrame(netstack.IP4{10, 0, 0, 1}, netstack.IP4{10, 9, 9, 9}, 1234, 9, []byte("wake"))
+		encl.Input(frame, &clk)
+	}()
+	srcs = []PollSource{{UDP: usock, Events: PollIn}}
+	n, err = Poll(srcs, 2*time.Second, f.proxy, nil, &f.clk)
+	if err != nil || n != 1 || srcs[0].Revents&PollIn == 0 {
+		t.Fatalf("udp poll = %d %v %v", n, err, srcs[0].Revents)
+	}
+
+	// Timeout path with nothing ready.
+	var drainClk vtime.Clock
+	usock.RecvFrom(&drainClk, true)
+	srcs[0].Revents = 0
+	n, err = Poll(srcs, 30*time.Millisecond, f.proxy, nil, &f.clk)
+	if err != nil || n != 0 {
+		t.Fatalf("empty poll = %d %v", n, err)
+	}
+	// The armed host polls were cancelled; nothing stays outstanding for
+	// long (poll_remove is asynchronous, so allow the kernel a moment).
+	deadline := time.Now().Add(time.Second)
+	for f.proxy.FM.Ring().Outstanding() > 0 && time.Now().Before(deadline) {
+		var clk vtime.Clock
+		f.proxy.FM.Ring().Drain(&clk)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// sinkLink drops outbound frames.
+type sinkLink struct{}
+
+func (sinkLink) SendFrame(data []byte, clk *vtime.Clock) (uint64, error) { return clk.Now(), nil }
+func (sinkLink) MAC() [6]byte                                            { return [6]byte{2, 0, 0, 0, 0, 3} }
+func (sinkLink) MTU() int                                                { return 1500 }
+
+// buildUDPFrame assembles a raw Ethernet+IPv4+UDP frame.
+func buildUDPFrame(src, dst netstack.IP4, sport, dport uint16, payload []byte) []byte {
+	udp := make([]byte, netstack.UDPHeaderBytes+len(payload))
+	udp[0], udp[1] = byte(sport>>8), byte(sport)
+	udp[2], udp[3] = byte(dport>>8), byte(dport)
+	udp[4], udp[5] = byte(len(udp)>>8), byte(len(udp))
+	copy(udp[netstack.UDPHeaderBytes:], payload)
+	ip := netstack.MarshalIPv4(netstack.IPv4Header{
+		TTL: 64, Proto: netstack.ProtoUDP, Src: src, Dst: dst,
+	}, udp)
+	return netstack.MarshalEth(netstack.EthHeader{
+		Dst: [6]byte{2, 0, 0, 0, 0, 3}, Src: [6]byte{2, 0, 0, 0, 0, 1},
+		Type: netstack.EtherTypeIPv4,
+	}, ip)
+}

@@ -1,0 +1,114 @@
+// Package sys defines the POSIX-ish syscall interface the evaluation
+// workloads are written against. One workload binary runs unmodified on
+// all five environments (§6: Native, Gramine-Direct, Gramine-SGX,
+// RAKIS-Direct, RAKIS-SGX) — only the Sys implementation bound at startup
+// differs, which is precisely the paper's "unmodified applications" claim
+// translated to Go.
+//
+// A Sys value represents one application *thread*: it carries the
+// thread's virtual clock, and for RAKIS its per-thread io_uring FastPath
+// Module (§4.1). Additional threads are created with Clone.
+package sys
+
+import (
+	"time"
+
+	"rakis/internal/netstack"
+	"rakis/internal/vtime"
+)
+
+// SockType mirrors hostos socket types at the workload level.
+type SockType int
+
+const (
+	// UDP is SOCK_DGRAM.
+	UDP SockType = iota
+	// TCP is SOCK_STREAM.
+	TCP
+)
+
+// Open flags (matching hostos).
+const (
+	ORdonly = 0
+	OWronly = 1
+	ORdwr   = 2
+	OCreate = 1 << 6
+	OTrunc  = 1 << 9
+)
+
+// Poll events.
+const (
+	PollIn  uint32 = 1 << 0
+	PollOut uint32 = 1 << 2
+	PollErr uint32 = 1 << 3
+)
+
+// PollFD is one poll slot.
+type PollFD struct {
+	FD      int
+	Events  uint32
+	Revents uint32
+}
+
+// Epoll ctl ops.
+const (
+	EpollCtlAdd = 1
+	EpollCtlDel = 2
+	EpollCtlMod = 3
+)
+
+// EpollEvent is one epoll readiness report.
+type EpollEvent struct {
+	FD     int
+	Events uint32
+}
+
+// Addr re-exports the network address type workloads use.
+type Addr = netstack.Addr
+
+// IP4 re-exports the address type.
+type IP4 = netstack.IP4
+
+// Sys is the syscall surface available to workloads.
+type Sys interface {
+	// Clock returns this thread's virtual clock.
+	Clock() *vtime.Clock
+	// Clone creates a Sys for a new application thread sharing this
+	// one's process state (fd namespace, runtime) with a fresh clock.
+	Clone() Sys
+
+	// Sockets.
+	Socket(typ SockType) (int, error)
+	Bind(fd int, port uint16) error
+	Connect(fd int, addr Addr) error
+	Listen(fd int, backlog int) error
+	Accept(fd int, block bool) (int, Addr, error)
+	SendTo(fd int, p []byte, addr Addr) (int, error)
+	RecvFrom(fd int, p []byte, block bool) (int, Addr, error)
+	Send(fd int, p []byte) (int, error)
+	Recv(fd int, p []byte, block bool) (int, error)
+
+	// Files.
+	Open(path string, flags int) (int, error)
+	Read(fd int, p []byte) (int, error)
+	Write(fd int, p []byte) (int, error)
+	Pread(fd int, p []byte, off int64) (int, error)
+	Pwrite(fd int, p []byte, off int64) (int, error)
+	Lseek(fd int, off int64, whence int) (int64, error)
+	Fstat(fd int) (int64, error)
+	Fsync(fd int) error
+
+	// Multiplexing. Timeout is real time; <0 blocks indefinitely.
+	Poll(fds []PollFD, timeout time.Duration) (int, error)
+
+	// Epoll-style readiness notification: the extension beyond the
+	// paper's prototype (§6.2 notes RAKIS lacked epoll; this build adds
+	// it, implemented over armed io_uring polls in the RAKIS case).
+	EpollCreate() (int, error)
+	EpollCtl(epfd, op, fd int, events uint32) error
+	EpollWait(epfd int, events []EpollEvent, timeout time.Duration) (int, error)
+
+	// Misc.
+	Close(fd int) error
+	Futex()
+}

@@ -1,0 +1,249 @@
+package umem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rakis/internal/mem"
+	"rakis/internal/vtime"
+)
+
+func newUMem(t *testing.T, frameSize, frameCount uint32) (*UMem, *vtime.Counters) {
+	t.Helper()
+	sp := mem.NewSpace(1<<20, 1<<22)
+	ctrs := &vtime.Counters{}
+	base, err := sp.Alloc(mem.Untrusted, uint64(frameSize)*uint64(frameCount), uint64(frameSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := New(Config{Space: sp, Base: base, FrameSize: frameSize, FrameCount: frameCount, Counters: ctrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, ctrs
+}
+
+func TestAllFramesInitiallyUser(t *testing.T) {
+	u, _ := newUMem(t, 2048, 16)
+	if u.FreeFrames() != 16 {
+		t.Fatalf("FreeFrames = %d, want 16", u.FreeFrames())
+	}
+	for i := uint32(0); i < 16; i++ {
+		if u.Owner(i) != OwnerUser {
+			t.Fatalf("frame %d owner = %v, want user", i, u.Owner(i))
+		}
+	}
+	if !u.InvariantHolds() {
+		t.Fatal("fresh UMem must satisfy the invariant")
+	}
+}
+
+func TestAllocReturnRoundTrip(t *testing.T) {
+	u, _ := newUMem(t, 2048, 4)
+	idx, err := u.Alloc(OwnerFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Owner(idx) != OwnerFill {
+		t.Fatalf("owner after Alloc = %v, want fill", u.Owner(idx))
+	}
+	if u.FreeFrames() != 3 {
+		t.Fatalf("FreeFrames = %d, want 3", u.FreeFrames())
+	}
+	// Kernel returns the frame with a packet at a small headroom offset.
+	off := u.FrameOffset(idx) + 64
+	got, err := u.ValidateConsumed(OwnerFill, off, 1400)
+	if err != nil || got != idx {
+		t.Fatalf("ValidateConsumed = %d, %v; want %d, nil", got, err, idx)
+	}
+	if u.FreeFrames() != 4 || u.Owner(idx) != OwnerUser {
+		t.Fatal("frame did not return to user pool")
+	}
+	if !u.InvariantHolds() {
+		t.Fatal("invariant broken after round trip")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	u, _ := newUMem(t, 2048, 2)
+	if _, err := u.Alloc(OwnerTx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Alloc(OwnerFill); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Alloc(OwnerFill); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestRejectOffsetBeyondUMem(t *testing.T) {
+	u, ctrs := newUMem(t, 2048, 4)
+	u.Alloc(OwnerFill)
+	if _, err := u.ValidateConsumed(OwnerFill, u.Size(), 100); !errors.Is(err, ErrViolation) {
+		t.Fatalf("err = %v, want ErrViolation", err)
+	}
+	if _, err := u.ValidateConsumed(OwnerFill, 1<<40, 100); !errors.Is(err, ErrViolation) {
+		t.Fatalf("err = %v, want ErrViolation", err)
+	}
+	if ctrs.UMemViolations.Load() != 2 {
+		t.Fatalf("violations = %d, want 2", ctrs.UMemViolations.Load())
+	}
+}
+
+func TestRejectFrameBoundaryCrossing(t *testing.T) {
+	u, _ := newUMem(t, 2048, 4)
+	idx, _ := u.Alloc(OwnerFill)
+	// A length that runs past the end of the frame could let a hostile
+	// offset alias the next frame's contents.
+	off := u.FrameOffset(idx) + 2000
+	if _, err := u.ValidateConsumed(OwnerFill, off, 100); !errors.Is(err, ErrViolation) {
+		t.Fatalf("boundary crossing err = %v, want ErrViolation", err)
+	}
+	// The frame stays owned by the kernel routine: it was refused, not
+	// recycled.
+	if u.Owner(idx) != OwnerFill {
+		t.Fatalf("owner after refusal = %v, want fill", u.Owner(idx))
+	}
+}
+
+func TestRejectWrongRoutine(t *testing.T) {
+	u, _ := newUMem(t, 2048, 4)
+	idx, _ := u.Alloc(OwnerTx)
+	// The host returns a TX frame through the receive routine.
+	if _, err := u.ValidateConsumed(OwnerFill, u.FrameOffset(idx), 64); !errors.Is(err, ErrViolation) {
+		t.Fatalf("cross-routine err = %v, want ErrViolation", err)
+	}
+	// Proper completion works.
+	if _, err := u.ValidateConsumed(OwnerTx, u.FrameOffset(idx), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectDoubleReturn(t *testing.T) {
+	// The attack from §4.1: the host returns the same frame twice, trying
+	// to seed the free pool with duplicates so two future packets share
+	// one buffer.
+	u, _ := newUMem(t, 2048, 4)
+	idx, _ := u.Alloc(OwnerFill)
+	off := u.FrameOffset(idx)
+	if _, err := u.ValidateConsumed(OwnerFill, off, 128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.ValidateConsumed(OwnerFill, off, 128); !errors.Is(err, ErrViolation) {
+		t.Fatalf("double return err = %v, want ErrViolation", err)
+	}
+	if !u.InvariantHolds() {
+		t.Fatal("free pool corrupted by double return")
+	}
+}
+
+func TestRejectForeignFrame(t *testing.T) {
+	// The host returns a frame the FM never handed out.
+	u, _ := newUMem(t, 2048, 4)
+	u.Alloc(OwnerFill) // frame with the kernel, but a *different* one is returned
+	if _, err := u.ValidateConsumed(OwnerFill, u.FrameOffset(2), 64); !errors.Is(err, ErrViolation) {
+		t.Fatalf("foreign frame err = %v, want ErrViolation", err)
+	}
+	if !u.InvariantHolds() {
+		t.Fatal("invariant broken by foreign frame")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sp := mem.NewSpace(1<<16, 1<<20)
+	base, _ := sp.Alloc(mem.Untrusted, 1<<16, 2048)
+	if _, err := New(Config{Space: nil, Base: base, FrameSize: 2048, FrameCount: 4}); !errors.Is(err, ErrConfig) {
+		t.Fatal("nil space must be rejected")
+	}
+	if _, err := New(Config{Space: sp, Base: base, FrameSize: 0, FrameCount: 4}); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero frame size must be rejected")
+	}
+	if _, err := New(Config{Space: sp, Base: base, FrameSize: 2048, FrameCount: 0}); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero frame count must be rejected")
+	}
+	// Placement: UMem in trusted memory is the liburing-style leak.
+	trBase, _ := sp.Alloc(mem.Trusted, 1<<14, 2048)
+	if _, err := New(Config{Space: sp, Base: trBase, FrameSize: 2048, FrameCount: 8}); !errors.Is(err, ErrPlacement) {
+		t.Fatalf("trusted placement err = %v, want ErrPlacement", err)
+	}
+	// Placement: UMem overflowing the untrusted segment.
+	if _, err := New(Config{Space: sp, Base: base, FrameSize: 2048, FrameCount: 1 << 20}); !errors.Is(err, ErrPlacement) {
+		t.Fatal("overflowing area must be rejected")
+	}
+}
+
+func TestAllocIntoUserRoutineRejected(t *testing.T) {
+	u, _ := newUMem(t, 2048, 4)
+	if _, err := u.Alloc(OwnerUser); !errors.Is(err, ErrConfig) {
+		t.Fatal("Alloc(OwnerUser) must be rejected")
+	}
+	if _, err := u.ValidateConsumed(OwnerUser, 0, 0); !errors.Is(err, ErrConfig) {
+		t.Fatal("ValidateConsumed(OwnerUser) must be rejected")
+	}
+}
+
+func TestFrameBytes(t *testing.T) {
+	u, _ := newUMem(t, 2048, 4)
+	b, err := u.FrameBytes(u.FrameOffset(1)+10, 100)
+	if err != nil || len(b) != 100 {
+		t.Fatalf("FrameBytes = %d bytes, %v", len(b), err)
+	}
+	b[0] = 0xAB
+	b2, _ := u.FrameBytes(u.FrameOffset(1)+10, 1)
+	if b2[0] != 0xAB {
+		t.Fatal("FrameBytes views must alias the same memory")
+	}
+}
+
+// Property: under an arbitrary interleaving of legitimate allocations and
+// hostile returns (random offsets, lengths, and routines), the allocator
+// invariant always holds and the pool never grows beyond the frame count.
+func TestAllocatorInvariantUnderAdversary(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := mem.NewSpace(1<<16, 1<<20)
+		base, _ := sp.Alloc(mem.Untrusted, 8*2048, 2048)
+		u, err := New(Config{Space: sp, Base: base, FrameSize: 2048, FrameCount: 8})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(steps); i++ {
+			switch rng.Intn(3) {
+			case 0: // legitimate alloc
+				routine := OwnerFill
+				if rng.Intn(2) == 0 {
+					routine = OwnerTx
+				}
+				u.Alloc(routine)
+			case 1: // legitimate-looking or hostile return
+				routine := OwnerFill
+				if rng.Intn(2) == 0 {
+					routine = OwnerTx
+				}
+				off := rng.Uint64() % (u.Size() + 4096)
+				u.ValidateConsumed(routine, off, uint32(rng.Intn(4096)))
+			case 2: // hostile return far out of range
+				u.ValidateConsumed(OwnerFill, rng.Uint64(), uint32(rng.Intn(1<<16)))
+			}
+			if !u.InvariantHolds() || u.FreeFrames() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerString(t *testing.T) {
+	if OwnerUser.String() != "user" || OwnerFill.String() != "fill" || OwnerTx.String() != "tx" {
+		t.Fatal("Owner.String mismatch")
+	}
+	if Owner(9).String() == "" {
+		t.Fatal("unknown owner must still render")
+	}
+}

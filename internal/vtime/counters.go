@@ -1,0 +1,89 @@
+package vtime
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters aggregates the observable event counts of one simulated
+// environment run: enclave exits (Figure 2), syscalls, ring and UMem
+// validation failures (Table 2 fail actions), and data-plane statistics.
+type Counters struct {
+	EnclaveExits   atomic.Uint64
+	Syscalls       atomic.Uint64
+	LibOSCalls     atomic.Uint64
+	RingViolations atomic.Uint64
+	UMemViolations atomic.Uint64
+	CQEViolations  atomic.Uint64
+	PacketsRx      atomic.Uint64
+	PacketsTx      atomic.Uint64
+	PacketsDropped atomic.Uint64
+	BytesRx        atomic.Uint64
+	BytesTx        atomic.Uint64
+	IoUringOps     atomic.Uint64
+	Wakeups        atomic.Uint64
+}
+
+// Snapshot is a plain-value copy of a Counters, safe to store and print.
+type Snapshot struct {
+	EnclaveExits   uint64
+	Syscalls       uint64
+	LibOSCalls     uint64
+	RingViolations uint64
+	UMemViolations uint64
+	CQEViolations  uint64
+	PacketsRx      uint64
+	PacketsTx      uint64
+	PacketsDropped uint64
+	BytesRx        uint64
+	BytesTx        uint64
+	IoUringOps     uint64
+	Wakeups        uint64
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		EnclaveExits:   c.EnclaveExits.Load(),
+		Syscalls:       c.Syscalls.Load(),
+		LibOSCalls:     c.LibOSCalls.Load(),
+		RingViolations: c.RingViolations.Load(),
+		UMemViolations: c.UMemViolations.Load(),
+		CQEViolations:  c.CQEViolations.Load(),
+		PacketsRx:      c.PacketsRx.Load(),
+		PacketsTx:      c.PacketsTx.Load(),
+		PacketsDropped: c.PacketsDropped.Load(),
+		BytesRx:        c.BytesRx.Load(),
+		BytesTx:        c.BytesTx.Load(),
+		IoUringOps:     c.IoUringOps.Load(),
+		Wakeups:        c.Wakeups.Load(),
+	}
+}
+
+// Sub returns the per-field difference s - prev.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		EnclaveExits:   s.EnclaveExits - prev.EnclaveExits,
+		Syscalls:       s.Syscalls - prev.Syscalls,
+		LibOSCalls:     s.LibOSCalls - prev.LibOSCalls,
+		RingViolations: s.RingViolations - prev.RingViolations,
+		UMemViolations: s.UMemViolations - prev.UMemViolations,
+		CQEViolations:  s.CQEViolations - prev.CQEViolations,
+		PacketsRx:      s.PacketsRx - prev.PacketsRx,
+		PacketsTx:      s.PacketsTx - prev.PacketsTx,
+		PacketsDropped: s.PacketsDropped - prev.PacketsDropped,
+		BytesRx:        s.BytesRx - prev.BytesRx,
+		BytesTx:        s.BytesTx - prev.BytesTx,
+		IoUringOps:     s.IoUringOps - prev.IoUringOps,
+		Wakeups:        s.Wakeups - prev.Wakeups,
+	}
+}
+
+// String renders the snapshot as a compact single-line summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"exits=%d syscalls=%d ringviol=%d umemviol=%d cqeviol=%d rx=%d tx=%d drop=%d uring=%d wake=%d",
+		s.EnclaveExits, s.Syscalls, s.RingViolations, s.UMemViolations,
+		s.CQEViolations, s.PacketsRx, s.PacketsTx, s.PacketsDropped,
+		s.IoUringOps, s.Wakeups)
+}

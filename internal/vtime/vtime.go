@@ -1,0 +1,167 @@
+// Package vtime provides the virtual-time machinery the simulation runs on.
+//
+// Every simulated thread of execution (an application thread, a kernel
+// softirq worker, a RAKIS FastPath Module thread, the Monitor Module, an
+// io_uring kernel worker, the network wire) owns a Clock: a monotonically
+// increasing cycle counter. Performing work advances the owner's clock.
+// Items that cross a queue or a shared ring carry the producer's timestamp;
+// the consumer first raises its own clock to that stamp and then pays its
+// processing cost. Synchronous round-trips propagate the responder's
+// completion stamp back to the blocked requester.
+//
+// The result is a conservative co-simulation: pipeline stages overlap,
+// parallel threads scale, serial round-trips accumulate, and the bottleneck
+// stage determines throughput — regardless of how many physical cores the
+// host has. All figures in EXPERIMENTS.md are computed from virtual time.
+package vtime
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Clock is a per-thread virtual cycle counter.
+//
+// A Clock is owned by exactly one simulated thread, which is the only
+// caller of Advance and Sync; other threads may concurrently read it with
+// Now. The zero value is a clock at cycle zero, ready to use.
+type Clock struct {
+	now atomic.Uint64
+}
+
+// Now returns the clock's current virtual cycle count.
+func (c *Clock) Now() uint64 { return c.now.Load() }
+
+// Advance moves the clock forward by the given number of cycles and
+// returns the new time.
+func (c *Clock) Advance(cycles uint64) uint64 {
+	return c.now.Add(cycles)
+}
+
+// Sync raises the clock to stamp if stamp is ahead of it. It models the
+// idle time spent waiting for an event produced at the given virtual time
+// and returns the (possibly unchanged) current time.
+func (c *Clock) Sync(stamp uint64) uint64 {
+	for {
+		cur := c.now.Load()
+		if stamp <= cur {
+			return cur
+		}
+		if c.now.CompareAndSwap(cur, stamp) {
+			return stamp
+		}
+	}
+}
+
+// SyncAdvance raises the clock to stamp, then advances it by cycles.
+// It is the common "receive an item, then process it" step.
+func (c *Clock) SyncAdvance(stamp, cycles uint64) uint64 {
+	c.Sync(stamp)
+	return c.Advance(cycles)
+}
+
+// Stamp is a shared monotonic timestamp cell. Producers Raise it with
+// their clock when publishing items into a queue or ring; consumers Load
+// it and Sync their own clock. It is conservative: a consumer of an older
+// item syncs to the newest published stamp, never to an earlier one.
+type Stamp struct {
+	v atomic.Uint64
+}
+
+// Raise lifts the cell to t if t is ahead of the stored value.
+func (s *Stamp) Raise(t uint64) {
+	for {
+		cur := s.v.Load()
+		if t <= cur {
+			return
+		}
+		if s.v.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// Load returns the current stamp value.
+func (s *Stamp) Load() uint64 { return s.v.Load() }
+
+// Resource is a serial shared resource, such as the network wire: only
+// one user occupies it at a time.
+//
+// Uses arrive in *real* execution order, which under virtual time is not
+// the same as virtual order: a thread that is virtually early may call
+// Use after a virtually later one. Strict FIFO-on-the-frontier would then
+// falsely queue the early use behind the late one and — through stamp
+// feedback loops — serialize unrelated threads. Instead the resource
+// keeps both a frontier (the latest completion) and a cumulative busy
+// total: a use starting before the frontier is allowed to pass without
+// delay as long as total busy time still fits below the frontier (the
+// capacity demonstrably existed in the virtual past); once cumulative
+// utilization saturates, uses queue at the frontier, which is what paces
+// a saturating sender at exactly the resource's rate.
+type Resource struct {
+	mu   sync.Mutex
+	now  uint64 // frontier: when the resource last becomes free
+	busy uint64 // total cycles of use granted
+}
+
+// Use occupies the resource for dur cycles starting no earlier than
+// start, and returns the virtual time at which the use completes.
+func (r *Resource) Use(start, dur uint64) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.busy += dur
+	if start >= r.now {
+		// Arrives when the resource is free: occupy [start, start+dur].
+		r.now = start + dur
+		return r.now
+	}
+	if r.busy <= r.now {
+		// Virtually-past arrival, and the resource had spare capacity
+		// back then: pass through without queueing delay.
+		return start + dur
+	}
+	// Saturated: queue at the frontier.
+	r.now += dur
+	return r.now
+}
+
+// Now returns the virtual time at which the resource last becomes free.
+func (r *Resource) Now() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.now
+}
+
+// Group tracks a set of clocks so a run can be measured as the span
+// between its start time and the maximum final clock of any participant.
+type Group struct {
+	clocks []*Clock
+	start  uint64
+}
+
+// NewGroup returns a group measuring from virtual time zero.
+func NewGroup() *Group { return &Group{} }
+
+// Add registers an existing clock with the group.
+func (g *Group) Add(c *Clock) {
+	g.clocks = append(g.clocks, c)
+}
+
+// AddClock creates a fresh clock, registers it, and returns it.
+func (g *Group) AddClock() *Clock {
+	c := &Clock{}
+	g.clocks = append(g.clocks, c)
+	return c
+}
+
+// Max returns the maximum current time across the group's clocks, or the
+// group start time if it has no clocks.
+func (g *Group) Max() uint64 {
+	m := g.start
+	for _, c := range g.clocks {
+		if t := c.Now(); t > m {
+			m = t
+		}
+	}
+	return m
+}

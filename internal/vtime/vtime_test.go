@@ -1,0 +1,204 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now = %d, want 0", c.Now())
+	}
+	if got := c.Advance(100); got != 100 {
+		t.Fatalf("Advance returned %d, want 100", got)
+	}
+	if got := c.Advance(50); got != 150 {
+		t.Fatalf("Advance returned %d, want 150", got)
+	}
+}
+
+func TestClockSync(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	if got := c.Sync(50); got != 100 {
+		t.Fatalf("Sync(50) on clock@100 = %d, want 100 (no rollback)", got)
+	}
+	if got := c.Sync(200); got != 200 {
+		t.Fatalf("Sync(200) = %d, want 200", got)
+	}
+	if got := c.SyncAdvance(150, 30); got != 230 {
+		t.Fatalf("SyncAdvance(150, 30) on clock@200 = %d, want 230", got)
+	}
+	if got := c.SyncAdvance(500, 30); got != 530 {
+		t.Fatalf("SyncAdvance(500, 30) = %d, want 530", got)
+	}
+}
+
+func TestClockSyncConcurrent(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for j := uint64(0); j < 1000; j++ {
+				c.Sync(base + j)
+			}
+		}(uint64(i * 1000))
+	}
+	wg.Wait()
+	if got := c.Now(); got != 7999 {
+		t.Fatalf("concurrent Sync final = %d, want 7999", got)
+	}
+}
+
+func TestStampMonotonic(t *testing.T) {
+	var s Stamp
+	s.Raise(10)
+	s.Raise(5)
+	if got := s.Load(); got != 10 {
+		t.Fatalf("Stamp after Raise(10), Raise(5) = %d, want 10", got)
+	}
+	s.Raise(20)
+	if got := s.Load(); got != 20 {
+		t.Fatalf("Stamp after Raise(20) = %d, want 20", got)
+	}
+}
+
+func TestStampMonotonicProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		var s Stamp
+		max := uint64(0)
+		for _, v := range vals {
+			s.Raise(v)
+			if v > max {
+				max = v
+			}
+			if s.Load() != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	var r Resource
+	// Back-to-back uses queue behind each other.
+	if end := r.Use(0, 100); end != 100 {
+		t.Fatalf("first Use end = %d, want 100", end)
+	}
+	if end := r.Use(0, 100); end != 200 {
+		t.Fatalf("second Use end = %d, want 200 (queued)", end)
+	}
+	// A use starting after the resource frees begins at its start time.
+	if end := r.Use(1000, 100); end != 1100 {
+		t.Fatalf("late Use end = %d, want 1100", end)
+	}
+}
+
+func TestResourceThroughputCap(t *testing.T) {
+	// A resource used N times for d cycles each, always available-from-0,
+	// must finish at exactly N*d: it enforces a rate cap.
+	var r Resource
+	const n, d = 1000, 7
+	for i := 0; i < n; i++ {
+		r.Use(0, d)
+	}
+	if got := r.Now(); got != n*d {
+		t.Fatalf("resource end = %d, want %d", got, n*d)
+	}
+}
+
+func TestResourceConcurrent(t *testing.T) {
+	var r Resource
+	var wg sync.WaitGroup
+	const workers, uses, d = 4, 500, 3
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < uses; j++ {
+				r.Use(0, d)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Now(); got != workers*uses*d {
+		t.Fatalf("resource end = %d, want %d", got, workers*uses*d)
+	}
+}
+
+func TestGroupMax(t *testing.T) {
+	g := NewGroup()
+	a := g.AddClock()
+	b := g.AddClock()
+	a.Advance(10)
+	b.Advance(25)
+	if got := g.Max(); got != 25 {
+		t.Fatalf("Group.Max = %d, want 25", got)
+	}
+	var ext Clock
+	ext.Advance(99)
+	g.Add(&ext)
+	if got := g.Max(); got != 99 {
+		t.Fatalf("Group.Max with external clock = %d, want 99", got)
+	}
+}
+
+func TestModelWireCycles(t *testing.T) {
+	m := Default()
+	// A 1500-byte frame at 25 Gbps takes (1524*8)/25e9 s ~= 487.7 ns,
+	// which is ~1170 cycles at 2.4 GHz.
+	got := m.WireCycles(1500)
+	if got < 1100 || got > 1250 {
+		t.Fatalf("WireCycles(1500) = %d, want ~1170", got)
+	}
+	if m.WireCycles(0) == 0 {
+		t.Fatal("WireCycles(0) must include framing overhead")
+	}
+}
+
+func TestModelSecondsRoundTrip(t *testing.T) {
+	m := Default()
+	s := m.Seconds(2_400_000_000)
+	if s < 0.999 || s > 1.001 {
+		t.Fatalf("Seconds(2.4e9 cycles) = %v, want ~1s", s)
+	}
+	if c := m.Cycles(1.0); c != 2_400_000_000 {
+		t.Fatalf("Cycles(1s) = %d, want 2.4e9", c)
+	}
+}
+
+func TestBytesRate(t *testing.T) {
+	if got := Bytes(0.5, 1000); got != 500 {
+		t.Fatalf("Bytes(0.5, 1000) = %d, want 500", got)
+	}
+	if got := Bytes(2.0, -5); got != 0 {
+		t.Fatalf("Bytes with negative n = %d, want 0", got)
+	}
+	if got := Bytes(2.0, 0); got != 0 {
+		t.Fatalf("Bytes with zero n = %d, want 0", got)
+	}
+}
+
+func TestCountersSnapshotSub(t *testing.T) {
+	var c Counters
+	c.Syscalls.Add(10)
+	c.EnclaveExits.Add(3)
+	before := c.Snapshot()
+	c.Syscalls.Add(5)
+	c.PacketsRx.Add(7)
+	diff := c.Snapshot().Sub(before)
+	if diff.Syscalls != 5 || diff.PacketsRx != 7 || diff.EnclaveExits != 0 {
+		t.Fatalf("Sub = %+v, want syscalls=5 rx=7 exits=0", diff)
+	}
+	if diff.String() == "" {
+		t.Fatal("String() must not be empty")
+	}
+}

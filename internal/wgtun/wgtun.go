@@ -1,0 +1,314 @@
+// Package wgtun implements the layer-3 secure tunnel the paper's
+// Discussion points at (§7, "Data protection"): because RAKIS places a
+// UDP/IP stack *inside* the enclave, a WireGuard-style tunnel can
+// terminate in trusted memory — packets are encrypted and authenticated
+// before they ever touch the untrusted host, giving confidentiality and
+// integrity for IO without trusting the OS, which plain RAKIS (like the
+// exit-based LibOSes) does not provide by itself.
+//
+// The protocol is deliberately WireGuard-shaped but simplified to the
+// Go standard library's primitives:
+//
+//   - Peers hold a 32-byte pre-shared key.
+//   - A 1-RTT handshake exchanges 32-byte random salts; both sides derive
+//     directional AES-256-GCM session keys with HMAC-SHA256 over the PSK
+//     and both salts (initiator→responder and responder→initiator keys
+//     differ).
+//   - Transport messages carry a little-endian 64-bit counter used as the
+//     GCM nonce (padded to 12 bytes) and as the anti-replay sequence; the
+//     receiver tracks a 64-entry sliding window, as WireGuard does.
+//   - Everything rides in UDP datagrams through whatever sys.Sys socket
+//     the caller provides — under RAKIS, the XSK fast path.
+package wgtun
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Message types.
+const (
+	msgHandshakeInit  byte = 1
+	msgHandshakeReply byte = 2
+	msgTransport      byte = 4
+)
+
+// KeyBytes is the pre-shared key length.
+const KeyBytes = 32
+
+const (
+	saltBytes    = 32
+	counterBytes = 8
+	headerBytes  = 1 + counterBytes
+	gcmOverhead  = 16
+	replayWindow = 64
+	maxPlaintext = 65000
+)
+
+// Errors.
+var (
+	// ErrAuth reports a message that failed authentication.
+	ErrAuth = errors.New("wgtun: authentication failed")
+	// ErrReplay reports a replayed or too-old counter.
+	ErrReplay = errors.New("wgtun: replayed message")
+	// ErrNoSession reports transport data before the handshake.
+	ErrNoSession = errors.New("wgtun: no established session")
+	// ErrMsg reports a malformed message.
+	ErrMsg = errors.New("wgtun: malformed message")
+)
+
+// Tunnel is one endpoint of the secure tunnel. It is transport-agnostic:
+// the caller moves the produced datagrams (HandshakeInit/Reply outputs,
+// Seal outputs) across any channel — under RAKIS, an enclave UDP socket.
+type Tunnel struct {
+	mu        sync.Mutex
+	psk       [KeyBytes]byte
+	initiator bool
+
+	localSalt  [saltBytes]byte
+	sendAEAD   cipher.AEAD
+	recvAEAD   cipher.AEAD
+	sendCtr    uint64
+	recvMax    uint64
+	recvBitmap uint64
+	up         bool
+}
+
+// New creates a tunnel endpoint with the given pre-shared key.
+func New(psk []byte) (*Tunnel, error) {
+	if len(psk) != KeyBytes {
+		return nil, fmt.Errorf("wgtun: key must be %d bytes, got %d", KeyBytes, len(psk))
+	}
+	t := &Tunnel{}
+	copy(t.psk[:], psk)
+	return t, nil
+}
+
+// Up reports whether a session is established.
+func (t *Tunnel) Up() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.up
+}
+
+// HandshakeInit produces the initiator's first message.
+func (t *Tunnel) HandshakeInit() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := rand.Read(t.localSalt[:]); err != nil {
+		return nil, err
+	}
+	t.initiator = true
+	msg := make([]byte, 1+saltBytes+sha256.Size)
+	msg[0] = msgHandshakeInit
+	copy(msg[1:], t.localSalt[:])
+	mac := hmac.New(sha256.New, t.psk[:])
+	mac.Write(msg[:1+saltBytes])
+	copy(msg[1+saltBytes:], mac.Sum(nil))
+	return msg, nil
+}
+
+// HandleMessage processes one received datagram. It returns:
+//   - reply != nil: a datagram to send back (handshake progress);
+//   - payload != nil: a decrypted layer-3 packet (transport data).
+func (t *Tunnel) HandleMessage(msg []byte) (reply, payload []byte, err error) {
+	if len(msg) < 1 {
+		return nil, nil, ErrMsg
+	}
+	switch msg[0] {
+	case msgHandshakeInit:
+		return t.handleInit(msg)
+	case msgHandshakeReply:
+		return nil, nil, t.handleReply(msg)
+	case msgTransport:
+		payload, err = t.open(msg)
+		return nil, payload, err
+	default:
+		return nil, nil, fmt.Errorf("%w: type %d", ErrMsg, msg[0])
+	}
+}
+
+func (t *Tunnel) handleInit(msg []byte) ([]byte, []byte, error) {
+	if len(msg) != 1+saltBytes+sha256.Size {
+		return nil, nil, ErrMsg
+	}
+	mac := hmac.New(sha256.New, t.psk[:])
+	mac.Write(msg[:1+saltBytes])
+	if !hmac.Equal(mac.Sum(nil), msg[1+saltBytes:]) {
+		return nil, nil, ErrAuth
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var peerSalt [saltBytes]byte
+	copy(peerSalt[:], msg[1:])
+	if _, err := rand.Read(t.localSalt[:]); err != nil {
+		return nil, nil, err
+	}
+	t.initiator = false
+	if err := t.deriveLocked(peerSalt); err != nil {
+		return nil, nil, err
+	}
+
+	reply := make([]byte, 1+saltBytes+sha256.Size)
+	reply[0] = msgHandshakeReply
+	copy(reply[1:], t.localSalt[:])
+	rm := hmac.New(sha256.New, t.psk[:])
+	rm.Write(reply[:1+saltBytes])
+	rm.Write(peerSalt[:]) // binds the reply to this exchange
+	copy(reply[1+saltBytes:], rm.Sum(nil))
+	return reply, nil, nil
+}
+
+func (t *Tunnel) handleReply(msg []byte) error {
+	if len(msg) != 1+saltBytes+sha256.Size {
+		return ErrMsg
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.initiator {
+		return fmt.Errorf("%w: unexpected reply", ErrMsg)
+	}
+	mac := hmac.New(sha256.New, t.psk[:])
+	mac.Write(msg[:1+saltBytes])
+	mac.Write(t.localSalt[:])
+	if !hmac.Equal(mac.Sum(nil), msg[1+saltBytes:]) {
+		return ErrAuth
+	}
+	var peerSalt [saltBytes]byte
+	copy(peerSalt[:], msg[1:])
+	return t.deriveLocked(peerSalt)
+}
+
+// deriveLocked computes the directional session keys. Both sides order
+// the salts (initiator's first) so the derivations agree.
+func (t *Tunnel) deriveLocked(peerSalt [saltBytes]byte) error {
+	initSalt, respSalt := t.localSalt, peerSalt
+	if !t.initiator {
+		initSalt, respSalt = peerSalt, t.localSalt
+	}
+	kdf := func(label string) []byte {
+		mac := hmac.New(sha256.New, t.psk[:])
+		mac.Write([]byte(label))
+		mac.Write(initSalt[:])
+		mac.Write(respSalt[:])
+		return mac.Sum(nil)
+	}
+	i2r, err := newAEAD(kdf("wgtun v1 i2r"))
+	if err != nil {
+		return err
+	}
+	r2i, err := newAEAD(kdf("wgtun v1 r2i"))
+	if err != nil {
+		return err
+	}
+	if t.initiator {
+		t.sendAEAD, t.recvAEAD = i2r, r2i
+	} else {
+		t.sendAEAD, t.recvAEAD = r2i, i2r
+	}
+	t.sendCtr, t.recvMax, t.recvBitmap = 0, 0, 0
+	t.up = true
+	return nil
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	blk, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(blk)
+}
+
+// Seal encrypts one layer-3 packet into a transport datagram.
+func (t *Tunnel) Seal(packet []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.up {
+		return nil, ErrNoSession
+	}
+	if len(packet) > maxPlaintext {
+		return nil, fmt.Errorf("%w: %d bytes", ErrMsg, len(packet))
+	}
+	t.sendCtr++
+	out := make([]byte, headerBytes, headerBytes+len(packet)+gcmOverhead)
+	out[0] = msgTransport
+	putCounter(out[1:], t.sendCtr)
+	nonce := make([]byte, 12)
+	putCounter(nonce, t.sendCtr)
+	return t.sendAEAD.Seal(out, nonce, packet, out[:headerBytes]), nil
+}
+
+// open decrypts one transport datagram with replay protection.
+func (t *Tunnel) open(msg []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.up {
+		return nil, ErrNoSession
+	}
+	if len(msg) < headerBytes+gcmOverhead {
+		return nil, ErrMsg
+	}
+	ctr := getCounter(msg[1:])
+	if !t.replayOKLocked(ctr) {
+		return nil, ErrReplay
+	}
+	nonce := make([]byte, 12)
+	putCounter(nonce, ctr)
+	plain, err := t.recvAEAD.Open(nil, nonce, msg[headerBytes:], msg[:headerBytes])
+	if err != nil {
+		return nil, ErrAuth
+	}
+	t.acceptLocked(ctr)
+	return plain, nil
+}
+
+// replayOKLocked implements the sliding-window check (RFC 6479 style).
+func (t *Tunnel) replayOKLocked(ctr uint64) bool {
+	if ctr == 0 {
+		return false
+	}
+	if ctr > t.recvMax {
+		return true
+	}
+	diff := t.recvMax - ctr
+	if diff >= replayWindow {
+		return false
+	}
+	return t.recvBitmap&(1<<diff) == 0
+}
+
+// acceptLocked records a verified counter in the window.
+func (t *Tunnel) acceptLocked(ctr uint64) {
+	if ctr > t.recvMax {
+		shift := ctr - t.recvMax
+		if shift >= replayWindow {
+			t.recvBitmap = 0
+		} else {
+			t.recvBitmap <<= shift
+		}
+		t.recvBitmap |= 1
+		t.recvMax = ctr
+		return
+	}
+	t.recvBitmap |= 1 << (t.recvMax - ctr)
+}
+
+func putCounter(b []byte, v uint64) {
+	for i := 0; i < counterBytes; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getCounter(b []byte) uint64 {
+	var v uint64
+	for i := counterBytes - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

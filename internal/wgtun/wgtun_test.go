@@ -1,0 +1,213 @@
+package wgtun
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func pair(t *testing.T) (*Tunnel, *Tunnel) {
+	t.Helper()
+	psk := bytes.Repeat([]byte{0x42}, KeyBytes)
+	a, err := New(psk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(psk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func handshake(t *testing.T, a, b *Tunnel) {
+	t.Helper()
+	init, err := a.HandshakeInit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, _, err := b.HandleMessage(init)
+	if err != nil || reply == nil {
+		t.Fatalf("responder: %v", err)
+	}
+	if _, _, err := a.HandleMessage(reply); err != nil {
+		t.Fatalf("initiator: %v", err)
+	}
+	if !a.Up() || !b.Up() {
+		t.Fatal("session not established")
+	}
+}
+
+func TestHandshakeAndTransport(t *testing.T) {
+	a, b := pair(t)
+	handshake(t, a, b)
+
+	packet := []byte("an entire layer-3 packet, confidential from the host OS")
+	sealed, err := a.Seal(packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, []byte("confidential")) {
+		t.Fatal("plaintext leaked into the datagram")
+	}
+	_, got, err := b.HandleMessage(sealed)
+	if err != nil || !bytes.Equal(got, packet) {
+		t.Fatalf("open = %q, %v", got, err)
+	}
+
+	// And the reverse direction uses the other key.
+	back, _ := b.Seal([]byte("reply"))
+	_, got, err = a.HandleMessage(back)
+	if err != nil || string(got) != "reply" {
+		t.Fatalf("reverse = %q, %v", got, err)
+	}
+}
+
+func TestDirectionalKeysDiffer(t *testing.T) {
+	a, b := pair(t)
+	handshake(t, a, b)
+	sealed, _ := a.Seal([]byte("x"))
+	// The sender cannot decrypt its own datagram: keys are directional.
+	if _, _, err := a.HandleMessage(sealed); !errors.Is(err, ErrAuth) && !errors.Is(err, ErrReplay) {
+		t.Fatalf("self-decrypt err = %v, want auth/replay failure", err)
+	}
+}
+
+func TestWrongPSKFailsHandshake(t *testing.T) {
+	a, _ := pair(t)
+	evil, _ := New(bytes.Repeat([]byte{0x66}, KeyBytes))
+	init, _ := a.HandshakeInit()
+	if _, _, err := evil.HandleMessage(init); !errors.Is(err, ErrAuth) {
+		t.Fatalf("err = %v, want ErrAuth", err)
+	}
+}
+
+func TestTamperedCiphertextRejected(t *testing.T) {
+	a, b := pair(t)
+	handshake(t, a, b)
+	sealed, _ := a.Seal([]byte("integrity matters"))
+	sealed[len(sealed)-1] ^= 1
+	if _, _, err := b.HandleMessage(sealed); !errors.Is(err, ErrAuth) {
+		t.Fatalf("err = %v, want ErrAuth", err)
+	}
+	// Tampered counter (associated data) also fails.
+	sealed2, _ := a.Seal([]byte("more"))
+	sealed2[3] ^= 1
+	if _, _, err := b.HandleMessage(sealed2); err == nil {
+		t.Fatal("tampered header must fail")
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	a, b := pair(t)
+	handshake(t, a, b)
+	sealed, _ := a.Seal([]byte("once"))
+	if _, _, err := b.HandleMessage(sealed); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.HandleMessage(sealed); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay err = %v, want ErrReplay", err)
+	}
+}
+
+func TestReplayWindowOutOfOrder(t *testing.T) {
+	a, b := pair(t)
+	handshake(t, a, b)
+	var msgs [][]byte
+	for i := 0; i < 10; i++ {
+		s, _ := a.Seal([]byte{byte(i)})
+		msgs = append(msgs, s)
+	}
+	// Deliver out of order: 9 first, then the rest.
+	if _, _, err := b.HandleMessage(msgs[9]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if _, got, err := b.HandleMessage(msgs[i]); err != nil || got[0] != byte(i) {
+			t.Fatalf("ooo %d: %v", i, err)
+		}
+	}
+	// All replays now fail.
+	for i := 0; i < 10; i++ {
+		if _, _, err := b.HandleMessage(msgs[i]); !errors.Is(err, ErrReplay) {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+	}
+}
+
+func TestReplayWindowFarPast(t *testing.T) {
+	a, b := pair(t)
+	handshake(t, a, b)
+	old, _ := a.Seal([]byte("ancient"))
+	for i := 0; i < replayWindow+8; i++ {
+		s, _ := a.Seal([]byte("filler"))
+		if _, _, err := b.HandleMessage(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := b.HandleMessage(old); !errors.Is(err, ErrReplay) {
+		t.Fatalf("far-past err = %v, want ErrReplay", err)
+	}
+}
+
+func TestSealBeforeHandshake(t *testing.T) {
+	a, _ := pair(t)
+	if _, err := a.Seal([]byte("x")); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("err = %v, want ErrNoSession", err)
+	}
+}
+
+func TestMalformedMessages(t *testing.T) {
+	a, b := pair(t)
+	handshake(t, a, b)
+	for _, msg := range [][]byte{
+		nil,
+		{},
+		{99},
+		{msgHandshakeInit, 1, 2},
+		{msgTransport, 1},
+		make([]byte, headerBytes+3),
+	} {
+		m := msg
+		if len(m) > 0 && m[0] == 0 {
+			m[0] = msgTransport
+		}
+		if _, _, err := b.HandleMessage(m); err == nil {
+			t.Fatalf("message %v must be rejected", msg)
+		}
+	}
+	if _, err := New([]byte("short")); err == nil {
+		t.Fatal("short key must be rejected")
+	}
+}
+
+func TestSealOpenProperty(t *testing.T) {
+	a, b := pair(t)
+	handshake(t, a, b)
+	f := func(payload []byte) bool {
+		if len(payload) > maxPlaintext {
+			payload = payload[:maxPlaintext]
+		}
+		sealed, err := a.Seal(payload)
+		if err != nil {
+			return false
+		}
+		_, got, err := b.HandleMessage(sealed)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := make([]byte, counterBytes)
+		putCounter(b, v)
+		return getCounter(b) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

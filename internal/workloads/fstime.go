@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"fmt"
+
+	"rakis/internal/sys"
+)
+
+// FstimeParams configures one fstime-style file-write test (UnixBench's
+// fstime, §6.2: repeated write syscalls of a given block size).
+type FstimeParams struct {
+	// BlockSize is the bytes per write call.
+	BlockSize int
+	// TotalBytes is the volume written (fstime runs for a fixed wall
+	// time; the simulation fixes volume instead).
+	TotalBytes int
+	// Path is the target file.
+	Path string
+}
+
+// FstimeResult is one measurement.
+type FstimeResult struct {
+	// Bytes written.
+	Bytes uint64
+	// Cycles of virtual time on the writing thread.
+	Cycles uint64
+	// KBps is the reported write throughput in KB/s, fstime's unit.
+	KBps float64
+}
+
+// Fstime writes TotalBytes in BlockSize chunks and reports KB/s over the
+// writer's virtual span.
+func Fstime(env Env, p FstimeParams) (FstimeResult, error) {
+	if p.BlockSize <= 0 {
+		p.BlockSize = 4096
+	}
+	if p.TotalBytes <= 0 {
+		p.TotalBytes = 4 << 20
+	}
+	if p.Path == "" {
+		p.Path = "/tmp/fstime.dat"
+	}
+	srv, err := env.ServerThread()
+	if err != nil {
+		return FstimeResult{}, err
+	}
+	fd, err := srv.Open(p.Path, sys.OCreate|sys.OWronly|sys.OTrunc)
+	if err != nil {
+		return FstimeResult{}, err
+	}
+	defer srv.Close(fd)
+
+	block := make([]byte, p.BlockSize)
+	for i := range block {
+		block[i] = byte(i)
+	}
+	sp := startSpan(srv.Clock())
+	var written uint64
+	for written < uint64(p.TotalBytes) {
+		n, err := srv.Write(fd, block)
+		if err != nil {
+			return FstimeResult{}, fmt.Errorf("fstime write: %w", err)
+		}
+		if n != len(block) {
+			return FstimeResult{}, fmt.Errorf("fstime short write: %d", n)
+		}
+		written += uint64(n)
+	}
+	cycles := sp.cycles()
+	return FstimeResult{
+		Bytes:  written,
+		Cycles: cycles,
+		KBps:   float64(written) / 1024 / env.Model.Seconds(cycles),
+	}, nil
+}

@@ -1,0 +1,37 @@
+package workloads
+
+import (
+	"fmt"
+
+	"rakis/internal/sys"
+)
+
+// HelloWorld is the Figure 2 baseline: a trivial program whose only
+// enclave exits are startup plus a handful of file-IO syscalls. It
+// writes a greeting to a file and reads it back.
+func HelloWorld(env Env) error {
+	t, err := env.ServerThread()
+	if err != nil {
+		return err
+	}
+	fd, err := t.Open("/tmp/hello.txt", sys.OCreate|sys.ORdwr)
+	if err != nil {
+		return err
+	}
+	msg := []byte("hello, world\n")
+	if n, err := t.Write(fd, msg); err != nil || n != len(msg) {
+		return fmt.Errorf("helloworld write: %d, %v", n, err)
+	}
+	if _, err := t.Lseek(fd, 0, 0); err != nil {
+		return err
+	}
+	buf := make([]byte, 64)
+	n, err := t.Read(fd, buf)
+	if err != nil {
+		return err
+	}
+	if string(buf[:n]) != string(msg) {
+		return fmt.Errorf("helloworld read back %q", buf[:n])
+	}
+	return t.Close(fd)
+}

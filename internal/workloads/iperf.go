@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"rakis/internal/sys"
+)
+
+// IperfParams configures one iperf3-style UDP throughput test (§6.1:
+// 10-second runs, packet sizes up to 1460 bytes, 25 Gbps offered load —
+// here the duration is expressed as a datagram count).
+type IperfParams struct {
+	// PacketSize is the UDP payload size in bytes.
+	PacketSize int
+	// Count is the number of datagrams the client offers.
+	Count int
+	// Port is the server port (default 5201, iperf3's default).
+	Port uint16
+}
+
+// IperfResult is one measurement.
+type IperfResult struct {
+	// Received is the datagram count that survived to the application.
+	Received int
+	// Bytes is the payload volume received.
+	Bytes uint64
+	// Cycles is the virtual span from first to last datagram at the
+	// server.
+	Cycles uint64
+	// Gbps is the computed application-level throughput.
+	Gbps float64
+}
+
+// IperfUDP runs the server in the environment under test and blasts it
+// with datagrams from the native client, mirroring the §6.1 methodology.
+// Throughput is received bytes over the server's virtual receive span.
+func IperfUDP(env Env, p IperfParams) (IperfResult, error) {
+	if p.Port == 0 {
+		p.Port = 5201
+	}
+	if p.PacketSize <= 0 {
+		p.PacketSize = 1460
+	}
+	if p.Count <= 0 {
+		p.Count = 2000
+	}
+	srv, err := env.ServerThread()
+	if err != nil {
+		return IperfResult{}, err
+	}
+	sfd, err := srv.Socket(sys.UDP)
+	if err != nil {
+		return IperfResult{}, err
+	}
+	if err := srv.Bind(sfd, p.Port); err != nil {
+		return IperfResult{}, err
+	}
+
+	go func() {
+		cli := env.ClientThread()
+		cfd, err := cli.Socket(sys.UDP)
+		if err != nil {
+			return
+		}
+		dst := sys.Addr{IP: env.ServerIP, Port: p.Port}
+		payload := make([]byte, p.PacketSize)
+		for i := 0; i < p.Count; i++ {
+			putU32(payload, uint32(i))
+			cli.SendTo(cfd, payload, dst)
+		}
+	}()
+
+	var res IperfResult
+	buf := make([]byte, 65536)
+	var first, last uint64
+	clk := srv.Clock()
+	for {
+		n, _, ok := pollRecv(srv, sfd, buf, 300*time.Millisecond)
+		if !ok {
+			break // stream over: the client stopped offering load
+		}
+		if res.Received == 0 {
+			first = clk.Now()
+		}
+		last = clk.Now()
+		res.Received++
+		res.Bytes += uint64(n)
+		if res.Received == p.Count {
+			break
+		}
+	}
+	if res.Received < 2 {
+		return res, fmt.Errorf("iperf: only %d datagrams arrived", res.Received)
+	}
+	res.Cycles = last - first
+	seconds := env.Model.Seconds(res.Cycles)
+	// The span covers Received-1 inter-arrival gaps.
+	res.Gbps = float64(res.Bytes-uint64(p.PacketSize)) * 8 / seconds / 1e9
+	return res, nil
+}

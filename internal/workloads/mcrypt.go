@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+
+	"rakis/internal/sys"
+	"rakis/internal/vtime"
+)
+
+// McryptParams configures one MCrypt-style file encryption run (§6.2:
+// encrypt a 1 GB file with varying read block sizes).
+type McryptParams struct {
+	// InPath is the plaintext input (created by PrepareMcryptInput).
+	InPath string
+	// OutPath is the ciphertext output.
+	OutPath string
+	// BlockSize is the read block size under sweep.
+	BlockSize int
+	// Key is the 16/24/32-byte cipher key.
+	Key []byte
+}
+
+// McryptResult is one measurement.
+type McryptResult struct {
+	// Bytes encrypted.
+	Bytes uint64
+	// Cycles is the virtual duration of the whole run.
+	Cycles uint64
+	// Seconds is the reported execution time, Figure 5(c)'s unit.
+	Seconds float64
+}
+
+// Mcrypt reads the input in BlockSize chunks, encrypts each with AES-CTR
+// (real encryption — the ciphertext is verifiable), and writes the
+// result, charging the per-byte cipher cost to the thread's clock.
+func Mcrypt(env Env, p McryptParams) (McryptResult, error) {
+	if p.BlockSize <= 0 {
+		p.BlockSize = 65536
+	}
+	if p.InPath == "" {
+		p.InPath = "/data/mcrypt.in"
+	}
+	if p.OutPath == "" {
+		p.OutPath = "/data/mcrypt.out"
+	}
+	if len(p.Key) == 0 {
+		p.Key = []byte("0123456789abcdef")
+	}
+	srv, err := env.ServerThread()
+	if err != nil {
+		return McryptResult{}, err
+	}
+	in, err := srv.Open(p.InPath, sys.ORdonly)
+	if err != nil {
+		return McryptResult{}, err
+	}
+	defer srv.Close(in)
+	out, err := srv.Open(p.OutPath, sys.OCreate|sys.OWronly|sys.OTrunc)
+	if err != nil {
+		return McryptResult{}, err
+	}
+	defer srv.Close(out)
+
+	blk, err := aes.NewCipher(p.Key)
+	if err != nil {
+		return McryptResult{}, err
+	}
+	iv := make([]byte, aes.BlockSize)
+	stream := cipher.NewCTR(blk, iv)
+
+	sp := startSpan(srv.Clock())
+	buf := make([]byte, p.BlockSize)
+	var total uint64
+	for {
+		n, err := srv.Read(in, buf)
+		if err != nil {
+			return McryptResult{}, fmt.Errorf("mcrypt read: %w", err)
+		}
+		if n == 0 {
+			break
+		}
+		stream.XORKeyStream(buf[:n], buf[:n])
+		srv.Clock().Advance(vtime.Bytes(CryptPerByteCycles, n))
+		if w, err := srv.Write(out, buf[:n]); err != nil || w != n {
+			return McryptResult{}, fmt.Errorf("mcrypt write: %d, %w", w, err)
+		}
+		total += uint64(n)
+	}
+	if err := srv.Fsync(out); err != nil {
+		return McryptResult{}, err
+	}
+	cycles := sp.cycles()
+	return McryptResult{
+		Bytes:   total,
+		Cycles:  cycles,
+		Seconds: env.Model.Seconds(cycles),
+	}, nil
+}
+
+// PrepareMcryptInput materializes the plaintext input file; the caller
+// owns the VFS, so this just returns the bytes to install.
+func PrepareMcryptInput(size int) []byte {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i*31 + i>>9)
+	}
+	return data
+}

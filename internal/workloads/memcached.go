@@ -1,0 +1,298 @@
+package workloads
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"rakis/internal/sys"
+	"rakis/internal/vtime"
+)
+
+// Memcached is a UDP key-value cache in the style of the §6.1 experiment:
+// a multi-threaded server (1..8 threads all receiving on one socket) and
+// a memaslap-style load generator with 4 threads driving 32 concurrent
+// connections at a 9:1 GET:SET mix over 1 KB values.
+
+// Wire format: 'G' keyLen key | 'S' keyLen key value | 'Q' (poison pill).
+// Replies:     'V' value | 'N' (miss) | 'O' (stored).
+
+// MemcachedParams configures one run.
+type MemcachedParams struct {
+	// ServerThreads is the memcached -t value under sweep (Figure 4c).
+	ServerThreads int
+	// ClientThreads and Connections mirror memaslap's 4 threads / 32
+	// concurrent connections (§6.1).
+	ClientThreads int
+	Connections   int
+	// Ops is the total request count.
+	Ops int
+	// ValueBytes is the stored value size.
+	ValueBytes int
+	// Keys is the key-space size.
+	Keys int
+	// Port is the server port (default 11211).
+	Port uint16
+}
+
+func (p *MemcachedParams) fill() {
+	if p.ServerThreads <= 0 {
+		p.ServerThreads = 4
+	}
+	if p.ClientThreads <= 0 {
+		p.ClientThreads = 4
+	}
+	if p.Connections <= 0 {
+		p.Connections = 32
+	}
+	if p.Ops <= 0 {
+		p.Ops = 4000
+	}
+	if p.ValueBytes <= 0 {
+		p.ValueBytes = 1024
+	}
+	if p.Keys <= 0 {
+		p.Keys = 512
+	}
+	if p.Port == 0 {
+		p.Port = 11211
+	}
+}
+
+// MemcachedResult is one measurement.
+type MemcachedResult struct {
+	// Ops completed.
+	Ops int
+	// Cycles is the client-side virtual makespan.
+	Cycles uint64
+	// OpsPerSec is the reported throughput, Figure 4(c)'s unit.
+	OpsPerSec float64
+}
+
+// kvStore is the sharded in-memory table; shard locking emulates
+// memcached's item locks, with a futex charge per access (§6.1's
+// Gramine-Direct futex observation).
+type kvStore struct {
+	shards [16]struct {
+		mu sync.Mutex
+		m  map[string][]byte
+	}
+}
+
+func newKVStore() *kvStore {
+	s := &kvStore{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string][]byte)
+	}
+	return s
+}
+
+func (s *kvStore) shard(key string) *struct {
+	mu sync.Mutex
+	m  map[string][]byte
+} {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &s.shards[h%16]
+}
+
+func (s *kvStore) get(key string) ([]byte, bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, ok := sh.m[key]
+	return v, ok
+}
+
+func (s *kvStore) set(key string, val []byte) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	sh.m[key] = cp
+}
+
+// memcachedServe runs one server thread until it receives a poison pill.
+func memcachedServe(t sys.Sys, fd int, store *kvStore) {
+	buf := make([]byte, 65536)
+	reply := make([]byte, 0, 65536)
+	ops := 0
+	for {
+		n, src, err := t.RecvFrom(fd, buf, true)
+		if err != nil {
+			return
+		}
+		if n < 1 {
+			continue
+		}
+		t.Clock().Advance(MemcachedOpCycles)
+		ops++
+		switch buf[0] {
+		case 'Q':
+			return
+		case 'G':
+			if n < 2 {
+				continue
+			}
+			kl := int(buf[1])
+			if n < 2+kl {
+				continue
+			}
+			key := string(buf[2 : 2+kl])
+			if ops%8 == 0 {
+				t.Futex() // item-lock contention, occasionally
+			}
+			v, ok := store.get(key)
+			if ok {
+				reply = append(reply[:0], 'V')
+				reply = append(reply, v...)
+			} else {
+				reply = append(reply[:0], 'N')
+			}
+			t.SendTo(fd, reply, src)
+			// Yield so sibling server threads share the socket queue:
+			// on a single-core host one goroutine would otherwise drain
+			// it alone and the virtual clocks would report a
+			// single-threaded server.
+			runtime.Gosched()
+		case 'S':
+			if n < 2 {
+				continue
+			}
+			kl := int(buf[1])
+			if n < 2+kl {
+				continue
+			}
+			key := string(buf[2 : 2+kl])
+			if ops%8 == 0 {
+				t.Futex()
+			}
+			store.set(key, buf[2+kl:n])
+			t.SendTo(fd, []byte{'O'}, src)
+			runtime.Gosched()
+		}
+	}
+}
+
+// Memcached runs the full experiment: a ServerThreads-wide server in the
+// environment under test, loaded by the memaslap-style client, reporting
+// client-observed throughput.
+func Memcached(env Env, p MemcachedParams) (MemcachedResult, error) {
+	p.fill()
+	store := newKVStore()
+
+	first, err := env.ServerThread()
+	if err != nil {
+		return MemcachedResult{}, err
+	}
+	sfd, err := first.Socket(sys.UDP)
+	if err != nil {
+		return MemcachedResult{}, err
+	}
+	if err := first.Bind(sfd, p.Port); err != nil {
+		return MemcachedResult{}, err
+	}
+	var srvWG sync.WaitGroup
+	srvThreads := make([]sys.Sys, p.ServerThreads)
+	srvThreads[0] = first
+	for i := 1; i < p.ServerThreads; i++ {
+		srvThreads[i] = first.Clone()
+	}
+	for _, st := range srvThreads {
+		srvWG.Add(1)
+		go func(st sys.Sys) {
+			defer srvWG.Done()
+			memcachedServe(st, sfd, store)
+		}(st)
+	}
+
+	// memaslap: ClientThreads threads, Connections sockets.
+	value := make([]byte, p.ValueBytes)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	dst := sys.Addr{IP: env.ServerIP, Port: p.Port}
+	opsPerThread := p.Ops / p.ClientThreads
+	connsPerThread := p.Connections / p.ClientThreads
+	if connsPerThread == 0 {
+		connsPerThread = 1
+	}
+
+	var cliWG sync.WaitGroup
+	clocks := make([]*vtime.Clock, p.ClientThreads)
+	errs := make(chan error, p.ClientThreads)
+	for ct := 0; ct < p.ClientThreads; ct++ {
+		cli := env.ClientThread()
+		clocks[ct] = cli.Clock()
+		cliWG.Add(1)
+		go func(ct int, cli sys.Sys) {
+			defer cliWG.Done()
+			fds := make([]int, connsPerThread)
+			for i := range fds {
+				fd, err := cli.Socket(sys.UDP)
+				if err != nil {
+					errs <- err
+					return
+				}
+				fds[i] = fd
+			}
+			req := make([]byte, 0, 2048)
+			buf := make([]byte, 65536)
+			rng := uint32(ct*2654435761 + 12345)
+			for op := 0; op < opsPerThread; op++ {
+				rng = rng*1664525 + 1013904223
+				key := fmt.Sprintf("key-%06d", int(rng)%p.Keys)
+				fd := fds[op%connsPerThread]
+				rng = rng*1664525 + 1013904223
+				if rng%10 == 0 { // 10% SETs
+					req = append(req[:0], 'S', byte(len(key)))
+					req = append(req, key...)
+					req = append(req, value...)
+				} else {
+					req = append(req[:0], 'G', byte(len(key)))
+					req = append(req, key...)
+				}
+				cli.Clock().Advance(MemaslapClientOpCycles)
+				if _, err := cli.SendTo(fd, req, dst); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, ok := pollRecv(cli, fd, buf, 5*time.Second); !ok {
+					errs <- fmt.Errorf("memaslap: reply timeout (thread %d op %d)", ct, op)
+					return
+				}
+			}
+		}(ct, cli)
+	}
+	cliWG.Wait()
+	select {
+	case err := <-errs:
+		return MemcachedResult{}, err
+	default:
+	}
+
+	// Poison the server threads and wait them out.
+	killer := env.ClientThread()
+	kfd, _ := killer.Socket(sys.UDP)
+	for i := 0; i < p.ServerThreads*4; i++ {
+		killer.SendTo(kfd, []byte{'Q'}, dst)
+	}
+	srvWG.Wait()
+
+	var makespan uint64
+	for _, c := range clocks {
+		if c.Now() > makespan {
+			makespan = c.Now()
+		}
+	}
+	ops := opsPerThread * p.ClientThreads
+	return MemcachedResult{
+		Ops:       ops,
+		Cycles:    makespan,
+		OpsPerSec: float64(ops) / env.Model.Seconds(makespan),
+	}, nil
+}

@@ -1,0 +1,134 @@
+package workloads
+
+// Unit tests for workload internals; the workloads' end-to-end behaviour
+// across environments is covered by internal/experiments.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestKVStoreRoundTrip(t *testing.T) {
+	s := newKVStore()
+	if _, ok := s.get("missing"); ok {
+		t.Fatal("empty store must miss")
+	}
+	s.set("k1", []byte("v1"))
+	v, ok := s.get("k1")
+	if !ok || string(v) != "v1" {
+		t.Fatalf("get = %q, %v", v, ok)
+	}
+	// Stored values are copies: mutating the source must not leak in.
+	src := []byte("mutable")
+	s.set("k2", src)
+	src[0] = 'X'
+	v, _ = s.get("k2")
+	if string(v) != "mutable" {
+		t.Fatalf("stored value aliased caller memory: %q", v)
+	}
+}
+
+func TestKVStoreSharding(t *testing.T) {
+	s := newKVStore()
+	hit := map[*struct {
+		mu sync.Mutex
+		m  map[string][]byte
+	}]bool{}
+	for i := 0; i < 200; i++ {
+		hit[s.shard(string(rune('a'+i%26))+string(rune(i)))] = true
+	}
+	if len(hit) < 8 {
+		t.Fatalf("only %d of 16 shards used", len(hit))
+	}
+}
+
+func TestRedisExec(t *testing.T) {
+	store := make(map[string][]byte)
+	if r, _ := redisExec(store, []byte("PING")); string(r) != "+PONG\r\n" {
+		t.Fatalf("ping = %q", r)
+	}
+	if r, _ := redisExec(store, []byte("SET key hello")); string(r) != "+OK\r\n" {
+		t.Fatalf("set = %q", r)
+	}
+	if r, _ := redisExec(store, []byte("GET key")); string(r) != "$5\r\nhello\r\n" {
+		t.Fatalf("get = %q", r)
+	}
+	if r, _ := redisExec(store, []byte("GET nope")); string(r) != "$-1\r\n" {
+		t.Fatalf("miss = %q", r)
+	}
+	if r, _ := redisExec(store, []byte("WAT")); !bytes.HasPrefix(r, []byte("-ERR")) {
+		t.Fatalf("unknown = %q", r)
+	}
+	if _, shutdown := redisExec(store, []byte("SHUTDOWN")); !shutdown {
+		t.Fatal("shutdown not recognized")
+	}
+	// Values are copied out of the parse buffer.
+	line := []byte("SET k2 abc")
+	redisExec(store, line)
+	line[len(line)-1] = 'X'
+	if r, _ := redisExec(store, []byte("GET k2")); string(r) != "$3\r\nabc\r\n" {
+		t.Fatalf("aliased value: %q", r)
+	}
+}
+
+func TestRedisReplyComplete(t *testing.T) {
+	cases := []struct {
+		in       string
+		complete bool
+		rest     string
+	}{
+		{"", false, ""},
+		{"+OK", false, "+OK"},
+		{"+OK\r\n", true, ""},
+		{"+OK\r\nNEXT", true, "NEXT"},
+		{"-ERR x\r\n", true, ""},
+		{"$5\r\nhel", false, "$5\r\nhel"},
+		{"$5\r\nhello\r\n", true, ""},
+		{"$5\r\nhello\r\n+OK\r\n", true, "+OK\r\n"},
+		{"$-1\r\n", true, ""},
+	}
+	for _, c := range cases {
+		done, rest := redisReplyComplete([]byte(c.in))
+		if done != c.complete || string(rest) != c.rest {
+			t.Errorf("%q: got (%v, %q), want (%v, %q)", c.in, done, rest, c.complete, c.rest)
+		}
+	}
+}
+
+func TestRedisReplyCompleteNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		redisReplyComplete(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU32Helpers(t *testing.T) {
+	f := func(v uint32) bool {
+		b := make([]byte, 4)
+		putU32(b, v)
+		return getU32(b) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrepareMcryptInputDeterministic(t *testing.T) {
+	a := PrepareMcryptInput(4096)
+	b := PrepareMcryptInput(4096)
+	if !bytes.Equal(a, b) {
+		t.Fatal("input must be deterministic")
+	}
+	if len(a) != 4096 {
+		t.Fatal("size")
+	}
+	// Not all-zero, so encryption tests mean something.
+	if bytes.Equal(a, make([]byte, 4096)) {
+		t.Fatal("input must be non-trivial")
+	}
+}

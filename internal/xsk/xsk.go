@@ -1,0 +1,329 @@
+// Package xsk implements the FastPath Module side of an XDP socket (§4.1,
+// "Enabling the XDP primitive").
+//
+// An XSK comprises four RAKIS-certified rings and a UMem packet buffer,
+// all in shared untrusted memory (Table 1):
+//
+//	xFill  (FM produces)  — supply the kernel with frames for RX packets
+//	xRX    (FM consumes)  — frames populated with received packets
+//	xTX    (FM produces)  — frames to transmit
+//	xCompl (FM consumes)  — frames whose transmission completed
+//
+// Initialization runs outside the enclave (internal/hostos performs the
+// setup "syscalls"); the FM receives five pointers plus a file descriptor
+// and — before touching anything — verifies that the pointers are
+// pairwise non-overlapping and reside exclusively in untrusted memory,
+// and that the descriptor is non-negative (Table 2, initialization rows).
+//
+// In Go, enclave-trusted memory is ordinary heap memory; the simulated
+// mem.Space segments exist so these placement checks are real and so the
+// host kernel can only touch the shared segment.
+package xsk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rakis/internal/mem"
+	"rakis/internal/ring"
+	"rakis/internal/umem"
+	"rakis/internal/vtime"
+)
+
+// DescBytes is the size of an xRX/xTX descriptor (addr, len, options).
+const DescBytes = 16
+
+// FillEntryBytes is the size of an xFill/xCompl entry (a UMem offset).
+const FillEntryBytes = 8
+
+// Desc is an XDP descriptor: a UMem offset plus the packet length.
+type Desc struct {
+	Addr uint64
+	Len  uint32
+	Opts uint32
+}
+
+// PutDesc encodes a descriptor into a 16-byte slot.
+func PutDesc(b []byte, d Desc) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(d.Addr >> (8 * i))
+	}
+	b[8], b[9], b[10], b[11] = byte(d.Len), byte(d.Len>>8), byte(d.Len>>16), byte(d.Len>>24)
+	b[12], b[13], b[14], b[15] = byte(d.Opts), byte(d.Opts>>8), byte(d.Opts>>16), byte(d.Opts>>24)
+}
+
+// GetDesc decodes a descriptor from a 16-byte slot.
+func GetDesc(b []byte) Desc {
+	var d Desc
+	for i := 7; i >= 0; i-- {
+		d.Addr = d.Addr<<8 | uint64(b[i])
+	}
+	d.Len = uint32(b[8]) | uint32(b[9])<<8 | uint32(b[10])<<16 | uint32(b[11])<<24
+	d.Opts = uint32(b[12]) | uint32(b[13])<<8 | uint32(b[14])<<16 | uint32(b[15])<<24
+	return d
+}
+
+// Setup is what the untrusted initialization hands the enclave: five
+// pointers and a file descriptor.
+type Setup struct {
+	FD        int
+	FillBase  mem.Addr
+	RXBase    mem.Addr
+	TXBase    mem.Addr
+	ComplBase mem.Addr
+	UMemBase  mem.Addr
+}
+
+// Config is the FM's trusted configuration for one XSK.
+type Config struct {
+	Space *mem.Space
+	Setup Setup
+	// RingSize is the trusted entry count for all four rings (the 2K of
+	// §6.1); the masks are derived from it in-enclave.
+	RingSize uint32
+	// FrameSize and FrameCount are the trusted UMem geometry (16 MB of
+	// 2048-byte frames in §6.1).
+	FrameSize  uint32
+	FrameCount uint32
+	Counters   *vtime.Counters
+	Model      *vtime.Model
+}
+
+// Errors returned by Attach and socket operations.
+var (
+	// ErrSetup reports failed Table 2 initialization validation.
+	ErrSetup = errors.New("xsk: untrusted setup rejected")
+	// ErrNoFrame reports UMem exhaustion on the send path.
+	ErrNoFrame = errors.New("xsk: no free UMem frame")
+	// ErrTooBig reports a frame exceeding the UMem frame size.
+	ErrTooBig = errors.New("xsk: frame exceeds UMem frame size")
+	// ErrRingFull reports a full TX or fill ring.
+	ErrRingFull = errors.New("xsk: ring full")
+)
+
+// Socket is the FM's trusted handle on one XSK.
+//
+// The RX pump thread and user send threads share the socket (§4.2: user
+// threads copy straight into the XSK UMem for transmission), so its
+// operations serialize on an internal lock protecting the UMem allocator
+// and the single-producer/single-consumer ring disciplines.
+type Socket struct {
+	Fill  *ring.Ring
+	RX    *ring.Ring
+	TX    *ring.Ring
+	Compl *ring.Ring
+	UMem  *umem.UMem
+
+	mu       sync.Mutex
+	fd       int
+	space    *mem.Space
+	model    *vtime.Model
+	counters *vtime.Counters
+}
+
+// Attach validates the untrusted setup and constructs the trusted handle.
+func Attach(cfg Config) (*Socket, error) {
+	if cfg.Model == nil {
+		cfg.Model = vtime.Default()
+	}
+	if cfg.Setup.FD < 0 {
+		return nil, fmt.Errorf("%w: fd %d", ErrSetup, cfg.Setup.FD)
+	}
+	umemBytes := uint64(cfg.FrameSize) * uint64(cfg.FrameCount)
+	regions := []struct {
+		name string
+		base mem.Addr
+		size uint64
+	}{
+		{"xFill", cfg.Setup.FillBase, ring.TotalBytes(cfg.RingSize, FillEntryBytes)},
+		{"xRX", cfg.Setup.RXBase, ring.TotalBytes(cfg.RingSize, DescBytes)},
+		{"xTX", cfg.Setup.TXBase, ring.TotalBytes(cfg.RingSize, DescBytes)},
+		{"xCompl", cfg.Setup.ComplBase, ring.TotalBytes(cfg.RingSize, FillEntryBytes)},
+		{"UMem", cfg.Setup.UMemBase, umemBytes},
+	}
+	for i, r := range regions {
+		if !cfg.Space.InUntrusted(r.base, r.size) {
+			return nil, fmt.Errorf("%w: %s not exclusively in untrusted memory", ErrSetup, r.name)
+		}
+		for _, q := range regions[:i] {
+			if mem.Overlaps(r.base, r.size, q.base, q.size) {
+				return nil, fmt.Errorf("%w: %s overlaps %s", ErrSetup, r.name, q.name)
+			}
+		}
+	}
+
+	mk := func(base mem.Addr, entry uint32, side ring.Side) (*ring.Ring, error) {
+		return ring.New(ring.Config{
+			Space: cfg.Space, Access: mem.RoleEnclave, Base: base,
+			Size: cfg.RingSize, EntrySize: entry, Side: side,
+			Certified: true, Counters: cfg.Counters,
+		})
+	}
+	s := &Socket{fd: cfg.Setup.FD, space: cfg.Space, model: cfg.Model, counters: cfg.Counters}
+	var err error
+	if s.Fill, err = mk(cfg.Setup.FillBase, FillEntryBytes, ring.Producer); err != nil {
+		return nil, err
+	}
+	if s.RX, err = mk(cfg.Setup.RXBase, DescBytes, ring.Consumer); err != nil {
+		return nil, err
+	}
+	if s.TX, err = mk(cfg.Setup.TXBase, DescBytes, ring.Producer); err != nil {
+		return nil, err
+	}
+	if s.Compl, err = mk(cfg.Setup.ComplBase, FillEntryBytes, ring.Consumer); err != nil {
+		return nil, err
+	}
+	s.UMem, err = umem.New(umem.Config{
+		Space: cfg.Space, Base: cfg.Setup.UMemBase,
+		FrameSize: cfg.FrameSize, FrameCount: cfg.FrameCount,
+		Counters: cfg.Counters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// FD returns the socket's file descriptor (used by the Monitor Module).
+func (s *Socket) FD() int { return s.fd }
+
+// Refill produces as many free UMem frames into xFill as fit, keeping the
+// kernel supplied with RX buffers (§4.1 "Quality of service assurance").
+// It returns the number produced.
+func (s *Socket) Refill(clk *vtime.Clock) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refillLocked(clk)
+}
+
+func (s *Socket) refillLocked(clk *vtime.Clock) int {
+	free, _ := s.Fill.Free()
+	n := 0
+	for ; uint32(n) < free; n++ {
+		idx, err := s.UMem.Alloc(umem.OwnerFill)
+		if err != nil {
+			break
+		}
+		s.Fill.WriteU64(uint32(n), s.UMem.FrameOffset(idx))
+	}
+	if n > 0 {
+		clk.Advance(s.model.RingOp + uint64(n)*s.model.UMemOp)
+		s.Fill.Submit(uint32(n), clk.Now())
+	}
+	return n
+}
+
+// Recv consumes one packet from xRX, validating the descriptor against
+// the UMem ownership map and copying the payload into trusted memory.
+// It returns (nil, false) when the ring is empty. Hostile descriptors are
+// refused and skipped ("refuse and advance consumer").
+func (s *Socket) Recv(clk *vtime.Clock) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		avail, _ := s.RX.Available()
+		if avail == 0 {
+			return nil, false
+		}
+		clk.Sync(s.RX.SlotStamp(0))
+		clk.Advance(s.model.RingOp + s.model.UMemOp)
+		slot, err := s.RX.SlotBytes(0)
+		if err != nil {
+			s.RX.Release(1)
+			continue
+		}
+		d := GetDesc(slot)
+		if _, err := s.UMem.ValidateConsumed(umem.OwnerFill, d.Addr, d.Len); err != nil {
+			// Table 2 fail action: refuse the frame, advance the consumer.
+			s.RX.Release(1)
+			continue
+		}
+		src, err := s.UMem.FrameBytes(d.Addr, d.Len)
+		if err != nil {
+			s.RX.Release(1)
+			continue
+		}
+		payload := make([]byte, d.Len)
+		copy(payload, src)
+		clk.Advance(vtime.Bytes(s.model.BoundaryCopyPerByte, int(d.Len)))
+		s.RX.Release(1)
+		if s.counters != nil {
+			s.counters.PacketsRx.Add(1)
+			s.counters.BytesRx.Add(uint64(d.Len))
+		}
+		return payload, true
+	}
+}
+
+// Send copies one frame from trusted memory into a fresh UMem frame and
+// produces it on xTX. The Monitor Module notices the producer advance and
+// issues the sendto wakeup.
+func (s *Socket) Send(frame []byte, clk *vtime.Clock) error {
+	if uint32(len(frame)) > s.UMem.FrameSize() {
+		return ErrTooBig
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked(clk) // opportunistically reclaim completed TX frames
+	free, _ := s.TX.Free()
+	if free == 0 {
+		return ErrRingFull
+	}
+	idx, err := s.UMem.Alloc(umem.OwnerTx)
+	if err != nil {
+		return ErrNoFrame
+	}
+	off := s.UMem.FrameOffset(idx)
+	dst, err := s.UMem.FrameBytes(off, uint32(len(frame)))
+	if err != nil {
+		return err
+	}
+	copy(dst, frame)
+	clk.Advance(s.model.RingOp + s.model.UMemOp +
+		vtime.Bytes(s.model.BoundaryCopyPerByte, len(frame)))
+	slot, err := s.TX.SlotBytes(0)
+	if err != nil {
+		return err
+	}
+	PutDesc(slot, Desc{Addr: off, Len: uint32(len(frame))})
+	s.TX.Submit(1, clk.Now())
+	if s.counters != nil {
+		s.counters.PacketsTx.Add(1)
+		s.counters.BytesTx.Add(uint64(len(frame)))
+	}
+	return nil
+}
+
+// Reap consumes xCompl, validating ownership and returning frames to the
+// pool. It returns the number reclaimed.
+func (s *Socket) Reap(clk *vtime.Clock) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reapLocked(clk)
+}
+
+func (s *Socket) reapLocked(clk *vtime.Clock) int {
+	n := 0
+	for {
+		avail, _ := s.Compl.Available()
+		if avail == 0 {
+			break
+		}
+		off, err := s.Compl.ReadU64(0)
+		if err != nil {
+			s.Compl.Release(1)
+			continue
+		}
+		if _, err := s.UMem.ValidateConsumed(umem.OwnerTx, off, 0); err != nil {
+			s.Compl.Release(1)
+			continue
+		}
+		s.Compl.Release(1)
+		n++
+	}
+	if n > 0 {
+		clk.Advance(s.model.RingOp + uint64(n)*s.model.UMemOp)
+	}
+	return n
+}

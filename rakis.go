@@ -1,0 +1,341 @@
+// Package rakis is a working reproduction of RAKIS (Alharthi et al.,
+// EuroSys '25): secure fast IO primitives across trust boundaries on
+// Intel SGX, built on simulated substrates (see DESIGN.md).
+//
+// RAKIS lets unmodified applications inside an SGX enclave use two Linux
+// fast IO kernel primitives without enclave exits on the data path:
+//
+//   - AF_XDP sockets carry UDP traffic into an in-enclave UDP/IP stack;
+//   - io_uring carries TCP send/recv, file read/write, and poll.
+//
+// Every value read from the shared untrusted rings is validated against
+// trusted state (Table 2 of the paper) before use; hostile values are
+// refused without crashing. A Monitor Module thread outside the enclave
+// issues the residual wakeup syscalls.
+//
+// Usage: build a simulated host (internal/hostos) with a network
+// namespace, then Boot a Runtime on it and obtain per-thread sys.Sys
+// handles with NewThread. Workloads written against sys.Sys run
+// unmodified on RAKIS and on the Gramine/Native baselines.
+package rakis
+
+import (
+	"fmt"
+	"sync"
+
+	"rakis/internal/fm"
+	"rakis/internal/hostos"
+	"rakis/internal/iouring"
+	"rakis/internal/libos"
+	"rakis/internal/mm"
+	"rakis/internal/netsim"
+	"rakis/internal/netstack"
+	"rakis/internal/sm"
+	"rakis/internal/vtime"
+	"rakis/internal/xsk"
+)
+
+// Config configures a RAKIS runtime. Zero values select the evaluation
+// setup of §6.1: one XSK, 2K rings, a 16 MB UMem of 2 KB frames.
+type Config struct {
+	// IP is the enclave stack's address on the interface. It must differ
+	// from the kernel stack's address; the XDP program steers traffic
+	// for this address to the XSKs.
+	IP netstack.IP4
+	// NumXSKs is the number of XDP sockets (and FM pump threads), bound
+	// to interface queues 0..NumXSKs-1. Default 1; the Memcached
+	// experiment uses 4.
+	NumXSKs int
+	// RingSize is the size of each XSK ring (default 2048).
+	RingSize uint32
+	// FrameSize is the UMem frame size (default 2048).
+	FrameSize uint32
+	// FrameCount is the number of UMem frames per XSK (default 8192,
+	// i.e. 16 MB at the default frame size).
+	FrameCount uint32
+	// UringEntries is the per-thread io_uring depth (default 64).
+	UringEntries uint32
+	// BounceBytes is the per-thread untrusted bounce buffer (default 256 KiB).
+	BounceBytes int
+	// Mode selects the fallback-syscall path: libos.SGX for RAKIS-SGX,
+	// libos.Direct for RAKIS-Direct.
+	Mode libos.Mode
+	// Model is the enclave-side cost model. For RAKIS-Direct runs pass a
+	// model whose boundary-copy cost equals a plain copy.
+	Model *vtime.Model
+	// Counters receives statistics; it may be nil.
+	Counters *vtime.Counters
+	// GlobalLockStack enables the global-lock netstack ablation.
+	GlobalLockStack bool
+}
+
+func (c *Config) fill() {
+	if c.NumXSKs <= 0 {
+		c.NumXSKs = 1
+	}
+	if c.RingSize == 0 {
+		c.RingSize = 2048
+	}
+	if c.FrameSize == 0 {
+		c.FrameSize = 2048
+	}
+	if c.FrameCount == 0 {
+		c.FrameCount = 8192
+	}
+	if c.UringEntries == 0 {
+		c.UringEntries = 64
+	}
+	if c.BounceBytes == 0 {
+		c.BounceBytes = 256 * 1024
+	}
+	if c.Model == nil {
+		c.Model = vtime.Default()
+	}
+}
+
+// Runtime is one booted RAKIS instance.
+type Runtime struct {
+	cfg  Config
+	kern *hostos.Kernel
+	ns   *hostos.NetNS
+
+	hostProc  *hostos.Proc
+	libosProc *libos.Process
+
+	// Stack is the in-enclave trimmed UDP/IP stack.
+	Stack *netstack.Stack
+	link  *sm.XskLink
+	socks []*xsk.Socket
+	pumps []*fm.XskPump
+	mon   *mm.Monitor
+
+	mu     sync.Mutex
+	fds    map[int]*entry
+	nextFD int
+}
+
+type entryKind int
+
+const (
+	kindUDP entryKind = iota
+	kindHost
+	kindEpoll
+)
+
+type entry struct {
+	kind entryKind
+	udp  *netstack.UDPSocket
+	host int
+	ep   *repoll
+}
+
+// Boot initializes RAKIS on a host network namespace: it performs the
+// untrusted XSK setup, validates and attaches the FastPath Modules,
+// installs the steering XDP program, starts the per-XSK pump threads,
+// and launches the Monitor Module.
+func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
+	cfg.fill()
+	if cfg.NumXSKs > ns.Dev.NumQueues() {
+		return nil, fmt.Errorf("rakis: %d XSKs but interface has %d queues",
+			cfg.NumXSKs, ns.Dev.NumQueues())
+	}
+	rt := &Runtime{
+		cfg:      cfg,
+		kern:     kern,
+		ns:       ns,
+		hostProc: kern.NewProc(ns, cfg.Counters),
+		fds:      make(map[int]*entry),
+		nextFD:   1 << 20,
+	}
+	var bootClk vtime.Clock
+
+	for i := 0; i < cfg.NumXSKs; i++ {
+		res, err := rt.hostProc.XSKSetup(ns, i, cfg.RingSize, cfg.FrameSize, cfg.FrameCount, &bootClk)
+		if err != nil {
+			return nil, err
+		}
+		sock, err := xsk.Attach(xsk.Config{
+			Space: kern.Space, Setup: res.Setup,
+			RingSize: cfg.RingSize, FrameSize: cfg.FrameSize, FrameCount: cfg.FrameCount,
+			Counters: cfg.Counters, Model: cfg.Model,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("rakis: XSK %d rejected: %w", i, err)
+		}
+		rt.socks = append(rt.socks, sock)
+	}
+
+	rt.link = sm.NewXskLink(rt.socks, ns.Dev.MAC(), ns.Dev.MTU())
+	stack, err := sm.NewEnclaveStack(rt.link, cfg.IP, cfg.Model, cfg.Counters, cfg.GlobalLockStack)
+	if err != nil {
+		return nil, err
+	}
+	rt.Stack = stack
+
+	for _, sock := range rt.socks {
+		pump := fm.NewXskPump(sock, stack, cfg.Model)
+		rt.pumps = append(rt.pumps, pump)
+	}
+
+	ns.AttachXDP(steeringProgram(cfg.IP))
+	installRSS(ns, cfg.IP, cfg.NumXSKs)
+
+	rt.mon = mm.New(rt.hostProc)
+	for _, sock := range rt.socks {
+		setup := xsk.Setup{
+			FD:       sock.FD(),
+			FillBase: sock.Fill.Base(), TXBase: sock.TX.Base(),
+			RXBase: sock.RX.Base(), ComplBase: sock.Compl.Base(),
+		}
+		if err := rt.mon.WatchXSK(kern.Space, setup); err != nil {
+			return nil, err
+		}
+	}
+
+	rt.libosProc = libos.NewProcess(kern.NewProc(ns, cfg.Counters), cfg.Mode, cfg.Counters)
+
+	for _, p := range rt.pumps {
+		p.Start()
+	}
+	rt.mon.Start()
+	return rt, nil
+}
+
+// steeringProgram builds the XDP filter: IPv4 packets addressed to the
+// enclave IP and ARP packets targeting it are redirected to the queue's
+// XSK; everything else passes to the kernel stack.
+func steeringProgram(ip netstack.IP4) hostos.XDPProg {
+	return func(frame []byte) hostos.Verdict {
+		eth, payload, err := netstack.ParseEth(frame)
+		if err != nil {
+			return hostos.VerdictPass
+		}
+		switch eth.Type {
+		case netstack.EtherTypeIPv4:
+			if len(payload) >= 20 && payload[0]>>4 == 4 {
+				var dst netstack.IP4
+				copy(dst[:], payload[16:20])
+				if dst == ip {
+					return hostos.VerdictRedirect
+				}
+			}
+		case netstack.EtherTypeARP:
+			if len(payload) >= 28 {
+				var tpa netstack.IP4
+				copy(tpa[:], payload[24:28])
+				if tpa == ip {
+					return hostos.VerdictRedirect
+				}
+			}
+		}
+		return hostos.VerdictPass
+	}
+}
+
+// installRSS spreads enclave-bound flows over the XSK-backed queues and
+// leaves other traffic on the default hash.
+func installRSS(ns *hostos.NetNS, ip netstack.IP4, numXSKs int) {
+	ns.Dev.SetRSS(func(data []byte, queues int) int {
+		if len(data) >= 14+20 {
+			etherType := uint16(data[12])<<8 | uint16(data[13])
+			if etherType == 0x0800 {
+				var dst netstack.IP4
+				copy(dst[:], data[14+16:14+20])
+				if dst == ip {
+					if numXSKs == 1 {
+						return 0
+					}
+					base := 2166136261
+					h := uint32(base)
+					ihl := int(data[14]&0x0F) * 4
+					if len(data) >= 14+ihl+4 {
+						for _, b := range data[14+12 : 14+20] {
+							h = (h ^ uint32(b)) * 16777619
+						}
+						for _, b := range data[14+ihl : 14+ihl+4] {
+							h = (h ^ uint32(b)) * 16777619
+						}
+					}
+					return int(h % uint32(numXSKs))
+				}
+			}
+			if etherType == 0x0806 {
+				return 0 // ARP always lands on queue 0 (XSK 0 or kernel)
+			}
+		}
+		return netsim.DefaultRSS(data, queues)
+	})
+}
+
+// Close stops the pumps, the monitor, and the enclave stack.
+func (rt *Runtime) Close() {
+	for _, p := range rt.pumps {
+		p.Close()
+	}
+	rt.mon.Close()
+	rt.Stack.Close()
+}
+
+// Monitor exposes the Monitor Module (for tests and diagnostics).
+func (rt *Runtime) Monitor() *mm.Monitor { return rt.mon }
+
+// Pumps exposes the XSK pump threads (their clocks feed measurements).
+func (rt *Runtime) Pumps() []*fm.XskPump { return rt.pumps }
+
+// HostProc exposes the host-side process used for setup and the MM.
+func (rt *Runtime) HostProc() *hostos.Proc { return rt.hostProc }
+
+// registerEntry installs an fd table entry and returns its descriptor.
+func (rt *Runtime) registerEntry(e *entry) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if e.kind == kindHost {
+		rt.fds[e.host] = e
+		return e.host
+	}
+	fd := rt.nextFD
+	rt.nextFD++
+	rt.fds[fd] = e
+	return fd
+}
+
+func (rt *Runtime) lookup(fd int) (*entry, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	e, ok := rt.fds[fd]
+	return e, ok
+}
+
+func (rt *Runtime) remove(fd int) (*entry, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	e, ok := rt.fds[fd]
+	if ok {
+		delete(rt.fds, fd)
+	}
+	return e, ok
+}
+
+// attachUring builds one application thread's io_uring FM: the host-side
+// setup "syscalls" followed by in-enclave validation (§4.1).
+func (rt *Runtime) attachUring(clk *vtime.Clock) (*fm.UringFM, error) {
+	setup, err := rt.hostProc.IoUringSetup(rt.cfg.UringEntries, clk)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := iouring.Attach(iouring.Config{
+		Space: rt.kern.Space, Setup: setup, Entries: rt.cfg.UringEntries,
+		Counters: rt.cfg.Counters, Model: rt.cfg.Model,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ufm, err := fm.NewUringFM(ring, rt.kern.Space, rt.cfg.Model, rt.cfg.BounceBytes)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.mon.WatchUring(rt.kern.Space, setup); err != nil {
+		return nil, err
+	}
+	return ufm, nil
+}

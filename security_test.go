@@ -1,0 +1,214 @@
+package rakis_test
+
+// System-level adversarial tests: the paper's threat model (§3) says the
+// host OS is untrusted — it may tamper with any shared data, and the
+// worst it may achieve is denial of service, never integrity or
+// confidentiality loss inside the enclave. These tests attack the
+// *running* system, not isolated modules.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rakis/internal/experiments"
+	"rakis/internal/mem"
+	"rakis/internal/sys"
+)
+
+// TestHostileScribbleDuringTraffic runs live UDP traffic while a hostile
+// "kernel" thread continuously scribbles random garbage over every shared
+// ring's control area. Deliveries may be lost (availability), but every
+// datagram that does arrive must be intact, the FM invariants must hold,
+// and nothing may crash.
+func TestHostileScribbleDuringTraffic(t *testing.T) {
+	if raceDetectorEnabled {
+		// The attack *is* a data race: the hostile host writes shared
+		// untrusted bytes while the FM reads them, exactly as on real
+		// SGX hardware. The FM is designed to survive torn values; the
+		// Go race detector (correctly) flags the unsynchronized access,
+		// so this test runs only without -race.
+		t.Skip("adversarial shared-memory scribbling is a deliberate data race")
+	}
+	w := newWorld(t, experiments.RakisSGX, nil)
+	srv, err := w.ServerThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfd, _ := srv.Socket(sys.UDP)
+	srv.Bind(sfd, 7200)
+
+	// The adversary: host-role writes over the XSK RX descriptor area
+	// and control words, repeatedly, while traffic flows.
+	stop := make(chan struct{})
+	rxBase := w.Rakis().Pumps()[0].Socket().RX.Base()
+	go func() {
+		seed := uint32(0x9E3779B9)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b, err := w.Space.Bytes(mem.RoleHost, rxBase, 16+32*16)
+			if err != nil {
+				return
+			}
+			for i := range b {
+				seed = seed*1664525 + 1013904223
+				b[i] = byte(seed >> 24)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	cli := w.ClientThread()
+	cfd, _ := cli.Socket(sys.UDP)
+	payload := []byte("integrity is non-negotiable; availability is the host's to deny")
+	dst := sys.Addr{IP: w.ServerIP, Port: 7200}
+
+	received := 0
+	buf := make([]byte, 2048)
+	const attempts = 300
+	for i := 0; i < attempts; i++ {
+		cli.SendTo(cfd, payload, dst)
+		n, _, err := srv.RecvFrom(sfd, buf, false)
+		if err == nil && n > 0 {
+			received++
+			// Integrity: anything that arrives must be byte-exact.
+			if !bytes.Equal(buf[:n], payload) {
+				t.Fatalf("attempt %d: corrupted payload surfaced to the application", i)
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Logf("under active scribbling: %d/%d datagrams delivered, violations=%d",
+		received, attempts, w.Counters.RingViolations.Load()+w.Counters.UMemViolations.Load())
+
+	// The FM must have refused hostile state rather than crashing; with
+	// an active adversary, violations are expected.
+	if w.Counters.RingViolations.Load()+w.Counters.UMemViolations.Load() == 0 && received < attempts {
+		t.Log("note: adversary writes raced into refused or unread slots")
+	}
+	// The system must still work once the adversary stops.
+	close(stop)
+	stopVerified := false
+	for i := 0; i < 50 && !stopVerified; i++ {
+		cli.SendTo(cfd, []byte("recovery"), dst)
+		if n, _, err := srv.RecvFrom(sfd, buf, false); err == nil && string(buf[:n]) == "recovery" {
+			stopVerified = true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !stopVerified {
+		t.Fatal("system did not recover after the attack stopped")
+	}
+
+	// Quiesce the pumps, then audit the trusted state.
+	for _, p := range w.Rakis().Pumps() {
+		p.Close()
+	}
+	for _, p := range w.Rakis().Pumps() {
+		if !p.Socket().UMem.InvariantHolds() {
+			t.Fatal("UMem allocator invariant broken under live attack")
+		}
+		if !p.Socket().RX.InvariantHolds() {
+			t.Fatal("ring invariant broken under live attack")
+		}
+	}
+}
+
+// TestMonitorModuleDeathIsAvailabilityOnly kills the Monitor Module:
+// wakeup syscalls stop, so *transmission* stalls (availability loss), but
+// nothing breaks, and already-delivered receive traffic (push-driven by
+// the XDP path) keeps flowing.
+func TestMonitorModuleDeathIsAvailabilityOnly(t *testing.T) {
+	w := newWorld(t, experiments.RakisSGX, nil)
+	srv, err := w.ServerThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfd, _ := srv.Socket(sys.UDP)
+	srv.Bind(sfd, 7201)
+	cli := w.ClientThread()
+	cfd, _ := cli.Socket(sys.UDP)
+	dst := sys.Addr{IP: w.ServerIP, Port: 7201}
+
+	// Warm up: one full round trip with the MM alive (resolves ARP so
+	// the enclave already knows the client's address).
+	buf := make([]byte, 2048)
+	cli.SendTo(cfd, []byte("warm"), dst)
+	n, src, err := srv.RecvFrom(sfd, buf, true)
+	if err != nil || n != 4 {
+		t.Fatalf("warmup: %d %v", n, err)
+	}
+	srv.SendTo(sfd, buf[:n], src)
+	if _, _, err := cli.RecvFrom(cfd, buf, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the MM (a host-controlled thread: the host may stop it).
+	w.Rakis().Monitor().Close()
+
+	// Receive path still works: the XDP redirect is push-driven.
+	cli.SendTo(cfd, []byte("rx-alive"), dst)
+	n, src, err = srv.RecvFrom(sfd, buf, true)
+	if err != nil || string(buf[:n]) != "rx-alive" {
+		t.Fatalf("receive path died with the MM: %d %v", n, err)
+	}
+
+	// Transmit path stalls: the reply sits in xTX with nobody to issue
+	// sendto. That is a pure availability loss.
+	srv.SendTo(sfd, []byte("stuck"), src)
+	if _, _, err := cli.RecvFrom(cfd, buf, false); err == nil {
+		// A residual wakeup may already have been in flight; tolerate
+		// one delivery but no sustained service.
+		srv.SendTo(sfd, []byte("stuck2"), src)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if d, _, err := cli.RecvFrom(cfd, buf, false); err == nil && d > 0 {
+		t.Log("note: kernel drained xTX before the MM fully stopped")
+	}
+	// No violations: a dead MM is not an integrity event.
+	if w.Counters.RingViolations.Load() != 0 || w.Counters.UMemViolations.Load() != 0 {
+		t.Fatal("MM death must not register as a validation violation")
+	}
+}
+
+// TestWrongKeyTunnelRejectedBySystem: a host that forwards traffic into
+// the enclave tunnel without the PSK achieves nothing.
+func TestWrongKeyTunnelRejectedBySystem(t *testing.T) {
+	w := newWorld(t, experiments.RakisSGX, nil)
+	srv, err := w.ServerThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfd, _ := srv.Socket(sys.UDP)
+	srv.Bind(sfd, 7202)
+
+	cli := w.ClientThread()
+	cfd, _ := cli.Socket(sys.UDP)
+	// Garbage "handshakes" and "transport" messages.
+	for i := 0; i < 64; i++ {
+		msg := bytes.Repeat([]byte{byte(i)}, 1+i*7%900)
+		cli.SendTo(cfd, msg, sys.Addr{IP: w.ServerIP, Port: 7202})
+	}
+	// The datagrams all arrive (they are valid UDP); it is the tunnel
+	// layer that must reject them — covered by wgtun tests. Here we
+	// assert the transport delivered them uncorrupted and unharmed.
+	time.Sleep(50 * time.Millisecond) // let the pump drain the wire
+	buf := make([]byte, 2048)
+	got := 0
+	for {
+		n, _, err := srv.RecvFrom(sfd, buf, false)
+		if err != nil {
+			break
+		}
+		if n > 0 {
+			got++
+		}
+	}
+	if got == 0 {
+		t.Fatal("hostile datagrams should still arrive as datagrams")
+	}
+}

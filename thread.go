@@ -1,0 +1,366 @@
+package rakis
+
+import (
+	"errors"
+	"time"
+
+	"rakis/internal/libos"
+	"rakis/internal/netstack"
+	"rakis/internal/sm"
+	"rakis/internal/sys"
+	"rakis/internal/vtime"
+)
+
+// Thread is one application thread running under RAKIS: the API
+// submodule's view of the world (§4.2). UDP socket syscalls are served by
+// the in-enclave UDP/IP stack over the XSKs; TCP send/recv, file
+// read/write, fsync, and poll are served by the SyncProxy over this
+// thread's private io_uring FM; everything else falls back to the
+// LibOS's regular (exit-paying, under SGX) path — exactly the residual
+// exits visible in Figure 2.
+type Thread struct {
+	rt        *Runtime
+	lt        *libos.Thread
+	proxy     *sm.SyncProxy
+	pollCache *sm.PollCache
+}
+
+var _ sys.Sys = (*Thread)(nil)
+
+// ErrWrongSocket reports a stream op on a datagram socket or vice versa.
+var ErrWrongSocket = errors.New("rakis: operation does not match socket type")
+
+// NewThread creates an application thread handle: a fallback LibOS
+// thread plus a dedicated io_uring FastPath Module (§4.1: one io_uring
+// FM per user thread).
+func (rt *Runtime) NewThread() (*Thread, error) {
+	lt := rt.libosProc.NewThread()
+	ufm, err := rt.attachUring(lt.Clock())
+	if err != nil {
+		return nil, err
+	}
+	return &Thread{
+		rt:        rt,
+		lt:        lt,
+		proxy:     sm.NewSyncProxy(ufm, rt.cfg.Model),
+		pollCache: sm.NewPollCache(),
+	}, nil
+}
+
+// MustThread is NewThread that panics on setup failure (examples).
+func (rt *Runtime) MustThread() *Thread {
+	t, err := rt.NewThread()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Clock returns the thread's virtual clock.
+func (t *Thread) Clock() *vtime.Clock { return t.lt.Clock() }
+
+// Clone creates a sibling application thread.
+func (t *Thread) Clone() sys.Sys {
+	nt, err := t.rt.NewThread()
+	if err != nil {
+		panic(err)
+	}
+	return nt
+}
+
+// Proxy exposes the thread's SyncProxy (for the verification binary).
+func (t *Thread) Proxy() *sm.SyncProxy { return t.proxy }
+
+// hook charges the API submodule's syscall interception cost.
+func (t *Thread) hook() *vtime.Clock {
+	clk := t.lt.Clock()
+	clk.Advance(t.rt.cfg.Model.APIHook)
+	return clk
+}
+
+// --- sockets ----------------------------------------------------------------
+
+// Socket creates a socket: UDP sockets live in the enclave stack; TCP
+// sockets are host sockets created through the LibOS fallback.
+func (t *Thread) Socket(typ sys.SockType) (int, error) {
+	if typ == sys.UDP {
+		clk := t.hook()
+		_ = clk
+		sock, err := t.rt.Stack.UDPBind(0)
+		if err != nil {
+			return -1, err
+		}
+		return t.rt.registerEntry(&entry{kind: kindUDP, udp: sock}), nil
+	}
+	fd, err := t.lt.Socket(typ)
+	if err != nil {
+		return -1, err
+	}
+	return t.rt.registerEntry(&entry{kind: kindHost, host: fd}), nil
+}
+
+// Bind assigns the local port.
+func (t *Thread) Bind(fd int, port uint16) error {
+	e, ok := t.rt.lookup(fd)
+	if !ok {
+		return errors.New("rakis: bad fd")
+	}
+	if e.kind == kindUDP {
+		t.hook()
+		sock, err := t.rt.Stack.UDPBind(port)
+		if err != nil {
+			return err
+		}
+		e.udp.Close()
+		e.udp = sock
+		return nil
+	}
+	return t.lt.Bind(e.host, port)
+}
+
+// Connect connects a socket: in-enclave for UDP, LibOS fallback for TCP
+// (connection setup is not one of the five io_uring-served syscalls).
+func (t *Thread) Connect(fd int, addr sys.Addr) error {
+	e, ok := t.rt.lookup(fd)
+	if !ok {
+		return errors.New("rakis: bad fd")
+	}
+	if e.kind == kindUDP {
+		t.hook()
+		e.udp.Connect(addr)
+		return nil
+	}
+	return t.lt.Connect(e.host, addr)
+}
+
+// Listen marks a TCP socket as accepting (LibOS fallback).
+func (t *Thread) Listen(fd int, backlog int) error {
+	e, ok := t.rt.lookup(fd)
+	if !ok || e.kind != kindHost {
+		return ErrWrongSocket
+	}
+	return t.lt.Listen(e.host, backlog)
+}
+
+// Accept waits for a connection (LibOS fallback).
+func (t *Thread) Accept(fd int, block bool) (int, sys.Addr, error) {
+	e, ok := t.rt.lookup(fd)
+	if !ok || e.kind != kindHost {
+		return -1, sys.Addr{}, ErrWrongSocket
+	}
+	nfd, addr, err := t.lt.Accept(e.host, block)
+	if err != nil {
+		return -1, addr, err
+	}
+	return t.rt.registerEntry(&entry{kind: kindHost, host: nfd}), addr, nil
+}
+
+// SendTo transmits a datagram through the enclave stack and the XSKs —
+// no enclave exit.
+func (t *Thread) SendTo(fd int, p []byte, addr sys.Addr) (int, error) {
+	e, ok := t.rt.lookup(fd)
+	if !ok {
+		return 0, errors.New("rakis: bad fd")
+	}
+	if e.kind != kindUDP {
+		return 0, ErrWrongSocket
+	}
+	clk := t.hook()
+	if err := e.udp.SendTo(p, addr, clk); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// RecvFrom receives a datagram from the enclave stack — no enclave exit.
+func (t *Thread) RecvFrom(fd int, p []byte, block bool) (int, sys.Addr, error) {
+	e, ok := t.rt.lookup(fd)
+	if !ok {
+		return 0, sys.Addr{}, errors.New("rakis: bad fd")
+	}
+	if e.kind != kindUDP {
+		return 0, sys.Addr{}, ErrWrongSocket
+	}
+	clk := t.hook()
+	d, err := e.udp.RecvFrom(clk, block)
+	if err != nil {
+		return 0, sys.Addr{}, err
+	}
+	n := copy(p, d.Payload)
+	clk.Advance(vtime.Bytes(t.rt.cfg.Model.UserCopyPerByte, n))
+	return n, d.Src, nil
+}
+
+// Send writes to a connected socket: enclave stack for UDP, SyncProxy
+// (io_uring) for TCP.
+func (t *Thread) Send(fd int, p []byte) (int, error) {
+	e, ok := t.rt.lookup(fd)
+	if !ok {
+		return 0, errors.New("rakis: bad fd")
+	}
+	clk := t.hook()
+	if e.kind == kindUDP {
+		if err := e.udp.Send(p, clk); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return t.proxy.Send(e.host, p, clk)
+}
+
+// Recv reads from a connected socket: enclave stack for UDP, SyncProxy
+// (io_uring) for TCP.
+func (t *Thread) Recv(fd int, p []byte, block bool) (int, error) {
+	e, ok := t.rt.lookup(fd)
+	if !ok {
+		return 0, errors.New("rakis: bad fd")
+	}
+	clk := t.hook()
+	if e.kind == kindUDP {
+		d, err := e.udp.RecvFrom(clk, block)
+		if err != nil {
+			return 0, err
+		}
+		n := copy(p, d.Payload)
+		clk.Advance(vtime.Bytes(t.rt.cfg.Model.UserCopyPerByte, n))
+		return n, nil
+	}
+	if !block {
+		// The io_uring recv path is blocking; emulate non-blocking via a
+		// zero-timeout poll first, as the API submodule does.
+		srcs := []sm.PollSource{{HostFD: e.host, Events: sm.PollIn}}
+		n, err := sm.Poll(srcs, 0, t.proxy, t.rt.cfg.Model, clk)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, netstack.ErrWouldBlock
+		}
+	}
+	return t.proxy.Recv(e.host, p, clk)
+}
+
+// --- files ------------------------------------------------------------------
+
+// Open opens a file through the LibOS fallback (not io_uring-served).
+func (t *Thread) Open(path string, flags int) (int, error) {
+	fd, err := t.lt.Open(path, flags)
+	if err != nil {
+		return -1, err
+	}
+	return t.rt.registerEntry(&entry{kind: kindHost, host: fd}), nil
+}
+
+// Read reads a file through the SyncProxy (io_uring) — no enclave exit.
+func (t *Thread) Read(fd int, p []byte) (int, error) {
+	e, ok := t.rt.lookup(fd)
+	if !ok || e.kind != kindHost {
+		return 0, ErrWrongSocket
+	}
+	return t.proxy.Read(e.host, p, t.hook())
+}
+
+// Write writes a file through the SyncProxy (io_uring) — no enclave exit.
+func (t *Thread) Write(fd int, p []byte) (int, error) {
+	e, ok := t.rt.lookup(fd)
+	if !ok || e.kind != kindHost {
+		return 0, ErrWrongSocket
+	}
+	return t.proxy.Write(e.host, p, t.hook())
+}
+
+// Pread reads at an offset through the SyncProxy.
+func (t *Thread) Pread(fd int, p []byte, off int64) (int, error) {
+	e, ok := t.rt.lookup(fd)
+	if !ok || e.kind != kindHost {
+		return 0, ErrWrongSocket
+	}
+	return t.proxy.Pread(e.host, p, off, t.hook())
+}
+
+// Pwrite writes at an offset through the SyncProxy.
+func (t *Thread) Pwrite(fd int, p []byte, off int64) (int, error) {
+	e, ok := t.rt.lookup(fd)
+	if !ok || e.kind != kindHost {
+		return 0, ErrWrongSocket
+	}
+	return t.proxy.Pwrite(e.host, p, off, t.hook())
+}
+
+// Lseek repositions the cursor (LibOS-emulated).
+func (t *Thread) Lseek(fd int, off int64, whence int) (int64, error) {
+	e, ok := t.rt.lookup(fd)
+	if !ok || e.kind != kindHost {
+		return 0, ErrWrongSocket
+	}
+	return t.lt.Lseek(e.host, off, whence)
+}
+
+// Fstat returns the file size (LibOS fallback).
+func (t *Thread) Fstat(fd int) (int64, error) {
+	e, ok := t.rt.lookup(fd)
+	if !ok || e.kind != kindHost {
+		return 0, ErrWrongSocket
+	}
+	return t.lt.Fstat(e.host)
+}
+
+// Fsync flushes through the SyncProxy (io_uring).
+func (t *Thread) Fsync(fd int) error {
+	e, ok := t.rt.lookup(fd)
+	if !ok || e.kind != kindHost {
+		return ErrWrongSocket
+	}
+	return t.proxy.Fsync(e.host, t.hook())
+}
+
+// Poll aggregates readiness across IO providers (§4.2): enclave UDP
+// sockets are watched directly, host descriptors through asynchronous
+// io_uring polls — no enclave exits.
+func (t *Thread) Poll(fds []sys.PollFD, timeout time.Duration) (int, error) {
+	srcs := make([]sm.PollSource, len(fds))
+	for i, f := range fds {
+		e, ok := t.rt.lookup(f.FD)
+		if !ok {
+			fds[i].Revents = sys.PollErr
+			continue
+		}
+		srcs[i].Events = f.Events
+		if e.kind == kindUDP {
+			srcs[i].UDP = e.udp
+		} else {
+			srcs[i].HostFD = e.host
+		}
+	}
+	clk := t.lt.Clock()
+	n, err := sm.PollCached(srcs, timeout, t.proxy, t.rt.cfg.Model, clk, t.pollCache)
+	for i := range fds {
+		if srcs[i].Revents != 0 {
+			fds[i].Revents = srcs[i].Revents
+		}
+	}
+	return n, err
+}
+
+// Close releases a descriptor: enclave close for UDP, LibOS fallback for
+// host descriptors.
+func (t *Thread) Close(fd int) error {
+	e, ok := t.rt.remove(fd)
+	if !ok {
+		return errors.New("rakis: bad fd")
+	}
+	switch e.kind {
+	case kindUDP:
+		t.hook()
+		e.udp.Close()
+		return nil
+	case kindEpoll:
+		t.hook()
+		return nil
+	}
+	t.pollCache.Drop(e.host, t.proxy, t.lt.Clock())
+	return t.lt.Close(e.host)
+}
+
+// Futex is handled inside the enclave by the LibOS.
+func (t *Thread) Futex() { t.lt.Futex() }

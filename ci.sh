@@ -1,0 +1,31 @@
+#!/bin/sh
+# ci.sh — the full verification gate for this repository.
+#
+# Every step must pass before a change lands:
+#
+#   1. go vet          — toolchain static checks
+#   2. go build ./...  — everything compiles
+#   3. go test ./...   — unit + integration + property tests
+#   4. go test -race   — FM/ring protocol under the race detector (see
+#                        race_on_test.go for why this pass is load-bearing)
+#   5. rakis-lint      — the trust-boundary analyzers (taintflow,
+#                        rolecheck, boundarycopy; see DESIGN.md)
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/..."
+go test -race ./internal/...
+
+echo "==> rakis-lint ./..."
+go run ./cmd/rakis-lint ./...
+
+echo "ci: all checks passed"

@@ -1,0 +1,84 @@
+// Command rakis-lint is the trustlint multichecker: it runs the static
+// trust-boundary analyzers of internal/analysis (taintflow, rolecheck,
+// boundarycopy) over the requested packages and exits non-zero if any
+// finding survives.
+//
+// Usage:
+//
+//	go run ./cmd/rakis-lint [-list] [packages]
+//
+// Packages default to ./... and accept the usual go list patterns. The
+// module is always loaded whole (cross-package annotations need it);
+// the patterns select which packages are reported on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rakis/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rakis-lint [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Statically enforces the RAKIS trust-boundary discipline.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	world, err := analysis.LoadModule(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	targets, err := analysis.ResolvePatterns(world, cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := analysis.Run(world, targets, analysis.All())
+	for _, d := range diags {
+		fmt.Println(analysis.Format(world.Fset, d))
+	}
+	if len(diags) > 0 {
+		byPass := map[string]int{}
+		for _, d := range diags {
+			byPass[d.Analyzer]++
+		}
+		var names []string
+		for n := range byPass {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "rakis-lint: %d finding(s):", len(diags))
+		for _, n := range names {
+			fmt.Fprintf(os.Stderr, " %s=%d", n, byPass[n])
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rakis-lint:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Package analysis statically enforces the RAKIS trust-boundary
+// discipline: "never trust a value read from untrusted memory".
+//
+// The paper enforces the discipline dynamically — every untrusted ring
+// control word passes a Table 2 check before use, and the Testing Module
+// (internal/tm) model-checks those checks. Nothing, however, stops a
+// future change from reading a producer index and using it as a copy
+// length without validation. This package closes that gap at compile
+// time with three analyzers, in the style of golang.org/x/tools/go/
+// analysis (re-implemented on the standard library only, since this
+// module is dependency-free):
+//
+//   - taintflow: in enclave-role packages, any value originating from an
+//     untrusted-memory read must pass through a function annotated
+//     //rakis:validator before being used as a slice index, make length,
+//     loop bound, or address offset.
+//   - rolecheck: host-role packages must never construct
+//     mem.RoleEnclave or reach for the trusted segment.
+//   - boundarycopy: enclave-role packages must access shared memory
+//     through the role-checked accessors with the literal
+//     mem.RoleEnclave, never unsafe; and exported entry points that
+//     ingest untrusted setup data (mem.Addr or Setup-typed parameters)
+//     must perform a boundary-validation call.
+//
+// Packages and functions declare their part in the trust model with
+// comment directives:
+//
+//	//rakis:role enclave    package runs inside the enclave (TCB)
+//	//rakis:role host       package models the untrusted host
+//	//rakis:untrusted       function result originates in untrusted memory
+//	//rakis:validator       function validates untrusted values (Table 2)
+//	//rakis:boundary-ok     exported boundary func audited as safe (reason required)
+//
+// cmd/rakis-lint is the multichecker driver; ci.sh runs it alongside the
+// tier-1 tests.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Analyzer is one static check, mirroring the x/tools go/analysis shape.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the violation.
+	Message string
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// World is the module-wide load (types, roles, annotations).
+	World *World
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full trustlint suite.
+func All() []*Analyzer {
+	return []*Analyzer{Taintflow, Rolecheck, Boundarycopy}
+}
+
+// Run applies the analyzers to the packages and returns the findings
+// sorted by source position.
+func Run(world *World, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, World: world, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := world.Fset.Position(diags[i].Pos), world.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags
+}
+
+// Format renders a diagnostic as file:line:col: message (analyzer).
+func Format(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+}

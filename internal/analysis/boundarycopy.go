@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Boundarycopy polices how enclave-role code touches the shared
+// segments:
+//
+//  1. Every mem.Space accessor call must pass the literal
+//     mem.RoleEnclave — a variable or host role would sidestep the
+//     role-checked accessor discipline the trust argument rests on.
+//  2. unsafe is banned in role-classified packages: raw pointer access
+//     bypasses the segment bounds and role checks entirely.
+//  3. Exported entry points that ingest untrusted setup data — a
+//     parameter of type mem.Addr, a Setup struct, or a struct carrying
+//     either — must perform a boundary-validation call (a
+//     //rakis:validator function such as mem.Space.InUntrusted) in
+//     their body, the Table 2 "initialization data" rule. Audited
+//     exceptions carry //rakis:boundary-ok with a reason.
+var Boundarycopy = &Analyzer{
+	Name: "boundarycopy",
+	Doc:  "segment access must go through role-checked accessors; boundary entry points must validate",
+	Run:  runBoundarycopy,
+}
+
+func runBoundarycopy(pass *Pass) {
+	if pass.Pkg.Role == RoleNone || pass.Pkg.ImportPath == "rakis/internal/mem" {
+		return
+	}
+	checkUnsafeImports(pass)
+	if pass.Pkg.Role == RoleEnclave {
+		checkEnclaveRoleLiterals(pass)
+		checkBoundaryEntryPoints(pass)
+	}
+}
+
+// checkUnsafeImports flags unsafe in role-classified packages.
+func checkUnsafeImports(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "unsafe" {
+				pass.Reportf(imp.Pos(), "%s-role package imports unsafe, which bypasses the role-checked accessors", pass.Pkg.Role)
+			}
+		}
+	}
+}
+
+// checkEnclaveRoleLiterals requires the literal mem.RoleEnclave in every
+// role-mediated mem.Space accessor call.
+func checkEnclaveRoleLiterals(pass *Pass) {
+	info := pass.Pkg.Info
+	roleEnclave := pass.World.memObject("RoleEnclave")
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if !pass.World.isMemSpaceMethod(fn) || len(call.Args) == 0 {
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() == 0 {
+				return true
+			}
+			named, ok := sig.Params().At(0).Type().(*types.Named)
+			if !ok || named.Obj().Name() != "Role" || named.Obj().Pkg() == nil ||
+				named.Obj().Pkg().Path() != "rakis/internal/mem" {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			if usedObject(info, arg) != roleEnclave {
+				pass.Reportf(arg.Pos(), "enclave-role package must pass the literal mem.RoleEnclave to %s", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// paramIngestsBoundary reports whether a parameter type carries
+// untrusted setup data: mem.Addr itself, a struct named Setup, or a
+// struct with a field of either kind (one level deep, values only —
+// handles like *iouring.Ring hold already-validated state).
+func paramIngestsBoundary(w *World, tp types.Type) (string, bool) {
+	addr := w.memAddrType()
+	isAddr := func(t types.Type) bool { return addr != nil && types.Identical(t, addr) }
+	isSetup := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Name() == "Setup"
+	}
+	if isAddr(tp) {
+		return "mem.Addr", true
+	}
+	if isSetup(tp) {
+		return "a Setup struct", true
+	}
+	named, ok := tp.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isAddr(ft) || isSetup(ft) {
+			return named.Obj().Name() + "." + st.Field(i).Name(), true
+		}
+	}
+	return "", false
+}
+
+// checkBoundaryEntryPoints requires a validator call in exported
+// enclave functions that accept untrusted setup parameters.
+func checkBoundaryEntryPoints(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if funcAnnotation(fd, "rakis:boundary-ok") || funcAnnotation(fd, "rakis:validator") {
+				continue
+			}
+			if recv := receiverTypeName(fd); recv != "" && !ast.IsExported(recv) {
+				continue // methods of unexported types are not entry points
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			var ingested string
+			for i := 0; i < sig.Params().Len(); i++ {
+				if what, ok := paramIngestsBoundary(pass.World, sig.Params().At(i).Type()); ok {
+					ingested = what
+					break
+				}
+			}
+			if ingested == "" {
+				continue
+			}
+			if bodyCallsValidator(pass, fd.Body) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"exported boundary entry point %s accepts untrusted setup (%s) but makes no //rakis:validator call",
+				fd.Name.Name, ingested)
+		}
+	}
+}
+
+// receiverTypeName returns the receiver's type name, or "".
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	tp := fd.Recv.List[0].Type
+	if star, ok := tp.(*ast.StarExpr); ok {
+		tp = star.X
+	}
+	if id, ok := tp.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// bodyCallsValidator reports whether the body directly calls a
+// //rakis:validator function.
+func bodyCallsValidator(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass.Pkg.Info, call); fn != nil && pass.World.Validators[fn] {
+			found = true
+		}
+		return true
+	})
+	return found
+}

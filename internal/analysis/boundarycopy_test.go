@@ -1,0 +1,51 @@
+package analysis
+
+import "testing"
+
+func TestBoundarycopyFixture(t *testing.T) {
+	RunFixture(t, Boundarycopy, "boundarycopy")
+}
+
+func TestBoundarycopyCleanOnModule(t *testing.T) {
+	assertCleanModule(t, Boundarycopy)
+}
+
+// The validator registry must contain the annotated Table 2 checks, or
+// the entry-point rule would flag the real Attach functions.
+func TestValidatorsRegistered(t *testing.T) {
+	world, err := sharedWorld()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	want := map[string]bool{
+		"InUntrusted":       false,
+		"Check":             false,
+		"Overlaps":          false,
+		"ValidateConsumed":  false,
+		"IntersectsTrusted": false,
+	}
+	for fn := range world.Validators {
+		if _, ok := want[fn.Name()]; ok {
+			want[fn.Name()] = true
+		}
+	}
+	for name, found := range want {
+		if !found {
+			t.Errorf("expected //rakis:validator annotation on %s", name)
+		}
+	}
+	untrusted := map[string]bool{
+		"GetDesc": false, "GetCQE": false, "ReadU64": false,
+		"SlotBytes": false, "ProducerValue": false,
+	}
+	for fn := range world.Untrusted {
+		if _, ok := untrusted[fn.Name()]; ok {
+			untrusted[fn.Name()] = true
+		}
+	}
+	for name, found := range untrusted {
+		if !found {
+			t.Errorf("expected //rakis:untrusted annotation on %s", name)
+		}
+	}
+}

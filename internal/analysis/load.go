@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// ImportPath is the package's import path (fixtures get a synthetic
+	// one).
+	ImportPath string
+	// Dir is the package's source directory.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's results for the files.
+	Info *types.Info
+	// Role is the package's trust role.
+	Role Role
+
+	imports []string
+}
+
+// World is a module-wide load: every in-module package parsed and
+// type-checked, plus the annotation registries the analyzers consult.
+// Cross-package annotations (e.g. umem.ValidateConsumed being a
+// validator used from xsk) work because the whole module is loaded.
+type World struct {
+	// Fset is the file set shared by all packages.
+	Fset *token.FileSet
+	// Packages maps import path to loaded package.
+	Packages map[string]*Package
+
+	// Validators holds functions annotated //rakis:validator.
+	Validators map[*types.Func]bool
+	// Untrusted holds functions annotated //rakis:untrusted.
+	Untrusted map[*types.Func]bool
+	// BoundaryOK holds functions annotated //rakis:boundary-ok.
+	BoundaryOK map[*types.Func]bool
+
+	std types.Importer
+}
+
+// worldImporter resolves imports during type checking: in-module
+// packages from the world, everything else (the standard library) from
+// the compiler's export data.
+type worldImporter struct{ w *World }
+
+func (wi worldImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := wi.w.Packages[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("import cycle or unchecked package %q", path)
+		}
+		return p.Types, nil
+	}
+	return wi.w.std.Import(path)
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// goList runs `go list -json` for the patterns in dir.
+func goList(dir string, patterns ...string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule parses and type-checks every package in the module rooted
+// at (or above) dir and collects roles and annotations.
+func LoadModule(dir string) (*World, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	listed, err := goList(root, "./...")
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		Fset:       token.NewFileSet(),
+		Packages:   make(map[string]*Package),
+		Validators: make(map[*types.Func]bool),
+		Untrusted:  make(map[*types.Func]bool),
+		BoundaryOK: make(map[*types.Func]bool),
+		std:        importer.Default(),
+	}
+	// Parse everything first so import resolution can topo-sort.
+	for _, lp := range listed {
+		pkg := &Package{ImportPath: lp.ImportPath, Dir: lp.Dir, imports: lp.Imports}
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(w.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %v", name, err)
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		pkg.Role = packageRole(pkg.ImportPath, pkg.Files)
+		w.Packages[lp.ImportPath] = pkg
+	}
+	// Type-check in dependency order.
+	for _, path := range w.topoOrder() {
+		if err := w.check(w.Packages[path]); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// topoOrder returns module package paths with dependencies first.
+func (w *World) topoOrder() []string {
+	var paths []string
+	for p := range w.Packages {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	seen := make(map[string]bool)
+	var order []string
+	var visit func(string)
+	visit = func(path string) {
+		pkg, ok := w.Packages[path]
+		if !ok || seen[path] {
+			return
+		}
+		seen[path] = true
+		for _, imp := range pkg.imports {
+			visit(imp)
+		}
+		order = append(order, path)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return order
+}
+
+// check type-checks one parsed package and registers its annotations.
+func (w *World) check(pkg *Package) error {
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: worldImporter{w},
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := conf.Check(pkg.ImportPath, w.Fset, pkg.Files, pkg.Info)
+	if len(errs) > 0 {
+		return fmt.Errorf("typecheck %s: %v", pkg.ImportPath, errs[0])
+	}
+	if err != nil {
+		return fmt.Errorf("typecheck %s: %v", pkg.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	w.registerAnnotations(pkg)
+	return nil
+}
+
+// ResolvePatterns expands go list patterns (relative to dir) into the
+// world's loaded packages, in stable order.
+func ResolvePatterns(w *World, dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range listed {
+		if p, ok := w.Packages[lp.ImportPath]; ok {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// LoadDir loads a single out-of-module directory (an analysistest
+// fixture) as a package with the given synthetic import path. The
+// fixture may import module packages; its own annotations and role
+// directive are honored.
+func (w *World) LoadDir(dir, importPath string) (*Package, error) {
+	if p, ok := w.Packages[importPath]; ok {
+		return p, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{ImportPath: importPath, Dir: dir}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(w.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", e.Name(), err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	pkg.Role = packageRole(importPath, pkg.Files)
+	w.Packages[importPath] = pkg
+	if err := w.check(pkg); err != nil {
+		delete(w.Packages, importPath)
+		return nil, err
+	}
+	return pkg, nil
+}

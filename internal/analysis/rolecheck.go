@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Rolecheck enforces the host side of the SGX boundary statically: a
+// host-role package models code the enclave must survive, so it may
+// never construct mem.RoleEnclave, allocate or address the trusted
+// segment, or pass a non-literal role to the mem.Space accessors. The
+// dynamic analogue is mem.ErrProtected (the MEE abort page); this pass
+// keeps the simulation honest by making such code unmergeable, not just
+// unrunnable.
+var Rolecheck = &Analyzer{
+	Name: "rolecheck",
+	Doc:  "host-role packages must not construct enclave roles or reach the trusted segment",
+	Run:  runRolecheck,
+}
+
+func runRolecheck(pass *Pass) {
+	if pass.Pkg.Role != RoleHost {
+		return
+	}
+	banned := map[types.Object]string{}
+	for _, name := range []string{"RoleEnclave", "Trusted", "TrustedBase"} {
+		if obj := pass.World.memObject(name); obj != nil {
+			banned[obj] = "mem." + name
+		}
+	}
+	roleHost := pass.World.memObject("RoleHost")
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if name, ok := banned[info.Uses[n]]; ok {
+					pass.Reportf(n.Pos(), "host-role package must not use %s", name)
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if !pass.World.isMemSpaceMethod(fn) || len(n.Args) == 0 {
+					return true
+				}
+				sig := fn.Type().(*types.Signature)
+				if sig.Params().Len() == 0 {
+					return true
+				}
+				// Role-mediated accessor: the role must be the literal
+				// mem.RoleHost (RoleEnclave is reported by the ident
+				// check above).
+				first := sig.Params().At(0).Type()
+				named, ok := first.(*types.Named)
+				if !ok || named.Obj().Name() != "Role" || named.Obj().Pkg() == nil ||
+					named.Obj().Pkg().Path() != "rakis/internal/mem" {
+					return true
+				}
+				arg := ast.Unparen(n.Args[0])
+				obj := usedObject(info, arg)
+				if obj == roleHost {
+					return true
+				}
+				if _, bannedConst := banned[obj]; bannedConst {
+					return true // already reported at the ident
+				}
+				pass.Reportf(arg.Pos(), "host-role package must pass the literal mem.RoleHost to %s", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// usedObject resolves an identifier or selector to its object.
+func usedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}

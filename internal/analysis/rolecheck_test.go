@@ -1,0 +1,41 @@
+package analysis
+
+import "testing"
+
+func TestRolecheckFixture(t *testing.T) {
+	RunFixture(t, Rolecheck, "rolecheck")
+}
+
+func TestRolecheckCleanOnModule(t *testing.T) {
+	assertCleanModule(t, Rolecheck)
+}
+
+// The host packages must actually be classified — an empty role map
+// would make rolecheck vacuously clean.
+func TestHostPackagesClassified(t *testing.T) {
+	world, err := sharedWorld()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, path := range []string{"rakis/internal/hostos", "rakis/internal/mm"} {
+		pkg := world.Packages[path]
+		if pkg == nil {
+			t.Fatalf("package %s not loaded", path)
+		}
+		if pkg.Role != RoleHost {
+			t.Errorf("%s: role = %v, want host", path, pkg.Role)
+		}
+	}
+	for _, path := range []string{
+		"rakis/internal/fm", "rakis/internal/sm", "rakis/internal/netstack",
+		"rakis/internal/xsk", "rakis/internal/iouring", "rakis/internal/umem",
+	} {
+		pkg := world.Packages[path]
+		if pkg == nil {
+			t.Fatalf("package %s not loaded", path)
+		}
+		if pkg.Role != RoleEnclave {
+			t.Errorf("%s: role = %v, want enclave", path, pkg.Role)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Taintflow enforces the Table 2 discipline statically: in enclave-role
+// packages, values originating from untrusted memory — results of
+// //rakis:untrusted functions (ring control-word and slot accessors,
+// untrusted-segment reads) and of (*sync/atomic.Uint32).Load on shared
+// cells — must pass through a //rakis:validator function before being
+// used as a slice index, slice bound, make length, loop bound, or
+// mem.Addr offset.
+//
+// The tracking is intentionally simple: function-local, flow in lexical
+// order, no branch merging. A call to a validator with a tainted value
+// among its arguments clears the taint of the argument roots (the
+// refuse-paths of the seed code all `continue`/`return` before reuse,
+// so straight-line clearing matches the real control flow). This trades
+// soundness in contrived cases for zero-configuration precision on the
+// patterns the FastPath Modules actually use.
+var Taintflow = &Analyzer{
+	Name: "taintflow",
+	Doc:  "untrusted-memory reads must be validated before use as index, length, bound, or offset",
+	Run:  runTaintflow,
+}
+
+func runTaintflow(pass *Pass) {
+	if pass.Pkg.Role != RoleEnclave {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// A validator's own body is the validation; untrusted
+			// accessors decode raw bytes by design.
+			if funcAnnotation(fd, "rakis:validator") || funcAnnotation(fd, "rakis:untrusted") {
+				continue
+			}
+			t := &taintTracker{
+				pass:     pass,
+				info:     pass.Pkg.Info,
+				tainted:  make(map[types.Object]bool),
+				reported: make(map[token.Pos]bool),
+			}
+			ast.Inspect(fd.Body, t.visit)
+		}
+	}
+}
+
+// taintTracker walks one function body in lexical order.
+type taintTracker struct {
+	pass     *Pass
+	info     *types.Info
+	tainted  map[types.Object]bool
+	reported map[token.Pos]bool
+}
+
+// report emits one finding per position.
+func (t *taintTracker) report(pos token.Pos, sink string) {
+	if t.reported[pos] {
+		return
+	}
+	t.reported[pos] = true
+	t.pass.Reportf(pos, "untrusted value used as %s without passing a //rakis:validator function", sink)
+}
+
+// calleeFunc resolves a call to its *types.Func, or nil for builtins,
+// conversions, and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isAtomicU32Load reports whether fn is (*sync/atomic.Uint32).Load —
+// the accessor for shared ring control cells handed out by
+// mem.Space.Atomic32.
+func isAtomicU32Load(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Load" || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Uint32"
+}
+
+// isSourceCall reports whether a call produces an untrusted value.
+func (t *taintTracker) isSourceCall(call *ast.CallExpr) bool {
+	fn := calleeFunc(t.info, call)
+	if fn == nil {
+		return false
+	}
+	return t.pass.World.Untrusted[fn] || isAtomicU32Load(fn)
+}
+
+// isConversion reports whether a call expression is a type conversion
+// and returns the target type.
+func (t *taintTracker) isConversion(call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := t.info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// exprTainted reports whether any part of e carries untrusted taint.
+func (t *taintTracker) exprTainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := t.info.Uses[e]; obj != nil {
+			return t.tainted[obj]
+		}
+		if obj := t.info.Defs[e]; obj != nil {
+			return t.tainted[obj]
+		}
+	case *ast.SelectorExpr:
+		// x.f is tainted when its root variable is (coarse: field
+		// granularity is the whole struct).
+		if root := rootObject(t.info, e); root != nil {
+			return t.tainted[root]
+		}
+	case *ast.CallExpr:
+		if t.isSourceCall(e) {
+			return true
+		}
+		if _, ok := t.isConversion(e); ok && len(e.Args) == 1 {
+			return t.exprTainted(e.Args[0])
+		}
+		return false // results of ordinary calls are trusted
+	case *ast.BinaryExpr:
+		return t.exprTainted(e.X) || t.exprTainted(e.Y)
+	case *ast.UnaryExpr:
+		return t.exprTainted(e.X)
+	case *ast.ParenExpr:
+		return t.exprTainted(e.X)
+	case *ast.StarExpr:
+		return t.exprTainted(e.X)
+	case *ast.IndexExpr:
+		// An element of an untrusted slice is untrusted.
+		return t.exprTainted(e.X)
+	case *ast.SliceExpr:
+		return t.exprTainted(e.X)
+	case *ast.TypeAssertExpr:
+		return t.exprTainted(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if t.exprTainted(el) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rootObject returns the leftmost variable of a selector chain, or nil.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if _, ok := obj.(*types.Var); ok {
+				return obj
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// setTaint marks or clears the root object of an lvalue.
+func (t *taintTracker) setTaint(lhs ast.Expr, tainted bool) {
+	root := rootObject(t.info, lhs)
+	if root == nil {
+		return
+	}
+	if _, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); isIndex && !tainted {
+		// arr[i] = clean does not launder the whole array.
+		return
+	}
+	if tainted {
+		t.tainted[root] = true
+	} else if _, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		// Only a whole-variable assignment kills taint.
+		delete(t.tainted, root)
+	}
+}
+
+// isErrorType reports whether tp is the built-in error interface.
+func isErrorType(tp types.Type) bool {
+	return tp != nil && tp.String() == "error"
+}
+
+// clearValidatedArgs clears taint for every variable appearing in the
+// arguments of a validator call.
+func (t *taintTracker) clearValidatedArgs(call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := t.info.Uses[id]; obj != nil {
+					delete(t.tainted, obj)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// visit handles one node in lexical (pre-)order.
+func (t *taintTracker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		t.assign(n.Lhs, n.Rhs)
+	case *ast.GenDecl:
+		for _, spec := range n.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) == 0 {
+				continue
+			}
+			lhs := make([]ast.Expr, len(vs.Names))
+			for i, name := range vs.Names {
+				lhs[i] = name
+			}
+			t.assign(lhs, vs.Values)
+		}
+	case *ast.RangeStmt:
+		// Ranging over an untrusted slice yields untrusted elements;
+		// the index is bounded by the (validated) slice length.
+		if n.Value != nil {
+			t.setTaint(n.Value, t.exprTainted(n.X))
+		}
+		if n.Key != nil {
+			t.setTaint(n.Key, false)
+		}
+	case *ast.ForStmt:
+		if n.Cond != nil {
+			t.checkLoopBound(n.Cond)
+		}
+	case *ast.IndexExpr:
+		// Sink: slice/array indexing (map keys are mere lookups).
+		if tv, ok := t.info.Types[n.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				break
+			}
+		}
+		if t.exprTainted(n.Index) {
+			t.report(n.Index.Pos(), "slice index")
+		}
+	case *ast.SliceExpr:
+		for _, bound := range []ast.Expr{n.Low, n.High, n.Max} {
+			if bound != nil && t.exprTainted(bound) {
+				t.report(bound.Pos(), "slice bound")
+			}
+		}
+	case *ast.CallExpr:
+		t.call(n)
+	}
+	return true
+}
+
+// assign applies taint transfer for an assignment.
+func (t *taintTracker) assign(lhs, rhs []ast.Expr) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// Tuple assignment from one call: every non-error result of an
+		// untrusted source is tainted.
+		src := t.exprTainted(rhs[0])
+		for _, l := range lhs {
+			tainted := src
+			if tv, ok := t.info.Types[l]; ok && isErrorType(tv.Type) {
+				tainted = false
+			} else if id, ok := l.(*ast.Ident); ok {
+				if obj := t.info.Defs[id]; obj != nil && isErrorType(obj.Type()) {
+					tainted = false
+				}
+			}
+			t.setTaint(l, tainted)
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i < len(rhs) {
+			t.setTaint(l, t.exprTainted(rhs[i]))
+		}
+	}
+}
+
+// checkLoopBound flags comparisons against tainted values in a for
+// condition.
+func (t *taintTracker) checkLoopBound(cond ast.Expr) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+			if t.exprTainted(be.X) || t.exprTainted(be.Y) {
+				t.report(be.Pos(), "loop bound")
+			}
+		}
+		return true
+	})
+}
+
+// call handles sinks and sanitizers at a call site.
+func (t *taintTracker) call(call *ast.CallExpr) {
+	// Sink: make([]T, n[, c]) with untrusted size.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" {
+		if _, isBuiltin := t.info.Uses[id].(*types.Builtin); isBuiltin {
+			for _, arg := range call.Args[1:] {
+				if t.exprTainted(arg) {
+					t.report(arg.Pos(), "make length")
+				}
+			}
+			return
+		}
+	}
+	// Sink: conversion of an untrusted integer to mem.Addr (address
+	// offset arithmetic follows).
+	if target, ok := t.isConversion(call); ok && len(call.Args) == 1 {
+		if addr := t.pass.World.memAddrType(); addr != nil && types.Identical(target, addr) {
+			if t.exprTainted(call.Args[0]) {
+				t.report(call.Args[0].Pos(), "address offset")
+			}
+		}
+		return
+	}
+	// Sanitizer: validator calls clear their argument roots.
+	if fn := calleeFunc(t.info, call); fn != nil && t.pass.World.Validators[fn] {
+		t.clearValidatedArgs(call)
+	}
+}

@@ -1,0 +1,35 @@
+package analysis
+
+import "testing"
+
+func TestTaintflowFixture(t *testing.T) {
+	RunFixture(t, Taintflow, "taintflow")
+}
+
+// The linter must be quiet on the real tree: the FastPath Modules
+// follow the dynamic discipline the pass encodes, so any diagnostic
+// here is either a regression in the code or a false positive in the
+// pass — both are bugs.
+func TestTaintflowCleanOnModule(t *testing.T) {
+	assertCleanModule(t, Taintflow)
+}
+
+// assertCleanModule runs one analyzer over every module package and
+// fails on any finding.
+func assertCleanModule(t *testing.T, a *Analyzer) {
+	t.Helper()
+	world, err := sharedWorld()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	var pkgs []*Package
+	for path, p := range world.Packages {
+		if len(path) >= 8 && path[:8] == "fixture/" {
+			continue
+		}
+		pkgs = append(pkgs, p)
+	}
+	for _, d := range Run(world, pkgs, []*Analyzer{a}) {
+		t.Errorf("unexpected finding in seed tree: %s", Format(world.Fset, d))
+	}
+}

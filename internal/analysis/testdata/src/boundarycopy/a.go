@@ -1,0 +1,61 @@
+// Package a exercises the boundarycopy analyzer with enclave-shaped
+// code: shared-segment access must use the role-checked accessors with
+// the literal enclave role, and exported entry points ingesting
+// untrusted setup data must make a boundary-validation call.
+//
+//rakis:role enclave
+package a
+
+import (
+	"unsafe" // want `enclave-role package imports unsafe`
+
+	"rakis/internal/mem"
+)
+
+// Setup mirrors an untrusted FIOKP setup handoff.
+type Setup struct {
+	Base mem.Addr
+}
+
+// Config carries a Setup like the xsk/iouring configs do.
+type Config struct {
+	Space *mem.Space
+	Setup Setup
+}
+
+// Attach ingests untrusted pointers without validating their placement.
+func Attach(cfg Config) error { // want `exported boundary entry point Attach accepts untrusted setup`
+	_, err := cfg.Space.Bytes(mem.RoleEnclave, cfg.Setup.Base, 16)
+	return err
+}
+
+// AttachChecked performs the Table 2 placement validation first.
+func AttachChecked(cfg Config) error {
+	if !cfg.Space.InUntrusted(cfg.Setup.Base, 16) {
+		return nil
+	}
+	_, err := cfg.Space.Bytes(mem.RoleEnclave, cfg.Setup.Base, 16)
+	return err
+}
+
+// Peek reaches for shared memory with the wrong role constant.
+func Peek(sp *mem.Space, a mem.Addr) ([]byte, error) { // want `exported boundary entry point Peek accepts untrusted setup`
+	return sp.Bytes(mem.RoleHost, a, 16) // want `enclave-role package must pass the literal mem.RoleEnclave`
+}
+
+// EncodeWord is a pure encoder audited as boundary-safe.
+//
+//rakis:boundary-ok operates only on the caller-provided slot
+func EncodeWord(b []byte, a mem.Addr) {
+	b[0] = byte(a)
+}
+
+// helper is unexported: not an entry point.
+func helper(sp *mem.Space, a mem.Addr) ([]byte, error) {
+	return sp.Bytes(mem.RoleEnclave, a, 16)
+}
+
+// rawPeek bypasses the accessors entirely.
+func rawPeek(p *byte) uintptr {
+	return uintptr(unsafe.Pointer(p))
+}

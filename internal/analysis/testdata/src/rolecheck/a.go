@@ -1,0 +1,28 @@
+// Package a exercises the rolecheck analyzer with Monitor-Module-shaped
+// host code: it may watch shared untrusted memory but must never
+// construct enclave roles or address the trusted segment.
+//
+//rakis:role host
+package a
+
+import "rakis/internal/mem"
+
+func allocateTrusted(sp *mem.Space) (mem.Addr, error) {
+	return sp.Alloc(mem.Trusted, 64, 8) // want `host-role package must not use mem.Trusted`
+}
+
+func sneakyEnclaveRead(sp *mem.Space, a mem.Addr) ([]byte, error) {
+	return sp.Bytes(mem.RoleEnclave, a, 16) // want `host-role package must not use mem.RoleEnclave`
+}
+
+func trustedBaseProbe(sp *mem.Space) error {
+	return sp.Check(mem.RoleHost, mem.TrustedBase, 8) // want `host-role package must not use mem.TrustedBase`
+}
+
+func launderedRole(sp *mem.Space, r mem.Role, a mem.Addr) ([]byte, error) {
+	return sp.Bytes(r, a, 16) // want `host-role package must pass the literal mem.RoleHost`
+}
+
+func legitimateHostAccess(sp *mem.Space, a mem.Addr) ([]byte, error) {
+	return sp.Bytes(mem.RoleHost, a, 16) // ok
+}

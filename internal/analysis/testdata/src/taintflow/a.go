@@ -1,0 +1,103 @@
+// Package a exercises the taintflow analyzer with FastPath-Module-shaped
+// code: control words read from untrusted shared memory must pass a
+// //rakis:validator function before steering indices, lengths, bounds,
+// or address arithmetic.
+//
+//rakis:role enclave
+package a
+
+import (
+	"sync/atomic"
+
+	"rakis/internal/mem"
+)
+
+// readCtrl models reading a ring control word from untrusted memory.
+//
+//rakis:untrusted
+func readCtrl() uint32 { return 0 }
+
+// slotBytes models a view of an untrusted ring slot.
+//
+//rakis:untrusted
+func slotBytes() []byte { return make([]byte, 8) }
+
+// checkCtrl is the Table 2 window check.
+//
+//rakis:validator
+func checkCtrl(v uint32) (uint32, bool) { return v, v < 64 }
+
+var buf [64]byte
+
+func unvalidatedIndex() byte {
+	n := readCtrl()
+	return buf[n] // want `untrusted value used as slice index`
+}
+
+func validatedIndex() byte {
+	n := readCtrl()
+	m, ok := checkCtrl(n)
+	if !ok {
+		return 0
+	}
+	return buf[m] // ok: validated
+}
+
+func validatedInPlace() byte {
+	n := readCtrl()
+	if _, ok := checkCtrl(n); !ok {
+		return 0
+	}
+	return buf[n] // ok: n itself was validated
+}
+
+func unvalidatedMake() []byte {
+	sz := readCtrl()
+	return make([]byte, sz) // want `untrusted value used as make length`
+}
+
+func unvalidatedLoop() int {
+	limit := readCtrl()
+	s := 0
+	for i := uint32(0); i < limit; i++ { // want `untrusted value used as loop bound`
+		s++
+	}
+	return s
+}
+
+func unvalidatedOffset(base mem.Addr) mem.Addr {
+	off := readCtrl()
+	return base + mem.Addr(off) // want `untrusted value used as address offset`
+}
+
+func atomicWordIndex(cell *atomic.Uint32) byte {
+	return buf[cell.Load()] // want `untrusted value used as slice index`
+}
+
+func unvalidatedSliceBound(p []byte) []byte {
+	n := readCtrl()
+	return p[:n] // want `untrusted value used as slice bound`
+}
+
+func taintThroughArithmetic() byte {
+	n := readCtrl()
+	i := n/2 + 1
+	return buf[i] // want `untrusted value used as slice index`
+}
+
+func taintThroughSlotContents() byte {
+	slot := slotBytes()
+	j := slot[0]  // reading an element of an untrusted slice taints j
+	return buf[j] // want `untrusted value used as slice index`
+}
+
+func mapKeysAreLookupsNotAccesses(m map[uint32]int) int {
+	n := readCtrl()
+	return m[n] // ok: a hostile key can only miss
+}
+
+func reassignmentKillsTaint() byte {
+	n := readCtrl()
+	n = 3
+	return buf[n] // ok: overwritten with a trusted constant
+}

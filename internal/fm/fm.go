@@ -13,6 +13,8 @@
 // are copied in only after the completion passes validation. RAKIS never
 // places enclave pointers in SQEs — the inverse of the liburing flaw in
 // Appendix A.
+//
+//rakis:role enclave
 package fm
 
 import (

@@ -13,6 +13,7 @@ import (
 	"rakis/internal/iouring"
 	"rakis/internal/mem"
 	"rakis/internal/netstack"
+	"rakis/internal/ring"
 	"rakis/internal/vtime"
 	"rakis/internal/xsk"
 )
@@ -307,10 +308,11 @@ func TestIoUringFileIO(t *testing.T) {
 }
 
 func TestIoUringEnclaveBufferRejected(t *testing.T) {
-	// Appendix A attack, inverted: if an SQE's buffer points into enclave
-	// memory, the simulated SGX protection faults the kernel's access and
-	// the operation fails with EFAULT — the kernel cannot read enclave
-	// data, and RAKIS never submits such SQEs in the first place.
+	// Appendix A attack, inverted: an SQE whose buffer points into
+	// enclave memory must never cross the trust boundary. The FM refuses
+	// it at Submit; and should one reach the kernel anyway, the simulated
+	// SGX protection faults the host's access and the operation fails
+	// with EFAULT.
 	w := newTestWorld(t)
 	w.kern.VFS().WriteFile("/data/secret", []byte("secret"))
 	var clk vtime.Clock
@@ -322,18 +324,64 @@ func TestIoUringEnclaveBufferRejected(t *testing.T) {
 	}
 	trustedAddr, _ := w.kern.Space.Alloc(mem.Trusted, 4096, 64)
 
+	// First line of defense: the FM refuses to expose an enclave pointer.
 	var fmClk vtime.Clock
-	tok, _ := fm.Submit(iouring.SQE{
+	if _, err := fm.Submit(iouring.SQE{
 		Op: iouring.OpRead, FD: int32(fd), Addr: trustedAddr, Len: 6,
-	}, &fmClk)
+	}, &fmClk); !errors.Is(err, iouring.ErrBufferPlacement) {
+		t.Fatalf("Submit with enclave buffer: err = %v, want ErrBufferPlacement", err)
+	}
+	if fm.Outstanding() != 0 {
+		t.Fatal("refused request must not be outstanding")
+	}
+
+	// Second line of defense: bypass the FM and write the hostile SQE
+	// straight into iSub through a raw host-side handle, as compromised
+	// enclave code linked against a pointer-trusting liburing would. The
+	// kernel's own access then hits the SGX protection and EFAULTs.
+	rawSub, err := ring.New(ring.Config{
+		Space: w.kern.Space, Access: mem.RoleHost, Base: setup.SubBase,
+		Size: 8, EntrySize: iouring.SQEBytes, Side: ring.Producer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, err := rawSub.SlotBytes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iouring.PutSQE(slot, iouring.SQE{
+		Op: iouring.OpRead, FD: int32(fd), Addr: trustedAddr, Len: 6, UserData: 42,
+	})
+	rawSub.Submit(1, 0)
 	var mmClk vtime.Clock
 	w.sproc.IoUringEnter(setup.FD, &mmClk)
-	res, err := fm.Wait(tok, &fmClk)
+
+	rawCompl, err := ring.New(ring.Config{
+		Space: w.kern.Space, Access: mem.RoleHost, Base: setup.ComplBase,
+		Size: 8, EntrySize: iouring.CQEBytes, Side: ring.Consumer,
+	})
 	if err != nil {
-		t.Fatalf("wait: %v", err)
+		t.Fatal(err)
 	}
-	if res != -14 { // EFAULT
-		t.Fatalf("res = %d, want -14 (EFAULT)", res)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		avail, _ := rawCompl.Available()
+		if avail > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no completion for bypassed SQE")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cslot, err := rawCompl.SlotBytes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cqe := iouring.GetCQE(cslot)
+	if cqe.UserData != 42 || cqe.Res != -14 { // EFAULT
+		t.Fatalf("cqe = %+v, want UserData=42 Res=-14 (EFAULT)", cqe)
 	}
 }
 

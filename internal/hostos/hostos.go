@@ -8,6 +8,8 @@
 // write shared untrusted memory but is physically unable to touch the
 // simulated enclave segment, which is how a hostile kernel is modelled in
 // tests — it may scribble on rings and UMem but not on trusted state.
+//
+//rakis:role host
 package hostos
 
 import (

@@ -14,6 +14,8 @@
 // result must be plausible for the operation (e.g. a read may not claim
 // more bytes than were requested). Implausible completions are refused
 // and surfaced as -EPERM to the caller.
+//
+//rakis:role enclave
 package iouring
 
 import (
@@ -76,7 +78,11 @@ type SQE struct {
 	UserData uint64
 }
 
-// PutSQE encodes an SQE into a 64-byte slot.
+// PutSQE encodes an SQE into a 64-byte slot. It is a pure encoder: the
+// buffer address in e must have been validated by the caller (see
+// Ring.Submit) before the entry is exposed to the host.
+//
+//rakis:boundary-ok pure encoder; Submit validates the buffer placement
 func PutSQE(b []byte, e SQE) {
 	_ = b[SQEBytes-1]
 	for i := range b[:SQEBytes] {
@@ -92,7 +98,10 @@ func PutSQE(b []byte, e SQE) {
 	le64(b[32:40], e.UserData)
 }
 
-// GetSQE decodes an SQE from a 64-byte slot.
+// GetSQE decodes an SQE from a 64-byte slot. Slots live in shared
+// memory, so every decoded field is host-controlled.
+//
+//rakis:untrusted
 func GetSQE(b []byte) SQE {
 	_ = b[SQEBytes-1]
 	return SQE{
@@ -122,7 +131,11 @@ func PutCQE(b []byte, e CQE) {
 	le32(b[12:16], e.Flags)
 }
 
-// GetCQE decodes a CQE from a 16-byte slot.
+// GetCQE decodes a CQE from a 16-byte slot. Slots live in shared
+// memory, so every decoded field is host-controlled until it passes the
+// Table 2 completion validation in Drain.
+//
+//rakis:untrusted
 func GetCQE(b []byte) CQE {
 	_ = b[CQEBytes-1]
 	return CQE{UserData: ld64(b[0:8]), Res: int32(ld32(b[8:12])), Flags: ld32(b[12:16])}
@@ -175,6 +188,11 @@ var (
 	// ErrTimeout reports a completion that never arrived (availability
 	// failure; the host controls liveness, never integrity).
 	ErrTimeout = errors.New("iouring: completion wait timed out")
+	// ErrBufferPlacement reports an SQE whose buffer range touches
+	// enclave memory. Handing such a pointer to the host would let the
+	// kernel-side copy exfiltrate or corrupt trusted memory — the
+	// liburing flaw of §5 in the opposite direction.
+	ErrBufferPlacement = errors.New("iouring: SQE buffer must not reference enclave memory")
 )
 
 // Ring is the FM's trusted handle on one io_uring instance. Each user
@@ -252,7 +270,14 @@ func (r *Ring) FD() int { return r.fd }
 // Submit places one request on iSub. The returned token identifies the
 // request's completion. The Monitor Module notices the producer advance
 // and issues io_uring_enter on the FM's behalf.
+//
+// The buffer range named by the SQE is about to be dereferenced by the
+// host kernel, so it must not reference enclave memory: RAKIS always
+// points SQEs at bounce buffers in shared memory (§4.1).
 func (r *Ring) Submit(e SQE, clk *vtime.Clock) (uint64, error) {
+	if e.Len > 0 && r.space.IntersectsTrusted(e.Addr, uint64(e.Len)) {
+		return 0, fmt.Errorf("%w: [%#x,+%d)", ErrBufferPlacement, uint64(e.Addr), e.Len)
+	}
 	free, _ := r.Sub.Free()
 	if free == 0 {
 		return 0, ErrFull
@@ -274,6 +299,8 @@ func (r *Ring) Submit(e SQE, clk *vtime.Clock) (uint64, error) {
 }
 
 // resPlausible applies the per-op result validation of Table 2.
+//
+//rakis:validator
 func resPlausible(req SQE, res int32) bool {
 	if res < 0 {
 		// Errors are always a plausible outcome.

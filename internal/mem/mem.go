@@ -178,6 +178,8 @@ func (sp *Space) check(role Role, a Addr, n uint64) (*segment, error) {
 }
 
 // Check validates that role may access the n bytes at a.
+//
+//rakis:validator
 func (sp *Space) Check(role Role, a Addr, n uint64) error {
 	_, err := sp.check(role, a, n)
 	return err
@@ -186,7 +188,11 @@ func (sp *Space) Check(role Role, a Addr, n uint64) error {
 // Bytes returns a mutable view of the n bytes at a, after validating the
 // access for role. The returned slice aliases the segment; callers must
 // respect the ring synchronization discipline when sharing it across
-// goroutines.
+// goroutines. When a resolves into the untrusted segment the contents
+// are host-controlled, so enclave-role callers must treat values read
+// from the slice as tainted.
+//
+//rakis:untrusted
 func (sp *Space) Bytes(role Role, a Addr, n uint64) ([]byte, error) {
 	s, err := sp.check(role, a, n)
 	if err != nil {
@@ -196,7 +202,10 @@ func (sp *Space) Bytes(role Role, a Addr, n uint64) ([]byte, error) {
 	return s.buf[off : off+n : off+n], nil
 }
 
-// U32 reads a little-endian uint32 at a.
+// U32 reads a little-endian uint32 at a. The value is host-controlled
+// when a is in the untrusted segment.
+//
+//rakis:untrusted
 func (sp *Space) U32(role Role, a Addr) (uint32, error) {
 	b, err := sp.Bytes(role, a, 4)
 	if err != nil {
@@ -215,7 +224,10 @@ func (sp *Space) PutU32(role Role, a Addr, v uint32) error {
 	return nil
 }
 
-// U64 reads a little-endian uint64 at a.
+// U64 reads a little-endian uint64 at a. The value is host-controlled
+// when a is in the untrusted segment.
+//
+//rakis:untrusted
 func (sp *Space) U64(role Role, a Addr) (uint64, error) {
 	b, err := sp.Bytes(role, a, 8)
 	if err != nil {
@@ -292,17 +304,34 @@ func (sp *Space) StampBand(a Addr, n uint32) []vtime.Stamp {
 // untrusted segment. This is the FM initialization check from Table 2:
 // pointers handed to the enclave must reference shared memory
 // exclusively, never enclave memory.
+//
+//rakis:validator
 func (sp *Space) InUntrusted(a Addr, n uint64) bool {
 	return sp.untrusted.contains(a, n)
 }
 
 // InTrusted reports whether the whole range [a, a+n) lies inside the
 // trusted segment.
+//
+//rakis:validator
 func (sp *Space) InTrusted(a Addr, n uint64) bool {
 	return sp.trusted.contains(a, n)
 }
 
+// IntersectsTrusted reports whether any byte of [a, a+n) lies inside the
+// trusted segment. It is the check the enclave applies to buffer
+// addresses it is about to hand to the host (e.g. in io_uring SQEs):
+// such a buffer must never expose enclave memory, mirroring the Table 2
+// placement rule in the outbound direction.
+//
+//rakis:validator
+func (sp *Space) IntersectsTrusted(a Addr, n uint64) bool {
+	return Overlaps(a, n, sp.trusted.base, uint64(len(sp.trusted.buf)))
+}
+
 // Overlaps reports whether the ranges [a, a+an) and [b, b+bn) intersect.
+//
+//rakis:validator
 func Overlaps(a Addr, an uint64, b Addr, bn uint64) bool {
 	if an == 0 || bn == 0 {
 		return false

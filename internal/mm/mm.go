@@ -8,6 +8,8 @@
 // The MM holds no trusted state and touches only untrusted memory; its
 // failure affects availability, never integrity (§5: it is outside the
 // TCB and excluded from the security analysis).
+//
+//rakis:role host
 package mm
 
 import (

@@ -18,6 +18,8 @@
 // via Config.GlobalLock, which also routes every packet's processing cost
 // through a single virtual-time Resource so the contention is visible in
 // simulated time.
+//
+//rakis:role enclave
 package netstack
 
 import (

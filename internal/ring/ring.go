@@ -201,6 +201,8 @@ func (r *Ring) violation() error {
 // certified rings, admits it only if the Table 2 constraint holds. It
 // returns the number of entries between the two indices (produced but not
 // yet consumed).
+//
+//rakis:validator
 func (r *Ring) refreshPeer() (uint32, error) {
 	var raw uint32
 	if r.side == Producer {
@@ -262,7 +264,11 @@ func (r *Ring) SlotAddr(i uint32) mem.Addr {
 	return r.base + HeaderBytes + mem.Addr(uint64(idx)*uint64(r.entrySize))
 }
 
-// SlotBytes returns a view of the i-th slot's bytes.
+// SlotBytes returns a view of the i-th slot's bytes. Slot contents live
+// in shared memory: the host can rewrite them at any time, so enclave
+// callers must validate anything they parse out of the slice.
+//
+//rakis:untrusted
 func (r *Ring) SlotBytes(i uint32) ([]byte, error) {
 	return r.space.Bytes(r.access, r.SlotAddr(i), uint64(r.entrySize))
 }
@@ -272,7 +278,10 @@ func (r *Ring) WriteU64(i uint32, v uint64) error {
 	return r.space.PutU64(r.access, r.SlotAddr(i), v)
 }
 
-// ReadU64 loads the first 8 bytes of the i-th slot.
+// ReadU64 loads the first 8 bytes of the i-th slot. The value comes
+// straight from shared memory and is host-controlled.
+//
+//rakis:untrusted
 func (r *Ring) ReadU64(i uint32) (uint64, error) {
 	return r.space.U64(r.access, r.SlotAddr(i))
 }
@@ -343,7 +352,11 @@ func (r *Ring) InvariantHolds() bool {
 	return diff <= r.size
 }
 
-// Flags returns the shared flags word (e.g. need-wakeup).
+// Flags returns the shared flags word (e.g. need-wakeup). The word is
+// host-writable; only individual bits may be trusted, never derived
+// sizes or offsets.
+//
+//rakis:untrusted
 func (r *Ring) Flags() uint32 { return r.flagsCell.Load() }
 
 // SetFlags stores the shared flags word.
@@ -351,10 +364,16 @@ func (r *Ring) SetFlags(v uint32) { r.flagsCell.Store(v) }
 
 // ProducerValue returns the raw shared producer index. The Monitor Module
 // watches this from outside the enclave (§4.3); it is also how tests
-// inspect what the host sees.
+// inspect what the host sees. The raw value has not passed the Table 2
+// check.
+//
+//rakis:untrusted
 func (r *Ring) ProducerValue() uint32 { return r.prodCell.Load() }
 
-// ConsumerValue returns the raw shared consumer index.
+// ConsumerValue returns the raw shared consumer index, unvalidated like
+// ProducerValue.
+//
+//rakis:untrusted
 func (r *Ring) ConsumerValue() uint32 { return r.consCell.Load() }
 
 // Flag bits used by the simulated FIOKPs.

@@ -12,6 +12,8 @@
 //   - The API submodule: routes syscalls to the right IO provider and
 //     aggregates poll across providers by arming asynchronous io_uring
 //     polls for host descriptors while busy-watching enclave UDP sockets.
+//
+//rakis:role enclave
 package sm
 
 import (

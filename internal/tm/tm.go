@@ -176,6 +176,18 @@ func (m *ringModel) apply(r *ring.Ring, sp *mem.Space, s step) {
 		}
 		return
 	}
+	// Slot loops touch at most one lap: beyond size the masked slot
+	// addresses repeat, so extra iterations cover no new state — and an
+	// uncertified ring (the negative control) can report counts in the
+	// billions, which executed literally would stall the explorer. The
+	// hostile count still advances the index in full via Submit/Release,
+	// which is exactly what check() must flag.
+	lap := func(n uint32) uint32 {
+		if n > r.Size() {
+			return r.Size()
+		}
+		return n
+	}
 	switch m.side {
 	case ring.Producer:
 		free, _ := r.Free()
@@ -186,7 +198,7 @@ func (m *ringModel) apply(r *ring.Ring, sp *mem.Space, s step) {
 				r.Submit(1, 0)
 			}
 		case 2:
-			for i := uint32(0); i < free; i++ {
+			for i := uint32(0); i < lap(free); i++ {
 				r.WriteU64(i, uint64(i))
 			}
 			if free > 0 {
@@ -202,7 +214,7 @@ func (m *ringModel) apply(r *ring.Ring, sp *mem.Space, s step) {
 				r.Release(1)
 			}
 		case 2:
-			for i := uint32(0); i < avail; i++ {
+			for i := uint32(0); i < lap(avail); i++ {
 				r.ReadU64(i)
 			}
 			if avail > 0 {
@@ -337,9 +349,18 @@ func VerifyUMem(frames uint32, depth int) Report {
 	return rep
 }
 
-// VerifyCQE exhaustively checks the completion validator against an
+// VerifyCQE exhaustively checks the FM's completion validator against an
 // independent statement of the Table 2 rule for every operation class.
 func VerifyCQE() Report {
+	return VerifyCQEAgainst(iouring.ResPlausibleForTest)
+}
+
+// VerifyCQEAgainst runs the CQE exploration against an arbitrary
+// validator implementation. Substituting a deliberately broken validator
+// lets the Testing Module's own tests confirm the explorer detects a
+// defective FM check rather than vacuously passing (§5.1's
+// fault-injection sanity check).
+func VerifyCQEAgainst(validate func(iouring.SQE, int32) bool) Report {
 	rep := Report{Name: "iouring CQE validation"}
 	reqLens := []uint32{0, 1, 100, 65536}
 	resClasses := func(l uint32) []int32 {
@@ -357,7 +378,7 @@ func VerifyCQE() Report {
 		for _, l := range reqLens {
 			for _, res := range resClasses(l) {
 				rep.Paths++
-				got := iouring.ResPlausibleForTest(iouring.SQE{Op: op, Len: l, OpFlags: uint32(iouring.PollIn)}, res)
+				got := validate(iouring.SQE{Op: op, Len: l, OpFlags: uint32(iouring.PollIn)}, res)
 				want := oracle(op, l, res)
 				if got != want {
 					rep.Violations = append(rep.Violations,

@@ -4,8 +4,75 @@ import (
 	"strings"
 	"testing"
 
+	"rakis/internal/iouring"
 	"rakis/internal/ring"
 )
+
+// The Table 2 ring check is a single modular comparison, 0 ≤ Pt−Ct ≤ St,
+// so its outcome can only change at the window edges. The adversary
+// partition must therefore include representatives with Pt−Ct exactly
+// 0, St, and St+1 — and must keep including them when the indices sit
+// at the u32 wraparound boundary, where a naive (non-modular) partition
+// would miss them.
+func TestAdversaryClassesCoverWindowEdges(t *testing.T) {
+	const size = 4
+	bases := []uint32{
+		0,                 // fresh ring
+		5,                 // mid-range
+		^uint32(0) - 2,    // local+size wraps past zero
+		^uint32(0) - size, // local+size lands exactly on max
+		^uint32(0),        // local itself at max
+	}
+	for _, local := range bases {
+		classes := adversaryClasses(local, size)
+		// diffs this partition reaches, in u32 modular arithmetic.
+		diffs := make(map[uint32]bool, len(classes))
+		for _, v := range classes {
+			diffs[v-local] = true
+		}
+		for _, want := range []uint32{0, size, size + 1} {
+			if !diffs[want] {
+				t.Errorf("base %#x: partition misses Pt-Ct = %d", local, want)
+			}
+		}
+		// The refusal edge must also be approached from below.
+		if !diffs[size-1] {
+			t.Errorf("base %#x: partition misses Pt-Ct = %d (last admissible)", local, size-1)
+		}
+	}
+}
+
+// A deliberately broken FM completion validator must FAIL verification:
+// if the explorer cannot distinguish a validator that accepts everything
+// from the real one, its CQE coverage is vacuous.
+func TestVerifierCatchesBrokenCQEValidator(t *testing.T) {
+	broken := []struct {
+		name string
+		fn   func(iouring.SQE, int32) bool
+	}{
+		{"accept-everything", func(iouring.SQE, int32) bool { return true }},
+		{"missing-length-bound", func(req iouring.SQE, res int32) bool {
+			if res < 0 {
+				return res > -4096
+			}
+			// Forgets that a transfer may not claim more bytes than
+			// requested — the exfiltration-length check of Table 2.
+			return true
+		}},
+		{"reject-everything", func(iouring.SQE, int32) bool { return false }},
+	}
+	for _, b := range broken {
+		rep := VerifyCQEAgainst(b.fn)
+		if rep.OK() {
+			t.Errorf("%s: explorer failed to flag the broken validator", b.name)
+		}
+	}
+	// And the real validator still verifies, so the failures above are
+	// attributable to the injected faults.
+	if rep := VerifyCQEAgainst(iouring.ResPlausibleForTest); !rep.OK() {
+		t.Errorf("real validator flagged: %v", rep.Violations[:min(3, len(rep.Violations))])
+	}
+}
 
 func TestVerifyRingProducer(t *testing.T) {
 	rep := VerifyRing(ring.Producer, 4, 0, 4)

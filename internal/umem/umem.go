@@ -16,6 +16,8 @@
 // and the frame must currently be owned by the routine that is returning
 // it. On violation the frame is refused and the ring consumer is advanced
 // past it (Table 2, "Refuse and advance consumer").
+//
+//rakis:role enclave
 package umem
 
 import (
@@ -177,6 +179,8 @@ func (u *UMem) violation(format string, args ...any) error {
 // and ownership returns to the user pool; the caller must copy the
 // payload out (receive) or simply reuse the frame (send completion)
 // before the next Alloc hands it out again.
+//
+//rakis:validator
 func (u *UMem) ValidateConsumed(routine Owner, offset uint64, length uint32) (uint32, error) {
 	if routine != OwnerFill && routine != OwnerTx {
 		return 0, fmt.Errorf("%w: routine %v", ErrConfig, routine)
@@ -203,7 +207,10 @@ func (u *UMem) Owner(idx uint32) Owner { return u.owner[idx] }
 
 // FrameBytes returns an enclave-role view of length bytes at the given
 // UMem offset, for copying payloads across the trust boundary. The range
-// must already have been validated.
+// must already have been validated; the bytes themselves remain
+// host-writable shared memory.
+//
+//rakis:untrusted
 func (u *UMem) FrameBytes(offset uint64, length uint32) ([]byte, error) {
 	return u.space.Bytes(mem.RoleEnclave, u.base+mem.Addr(offset), uint64(length))
 }

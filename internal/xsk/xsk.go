@@ -18,6 +18,8 @@
 // In Go, enclave-trusted memory is ordinary heap memory; the simulated
 // mem.Space segments exist so these placement checks are real and so the
 // host kernel can only touch the shared segment.
+//
+//rakis:role enclave
 package xsk
 
 import (
@@ -53,7 +55,11 @@ func PutDesc(b []byte, d Desc) {
 	b[12], b[13], b[14], b[15] = byte(d.Opts), byte(d.Opts>>8), byte(d.Opts>>16), byte(d.Opts>>24)
 }
 
-// GetDesc decodes a descriptor from a 16-byte slot.
+// GetDesc decodes a descriptor from a 16-byte slot. Slots live in
+// shared memory, so the decoded offset and length are host-controlled
+// until they pass UMem.ValidateConsumed.
+//
+//rakis:untrusted
 func GetDesc(b []byte) Desc {
 	var d Desc
 	for i := 7; i >= 0; i-- {

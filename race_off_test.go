@@ -3,4 +3,6 @@
 package rakis_test
 
 // raceDetectorEnabled reports whether this binary was built with -race.
+// See race_on_test.go for why CI must run the FM/ring tests under both
+// build modes.
 const raceDetectorEnabled = false

@@ -3,4 +3,15 @@
 package rakis_test
 
 // raceDetectorEnabled reports whether this binary was built with -race.
+//
+// CI runs the FM and ring tests both ways on purpose. The -race run is
+// load-bearing: the enclave and the simulated host kernel exchange data
+// through genuinely shared mem.Space segments, so a missing happens-
+// before edge in the ring protocol (a control word read without the
+// Atomic32 cell, a slot read outside the Submit/Release window) is a
+// real RAKIS bug that only the race detector surfaces — the tests would
+// still pass by luck without it. Conversely, the adversarial scribbling
+// tests ARE intentional data races (the host tampering concurrently
+// with FM reads, as on real SGX hardware) and use this constant to skip
+// themselves under -race; they only run in the uninstrumented pass.
 const raceDetectorEnabled = true

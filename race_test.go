@@ -1,0 +1,30 @@
+package rakis_test
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// TestRaceConstantMatchesBuildMode cross-checks the build-tag-selected
+// raceDetectorEnabled constant against the toolchain's own record of the
+// build. The two race_*.go files gate adversarial tests (which are
+// deliberate data races) and would silently mis-gate them if the build
+// tags ever drifted from the actual instrumentation — e.g. a vendored
+// copy compiled with a stale tag set. ReadBuildInfo reports the -race
+// flag the binary was really built with, independent of tags.
+func TestRaceConstantMatchesBuildMode(t *testing.T) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		t.Skip("binary carries no build info")
+	}
+	built := false
+	for _, s := range bi.Settings {
+		if s.Key == "-race" {
+			built = s.Value == "true"
+		}
+	}
+	if built != raceDetectorEnabled {
+		t.Fatalf("raceDetectorEnabled = %v, but build info says -race=%v",
+			raceDetectorEnabled, built)
+	}
+}

@@ -7,8 +7,14 @@
 #   2. go build ./...  — everything compiles
 #   3. go test ./...   — unit + integration + property tests
 #   4. go test -race   — FM/ring protocol under the race detector (see
-#                        race_on_test.go for why this pass is load-bearing)
-#   5. rakis-lint      — the trust-boundary analyzers (taintflow,
+#                        race_on_test.go for why this pass is load-bearing),
+#                        shuffled so test-order coupling cannot hide
+#   5. fuzz smoke      — 30 s over the committed netstack seed corpus
+#                        (internal/netstack/testdata/fuzz), the §5.2-style
+#                        hostile-frame campaign
+#   6. chaos smoke     — rakis-chaos -profile smoke: every workload under
+#                        fault injection (see DESIGN.md, "Chaos testing")
+#   7. rakis-lint      — the trust-boundary analyzers (taintflow,
 #                        rolecheck, boundarycopy; see DESIGN.md)
 set -eu
 cd "$(dirname "$0")"
@@ -22,8 +28,14 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/..."
-go test -race ./internal/...
+echo "==> go test -race -shuffle=on ./internal/..."
+go test -race -shuffle=on ./internal/...
+
+echo "==> go test -fuzz=FuzzStackInput -fuzztime=30s ./internal/netstack"
+go test -run='^$' -fuzz='^FuzzStackInput$' -fuzztime=30s ./internal/netstack
+
+echo "==> rakis-chaos -profile smoke"
+go run ./cmd/rakis-chaos -profile smoke
 
 echo "==> rakis-lint ./..."
 go run ./cmd/rakis-lint ./...

@@ -1,0 +1,74 @@
+// Command rakis-chaos runs the hostile-host fault-injection matrix:
+// every paper workload (§6) against a RAKIS world whose untrusted side
+// is armed with a chaos profile (internal/chaos). Each cell must uphold
+// the Table 2 discipline — no panic, no trusted-memory access by
+// host-role code, and (for completion profiles) a correct run despite
+// the faults.
+//
+// A failing cell prints the seed that reproduces its fault stream:
+//
+//	rakis-chaos -profile ring -seed 0x1234
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rakis/internal/chaos"
+	"rakis/internal/chaos/harness"
+)
+
+func main() {
+	profileFlag := flag.String("profile", "all", "profile to run (off, smoke, ring, wakeups, cqe, mmdeath, net, hostile, all)")
+	workloadFlag := flag.String("workload", "all", "workload to run ("+strings.Join(harness.Workloads(), ", ")+", all)")
+	seed := flag.Uint64("seed", 0x7261_6b69_73, "base seed; per-cell streams are derived from it")
+	flag.Parse()
+
+	var profiles []chaos.Profile
+	if *profileFlag == "all" {
+		profiles = chaos.ProfileList()
+	} else {
+		p, ok := chaos.Profiles()[*profileFlag]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rakis-chaos: unknown profile %q\n", *profileFlag)
+			os.Exit(2)
+		}
+		profiles = []chaos.Profile{p}
+	}
+	workloads := harness.Workloads()
+	if *workloadFlag != "all" {
+		found := false
+		for _, w := range workloads {
+			if w == *workloadFlag {
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "rakis-chaos: unknown workload %q\n", *workloadFlag)
+			os.Exit(2)
+		}
+		workloads = []string{*workloadFlag}
+	}
+
+	failed := 0
+	for _, p := range profiles {
+		for _, wl := range workloads {
+			if skip, why := harness.Excluded(p, wl); skip {
+				fmt.Printf("%-8s %-10s skipped: %s\n", p.Name, wl, why)
+				continue
+			}
+			res := harness.RunCell(p, wl, harness.CellSeed(*seed, p.Name, wl))
+			fmt.Println(res)
+			if res.Failed(p.RequireCompletion) {
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d cell(s) FAILED (replay: rakis-chaos -seed %#x)\n", failed, *seed)
+		os.Exit(1)
+	}
+	fmt.Println("\nall cells passed")
+}

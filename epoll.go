@@ -80,6 +80,28 @@ func (t *Thread) EpollCtl(epfd, op, fd int, events uint32) error {
 	return nil
 }
 
+// dropFromEpolls purges fd from every epoll interest set. Epoll
+// semantics remove a closed descriptor from all sets watching it; if the
+// registration survived close, the next wait would re-arm an io_uring
+// poll on a descriptor the application no longer owns — reporting a
+// stale PollErr event, or readiness of an unrelated descriptor once the
+// host reuses the number.
+func (rt *Runtime) dropFromEpolls(fd int) {
+	rt.mu.Lock()
+	var eps []*repoll
+	for _, e := range rt.fds {
+		if e.kind == kindEpoll {
+			eps = append(eps, e.ep)
+		}
+	}
+	rt.mu.Unlock()
+	for _, ep := range eps {
+		ep.mu.Lock()
+		delete(ep.interest, fd)
+		ep.mu.Unlock()
+	}
+}
+
 // EpollWait reports ready descriptors via the cross-provider aggregation
 // (§4.2), reusing the thread's armed-poll cache so quiet host
 // descriptors stay armed between waits — the epoll advantage.

@@ -130,6 +130,67 @@ func TestEpollMixedProvidersUnderRakis(t *testing.T) {
 	}
 }
 
+func TestEpollCloseWhileArmed(t *testing.T) {
+	// Regression: closing a descriptor while it sits armed in the
+	// io_uring-poll cache must cancel the armed poll (PollCancels) and
+	// purge it from every epoll interest set — otherwise the next wait
+	// re-arms a poll on a descriptor the application no longer owns and
+	// reports a stale event for it.
+	w := newWorld(t, experiments.RakisSGX, nil)
+	srv, err := w.ServerThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lfd, _ := srv.Socket(sys.TCP)
+	srv.Bind(lfd, 6500)
+	srv.Listen(lfd, 4)
+	cli := w.ClientThread()
+	tfd, _ := cli.Socket(sys.TCP)
+	if err := cli.Connect(tfd, sys.Addr{IP: experiments.KernelIP, Port: 6500}); err != nil {
+		t.Fatal(err)
+	}
+	sfd, _, err := srv.Accept(lfd, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	epfd, _ := srv.EpollCreate()
+	if err := srv.EpollCtl(epfd, sys.EpollCtlAdd, sfd, sys.PollIn); err != nil {
+		t.Fatal(err)
+	}
+	// A quiet zero-timeout wait arms the poll and leaves it cached.
+	evs := make([]sys.EpollEvent, 4)
+	if n, err := srv.EpollWait(epfd, evs, 0); err != nil || n != 0 {
+		t.Fatalf("idle wait = %d, %v", n, err)
+	}
+
+	before := w.Counters.Snapshot()
+	if err := srv.Close(sfd); err != nil {
+		t.Fatal(err)
+	}
+	diff := w.Counters.Snapshot().Sub(before)
+	if diff.PollCancels == 0 {
+		t.Fatal("close of an armed descriptor cancelled no polls")
+	}
+
+	// Data that would have fired the old arm must not surface: the
+	// closed fd is out of the interest set, so the wait sees nothing —
+	// neither readiness nor a stale PollErr from re-arming a poll on the
+	// dead descriptor. The window is long enough for the kernel worker
+	// to answer any such re-arm.
+	cli.Send(tfd, []byte("late"))
+	mid := w.Counters.Snapshot()
+	if n, err := srv.EpollWait(epfd, evs, 50*time.Millisecond); err != nil || n != 0 {
+		t.Fatalf("wait after close = %d, %v (event %+v)", n, err, evs[0])
+	}
+	// And the wait over the now-empty set must not have touched the
+	// ring at all — an arm submitted for the closed descriptor is the
+	// leaked poll this test guards against.
+	if ops := w.Counters.Snapshot().Sub(mid).IoUringOps; ops != 0 {
+		t.Fatalf("wait over purged set submitted %d ring ops", ops)
+	}
+}
+
 func TestRedisWithEpollAllEnvironments(t *testing.T) {
 	// The full Redis workload on the epoll event loop — exercising the
 	// extension end to end in three environments.

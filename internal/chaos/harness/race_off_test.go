@@ -1,0 +1,10 @@
+//go:build !race
+
+package harness_test
+
+// raceDetectorEnabled reports whether this binary was built with -race.
+// Scribbler profiles write shared ring slots concurrently with enclave
+// reads — intentional data races modelling host tampering on real SGX
+// hardware — and must skip themselves under the race detector, which
+// would (correctly, but unhelpfully) flag every one.
+const raceDetectorEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package harness_test
+
+// raceDetectorEnabled reports whether this binary was built with -race.
+// See race_off_test.go; the -race pass still runs the wakeup, CQE, and
+// MM-death profiles, whose faults flow through atomic cells and syscall
+// hooks only — those runs are load-bearing for the recovery ladders'
+// happens-before edges.
+const raceDetectorEnabled = true

@@ -1,0 +1,137 @@
+package chaos
+
+import "time"
+
+// Built-in fault profiles. Two regimes:
+//
+// Completion profiles (RequireCompletion) inject only faults the trusted
+// side provably recovers from — refused ring values heal via the
+// quarantine/resync and republish paths, lost wakeups via the nudge/kick
+// ladder, forged and duplicated CQEs are refused while the genuine
+// completion still arrives, MM death degrades to paid exits. Workloads
+// must finish correctly.
+//
+// The hostile profile additionally enables availability and semantic
+// attacks (result corruption, worker kills, packet loss, and
+// forward-forged ring indices that desync a ring permanently): there the
+// host is allowed to deny service, so the suite only requires that every
+// run terminates cleanly — no panic, no hang past its deadline, and no
+// trusted-memory access by host-role code (Table 2: refuse, don't
+// crash, don't trust).
+
+// Profiles returns the built-in profile set keyed by name.
+func Profiles() map[string]Profile {
+	m := make(map[string]Profile)
+	for _, p := range ProfileList() {
+		m[p.Name] = p
+	}
+	return m
+}
+
+// ProfileList returns the built-in profiles in matrix order.
+func ProfileList() []Profile {
+	return []Profile{
+		{
+			Name:              "off",
+			RequireCompletion: true,
+		},
+		{
+			Name: "smoke",
+			Prob: map[Site]float64{
+				SiteRingCtrl:  0.6,
+				SiteRingFlags: 0.3,
+				SiteRingData:  0.3,
+				SiteWakeDrop:  0.25,
+				SiteWakeDelay: 0.2,
+				SiteWakeDup:   0.2,
+				SiteCQEForge:  0.1,
+				SiteCQEDup:    0.1,
+			},
+			ScribbleEvery:     200 * time.Microsecond,
+			DelayMax:          time.Millisecond,
+			DisableKernelScan: true,
+			RequireCompletion: true,
+			ExpectCounters:    []string{"FaultsInjected", "RingViolations"},
+		},
+		{
+			Name: "ring",
+			Prob: map[Site]float64{
+				SiteRingCtrl:  0.8,
+				SiteRingFlags: 0.4,
+				SiteRingData:  0.4,
+			},
+			ScribbleEvery:     50 * time.Microsecond,
+			RequireCompletion: true,
+			ExpectCounters:    []string{"FaultsInjected", "RingViolations", "RingResyncs"},
+		},
+		{
+			Name: "wakeups",
+			Prob: map[Site]float64{
+				SiteWakeDrop:  0.5,
+				SiteWakeDelay: 0.3,
+				SiteWakeDup:   0.3,
+				SiteMMStall:   0.05,
+			},
+			DelayMax:          2 * time.Millisecond,
+			StallMax:          2 * time.Millisecond,
+			DisableKernelScan: true,
+			RequireCompletion: true,
+			ExpectCounters:    []string{"FaultsInjected", "WakeupRetries"},
+		},
+		{
+			Name: "cqe",
+			Prob: map[Site]float64{
+				SiteCQEForge: 0.4,
+				SiteCQEDup:   0.4,
+			},
+			RequireCompletion: true,
+			ExpectCounters:    []string{"FaultsInjected", "CQEViolations"},
+		},
+		{
+			Name:              "mmdeath",
+			MMKillAfter:       2 * time.Millisecond,
+			DisableKernelScan: true,
+			RequireCompletion: true,
+			ExpectCounters:    []string{"FaultsInjected", "FallbackExits"},
+		},
+		{
+			Name: "net",
+			Prob: map[Site]float64{
+				SiteNetDrop:    0.02,
+				SiteNetCorrupt: 0.02,
+				SiteNetDup:     0.05,
+			},
+			RequireCompletion: true,
+			ExpectCounters:    []string{"FaultsInjected"},
+		},
+		{
+			Name: "hostile",
+			Prob: map[Site]float64{
+				SiteRingCtrl:     0.8,
+				SiteRingFlags:    0.5,
+				SiteRingData:     0.5,
+				SiteWakeDrop:     0.5,
+				SiteWakeDelay:    0.3,
+				SiteWakeDup:      0.3,
+				SiteCQEForge:     0.3,
+				SiteCQEDup:       0.3,
+				SiteCQERes:       0.2,
+				SiteWorkerStall:  0.05,
+				SiteWorkerKill:   0.002,
+				SiteSoftirqStall: 0.02,
+				SiteMMStall:      0.1,
+				SiteNetDrop:      0.05,
+				SiteNetCorrupt:   0.05,
+				SiteNetDup:       0.05,
+			},
+			ScribbleEvery:       100 * time.Microsecond,
+			DelayMax:            2 * time.Millisecond,
+			StallMax:            5 * time.Millisecond,
+			MMKillAfter:         50 * time.Millisecond,
+			DisableKernelScan:   true,
+			ScribbleBeyondOwner: true,
+			RequireCompletion:   false,
+			ExpectCounters:    []string{"FaultsInjected"},
+		},
+	}
+}

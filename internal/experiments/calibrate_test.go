@@ -111,6 +111,14 @@ func TestCalibrationMemcached(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-environment memcached run")
 	}
+	if raceDetectorEnabled {
+		// The C3 band depends on fair real-time scheduling of the four
+		// server goroutines sharing one socket; the race runtime
+		// serializes goroutines (and the chaos harness package runs
+		// concurrently in CI), which skews the measured ratio without
+		// telling us anything about correctness.
+		t.Skip("calibration bands are scheduling-sensitive under -race")
+	}
 	vals := measure(t, Options{NumXSKs: 4, ServerQueues: 8}, func(w *World) float64 {
 		res, err := workloads.Memcached(w.WorkloadEnv(), workloads.MemcachedParams{
 			ServerThreads: 4, Ops: 1500,

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"rakis"
+	"rakis/internal/chaos"
 	"rakis/internal/hostos"
 	"rakis/internal/libos"
 	"rakis/internal/mem"
@@ -83,6 +84,10 @@ type Options struct {
 	GlobalLockStack bool
 	// TrustedBytes and UntrustedBytes size the simulated address space.
 	TrustedBytes, UntrustedBytes int
+	// Chaos arms hostile-host fault injection across the kernel, the NIC
+	// pair, and (in RAKIS environments) the Monitor Module. Nil means a
+	// well-behaved host.
+	Chaos *chaos.Injector
 
 	// paramLabel labels rows produced from these options.
 	paramLabel string
@@ -162,10 +167,16 @@ func NewWorld(opt Options) (*World, error) {
 		Counters: &vtime.Counters{},
 	}
 	w.Kern = hostos.NewKernel(w.Space, model)
+	w.Kern.Chaos = opt.Chaos
+	opt.Chaos.Bind(w.Space, w.Counters)
 	cliDev, srvDev := netsim.NewPair(model,
 		netsim.Config{Name: "eth-client", MAC: [6]byte{2, 0, 0, 0, 0, 1}, Queues: 2},
 		netsim.Config{Name: "eth-server", MAC: [6]byte{2, 0, 0, 0, 0, 2}, Queues: opt.ServerQueues},
 	)
+	// The wire is host-controlled too: both directions get the fault
+	// hooks, and the server NIC's softirq workers can be stalled.
+	cliDev.SetChaos(opt.Chaos)
+	srvDev.SetChaos(opt.Chaos)
 	var err error
 	w.ClientNS, err = w.Kern.AddNetNS("client", cliDev, ClientIP, clientModel(model), nil)
 	if err != nil {
@@ -209,6 +220,7 @@ func NewWorld(opt Options) (*World, error) {
 			Model:           encModel,
 			Counters:        w.Counters,
 			GlobalLockStack: opt.GlobalLockStack,
+			Chaos:           opt.Chaos,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceDetectorEnabled reports whether this binary was built with -race.
+// See race_on_test.go.
+const raceDetectorEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled reports whether this binary was built with -race.
+// See race_off_test.go: the race pass keeps the functional experiment
+// tests but skips scheduling-sensitive calibration bands.
+const raceDetectorEnabled = true

@@ -51,11 +51,26 @@ func Errno(res int32) error {
 // CursorOff is the Off value requesting cursor-relative file IO.
 const CursorOff = ^uint64(0)
 
+// txNudgeAfter and txKickAfter shape the pump's lost-wakeup ladder for
+// xTX, mirroring the io_uring ladder: the Monitor Module sweeps every few
+// microseconds, so entries still pending after txNudgeAfter mean the
+// sendto wakeup was swallowed. A free nudge re-fires it; only if entries
+// remain stranded past txKickAfter does the enclave pay a direct exit.
+const (
+	txNudgeAfter = 2 * time.Millisecond
+	txKickAfter  = 250 * time.Millisecond
+)
+
 // XskPump is the dedicated enclave thread driving one XSK.
 type XskPump struct {
 	sock  *xsk.Socket
 	stack *netstack.Stack
 	model *vtime.Model
+
+	// waker is the lost-wakeup recovery ladder for the TX direction
+	// (xTX is edge-triggered: a swallowed sendto never re-fires on its
+	// own). Optional; set before Start.
+	waker iouring.Waker
 
 	clk  vtime.Clock
 	stop chan struct{}
@@ -82,6 +97,10 @@ func (p *XskPump) Clock() *vtime.Clock { return &p.clk }
 // Socket returns the underlying XSK.
 func (p *XskPump) Socket() *xsk.Socket { return p.sock }
 
+// SetWaker installs the TX lost-wakeup recovery ladder. Call before
+// Start.
+func (p *XskPump) SetWaker(w iouring.Waker) { p.waker = w }
+
 // Start launches the pump thread.
 func (p *XskPump) Start() {
 	go p.run()
@@ -91,6 +110,8 @@ func (p *XskPump) run() {
 	defer close(p.done)
 	p.sock.Refill(&p.clk)
 	idle := 0
+	var stallSince, nudgeAt, kickAt time.Time
+	nudgeBackoff := txNudgeAfter
 	for {
 		select {
 		case <-p.stop:
@@ -105,12 +126,46 @@ func (p *XskPump) run() {
 			if idle > 16 {
 				time.Sleep(20 * time.Microsecond)
 			}
+			// TX recovery ladder: entries stranded on xTX mean a lost
+			// sendto wakeup (edge-triggered — nothing re-fires it).
+			if p.waker.Nudge != nil || p.waker.Kick != nil {
+				if p.sock.TxPending() {
+					now := time.Now()
+					if stallSince.IsZero() {
+						stallSince = now
+						nudgeBackoff = txNudgeAfter
+						nudgeAt = now.Add(nudgeBackoff)
+						kickAt = now.Add(txKickAfter)
+					}
+					dead := p.waker.Dead != nil && p.waker.Dead()
+					switch {
+					case p.waker.Kick != nil && (dead || now.After(kickAt)):
+						p.waker.Kick()
+						p.retry()
+						kickAt = now.Add(txKickAfter)
+					case p.waker.Nudge != nil && !dead && now.After(nudgeAt):
+						p.waker.Nudge()
+						p.retry()
+						nudgeBackoff *= 2
+						nudgeAt = now.Add(nudgeBackoff)
+					}
+				} else {
+					stallSince = time.Time{}
+				}
+			}
 			continue
 		}
 		idle = 0
 		p.clk.Advance(p.model.FMPerPacket)
 		p.stack.Input(payload, &p.clk)
 		p.sock.Refill(&p.clk)
+	}
+}
+
+// retry records one rung of the recovery ladder.
+func (p *XskPump) retry() {
+	if c := p.sock.Counters(); c != nil {
+		c.WakeupRetries.Add(1)
 	}
 }
 
@@ -160,9 +215,42 @@ func NewUringFM(ring *iouring.Ring, space *mem.Space, model *vtime.Model, bounce
 // Ring returns the underlying certified ring pair.
 func (u *UringFM) Ring() *iouring.Ring { return u.ring }
 
+// submitRetryMax bounds how often submitWait retries a full submission
+// ring before surfacing ErrFull: the kernel consuming slowly (or a lost
+// wakeup stalling consumption entirely) is an availability problem the
+// FM rides out with bounded backoff, not an error on the first try.
+const submitRetryMax = 25
+
+// submitRetry submits one SQE, riding out a full iSub with doubling
+// backoff: each retry drains any parked completions (emptying the
+// outstanding set is what re-enables the ring's cons==prod
+// reconciliation) and escalates through the waker so a lost consumption
+// wakeup gets re-issued. A full ring is also how a scribbled consumer
+// cell presents — the refused read pins Free at its last trusted value —
+// so the retries double as the window in which quarantine-and-resync
+// heals the cell.
+func (u *UringFM) submitRetry(e iouring.SQE, clk *vtime.Clock) (uint64, error) {
+	backoff := 20 * time.Microsecond
+	for attempt := 0; ; attempt++ {
+		tok, err := u.ring.Submit(e, clk)
+		if err == nil || !errors.Is(err, iouring.ErrFull) || attempt >= submitRetryMax {
+			return tok, err
+		}
+		u.ring.Drain(clk)
+		u.ring.Escalate()
+		if c := u.ring.Counters(); c != nil {
+			c.SubmitRetries.Add(1)
+		}
+		time.Sleep(backoff)
+		if backoff < 2*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
 // submitWait is the synchronous submit-then-wait core.
 func (u *UringFM) submitWait(e iouring.SQE, clk *vtime.Clock) (int32, error) {
-	tok, err := u.ring.Submit(e, clk)
+	tok, err := u.submitRetry(e, clk)
 	if err != nil {
 		return 0, err
 	}
@@ -322,7 +410,7 @@ func (u *UringFM) Fsync(fd int, clk *vtime.Clock) error {
 // SubmitPoll arms an asynchronous poll on a host descriptor and returns
 // its token; the API submodule aggregates it with enclave-side sources.
 func (u *UringFM) SubmitPoll(fd int, events uint32, clk *vtime.Clock) (uint64, error) {
-	return u.ring.Submit(iouring.SQE{
+	return u.submitRetry(iouring.SQE{
 		Op: iouring.OpPollAdd, FD: int32(fd), OpFlags: events,
 	}, clk)
 }
@@ -330,6 +418,19 @@ func (u *UringFM) SubmitPoll(fd int, events uint32, clk *vtime.Clock) (uint64, e
 // TryPoll checks an armed poll without blocking.
 func (u *UringFM) TryPoll(token uint64, clk *vtime.Clock) (int32, bool, error) {
 	return u.ring.TryWait(token, clk)
+}
+
+// Escalate forces a consumption wakeup for completions the kernel may
+// have produced while a scribbled index cell hides them. The blocking
+// Wait path rides its own nudge→kick ladder, but polls parked in the
+// API submodule's aggregation loop only ever TryPoll — an idle kernel
+// would never republish the cell and the loop would spin forever, so
+// the aggregation escalates explicitly after a stall.
+func (u *UringFM) Escalate() {
+	u.ring.Escalate()
+	if c := u.ring.Counters(); c != nil {
+		c.WakeupRetries.Add(1)
+	}
 }
 
 // CancelPoll abandons an armed poll: a poll_remove operation cancels the

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"rakis/internal/chaos"
 	"rakis/internal/mem"
 	"rakis/internal/netsim"
 	"rakis/internal/netstack"
@@ -47,6 +48,11 @@ const (
 type Kernel struct {
 	Space *mem.Space
 	Model *vtime.Model
+
+	// Chaos, when non-nil, makes this kernel hostile: the fault-injection
+	// hooks in the wakeup syscalls, the io_uring worker, and the XSK
+	// paths consult it. A nil injector is the well-behaved host.
+	Chaos *chaos.Injector
 
 	vfs *VFS
 

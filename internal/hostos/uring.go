@@ -1,9 +1,11 @@
 package hostos
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
+	"rakis/internal/chaos"
 	"rakis/internal/iouring"
 	"rakis/internal/mem"
 	"rakis/internal/netstack"
@@ -64,6 +66,14 @@ func (p *Proc) IoUringSetup(entries uint32, clk *vtime.Clock) (iouring.Setup, er
 		return iouring.Setup{}, err
 	}
 	u.fd = k.installFD(u)
+	k.Chaos.RegisterRing(chaos.RingRegion{
+		Name: fmt.Sprintf("uring%d-sub", u.fd), Base: subB,
+		Size: entries, EntrySize: iouring.SQEBytes, KernelSide: ring.Consumer,
+	})
+	k.Chaos.RegisterRing(chaos.RingRegion{
+		Name: fmt.Sprintf("uring%d-compl", u.fd), Base: complB,
+		Size: entries, EntrySize: iouring.CQEBytes, KernelSide: ring.Producer,
+	})
 	go u.worker()
 	return iouring.Setup{FD: u.fd, SubBase: subB, ComplBase: complB}, nil
 }
@@ -83,11 +93,33 @@ func (p *Proc) IoUringEnter(fd int, clk *vtime.Clock) error {
 	if p.Counters != nil {
 		p.Counters.Wakeups.Add(1)
 	}
+	// Fault sites (b): the host may lose, defer, or repeat the wakeup.
+	// The syscall itself still "succeeds" — the enclave cannot observe
+	// the loss except as a stalled completion.
+	inj := p.kern.Chaos
+	if inj.WakeDrop() {
+		return nil
+	}
+	if d := inj.WakeDelay(); d > 0 {
+		go func() {
+			time.Sleep(d)
+			u.kick()
+		}()
+	} else {
+		u.kick()
+	}
+	if inj.WakeDup() {
+		u.kick()
+	}
+	return nil
+}
+
+// kick delivers one (possibly coalesced) wakeup to the worker.
+func (u *uringKernel) kick() {
 	select {
 	case u.wake <- struct{}{}:
 	default:
 	}
-	return nil
 }
 
 func (u *uringKernel) stop() {
@@ -96,15 +128,46 @@ func (u *uringKernel) stop() {
 
 // worker drains the submission ring whenever kicked.
 func (u *uringKernel) worker() {
+	inj := u.kern.Chaos
+	// Periodic scan as a safety net against lost wakeups. Chaos profiles
+	// that inject wakeup loss disable it so the loss actually stalls and
+	// the enclave's recovery ladder — not this timer — must save the run.
+	scan := 5 * time.Millisecond
+	if inj.KernelScanDisabled() {
+		scan = time.Hour
+	}
 	for {
 		select {
 		case <-u.done:
 			return
 		case <-u.wake:
-		case <-time.After(5 * time.Millisecond):
-			// Periodic scan as a safety net against lost wakeups.
+		case <-time.After(scan):
 		}
-		for {
+		if inj.WorkerKill() {
+			// Fault site (c): the kernel routine dies. Outstanding and
+			// future operations on this ring never complete; the enclave
+			// surfaces ErrTimeout, never corruption.
+			return
+		}
+		if d := inj.WorkerStall(); d > 0 {
+			time.Sleep(d)
+		}
+		// Republish both kernel-owned indices: a scribbled cell normally
+		// heals on the kernel's next Submit/Release, but an idle kernel
+		// makes no stores — republishing on every wakeup lets the
+		// enclave's nudge ladder force the heal.
+		u.sub.Republish()
+		u.complMu.Lock()
+		u.compl.Republish()
+		u.complMu.Unlock()
+		if ud, res, ok := inj.CQEForge(); ok {
+			// Fault site (b): a completion the enclave never asked for.
+			u.complete(ud, res, 0)
+		}
+		// Bound the drain at one ring's worth per pass: the submission
+		// ring is uncertified on this side, so a hostile producer value
+		// must not turn into a multi-billion-iteration loop.
+		for drained := uint32(0); drained < u.sub.Size(); drained++ {
 			avail, _ := u.sub.Available()
 			if avail == 0 {
 				break
@@ -130,13 +193,13 @@ func (u *uringKernel) worker() {
 			clk.SyncAdvance(start, m.IoUringDispatch)
 			switch sqe.Op {
 			case iouring.OpNop, iouring.OpPollRemove, iouring.OpFsync, iouring.OpWrite:
-				u.complete(sqe.UserData, u.execute(sqe, &clk), clk.Now())
+				u.complete(sqe.UserData, u.hostileRes(sqe, u.execute(sqe, &clk)), clk.Now())
 				continue
 			case iouring.OpPollAdd:
 				if obj, err := u.kern.lookupFD(int(sqe.FD)); err == nil {
 					if re := pollReadiness(sqe, obj); re > 0 {
 						clk.Advance(m.PollPerFD)
-						u.complete(sqe.UserData, re, clk.Now())
+						u.complete(sqe.UserData, u.hostileRes(sqe, re), clk.Now())
 						continue
 					}
 				}
@@ -146,28 +209,44 @@ func (u *uringKernel) worker() {
 				var opClk vtime.Clock
 				opClk.Sync(start)
 				res := u.execute(sqe, &opClk)
-				u.complete(sqe.UserData, res, opClk.Now())
+				u.complete(sqe.UserData, u.hostileRes(sqe, res), opClk.Now())
 			}(sqe, now)
 		}
 	}
+}
+
+// hostileRes gives chaos a chance to replace a genuine result with a
+// hostile errno/short-count value (fault site (d)).
+func (u *uringKernel) hostileRes(sqe iouring.SQE, res int32) int32 {
+	if v, ok := u.kern.Chaos.CQERes(sqe.Len); ok {
+		return v
+	}
+	return res
 }
 
 // complete publishes one CQE.
 func (u *uringKernel) complete(userData uint64, res int32, now uint64) {
 	u.complMu.Lock()
 	defer u.complMu.Unlock()
-	free, _ := u.compl.Free()
-	if free == 0 {
-		// Completion overflow: drop, as the kernel does when the CQ is
-		// full and overflow handling is off.
-		return
+	dup := 1
+	if u.kern.Chaos.CQEDup() {
+		// Fault site (b): the same completion posted twice.
+		dup = 2
 	}
-	cslot, err := u.compl.SlotBytes(0)
-	if err != nil {
-		return
+	for i := 0; i < dup; i++ {
+		free, _ := u.compl.Free()
+		if free == 0 {
+			// Completion overflow: drop, as the kernel does when the CQ is
+			// full and overflow handling is off.
+			return
+		}
+		cslot, err := u.compl.SlotBytes(0)
+		if err != nil {
+			return
+		}
+		iouring.PutCQE(cslot, iouring.CQE{UserData: userData, Res: res})
+		u.compl.Submit(1, now)
 	}
-	iouring.PutCQE(cslot, iouring.CQE{UserData: userData, Res: res})
-	u.compl.Submit(1, now)
 }
 
 // Errno values surfaced through CQE results.

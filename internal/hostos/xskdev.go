@@ -3,7 +3,9 @@ package hostos
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"rakis/internal/chaos"
 	"rakis/internal/mem"
 	"rakis/internal/ring"
 	"rakis/internal/vtime"
@@ -96,6 +98,19 @@ func (p *Proc) XSKSetup(ns *NetNS, queueID int, ringSize, frameSize, frameCount 
 		return XSKSetupResult{}, err
 	}
 	x.fd = k.installFD(x)
+	for _, rg := range []chaos.RingRegion{
+		{Name: fmt.Sprintf("xsk%d-fill", x.fd), Base: fillB, EntrySize: xsk.FillEntryBytes,
+			KernelSide: ring.Consumer, Flags: true},
+		{Name: fmt.Sprintf("xsk%d-rx", x.fd), Base: rxB, EntrySize: xsk.DescBytes,
+			KernelSide: ring.Producer},
+		{Name: fmt.Sprintf("xsk%d-tx", x.fd), Base: txB, EntrySize: xsk.DescBytes,
+			KernelSide: ring.Consumer},
+		{Name: fmt.Sprintf("xsk%d-compl", x.fd), Base: complB, EntrySize: xsk.FillEntryBytes,
+			KernelSide: ring.Producer},
+	} {
+		rg.Size = ringSize
+		k.Chaos.RegisterRing(rg)
+	}
 
 	ns.mu.Lock()
 	ns.xsks[queueID] = x
@@ -181,9 +196,15 @@ func (x *xskKernel) deliver(frame []byte, clk *vtime.Clock) {
 func (x *xskKernel) processTX(clk *vtime.Clock) int {
 	x.txMu.Lock()
 	defer x.txMu.Unlock()
+	// Republish the kernel-owned indices so a scribbled cell heals even
+	// when no entries move this pass, and bound the drain at one ring's
+	// worth — the tx ring is uncertified on this side, so a hostile
+	// producer value must not become an unbounded loop.
+	x.tx.Republish()
+	x.compl.Republish()
 	m := x.ns.kern.Model
 	n := 0
-	for {
+	for drained := uint32(0); drained < x.tx.Size(); drained++ {
 		avail, _ := x.tx.Available()
 		if avail == 0 {
 			break
@@ -235,7 +256,26 @@ func (p *Proc) XSKSendto(fd int, clk *vtime.Clock) (int, error) {
 	if p.Counters != nil {
 		p.Counters.Wakeups.Add(1)
 	}
-	return x.processTX(clk), nil
+	// Fault sites (b): the wakeup may be lost, deferred, or repeated.
+	inj := p.kern.Chaos
+	if inj.WakeDrop() {
+		return 0, nil
+	}
+	if d := inj.WakeDelay(); d > 0 {
+		at := clk.Now()
+		go func() {
+			time.Sleep(d)
+			var dclk vtime.Clock
+			dclk.Sync(at)
+			x.processTX(&dclk)
+		}()
+		return 0, nil
+	}
+	n := x.processTX(clk)
+	if inj.WakeDup() {
+		n += x.processTX(clk)
+	}
+	return n, nil
 }
 
 // XSKRecvfrom is the recvfrom(fd) wakeup: it clears the fill ring's
@@ -253,6 +293,30 @@ func (p *Proc) XSKRecvfrom(fd int, clk *vtime.Clock) error {
 	if p.Counters != nil {
 		p.Counters.Wakeups.Add(1)
 	}
-	x.fill.SetFlags(0)
+	inj := p.kern.Chaos
+	if inj.WakeDrop() {
+		return nil
+	}
+	if d := inj.WakeDelay(); d > 0 {
+		go func() {
+			time.Sleep(d)
+			x.resumeRX()
+		}()
+		return nil
+	}
+	x.resumeRX()
+	if inj.WakeDup() {
+		x.resumeRX()
+	}
 	return nil
+}
+
+// resumeRX clears need-wakeup and republishes the kernel-owned receive
+// indices (scribble healing for an otherwise idle receive path).
+func (x *xskKernel) resumeRX() {
+	x.rxMu.Lock()
+	x.fill.Republish()
+	x.rx.Republish()
+	x.rxMu.Unlock()
+	x.fill.SetFlags(0)
 }

@@ -1,0 +1,134 @@
+package iouring
+
+import (
+	"testing"
+
+	"rakis/internal/vtime"
+)
+
+// Adversarial CQE table: a hostile kernel controls the completion ring
+// bytes entirely, so it can duplicate, forge, and reorder completions at
+// will. Table 2's discipline requires the FM to refuse everything it
+// cannot match to an outstanding request — counting the refusal — while
+// still routing every genuine completion to its requester.
+
+// advCQE is one hostile posting: a genuine submission's token
+// (subIdx >= 0) or a forged userData (subIdx < 0).
+type advCQE struct {
+	subIdx   int
+	userData uint64
+	res      int32
+}
+
+func TestAdversarialCQETable(t *testing.T) {
+	cases := []struct {
+		name     string
+		submits  int      // OpRead Len=100 submissions, in order
+		cqes     []advCQE // kernel postings, in order
+		wantRes  map[int]int32
+		wantViol uint64
+	}{
+		{
+			// The same userData posted twice: the first is genuine, the
+			// second must be refused — its token was consumed.
+			name:     "duplicate userData",
+			submits:  1,
+			cqes:     []advCQE{{subIdx: 0, res: 7}, {subIdx: 0, res: 99}},
+			wantRes:  map[int]int32{0: 7},
+			wantViol: 1,
+		},
+		{
+			// A completion for a request that was never submitted must
+			// not shadow the genuine one behind it.
+			name:    "never-submitted token",
+			submits: 1,
+			cqes: []advCQE{
+				{subIdx: -1, userData: 1<<48 | 5, res: 3},
+				{subIdx: 0, res: 7},
+			},
+			wantRes:  map[int]int32{0: 7},
+			wantViol: 1,
+		},
+		{
+			// Token zero is never issued (tokens start at 1); posting it
+			// probes the uninitialised-entry edge.
+			name:     "zero token",
+			submits:  1,
+			cqes:     []advCQE{{subIdx: -1, userData: 0, res: 0}, {subIdx: 0, res: 4}},
+			wantRes:  map[int]int32{0: 4},
+			wantViol: 1,
+		},
+		{
+			// Completions may legally arrive in any order; each must
+			// reach its own requester with its own result.
+			name:    "reordered completions",
+			submits: 3,
+			cqes: []advCQE{
+				{subIdx: 2, res: 30},
+				{subIdx: 0, res: 10},
+				{subIdx: 1, res: 20},
+			},
+			wantRes:  map[int]int32{0: 10, 1: 20, 2: 30},
+			wantViol: 0,
+		},
+		{
+			// Forgeries interleaved with reordered genuine answers plus a
+			// replay of an already-consumed token: only the two genuine
+			// first-arrivals may land.
+			name:    "forgery storm",
+			submits: 2,
+			cqes: []advCQE{
+				{subIdx: -1, userData: 1<<48 | 1, res: 1},
+				{subIdx: 1, res: 21},
+				{subIdx: -1, userData: ^uint64(0), res: -1},
+				{subIdx: 0, res: 11},
+				{subIdx: 1, res: 99}, // replayed after consumption
+			},
+			wantRes:  map[int]int32{0: 11, 1: 21},
+			wantViol: 3,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fm, kSub, kCompl, _, ctrs := pair(t, 16)
+			var clk vtime.Clock
+			tokens := make([]uint64, c.submits)
+			for i := range tokens {
+				tok, err := fm.Submit(SQE{Op: OpRead, FD: 1, Len: 100}, &clk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tokens[i] = tok
+			}
+			if avail, _ := kSub.Available(); avail != uint32(c.submits) {
+				t.Fatalf("kernel sees %d SQEs, want %d", avail, c.submits)
+			}
+			kSub.Release(uint32(c.submits))
+			for _, q := range c.cqes {
+				ud := q.userData
+				if q.subIdx >= 0 {
+					ud = tokens[q.subIdx]
+				}
+				cslot, err := kCompl.SlotBytes(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				PutCQE(cslot, CQE{UserData: ud, Res: q.res})
+				kCompl.Submit(1, 0)
+			}
+			fm.Drain(&clk)
+			for idx, want := range c.wantRes {
+				res, err := fm.Wait(tokens[idx], &clk)
+				if err != nil || res != want {
+					t.Errorf("submission %d: res = %d, %v; want %d", idx, res, err, want)
+				}
+			}
+			if got := ctrs.CQEViolations.Load(); got != c.wantViol {
+				t.Errorf("CQEViolations = %d, want %d", got, c.wantViol)
+			}
+			if fm.Outstanding() != 0 {
+				t.Errorf("outstanding = %d after all completions", fm.Outstanding())
+			}
+		})
+	}
+}

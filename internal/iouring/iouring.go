@@ -174,6 +174,38 @@ type Config struct {
 	Entries  uint32 // trusted ring size
 	Counters *vtime.Counters
 	Model    *vtime.Model
+	// WaitTimeout bounds how long Wait spins for one completion before
+	// giving up with ErrTimeout (availability failure; the host controls
+	// liveness, never integrity). Zero selects the default.
+	WaitTimeout time.Duration
+	// Waker is the escalation path for stalled completions; the zero
+	// value disables escalation.
+	Waker Waker
+}
+
+// DefaultWaitTimeout is the completion-wait bound when the configuration
+// does not specify one.
+const DefaultWaitTimeout = 10 * time.Second
+
+// Waker is how a Ring escalates when submitted work is provably sitting
+// unconsumed in iSub and no completion arrives (§4.3: the Monitor Module
+// is availability-critical but untrusted; losing its wakeups must cost
+// throughput, not correctness).
+//
+// The ladder has two rungs: Nudge rings a shared-memory doorbell asking
+// the MM to re-issue wakeup syscalls — exit-free, so a spurious nudge is
+// harmless. Kick issues io_uring_enter directly from the enclave thread —
+// a paid enclave exit, used only when nudging has not helped or the MM is
+// known dead.
+type Waker struct {
+	// Nudge requests an immediate forced MM sweep. May be nil.
+	Nudge func()
+	// Kick issues the wakeup syscall directly (one enclave exit). May be
+	// nil.
+	Kick func()
+	// Dead reports whether the MM has terminated, in which case Wait
+	// skips the nudge rung entirely. May be nil.
+	Dead func() bool
 }
 
 // Errors returned by the FM.
@@ -202,10 +234,18 @@ type Ring struct {
 	Sub   *ring.Ring
 	Compl *ring.Ring
 
-	fd       int
-	space    *mem.Space
-	model    *vtime.Model
-	counters *vtime.Counters
+	fd          int
+	space       *mem.Space
+	model       *vtime.Model
+	counters    *vtime.Counters
+	waitTimeout time.Duration
+	waker       Waker
+
+	// wedged is set after a Wait exhausts the full timeout: the kernel
+	// side is presumed dead (a killed SQ worker never recovers), so
+	// later Waits fail fast instead of paying the full timeout per
+	// operation. A completion that does arrive clears it.
+	wedged bool
 
 	nextToken   uint64
 	outstanding map[uint64]SQE // trusted copies of submitted requests
@@ -238,9 +278,14 @@ func Attach(cfg Config) (*Ring, error) {
 	if mem.Overlaps(cfg.Setup.SubBase, subBytes, cfg.Setup.ComplBase, complBytes) {
 		return nil, fmt.Errorf("%w: iSub overlaps iCompl", ErrSetup)
 	}
+	if cfg.WaitTimeout <= 0 {
+		cfg.WaitTimeout = DefaultWaitTimeout
+	}
 	r := &Ring{
 		fd: cfg.Setup.FD, space: cfg.Space, model: cfg.Model,
 		counters:    cfg.Counters,
+		waitTimeout: cfg.WaitTimeout,
+		waker:       cfg.Waker,
 		outstanding: make(map[uint64]SQE),
 		results:     make(map[uint64]result),
 	}
@@ -267,6 +312,25 @@ func Attach(cfg Config) (*Ring, error) {
 // FD returns the ring's file descriptor (used by the Monitor Module).
 func (r *Ring) FD() int { return r.fd }
 
+// SetWaker installs the escalation ladder after construction (the runtime
+// wires it once the Monitor Module watch exists).
+func (r *Ring) SetWaker(w Waker) { r.waker = w }
+
+// Counters returns the ring's counter sink (shared with the FM layer).
+func (r *Ring) Counters() *vtime.Counters { return r.counters }
+
+// Escalate fires one waker rung for a stalled submission ring: the free
+// nudge while the Monitor Module lives, the paid kick once it is dead.
+func (r *Ring) Escalate() {
+	if r.waker.Dead != nil && r.waker.Dead() && r.waker.Kick != nil {
+		r.waker.Kick()
+		return
+	}
+	if r.waker.Nudge != nil {
+		r.waker.Nudge()
+	}
+}
+
 // Submit places one request on iSub. The returned token identifies the
 // request's completion. The Monitor Module notices the producer advance
 // and issues io_uring_enter on the FM's behalf.
@@ -279,6 +343,9 @@ func (r *Ring) Submit(e SQE, clk *vtime.Clock) (uint64, error) {
 		return 0, fmt.Errorf("%w: [%#x,+%d)", ErrBufferPlacement, uint64(e.Addr), e.Len)
 	}
 	free, _ := r.Sub.Free()
+	if free == 0 {
+		free = r.reconcileSub()
+	}
 	if free == 0 {
 		return 0, ErrFull
 	}
@@ -294,8 +361,29 @@ func (r *Ring) Submit(e SQE, clk *vtime.Clock) (uint64, error) {
 	r.outstanding[e.UserData] = e
 	if r.counters != nil {
 		r.counters.IoUringOps.Add(1)
+		if e.Op == OpPollRemove {
+			r.counters.PollCancels.Add(1)
+		}
 	}
 	return e.UserData, nil
+}
+
+// reconcileSub recovers a submission ring stuck behind a scribbled
+// consumer cell. When every request the FM ever submitted has either a
+// validated completion already consumed or a completion still parked in
+// results, the kernel provably consumed every SQE — certified CQEs only
+// exist for consumed SQEs — so cons == prod can be re-derived from
+// trusted state alone and published over the hostile cell. Returns the
+// post-resync free count.
+func (r *Ring) reconcileSub() uint32 {
+	if len(r.outstanding) != 0 || len(r.dropSet) != 0 {
+		return 0
+	}
+	if err := r.Sub.ResyncPeer(r.Sub.Local()); err != nil {
+		return 0
+	}
+	free, _ := r.Sub.Free()
+	return free
 }
 
 // resPlausible applies the per-op result validation of Table 2.
@@ -402,16 +490,65 @@ func (r *Ring) Forget(token uint64) {
 // oracle (§5.1).
 func ResPlausibleForTest(req SQE, res int32) bool { return resPlausible(req, res) }
 
+// Escalation ladder timing for Wait. Nudges are exit-free, so the first
+// rung fires early; Kick pays an enclave exit and waits far past the
+// kernel worker's own periodic scan so clean runs never pay it.
+const (
+	nudgeAfter = 2 * time.Millisecond
+	kickAfter  = 250 * time.Millisecond
+)
+
 // Wait blocks until the completion for token arrives, validates it, and
 // returns its result (the SyncProxy path: the user expects synchronous
 // semantics, §4.2).
+//
+// If the completion stalls while SQEs provably sit unconsumed in iSub —
+// the signature of a lost wakeup — Wait climbs the Waker ladder: repeated
+// exit-free nudges to the Monitor Module with doubling backoff, then a
+// paid direct kick, immediately skipping to the kick rung when the MM is
+// known dead. A completion that never arrives within the wait timeout
+// surfaces as ErrTimeout: the host can always withhold service, but only
+// at an availability cost (§4.3).
+// wedgedTimeout replaces waitTimeout once a previous Wait has already
+// proven the kernel side unresponsive.
+const wedgedTimeout = 100 * time.Millisecond
+
 func (r *Ring) Wait(token uint64, clk *vtime.Clock) (int32, error) {
-	deadline := time.Now().Add(10 * time.Second)
+	start := time.Now()
+	limit := r.waitTimeout
+	if r.wedged && limit > wedgedTimeout {
+		limit = wedgedTimeout
+	}
+	deadline := start.Add(limit)
+	nudgeAt := start.Add(nudgeAfter)
+	kickAt := start.Add(kickAfter)
+	nudgeBackoff := nudgeAfter
 	spins := 0
 	for {
 		res, done, err := r.TryWait(token, clk)
 		if done {
+			r.wedged = false
 			return res, err
+		}
+		now := time.Now()
+		if r.unconsumedSub() {
+			mmDead := r.waker.Dead != nil && r.waker.Dead()
+			if mmDead || now.After(kickAt) {
+				if r.waker.Kick != nil {
+					r.waker.Kick()
+					if r.counters != nil {
+						r.counters.WakeupRetries.Add(1)
+					}
+				}
+				kickAt = now.Add(kickAfter)
+			} else if now.After(nudgeAt) && r.waker.Nudge != nil {
+				r.waker.Nudge()
+				if r.counters != nil {
+					r.counters.WakeupRetries.Add(1)
+				}
+				nudgeBackoff *= 2
+				nudgeAt = now.Add(nudgeBackoff)
+			}
 		}
 		spins++
 		if spins < 64 {
@@ -419,11 +556,22 @@ func (r *Ring) Wait(token uint64, clk *vtime.Clock) (int32, error) {
 		} else {
 			time.Sleep(20 * time.Microsecond)
 		}
-		if time.Now().After(deadline) {
+		if now.After(deadline) {
+			r.wedged = true
 			delete(r.outstanding, token)
 			return 0, ErrTimeout
 		}
 	}
+}
+
+// unconsumedSub reports whether iSub entries the FM published are still
+// unconsumed as far as trusted state can tell. A refused (scribbled)
+// consumer cell keeps the last trusted value, which also reads as
+// unconsumed — escalating is correct there too, since the sweep that
+// follows costs nothing when no work is actually pending.
+func (r *Ring) unconsumedSub() bool {
+	free, _ := r.Sub.Free()
+	return free < r.Sub.Size()
 }
 
 // Outstanding returns the number of in-flight requests (for tests).

@@ -121,6 +121,16 @@ type Space struct {
 	atomics map[Addr]*atomic.Uint32
 	stamps  map[Addr]*vtime.Stamp
 	bands   map[Addr][]vtime.Stamp
+
+	// hostTrustedDenied counts host-role accesses to trusted memory that
+	// the protection refused (the abort-page analogue firing).
+	hostTrustedDenied atomic.Uint64
+	// hostTrustedGranted is the chaos suite's tripwire: it counts
+	// host-role accesses to trusted memory that were GRANTED. The guard
+	// in check makes this unreachable by construction; the counter exists
+	// so that a future regression weakening the guard turns into a loud
+	// nonzero assertion failure instead of a silent integrity hole.
+	hostTrustedGranted atomic.Uint64
 }
 
 // NewSpace creates a Space with the given segment sizes in bytes.
@@ -172,10 +182,25 @@ func (sp *Space) check(role Role, a Addr, n uint64) (*segment, error) {
 		return nil, fmt.Errorf("%w: [%#x,+%d)", ErrBounds, uint64(a), n)
 	}
 	if s.kind == Trusted && role == RoleHost {
+		sp.hostTrustedDenied.Add(1)
 		return nil, fmt.Errorf("%w: [%#x,+%d)", ErrProtected, uint64(a), n)
+	}
+	if s.kind == Trusted && role == RoleHost {
+		// Unreachable: the tripwire only fires if the guard above is ever
+		// weakened.
+		sp.hostTrustedGranted.Add(1)
 	}
 	return s, nil
 }
+
+// HostTrustedDenied returns how many host-role accesses to trusted memory
+// were refused.
+func (sp *Space) HostTrustedDenied() uint64 { return sp.hostTrustedDenied.Load() }
+
+// HostTrustedGranted returns how many host-role accesses to trusted
+// memory were granted. The chaos suite asserts this stays zero under
+// every fault profile.
+func (sp *Space) HostTrustedGranted() uint64 { return sp.hostTrustedGranted.Load() }
 
 // Check validates that role may access the n bytes at a.
 //

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rakis/internal/chaos"
 	"rakis/internal/hostos"
 	"rakis/internal/iouring"
 	"rakis/internal/mem"
@@ -49,6 +50,18 @@ type Monitor struct {
 
 	mu      sync.Mutex
 	watches []*watch
+
+	// force requests one unconditional sweep: every watch fires its
+	// wakeup syscall regardless of edge detection. This is the enclave's
+	// exit-free recovery doorbell — a wakeup the host swallowed leaves
+	// the producer index unchanged, so the normal edge-triggered sweep
+	// would never re-fire it.
+	force atomic.Bool
+
+	// Chaos, when non-nil, lets the fault injector stall or kill this
+	// thread (§4.3: the MM is untrusted; its death may cost availability
+	// only). Set it before Start.
+	Chaos *chaos.Injector
 
 	stop chan struct{}
 	done chan struct{}
@@ -122,15 +135,44 @@ func (m *Monitor) run() {
 			return
 		default:
 		}
+		if m.Chaos.MMKillNow() {
+			// Fault site (c): the MM thread dies. Dead() flips true and
+			// the enclave-side watchdog degrades to paid exits.
+			return
+		}
+		if d := m.Chaos.MMStall(); d > 0 {
+			time.Sleep(d)
+		}
 		m.Sweep()
 		time.Sleep(m.Interval)
 	}
 }
 
+// Nudge requests one forced sweep: the next pass issues every watched
+// ring's wakeup syscall unconditionally. The enclave writes only this
+// process-local flag — no syscall, no exit — making Nudge the free rung
+// of the lost-wakeup recovery ladder.
+func (m *Monitor) Nudge() { m.force.Store(true) }
+
+// Dead reports whether the monitor thread has terminated (killed by
+// chaos or closed). The enclave consults this to decide between nudging
+// and paying direct exits.
+func (m *Monitor) Dead() bool {
+	select {
+	case <-m.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // Sweep performs one pass over all watched rings, issuing wakeups where
-// producers moved. Exported so tests (and the verification binary) can
-// drive the monitor deterministically.
+// producers moved — or on every watch when a Nudge is pending, since a
+// swallowed wakeup leaves the producer index exactly where the last
+// (lost) firing recorded it. Exported so tests (and the verification
+// binary) can drive the monitor deterministically.
 func (m *Monitor) Sweep() int {
+	force := m.force.Swap(false)
 	m.mu.Lock()
 	watches := make([]*watch, len(m.watches))
 	copy(watches, m.watches)
@@ -140,21 +182,21 @@ func (m *Monitor) Sweep() int {
 		p := w.prod.Load()
 		switch w.kind {
 		case watchXskTX:
-			if p != w.last {
+			if p != w.last || force {
 				w.last = p
 				m.proc.XSKSendto(w.fd, &m.clk)
 				fired++
 			}
 		case watchXskFill:
-			if p != w.last || w.flags.Load()&ring.FlagNeedWakeup != 0 {
+			if p != w.last || force || w.flags.Load()&ring.FlagNeedWakeup != 0 {
 				w.last = p
-				if w.flags.Load()&ring.FlagNeedWakeup != 0 {
+				if force || w.flags.Load()&ring.FlagNeedWakeup != 0 {
 					m.proc.XSKRecvfrom(w.fd, &m.clk)
 					fired++
 				}
 			}
 		case watchUring:
-			if p != w.last {
+			if p != w.last || force {
 				w.last = p
 				m.proc.IoUringEnter(w.fd, &m.clk)
 				fired++

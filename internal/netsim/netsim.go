@@ -16,7 +16,9 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"rakis/internal/chaos"
 	"rakis/internal/vtime"
 )
 
@@ -72,6 +74,11 @@ type Device struct {
 	closeMu sync.RWMutex // guards queue channels against close-vs-send
 	closed  atomic.Bool
 	counter *vtime.Counters
+
+	// chaos, when non-nil, makes the wire hostile: frames may be
+	// dropped, bit-flipped, or duplicated, and softirq workers stalled.
+	// Set before Start.
+	chaos *chaos.Injector
 
 	mu      sync.Mutex
 	handler Handler
@@ -157,6 +164,10 @@ func (d *Device) Peer() *Device { return d.peer }
 // SetRSS overrides the receive-side scaling function.
 func (d *Device) SetRSS(f RSSFunc) { d.rss.Store(f) }
 
+// SetChaos wires a fault injector into the device. Must be called
+// before Start.
+func (d *Device) SetChaos(in *chaos.Injector) { d.chaos = in }
+
 // Start installs the kernel's frame handler and launches the per-queue
 // softirq workers. It must be called exactly once before traffic flows.
 func (d *Device) Start(h Handler) {
@@ -175,6 +186,10 @@ func (d *Device) Start(h Handler) {
 func (d *Device) softirq(q *Queue) {
 	defer close(q.done)
 	for f := range q.ch {
+		if s := d.chaos.SoftirqStall(); s > 0 {
+			// Fault site (c): one receive worker frozen mid-stream.
+			time.Sleep(s)
+		}
 		q.clk.SyncAdvance(f.Stamp, d.model.NicPerFrame)
 		f.Stamp = q.clk.Now()
 		d.handler(q.id, f, &q.clk)
@@ -220,8 +235,21 @@ func (d *Device) Transmit(data []byte, start uint64) (end uint64, err error) {
 		d.counter.PacketsTx.Add(1)
 		d.counter.BytesTx.Add(uint64(len(data)))
 	}
+	// Hostile wire: the frame may vanish, arrive bit-flipped, or arrive
+	// twice. Loss and duplication look exactly like congestion to the
+	// endpoints; corruption must be caught by their checksums.
+	copies := 1
+	if d.chaos.NetDrop() {
+		copies = 0
+		if p.counter != nil {
+			p.counter.PacketsDropped.Add(1)
+		}
+	} else if d.chaos.NetDup() {
+		copies = 2
+	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
+	d.chaos.NetCorrupt(buf)
 	// Receive-side scaling is the receiving NIC's function.
 	qi := p.rss.Load().(RSSFunc)(buf, len(p.queues))
 	if qi < 0 || qi >= len(p.queues) {
@@ -235,12 +263,14 @@ func (d *Device) Transmit(data []byte, start uint64) (end uint64, err error) {
 	if p.closed.Load() {
 		return 0, ErrClosed
 	}
-	select {
-	case q.ch <- Frame{Data: buf, Stamp: end}:
-	default:
-		q.dropped.Add(1)
-		if p.counter != nil {
-			p.counter.PacketsDropped.Add(1)
+	for i := 0; i < copies; i++ {
+		select {
+		case q.ch <- Frame{Data: buf, Stamp: end}:
+		default:
+			q.dropped.Add(1)
+			if p.counter != nil {
+				p.counter.PacketsDropped.Add(1)
+			}
 		}
 	}
 	return end, nil

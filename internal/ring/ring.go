@@ -123,7 +123,21 @@ type Ring struct {
 	// peer is the last successfully validated value of the other index.
 	local uint32
 	peer  uint32
+
+	// violStreak counts consecutive refused peer reads. Refusing is the
+	// Table 2 fail action, but a scribbled cell whose legitimate writer
+	// has gone idle would otherwise be refused forever; after
+	// resyncThreshold consecutive refusals the last trusted value is
+	// written back over the hostile one (quarantine-and-resync).
+	violStreak uint32
 }
+
+// resyncThreshold is how many consecutive certification failures the ring
+// tolerates before writing the last trusted peer value back over the
+// shared cell. Low enough to recover promptly, high enough that a single
+// transient scribble (healed by the legitimate writer's next store) does
+// not trigger an unnecessary write.
+const resyncThreshold = 4
 
 // TotalBytes returns the shared-memory footprint of a ring with the given
 // geometry.
@@ -217,11 +231,58 @@ func (r *Ring) refreshPeer() (uint32, error) {
 		diff = raw - r.local // producer^u - consumer^t
 	}
 	if r.certified && diff > r.size {
-		// Constraint violated: keep the previous trusted value.
+		// Constraint violated: keep the previous trusted value. Every
+		// shared cell has exactly one legitimate writer that
+		// unconditionally stores its private shadow, so a scribble heals
+		// itself on that writer's next operation — but if the writer is
+		// idle the refusal would repeat forever. After a streak of
+		// refusals, quarantine the hostile value by writing the last
+		// trusted one back (a pure recovery action: it restores state the
+		// peer already published and the enclave already certified, so it
+		// can never advance either index).
+		r.violStreak++
+		if r.violStreak >= resyncThreshold {
+			r.writeBackPeer()
+		}
 		return r.pending(), r.violation()
 	}
+	r.violStreak = 0
 	r.peer = raw
 	return diff, nil
+}
+
+// writeBackPeer stores the trusted peer shadow over the peer-owned shared
+// cell and counts the resync.
+func (r *Ring) writeBackPeer() {
+	if r.side == Producer {
+		r.consCell.Store(r.peer)
+	} else {
+		r.prodCell.Store(r.peer)
+	}
+	r.violStreak = 0
+	if r.counters != nil {
+		r.counters.RingResyncs.Add(1)
+	}
+}
+
+// ResyncPeer sets the trusted peer shadow to v and publishes it over the
+// peer-owned shared cell. Callers must derive v from certified state only
+// — e.g. the io_uring FM proves cons == prod when every submitted SQE has
+// a validated completion — so the update is checked against the ring
+// invariant and refused if it would not hold.
+func (r *Ring) ResyncPeer(v uint32) error {
+	var diff uint32
+	if r.side == Producer {
+		diff = r.local - v
+	} else {
+		diff = v - r.local
+	}
+	if diff > r.size {
+		return r.violation()
+	}
+	r.peer = v
+	r.writeBackPeer()
+	return nil
 }
 
 // pending returns entries outstanding according to the trusted shadows.
@@ -321,6 +382,19 @@ func (r *Ring) Release(n uint32) error {
 	r.local += n
 	r.consCell.Store(r.local)
 	return nil
+}
+
+// Republish re-stores this side's trusted index over its owned shared
+// cell without advancing it. The kernel side calls this on every wakeup:
+// a scribble over a kernel-owned cell normally heals on the kernel's next
+// Submit/Release, but an idle kernel makes no stores — republishing on
+// wakeup lets the enclave's nudge ladder force the heal.
+func (r *Ring) Republish() {
+	if r.side == Producer {
+		r.prodCell.Store(r.local)
+	} else {
+		r.consCell.Store(r.local)
+	}
 }
 
 // Local returns this side's trusted index (for tests and the verifier).

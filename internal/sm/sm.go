@@ -45,18 +45,31 @@ func NewXskLink(socks []*xsk.Socket, mac [6]byte, mtu int) *XskLink {
 	}
 }
 
+// sendRetryMax bounds SendFrame's retries on a full ring. Transient
+// fullness has two causes: genuine wire backpressure (completions land
+// within the backoff) and a scribbled shared control word quarantining
+// the ring — each retry's certified refresh counts toward the
+// quarantine-and-resync threshold, so the ring heals within the first
+// few attempts. Fullness that survives all retries means the wire really
+// is the bottleneck, and the frame drops like a NIC queue overflow.
+const sendRetryMax = 8
+
 // SendFrame copies the frame into a UMem slot and publishes it on xTX;
 // the Monitor Module's sendto wakeup makes the kernel transmit it.
 func (l *XskLink) SendFrame(data []byte, clk *vtime.Clock) (uint64, error) {
 	i := int(l.next.Add(1)) % len(l.socks)
 	s := l.socks[i]
 	err := s.Send(data, clk)
-	if err == xsk.ErrRingFull || err == xsk.ErrNoFrame {
-		// Reap completions and retry once; persistent fullness means the
-		// wire is the bottleneck and the frame is dropped like a NIC
-		// queue overflow would.
+	backoff := 10 * time.Microsecond
+	for attempt := 0; (err == xsk.ErrRingFull || err == xsk.ErrNoFrame) && attempt < sendRetryMax; attempt++ {
 		s.Reap(clk)
-		err = s.Send(data, clk)
+		if err = s.Send(data, clk); err == nil {
+			break
+		}
+		time.Sleep(backoff)
+		if backoff < 320*time.Microsecond {
+			backoff *= 2
+		}
 	}
 	return clk.Now(), err
 }
@@ -277,6 +290,12 @@ func PollCached(srcs []PollSource, timeout time.Duration, sp *SyncProxy, model *
 	if timeout >= 0 {
 		deadline = time.Now().Add(timeout)
 	}
+	// Escalation for the spin: TryPoll never blocks, so unlike Wait it has
+	// no built-in nudge ladder — yet a completion the kernel already
+	// posted can be hidden behind a scribbled producer cell, and an idle
+	// kernel makes no store that would heal it. Periodically force a
+	// consumption wakeup so the kernel republishes its indices.
+	lastEscalate := time.Now()
 	for {
 		n := 0
 		for i := range srcs {
@@ -318,6 +337,14 @@ func PollCached(srcs []PollSource, timeout time.Duration, sp *SyncProxy, model *
 					} else if res == 0 {
 						// The kernel-side wait expired; re-arm.
 						arm(i)
+					} else {
+						// The kernel refused to poll this descriptor
+						// (closed fd, hostile errno): report it, as epoll
+						// reports EPOLLERR — swallowing it would leave the
+						// descriptor silently unwatched for the rest of
+						// this wait.
+						srcs[i].Revents |= PollErr
+						n++
 					}
 				}
 			}
@@ -329,6 +356,10 @@ func PollCached(srcs []PollSource, timeout time.Duration, sp *SyncProxy, model *
 		if timeout == 0 || (!deadline.IsZero() && time.Now().After(deadline)) {
 			cancelRest()
 			return 0, nil
+		}
+		if anyArmed && time.Since(lastEscalate) >= 2*time.Millisecond {
+			sp.FM.Escalate()
+			lastEscalate = time.Now()
 		}
 		time.Sleep(20 * time.Microsecond)
 	}

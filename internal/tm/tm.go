@@ -55,11 +55,16 @@ func (r Report) String() string {
 	return fmt.Sprintf("%-28s %8d paths %8d states  %s", r.Name, r.Paths, r.States, status)
 }
 
-// adversaryClasses returns the u32 equivalence-class representatives for
+// AdversaryClasses returns the u32 equivalence-class representatives for
 // an untrusted index, relative to the trusted local index: in-window
 // values, both window boundaries, off-by-one beyond them, wraparound
 // boundary values, and extremes.
-func adversaryClasses(local, size uint32) []uint32 {
+//
+// This table is shared by the model checker (here and cmd/rakis-verify)
+// and the chaos injector (internal/chaos), so the values the checker
+// proves refused and the values chaos scribbles at runtime cannot drift
+// apart.
+func AdversaryClasses(local, size uint32) []uint32 {
 	return []uint32{
 		local,            // no progress
 		local + 1,        // minimal progress
@@ -121,7 +126,7 @@ func (m *ringModel) explore(prefix []step) {
 	}
 	local := r.Local()
 	var nexts []step
-	for _, v := range adversaryClasses(local, m.size) {
+	for _, v := range AdversaryClasses(local, m.size) {
 		nexts = append(nexts, step{adversary: true, value: v})
 	}
 	for op := 0; op < 3; op++ {
@@ -363,20 +368,13 @@ func VerifyCQE() Report {
 func VerifyCQEAgainst(validate func(iouring.SQE, int32) bool) Report {
 	rep := Report{Name: "iouring CQE validation"}
 	reqLens := []uint32{0, 1, 100, 65536}
-	resClasses := func(l uint32) []int32 {
-		return []int32{
-			-200000, -4096, -4095, -32, -1,
-			0, 1, int32(l) - 1, int32(l), int32(l) + 1,
-			1 << 20, 1<<31 - 1,
-		}
-	}
 	ops := []iouring.Op{
 		iouring.OpNop, iouring.OpRead, iouring.OpWrite, iouring.OpSend,
 		iouring.OpRecv, iouring.OpPollAdd, iouring.OpPollRemove, iouring.OpFsync,
 	}
 	for _, op := range ops {
 		for _, l := range reqLens {
-			for _, res := range resClasses(l) {
+			for _, res := range ResultClasses(l) {
 				rep.Paths++
 				got := validate(iouring.SQE{Op: op, Len: l, OpFlags: uint32(iouring.PollIn)}, res)
 				want := oracle(op, l, res)
@@ -389,6 +387,18 @@ func VerifyCQEAgainst(validate func(iouring.SQE, int32) bool) Report {
 	}
 	rep.States = rep.Paths
 	return rep
+}
+
+// ResultClasses returns the int32 equivalence-class representatives for a
+// hostile CQE result field, relative to the request length: implausible
+// and plausible errnos, zero, around-the-length boundaries, and extremes.
+// Shared with the chaos injector the same way as AdversaryClasses.
+func ResultClasses(reqLen uint32) []int32 {
+	return []int32{
+		-200000, -4096, -4095, -32, -1,
+		0, 1, int32(reqLen) - 1, int32(reqLen), int32(reqLen) + 1,
+		1 << 20, 1<<31 - 1,
+	}
 }
 
 // oracle is the independent spec: errors must be sane errnos; transfer

@@ -24,7 +24,7 @@ func TestAdversaryClassesCoverWindowEdges(t *testing.T) {
 		^uint32(0),        // local itself at max
 	}
 	for _, local := range bases {
-		classes := adversaryClasses(local, size)
+		classes := AdversaryClasses(local, size)
 		// diffs this partition reaches, in u32 modular arithmetic.
 		diffs := make(map[uint32]bool, len(classes))
 		for _, v := range classes {

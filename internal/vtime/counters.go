@@ -22,6 +22,15 @@ type Counters struct {
 	BytesTx        atomic.Uint64
 	IoUringOps     atomic.Uint64
 	Wakeups        atomic.Uint64
+	// Chaos-era counters: fault-injection accounting on the untrusted
+	// side, and the hardened recovery paths they exercise on the
+	// trusted side (see DESIGN.md, "Chaos testing").
+	FaultsInjected atomic.Uint64
+	WakeupRetries  atomic.Uint64
+	SubmitRetries  atomic.Uint64
+	FallbackExits  atomic.Uint64
+	RingResyncs    atomic.Uint64
+	PollCancels    atomic.Uint64
 }
 
 // Snapshot is a plain-value copy of a Counters, safe to store and print.
@@ -39,6 +48,12 @@ type Snapshot struct {
 	BytesTx        uint64
 	IoUringOps     uint64
 	Wakeups        uint64
+	FaultsInjected uint64
+	WakeupRetries  uint64
+	SubmitRetries  uint64
+	FallbackExits  uint64
+	RingResyncs    uint64
+	PollCancels    uint64
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -57,6 +72,12 @@ func (c *Counters) Snapshot() Snapshot {
 		BytesTx:        c.BytesTx.Load(),
 		IoUringOps:     c.IoUringOps.Load(),
 		Wakeups:        c.Wakeups.Load(),
+		FaultsInjected: c.FaultsInjected.Load(),
+		WakeupRetries:  c.WakeupRetries.Load(),
+		SubmitRetries:  c.SubmitRetries.Load(),
+		FallbackExits:  c.FallbackExits.Load(),
+		RingResyncs:    c.RingResyncs.Load(),
+		PollCancels:    c.PollCancels.Load(),
 	}
 }
 
@@ -76,14 +97,23 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		BytesTx:        s.BytesTx - prev.BytesTx,
 		IoUringOps:     s.IoUringOps - prev.IoUringOps,
 		Wakeups:        s.Wakeups - prev.Wakeups,
+		FaultsInjected: s.FaultsInjected - prev.FaultsInjected,
+		WakeupRetries:  s.WakeupRetries - prev.WakeupRetries,
+		SubmitRetries:  s.SubmitRetries - prev.SubmitRetries,
+		FallbackExits:  s.FallbackExits - prev.FallbackExits,
+		RingResyncs:    s.RingResyncs - prev.RingResyncs,
+		PollCancels:    s.PollCancels - prev.PollCancels,
 	}
 }
 
 // String renders the snapshot as a compact single-line summary.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"exits=%d syscalls=%d ringviol=%d umemviol=%d cqeviol=%d rx=%d tx=%d drop=%d uring=%d wake=%d",
+		"exits=%d syscalls=%d ringviol=%d umemviol=%d cqeviol=%d rx=%d tx=%d drop=%d uring=%d wake=%d"+
+			" faults=%d wretry=%d sretry=%d fbexit=%d resync=%d pollcancel=%d",
 		s.EnclaveExits, s.Syscalls, s.RingViolations, s.UMemViolations,
 		s.CQEViolations, s.PacketsRx, s.PacketsTx, s.PacketsDropped,
-		s.IoUringOps, s.Wakeups)
+		s.IoUringOps, s.Wakeups,
+		s.FaultsInjected, s.WakeupRetries, s.SubmitRetries,
+		s.FallbackExits, s.RingResyncs, s.PollCancels)
 }

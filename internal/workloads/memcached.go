@@ -116,16 +116,31 @@ func (s *kvStore) set(key string, val []byte) {
 	sh.m[key] = cp
 }
 
-// memcachedServe runs one server thread until it receives a poison pill.
+// memcachedServe runs one server thread until it receives a poison pill
+// — or, under fault injection, until the socket has been idle long
+// enough that every pill must have been lost on the wire: the thread
+// gives up so the run still terminates when the host denies service.
 func memcachedServe(t sys.Sys, fd int, store *kvStore) {
+	const idleMax = 30 * time.Second
 	buf := make([]byte, 65536)
 	reply := make([]byte, 0, 65536)
 	ops := 0
+	idle := time.Now().Add(idleMax)
 	for {
-		n, src, err := t.RecvFrom(fd, buf, true)
+		n, src, err := t.RecvFrom(fd, buf, false)
 		if err != nil {
-			return
+			if time.Now().After(idle) {
+				return
+			}
+			// No datagram (or a sibling thread won the race for it):
+			// wait for readiness and retry. A poll error means the
+			// socket itself is gone.
+			if _, err := t.Poll([]sys.PollFD{{FD: fd, Events: sys.PollIn}}, 50*time.Millisecond); err != nil {
+				return
+			}
+			continue
 		}
+		idle = time.Now().Add(idleMax)
 		if n < 1 {
 			continue
 		}
@@ -257,11 +272,19 @@ func Memcached(env Env, p MemcachedParams) (MemcachedResult, error) {
 					req = append(req, key...)
 				}
 				cli.Clock().Advance(MemaslapClientOpCycles)
-				if _, err := cli.SendTo(fd, req, dst); err != nil {
-					errs <- err
-					return
+				// UDP carries no delivery guarantee: like a real load
+				// generator, retransmit a few times before declaring the
+				// server unreachable. On a clean host the first attempt
+				// always answers within milliseconds.
+				got := false
+				for attempt := 0; attempt < 5 && !got; attempt++ {
+					if _, err := cli.SendTo(fd, req, dst); err != nil {
+						errs <- err
+						return
+					}
+					_, _, got = pollRecv(cli, fd, buf, time.Second)
 				}
-				if _, _, ok := pollRecv(cli, fd, buf, 5*time.Second); !ok {
+				if !got {
 					errs <- fmt.Errorf("memaslap: reply timeout (thread %d op %d)", ct, op)
 					return
 				}

@@ -110,14 +110,34 @@ func redisServer(t sys.Sys, port uint16, ready chan<- struct{}, useEpoll bool) e
 	}
 	store := make(map[string][]byte)
 	conns := make(map[int]*redisConn)
+	// fail tears the server down on an event-loop error: every live
+	// connection gets a close (so blocked clients see EOF rather than
+	// hanging on a reply that will never come) before the error surfaces.
+	fail := func(err error) error {
+		for fd := range conns {
+			t.Close(fd)
+		}
+		t.Close(lfd)
+		if useEpoll {
+			t.Close(epfd)
+		}
+		return err
+	}
 	rbuf := make([]byte, 65536)
 	evs := make([]sys.EpollEvent, 128)
+	// The event loop normally exits via SHUTDOWN; the wall-clock cap only
+	// matters under fault injection, where the host may deny service
+	// indefinitely and the run must still terminate.
+	giveUp := time.Now().Add(60 * time.Second)
 	for {
+		if time.Now().After(giveUp) {
+			return fail(fmt.Errorf("redis server: no shutdown within 60s"))
+		}
 		var fds []sys.PollFD
 		if useEpoll {
 			n, err := t.EpollWait(epfd, evs, time.Second)
 			if err != nil {
-				return err
+				return fail(err)
 			}
 			fds = fds[:0]
 			for i := 0; i < n; i++ {
@@ -130,7 +150,7 @@ func redisServer(t sys.Sys, port uint16, ready chan<- struct{}, useEpoll bool) e
 				fds = append(fds, sys.PollFD{FD: fd, Events: sys.PollIn})
 			}
 			if _, err := t.Poll(fds, time.Second); err != nil {
-				return err
+				return fail(err)
 			}
 		}
 		for _, pf := range fds {
@@ -214,21 +234,36 @@ func redisExec(store map[string][]byte, line []byte) (reply []byte, shutdown boo
 	}
 }
 
-// redisReadReply reads one complete reply from the stream.
+// redisClientTimeout bounds one reply wait: under fault injection the
+// server may be denied service entirely, and the benchmark client must
+// report that rather than block forever on a reply that never comes.
+const redisClientTimeout = 10 * time.Second
+
+// redisReadReply reads one complete reply from the stream, giving up
+// after redisClientTimeout.
 func redisReadReply(t sys.Sys, fd int, buf *[]byte, scratch []byte) error {
+	deadline := time.Now().Add(redisClientTimeout)
 	for {
 		if complete, rest := redisReplyComplete(*buf); complete {
 			*buf = rest
 			return nil
 		}
-		n, err := t.Recv(fd, scratch, true)
-		if err != nil {
-			return err
+		n, err := t.Recv(fd, scratch, false)
+		if err == nil {
+			if n == 0 {
+				return fmt.Errorf("redis: connection closed mid-reply")
+			}
+			*buf = append(*buf, scratch[:n]...)
+			continue
 		}
-		if n == 0 {
-			return fmt.Errorf("redis: connection closed mid-reply")
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("redis: no reply within %v", redisClientTimeout)
 		}
-		*buf = append(*buf, scratch[:n]...)
+		if remain > 50*time.Millisecond {
+			remain = 50 * time.Millisecond
+		}
+		t.Poll([]sys.PollFD{{FD: fd, Events: sys.PollIn}}, remain)
 	}
 }
 

@@ -194,6 +194,19 @@ func Attach(cfg Config) (*Socket, error) {
 // FD returns the socket's file descriptor (used by the Monitor Module).
 func (s *Socket) FD() int { return s.fd }
 
+// Counters returns the socket's statistics sink (may be nil).
+func (s *Socket) Counters() *vtime.Counters { return s.counters }
+
+// TxPending reports whether xTX holds entries the kernel has not yet
+// consumed. Sustained pending entries mean the sendto wakeup was lost —
+// the pump thread uses this to drive the nudge/kick recovery ladder.
+func (s *Socket) TxPending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	free, _ := s.TX.Free()
+	return free < s.TX.Size()
+}
+
 // Refill produces as many free UMem frames into xFill as fit, keeping the
 // kernel supplied with RX buffers (§4.1 "Quality of service assurance").
 // It returns the number produced.

@@ -22,7 +22,9 @@ package rakis
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"rakis/internal/chaos"
 	"rakis/internal/fm"
 	"rakis/internal/hostos"
 	"rakis/internal/iouring"
@@ -67,6 +69,11 @@ type Config struct {
 	Counters *vtime.Counters
 	// GlobalLockStack enables the global-lock netstack ablation.
 	GlobalLockStack bool
+	// Chaos, when non-nil, arms hostile-host fault injection: Boot hands
+	// the injector to the kernel and the Monitor Module and starts its
+	// background scribbler. The trusted side gets no hint that chaos is
+	// on — surviving it is the point.
+	Chaos *chaos.Injector
 }
 
 func (c *Config) fill() {
@@ -109,9 +116,13 @@ type Runtime struct {
 	pumps []*fm.XskPump
 	mon   *mm.Monitor
 
-	mu     sync.Mutex
-	fds    map[int]*entry
-	nextFD int
+	wdStop chan struct{}
+	wdDone chan struct{}
+
+	mu       sync.Mutex
+	fds      map[int]*entry
+	nextFD   int
+	uringFDs []int
 }
 
 type entryKind int
@@ -146,6 +157,14 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 		hostProc: kern.NewProc(ns, cfg.Counters),
 		fds:      make(map[int]*entry),
 		nextFD:   1 << 20,
+		wdStop:   make(chan struct{}),
+		wdDone:   make(chan struct{}),
+	}
+	// Arm the hostile host before any shared ring exists, so the injector
+	// sees every ring the setup syscalls create.
+	if cfg.Chaos != nil {
+		kern.Chaos = cfg.Chaos
+		cfg.Chaos.Bind(kern.Space, cfg.Counters)
 	}
 	var bootClk vtime.Clock
 
@@ -192,13 +211,78 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 		}
 	}
 
+	rt.mon.Chaos = cfg.Chaos
+
 	rt.libosProc = libos.NewProcess(kern.NewProc(ns, cfg.Counters), cfg.Mode, cfg.Counters)
+
+	// TX wakeups are edge-triggered: a swallowed sendto leaves xTX
+	// stranded forever. Each pump gets the nudge/kick ladder against its
+	// own socket.
+	for i, p := range rt.pumps {
+		fd := rt.socks[i].FD()
+		p.SetWaker(iouring.Waker{
+			Nudge: rt.mon.Nudge,
+			Dead:  rt.mon.Dead,
+			Kick: func() {
+				var clk vtime.Clock
+				rt.hostProc.XSKSendto(fd, &clk)
+				rt.fallbackExit(1)
+			},
+		})
+	}
 
 	for _, p := range rt.pumps {
 		p.Start()
 	}
 	rt.mon.Start()
+	if cfg.Chaos != nil {
+		cfg.Chaos.Start()
+	}
+	go rt.watchdog()
 	return rt, nil
+}
+
+// watchdog is the MM-death degradation path (§4.3: the Monitor Module is
+// outside the TCB, so its death may cost availability, never integrity).
+// While the MM is alive it does nothing; once the MM thread is dead it
+// issues every watched wakeup syscall directly — paying the enclave
+// exits RAKIS normally avoids — so in-flight IO still completes.
+func (rt *Runtime) watchdog() {
+	defer close(rt.wdDone)
+	var clk vtime.Clock
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.wdStop:
+			return
+		case <-tick.C:
+		}
+		if !rt.mon.Dead() {
+			continue
+		}
+		for _, s := range rt.socks {
+			rt.hostProc.XSKSendto(s.FD(), &clk)
+			rt.hostProc.XSKRecvfrom(s.FD(), &clk)
+			rt.fallbackExit(2)
+		}
+		rt.mu.Lock()
+		fds := append([]int(nil), rt.uringFDs...)
+		rt.mu.Unlock()
+		for _, fd := range fds {
+			rt.hostProc.IoUringEnter(fd, &clk)
+			rt.fallbackExit(1)
+		}
+	}
+}
+
+// fallbackExit accounts n wakeups paid as direct enclave exits because
+// the free Monitor Module path was unavailable.
+func (rt *Runtime) fallbackExit(n uint64) {
+	if rt.cfg.Counters != nil {
+		rt.cfg.Counters.FallbackExits.Add(n)
+		rt.cfg.Counters.EnclaveExits.Add(n)
+	}
 }
 
 // steeringProgram builds the XDP filter: IPv4 packets addressed to the
@@ -267,8 +351,19 @@ func installRSS(ns *hostos.NetNS, ip netstack.IP4, numXSKs int) {
 	})
 }
 
-// Close stops the pumps, the monitor, and the enclave stack.
+// Close stops the pumps, the monitor, and the enclave stack. The
+// watchdog stops first: the monitor's normal shutdown looks exactly like
+// an MM death, and must not trigger a burst of paid fallback exits.
 func (rt *Runtime) Close() {
+	select {
+	case <-rt.wdStop:
+	default:
+		close(rt.wdStop)
+	}
+	<-rt.wdDone
+	if rt.cfg.Chaos != nil {
+		rt.cfg.Chaos.Stop()
+	}
 	for _, p := range rt.pumps {
 		p.Close()
 	}
@@ -337,5 +432,17 @@ func (rt *Runtime) attachUring(clk *vtime.Clock) (*fm.UringFM, error) {
 	if err := rt.mon.WatchUring(rt.kern.Space, setup); err != nil {
 		return nil, err
 	}
+	ring.SetWaker(iouring.Waker{
+		Nudge: rt.mon.Nudge,
+		Dead:  rt.mon.Dead,
+		Kick: func() {
+			var kclk vtime.Clock
+			rt.hostProc.IoUringEnter(setup.FD, &kclk)
+			rt.fallbackExit(1)
+		},
+	})
+	rt.mu.Lock()
+	rt.uringFDs = append(rt.uringFDs, setup.FD)
+	rt.mu.Unlock()
 	return ufm, nil
 }

@@ -352,12 +352,14 @@ func (t *Thread) Close(fd int) error {
 	switch e.kind {
 	case kindUDP:
 		t.hook()
+		t.rt.dropFromEpolls(fd)
 		e.udp.Close()
 		return nil
 	case kindEpoll:
 		t.hook()
 		return nil
 	}
+	t.rt.dropFromEpolls(fd)
 	t.pollCache.Drop(e.host, t.proxy, t.lt.Clock())
 	return t.lt.Close(e.host)
 }

@@ -15,6 +15,7 @@ import (
 	"rakis/internal/experiments"
 	"rakis/internal/mem"
 	"rakis/internal/ring"
+	"rakis/internal/telemetry"
 	"rakis/internal/workloads"
 )
 
@@ -169,19 +170,26 @@ func BenchmarkFig5cMcrypt(b *testing.B) {
 	}
 }
 
-// BenchmarkFig2EnclaveExits regenerates Figure 2: exit counts.
+// BenchmarkFig2EnclaveExits regenerates Figure 2: exit counts, read from
+// the telemetry registry's exit gauge — the same source of truth as the
+// cmd/rakis-trace breakdown.
 func BenchmarkFig2EnclaveExits(b *testing.B) {
 	for _, env := range []experiments.Environment{experiments.GramineSGX, experiments.RakisSGX} {
 		b.Run(env.String(), func(b *testing.B) {
 			var exits float64
 			for i := 0; i < b.N; i++ {
-				w := benchWorld(b, experiments.Options{Env: env})
+				sink := telemetry.NewSink()
+				w := benchWorld(b, experiments.Options{Env: env, Telemetry: sink})
 				if _, err := workloads.IperfUDP(w.WorkloadEnv(), workloads.IperfParams{
 					PacketSize: 1460, Count: 800,
 				}); err != nil {
 					b.Fatal(err)
 				}
-				exits = float64(w.Counters.EnclaveExits.Load())
+				v, ok := sink.Reg.Value("vtime.enclave_exits")
+				if !ok {
+					b.Fatal("exit gauge missing from registry")
+				}
+				exits = float64(v)
 				w.Close()
 			}
 			b.ReportMetric(exits, "exits")

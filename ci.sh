@@ -14,7 +14,13 @@
 #                        hostile-frame campaign
 #   6. chaos smoke     — rakis-chaos -profile smoke: every workload under
 #                        fault injection (see DESIGN.md, "Chaos testing")
-#   7. rakis-lint      — the trust-boundary analyzers (taintflow,
+#   7. trace smoke     — rakis-trace: one instrumented cell per trust
+#                        model; fails on any accounting violation (the
+#                        telemetry conservation invariant, see DESIGN.md,
+#                        "Telemetry")
+#   8. bench JSON      — rakis-bench -json: the Figure 2 rows in the
+#                        stable rakis-bench/v1 layout (BENCH_figs.json)
+#   9. rakis-lint      — the trust-boundary analyzers (taintflow,
 #                        rolecheck, boundarycopy; see DESIGN.md)
 set -eu
 cd "$(dirname "$0")"
@@ -36,6 +42,14 @@ go test -run='^$' -fuzz='^FuzzStackInput$' -fuzztime=30s ./internal/netstack
 
 echo "==> rakis-chaos -profile smoke"
 go run ./cmd/rakis-chaos -profile smoke
+
+echo "==> rakis-trace smoke (conservation gate)"
+go run ./cmd/rakis-trace -workload iperf -env rakis-sgx > /dev/null
+go run ./cmd/rakis-trace -workload fstime -env gramine-sgx > /dev/null
+
+echo "==> rakis-bench -fig 2 -json BENCH_figs.json"
+go run ./cmd/rakis-bench -fig 2 -scale 0.05 -json BENCH_figs.json > /dev/null
+test -s BENCH_figs.json
 
 echo "==> rakis-lint ./..."
 go run ./cmd/rakis-lint ./...

@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	rakis-bench [-fig 4a|4b|4c|5a|5b|5c|2|all] [-scale 0.25]
+//	rakis-bench [-fig 4a|4b|4c|5a|5b|5c|2|all] [-scale 0.25] [-json BENCH_figs.json]
 //
 // Scale stretches or shrinks workload volumes; the shapes (who wins, by
 // what factor) are stable across scales. See EXPERIMENTS.md for recorded
-// paper-vs-measured comparisons.
+// paper-vs-measured comparisons. With -json, every measured row is also
+// written to the given path in the stable rakis-bench/v1 layout
+// (EXPERIMENTS.md documents the schema).
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2, 4a, 4b, 4c, 5a, 5b, 5c, or all")
 	scale := flag.Float64("scale", 0.25, "workload scale factor (1.0 = figure-sized)")
+	jsonPath := flag.String("json", "", "also write measured rows as rakis-bench/v1 JSON to this path")
 	flag.Parse()
 
 	type figure struct {
@@ -40,6 +43,7 @@ func main() {
 	}
 
 	ran := 0
+	var doc experiments.BenchDoc
 	for _, f := range figures {
 		if *fig != "all" && *fig != f.id {
 			continue
@@ -51,9 +55,27 @@ func main() {
 			os.Exit(1)
 		}
 		experiments.PrintRows(os.Stdout, f.title, rows)
+		doc.AddFigure(f.id, rows)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "rakis-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		out, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rakis-bench:", err)
+			os.Exit(1)
+		}
+		if err := doc.WriteJSON(out); err == nil {
+			err = out.Close()
+		} else {
+			out.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rakis-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d rows to %s\n", len(doc.Rows), *jsonPath)
 	}
 }

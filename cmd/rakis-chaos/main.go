@@ -63,6 +63,14 @@ func main() {
 			fmt.Println(res)
 			if res.Failed(p.RequireCompletion) {
 				failed++
+				// The final trace window: what the run was doing when it
+				// died, next to the seed that replays it.
+				if len(res.TraceTail) > 0 {
+					fmt.Printf("  last %d trace events:\n", len(res.TraceTail))
+					for _, line := range res.TraceTail {
+						fmt.Printf("    %s\n", line)
+					}
+				}
 			}
 		}
 	}

@@ -1,0 +1,113 @@
+// Command rakis-trace runs one workload × environment cell with the
+// telemetry subsystem armed and emits the paper-style cost breakdown:
+// the per-syscall decomposition of where virtual time went (enclave
+// exits vs boundary copies vs ring validation vs stack work, §6), the
+// per-thread cycle ledgers, and every registry metric — including the
+// Figure 2 exit counts and the NIC per-queue drop gauges.
+//
+// Usage:
+//
+//	rakis-trace [-workload iperf] [-env rakis-sgx] [-tail 20]
+//	            [-json breakdown.json] [-chrome trace.json] [-csv events.csv]
+//
+// The run fails (nonzero exit) if the accounting invariant is violated:
+// every probed thread's per-component totals must sum exactly to its
+// virtual clock, and every span's components to its recorded cycles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rakis/internal/chaos/harness"
+	"rakis/internal/experiments"
+	"rakis/internal/telemetry"
+)
+
+// envNames maps flag spellings to environments.
+var envNames = map[string]experiments.Environment{
+	"native":         experiments.Native,
+	"gramine-direct": experiments.GramineDirect,
+	"gramine-sgx":    experiments.GramineSGX,
+	"rakis-direct":   experiments.RakisDirect,
+	"rakis-sgx":      experiments.RakisSGX,
+}
+
+func main() {
+	workload := flag.String("workload", "iperf", "workload to run ("+strings.Join(harness.Workloads(), ", ")+")")
+	envFlag := flag.String("env", "rakis-sgx", "environment (native, gramine-direct, gramine-sgx, rakis-direct, rakis-sgx)")
+	tail := flag.Int("tail", 0, "also print the last N trace events")
+	jsonPath := flag.String("json", "", "write the machine-readable breakdown (rakis-breakdown/v1) to this path")
+	chromePath := flag.String("chrome", "", "write a Chrome about://tracing JSON document to this path")
+	csvPath := flag.String("csv", "", "write the decoded event log as CSV to this path")
+	flag.Parse()
+
+	env, ok := envNames[*envFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rakis-trace: unknown environment %q\n", *envFlag)
+		os.Exit(2)
+	}
+
+	sink := telemetry.NewSink()
+	sink.Trace.Enable()
+	w, err := experiments.NewWorld(experiments.Options{Env: env, Telemetry: sink})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rakis-trace: world boot:", err)
+		os.Exit(1)
+	}
+	runErr := harness.RunWorkload(w, *workload)
+	drops := w.TotalDrops()
+	w.Close()
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "rakis-trace: workload:", runErr)
+		os.Exit(1)
+	}
+
+	fmt.Printf("rakis-trace: %s on %s\n\n", *workload, env)
+	bd := sink.Breakdown()
+	fmt.Print(bd.Format(w.Model))
+	if drops > 0 {
+		fmt.Printf("\nNIC drops: %d\n", drops)
+	}
+
+	if *tail > 0 {
+		fmt.Printf("\nlast %d trace events:\n", *tail)
+		for _, e := range sink.Trace.Tail(*tail) {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+
+	write := func(path string, f func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		out, err := os.Create(path)
+		if err == nil {
+			if err = f(out); err == nil {
+				err = out.Close()
+			} else {
+				out.Close()
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rakis-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	write(*jsonPath, func(f *os.File) error { return bd.WriteJSON(f) })
+	write(*chromePath, func(f *os.File) error {
+		return telemetry.WriteChromeTrace(f, sink.Trace.Events(), w.Model)
+	})
+	write(*csvPath, func(f *os.File) error {
+		return telemetry.WriteCSV(f, sink.Trace.Events())
+	})
+
+	if err := sink.CheckConservation(); err != nil {
+		fmt.Fprintln(os.Stderr, "rakis-trace: ACCOUNTING VIOLATION:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nconservation: every probed thread's components sum to its clock — ok")
+}

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"time"
 
+	"rakis/internal/telemetry"
+
 	"rakis/internal/netstack"
 	"rakis/internal/sm"
 	"rakis/internal/sys"
@@ -38,6 +40,8 @@ var ErrBadEpoll = errors.New("rakis: not an epoll descriptor")
 // EpollCreate installs an enclave-side epoll instance. No host resources
 // are involved: interest lives in trusted memory.
 func (t *Thread) EpollCreate() (int, error) {
+	t.probe.Begin(telemetry.SpanEpollCreate)
+	defer t.probe.End()
 	t.hook()
 	ep := &repoll{interest: make(map[int]epollItem)}
 	return t.rt.registerEntry(&entry{kind: kindEpoll, ep: ep}), nil
@@ -45,6 +49,8 @@ func (t *Thread) EpollCreate() (int, error) {
 
 // EpollCtl updates interest in fd.
 func (t *Thread) EpollCtl(epfd, op, fd int, events uint32) error {
+	t.probe.Begin(telemetry.SpanEpollCtl)
+	defer t.probe.End()
 	t.hook()
 	e, ok := t.rt.lookup(epfd)
 	if !ok || e.kind != kindEpoll {
@@ -106,6 +112,8 @@ func (rt *Runtime) dropFromEpolls(fd int) {
 // (§4.2), reusing the thread's armed-poll cache so quiet host
 // descriptors stay armed between waits — the epoll advantage.
 func (t *Thread) EpollWait(epfd int, events []sys.EpollEvent, timeout time.Duration) (int, error) {
+	t.probe.Begin(telemetry.SpanEpollWait)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(epfd)
 	if !ok || e.kind != kindEpoll {
 		return 0, ErrBadEpoll

@@ -39,6 +39,7 @@ import (
 
 	"rakis/internal/mem"
 	"rakis/internal/ring"
+	"rakis/internal/telemetry"
 	"rakis/internal/tm"
 	"rakis/internal/vtime"
 )
@@ -170,6 +171,11 @@ type Injector struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
+	// trace, when non-nil, records each injected fault. Fault hooks run
+	// on host threads with no virtual clock in scope, so fault events
+	// carry a zero stamp; the site is the payload.
+	trace *telemetry.Buf
+
 	counts [siteMax]atomic.Uint64
 
 	start    time.Time
@@ -210,6 +216,15 @@ func (in *Injector) Bind(space *mem.Space, counters *vtime.Counters) {
 	if counters != nil {
 		in.counters = counters
 	}
+}
+
+// SetTrace routes fault events to the given trace buffer. Call before
+// Start.
+func (in *Injector) SetTrace(b *telemetry.Buf) {
+	if in == nil {
+		return
+	}
+	in.trace = b
 }
 
 // Seed returns the replay seed.
@@ -292,6 +307,7 @@ func (in *Injector) hit(s Site) {
 	if in.counters != nil {
 		in.counters.FaultsInjected.Add(1)
 	}
+	in.trace.Emit(telemetry.EvChaosFault, 0, uint64(s), 0)
 }
 
 // roll decides whether site fires this consultation.

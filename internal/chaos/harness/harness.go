@@ -18,6 +18,7 @@ import (
 
 	"rakis/internal/chaos"
 	"rakis/internal/experiments"
+	"rakis/internal/telemetry"
 	"rakis/internal/vtime"
 	"rakis/internal/workloads"
 )
@@ -56,6 +57,11 @@ type Result struct {
 	// Granted is the trusted-memory tripwire: host-role accesses to the
 	// trusted segment that were allowed through. Must be zero.
 	Granted uint64
+	// TraceTail is the final trace window of a failed cell — the last
+	// events before the panic or error, in virtual-time order — so a
+	// failure report carries the reproducing seed AND what the run was
+	// doing when it died. Empty for passing cells.
+	TraceTail []string
 }
 
 // Failed reports whether the cell violated its profile's requirements.
@@ -81,30 +87,48 @@ func (r Result) String() string {
 		r.Profile, r.Workload, r.Seed, r.Counters.FaultsInjected, status)
 }
 
-// RunCell executes one matrix cell.
+// TraceTailEvents is how many final trace events a failed cell keeps.
+const TraceTailEvents = 40
+
+// RunCell executes one matrix cell. Every cell runs with the tracer
+// armed: if the cell fails, the result carries the final trace window
+// next to the reproducing seed.
 func RunCell(p chaos.Profile, workload string, seed uint64) (res Result) {
 	res = Result{Profile: p.Name, Workload: workload, Seed: seed}
 	inj := chaos.New(p, seed, nil, nil)
+	sink := telemetry.NewSink()
+	sink.Trace.Enable()
+	tail := func() {
+		if res.PanicVal != nil || res.Granted != 0 || res.Err != nil {
+			for _, e := range sink.Trace.Tail(TraceTailEvents) {
+				res.TraceTail = append(res.TraceTail, e.String())
+			}
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			res.PanicVal = r
+			tail()
 		}
 	}()
 	w, err := experiments.NewWorld(experiments.Options{
-		Env:   experiments.RakisSGX,
-		Chaos: inj,
+		Env:       experiments.RakisSGX,
+		Chaos:     inj,
+		Telemetry: sink,
 	})
 	if err != nil {
 		res.Err = fmt.Errorf("world boot: %w", err)
+		tail()
 		return res
 	}
 	res.Err = func() error {
 		defer w.Close()
-		return runWorkload(w, workload)
+		return RunWorkload(w, workload)
 	}()
 	res.Counters = w.Counters.Snapshot()
 	res.Injected = inj.Counts()
 	res.Granted = w.Space.HostTrustedGranted()
+	tail()
 	return res
 }
 
@@ -131,10 +155,12 @@ func CounterValue(s vtime.Snapshot, name string) (uint64, bool) {
 	return f.Uint(), true
 }
 
-// runWorkload runs one workload with small fixed parameters: large
+// RunWorkload runs one named workload with small fixed parameters: large
 // enough to exercise every data path (XSK RX/TX, io_uring file and TCP,
 // poll and epoll), small enough that a full matrix stays test-sized.
-func runWorkload(w *experiments.World, name string) error {
+// Shared with cmd/rakis-trace, which drives the same cells under any
+// environment with telemetry armed.
+func RunWorkload(w *experiments.World, name string) error {
 	env := w.WorkloadEnv()
 	switch name {
 	case "helloworld":

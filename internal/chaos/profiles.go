@@ -131,7 +131,7 @@ func ProfileList() []Profile {
 			DisableKernelScan:   true,
 			ScribbleBeyondOwner: true,
 			RequireCompletion:   false,
-			ExpectCounters:    []string{"FaultsInjected"},
+			ExpectCounters:      []string{"FaultsInjected"},
 		},
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"rakis/internal/netsim"
 	"rakis/internal/netstack"
 	"rakis/internal/sys"
+	"rakis/internal/telemetry"
 	"rakis/internal/vtime"
 )
 
@@ -88,6 +89,11 @@ type Options struct {
 	// pair, and (in RAKIS environments) the Monitor Module. Nil means a
 	// well-behaved host.
 	Chaos *chaos.Injector
+	// Telemetry, when non-nil, instruments the whole world: server
+	// threads get cost-attribution probes, the boundary layers get trace
+	// buffers, and the server NIC's per-queue drop counts surface as
+	// registry gauges.
+	Telemetry *telemetry.Sink
 
 	// paramLabel labels rows produced from these options.
 	paramLabel string
@@ -126,9 +132,14 @@ type World struct {
 	// ServerIP is where workload servers listen in this environment.
 	ServerIP netstack.IP4
 
+	// Telemetry is the sink from Options (nil when uninstrumented).
+	Telemetry *telemetry.Sink
+
 	rakisRT    *rakis.Runtime
 	serverProc *libos.Process
 	clientProc *libos.Process
+	cliDev     *netsim.Device
+	srvDev     *netsim.Device
 }
 
 // clientModel is the uncosted load generator's model: the client "runs
@@ -177,6 +188,24 @@ func NewWorld(opt Options) (*World, error) {
 	// hooks, and the server NIC's softirq workers can be stalled.
 	cliDev.SetChaos(opt.Chaos)
 	srvDev.SetChaos(opt.Chaos)
+	w.cliDev, w.srvDev = cliDev, srvDev
+	w.Telemetry = opt.Telemetry
+	if sink := opt.Telemetry; sink != nil {
+		telemetry.BindCounters(sink.Reg, w.Counters)
+		w.Kern.Trace = sink.NewBuf("hostos")
+		// The server NIC: per-frame softirq events, a probe per queue
+		// clock, and the per-queue drop gauges the workload reports read.
+		srvDev.SetTelemetry(sink.NewBuf("eth-server"))
+		for i := 0; i < srvDev.NumQueues(); i++ {
+			q := srvDev.Queue(i)
+			sink.NewProbe(fmt.Sprintf("softirq.%s.q%d", srvDev.Name(), i), q.Clock())
+			sink.Reg.Reader(fmt.Sprintf("netsim.%s.q%d.dropped", srvDev.Name(), i), q.Dropped)
+		}
+		for i := 0; i < cliDev.NumQueues(); i++ {
+			q := cliDev.Queue(i)
+			sink.Reg.Reader(fmt.Sprintf("netsim.%s.q%d.dropped", cliDev.Name(), i), q.Dropped)
+		}
+	}
 	var err error
 	w.ClientNS, err = w.Kern.AddNetNS("client", cliDev, ClientIP, clientModel(model), nil)
 	if err != nil {
@@ -195,15 +224,18 @@ func NewWorld(opt Options) (*World, error) {
 	case Native:
 		w.ServerIP = KernelIP
 		w.serverProc = libos.NewProcess(w.Kern.NewProc(w.ServerNS, w.Counters), libos.Native, w.Counters)
+		w.serverProc.SetTelemetry(opt.Telemetry)
 	case GramineDirect:
 		// Direct mode never takes the OCALL path, so exit and boundary
 		// costs are structurally absent; only the LibOS handling cost
 		// remains.
 		w.ServerIP = KernelIP
 		w.serverProc = libos.NewProcess(w.Kern.NewProc(w.ServerNS, w.Counters), libos.Direct, w.Counters)
+		w.serverProc.SetTelemetry(opt.Telemetry)
 	case GramineSGX:
 		w.ServerIP = KernelIP
 		w.serverProc = libos.NewProcess(w.Kern.NewProc(w.ServerNS, w.Counters), libos.SGX, w.Counters)
+		w.serverProc.SetTelemetry(opt.Telemetry)
 	case RakisDirect, RakisSGX:
 		w.ServerIP = RakisIP
 		mode := libos.Direct
@@ -221,6 +253,7 @@ func NewWorld(opt Options) (*World, error) {
 			Counters:        w.Counters,
 			GlobalLockStack: opt.GlobalLockStack,
 			Chaos:           opt.Chaos,
+			Telemetry:       opt.Telemetry,
 		})
 		if err != nil {
 			return nil, err
@@ -247,6 +280,19 @@ func (w *World) ClientThread() sys.Sys {
 
 // Rakis exposes the RAKIS runtime in RAKIS environments (nil otherwise).
 func (w *World) Rakis() *rakis.Runtime { return w.rakisRT }
+
+// TotalDrops sums the NIC queue drops on both ends of the wire — full
+// receive queues silently eat frames, and a throughput figure that hides
+// that is lying about goodput.
+func (w *World) TotalDrops() uint64 {
+	var total uint64
+	for _, d := range []*netsim.Device{w.cliDev, w.srvDev} {
+		for i := 0; i < d.NumQueues(); i++ {
+			total += d.Queue(i).Dropped()
+		}
+	}
+	return total
+}
 
 // VFS exposes the shared filesystem for workload setup.
 func (w *World) VFS() *hostos.VFS { return w.Kern.VFS() }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"text/tabwriter"
 
+	"rakis/internal/telemetry"
 	"rakis/internal/workloads"
 )
 
@@ -31,6 +33,10 @@ type Row struct {
 	Param string
 	Value float64
 	Unit  string
+	// Drops is the NIC-queue frames silently dropped during the
+	// measurement (both wire ends). A throughput number with hidden
+	// drops overstates goodput, so every row carries its count.
+	Drops uint64
 }
 
 // PrintRows renders rows as an aligned table grouped by parameter.
@@ -53,6 +59,7 @@ func PrintRows(out io.Writer, title string, rows []Row) {
 		fmt.Fprintf(tw, "\t[%s]", rows[0].Unit)
 	}
 	fmt.Fprintln(tw)
+	anyDrops := false
 	for _, p := range order {
 		fmt.Fprintf(tw, "%s", p)
 		for _, e := range Environments {
@@ -60,11 +67,30 @@ func PrintRows(out io.Writer, title string, rows []Row) {
 			for _, r := range byParam[p] {
 				if r.Env == e {
 					v = r.Value
+					if r.Drops > 0 {
+						anyDrops = true
+					}
 				}
 			}
 			fmt.Fprintf(tw, "\t%.2f", v)
 		}
 		fmt.Fprintln(tw)
+	}
+	if anyDrops {
+		fmt.Fprintln(tw, "-- NIC drops --")
+		for _, p := range order {
+			fmt.Fprintf(tw, "%s", p)
+			for _, e := range Environments {
+				var d uint64
+				for _, r := range byParam[p] {
+					if r.Env == e {
+						d = r.Drops
+					}
+				}
+				fmt.Fprintf(tw, "\t%d", d)
+			}
+			fmt.Fprintln(tw)
+		}
 	}
 	tw.Flush()
 }
@@ -81,11 +107,12 @@ func runPerEnv(opt Options, f func(*World) (float64, string, error)) ([]Row, map
 			return nil, nil, fmt.Errorf("%v: %w", env, err)
 		}
 		v, unit, err := f(w)
+		drops := w.TotalDrops()
 		w.Close()
 		if err != nil {
 			return nil, nil, fmt.Errorf("%v: %w", env, err)
 		}
-		rows = append(rows, Row{Env: env, Param: opt.paramLabel, Value: v, Unit: unit})
+		rows = append(rows, Row{Env: env, Param: opt.paramLabel, Value: v, Unit: unit, Drops: drops})
 		vals[env] = v
 	}
 	return rows, vals, nil
@@ -261,41 +288,95 @@ func Fig5cMcrypt(scale Scale) ([]Row, error) {
 }
 
 // Fig2Exits reproduces Figure 2: enclave exit counts for HelloWorld and
-// an iperf3 run, on Gramine-SGX vs RAKIS-SGX.
+// an iperf3 run, on Gramine-SGX vs RAKIS-SGX. Exit counts are read from
+// the telemetry registry's "vtime.enclave_exits" gauge — the same source
+// of truth the breakdown and cmd/rakis-trace report.
 func Fig2Exits(scale Scale) ([]Row, error) {
 	count := int(float64(4000) * float64(scale))
 	if count < 200 {
 		count = 200
 	}
+	// exitCell builds an instrumented world, runs one workload, and reads
+	// the exit count out of the registry.
+	exitCell := func(env Environment, run func(*World) error) (Row, error) {
+		sink := telemetry.NewSink()
+		w, err := NewWorld(Options{Env: env, Telemetry: sink})
+		if err != nil {
+			return Row{}, err
+		}
+		runErr := run(w)
+		drops := w.TotalDrops()
+		w.Close()
+		if runErr != nil {
+			return Row{}, runErr
+		}
+		exits, ok := sink.Reg.Value("vtime.enclave_exits")
+		if !ok {
+			return Row{}, fmt.Errorf("fig2: exit gauge missing from registry")
+		}
+		return Row{Env: env, Value: float64(exits), Unit: "exits", Drops: drops}, nil
+	}
 	var rows []Row
 	for _, env := range []Environment{GramineSGX, RakisSGX} {
-		// HelloWorld baseline.
-		w, err := NewWorld(Options{Env: env})
+		r, err := exitCell(env, func(w *World) error {
+			return workloads.HelloWorld(w.WorkloadEnv())
+		})
 		if err != nil {
 			return nil, err
 		}
-		if err := workloads.HelloWorld(w.WorkloadEnv()); err != nil {
-			w.Close()
-			return nil, err
-		}
-		rows = append(rows, Row{Env: env, Param: "HelloWorld",
-			Value: float64(w.Counters.EnclaveExits.Load()), Unit: "exits"})
-		w.Close()
+		r.Param = "HelloWorld"
+		rows = append(rows, r)
 
-		// iperf3.
-		w, err = NewWorld(Options{Env: env})
+		r, err = exitCell(env, func(w *World) error {
+			_, err := workloads.IperfUDP(w.WorkloadEnv(), workloads.IperfParams{
+				PacketSize: 1460, Count: count,
+			})
+			return err
+		})
 		if err != nil {
 			return nil, err
 		}
-		if _, err := workloads.IperfUDP(w.WorkloadEnv(), workloads.IperfParams{
-			PacketSize: 1460, Count: count,
-		}); err != nil {
-			w.Close()
-			return nil, err
-		}
-		rows = append(rows, Row{Env: env, Param: "iperf3",
-			Value: float64(w.Counters.EnclaveExits.Load()), Unit: "exits"})
-		w.Close()
+		r.Param = "iperf3"
+		rows = append(rows, r)
 	}
 	return rows, nil
+}
+
+// BenchSchema identifies the machine-readable bench JSON layout.
+const BenchSchema = "rakis-bench/v1"
+
+// BenchRow is one measured figure point in the stable form the BENCH
+// trajectory consumes (see EXPERIMENTS.md for the schema).
+type BenchRow struct {
+	Figure string  `json:"figure"`
+	Env    string  `json:"env"`
+	X      string  `json:"x"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+	Drops  uint64  `json:"drops"`
+}
+
+// BenchDoc is the BENCH_figs.json document: a schema tag plus every
+// measured row, in run order.
+type BenchDoc struct {
+	Schema string     `json:"schema"`
+	Rows   []BenchRow `json:"rows"`
+}
+
+// AddFigure appends one figure's measured rows to the document.
+func (d *BenchDoc) AddFigure(id string, rows []Row) {
+	for _, r := range rows {
+		d.Rows = append(d.Rows, BenchRow{
+			Figure: id, Env: r.Env.String(), X: r.Param,
+			Value: r.Value, Unit: r.Unit, Drops: r.Drops,
+		})
+	}
+}
+
+// WriteJSON writes the document as indented JSON.
+func (d *BenchDoc) WriteJSON(w io.Writer) error {
+	d.Schema = BenchSchema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
 }

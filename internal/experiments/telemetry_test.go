@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"testing"
+
+	"rakis/internal/telemetry"
+	"rakis/internal/workloads"
+)
+
+// TestTelemetryConservation runs an instrumented iperf3 cell in every
+// environment and asserts the accounting invariant of the telemetry
+// subsystem: every probed thread's per-component cycle totals sum
+// exactly to its virtual clock, and every span's component decomposition
+// sums to the span's recorded cycles. Any charge that bypasses
+// attribution, or any attribution without a matching clock advance,
+// fails here.
+func TestTelemetryConservation(t *testing.T) {
+	for _, env := range Environments {
+		t.Run(env.String(), func(t *testing.T) {
+			sink := telemetry.NewSink()
+			sink.Trace.Enable()
+			w, err := NewWorld(Options{Env: env, Telemetry: sink})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := workloads.IperfUDP(w.WorkloadEnv(), workloads.IperfParams{
+				PacketSize: 512, Count: 300,
+			})
+			w.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Received == 0 {
+				t.Fatal("iperf3 delivered nothing; the cell is not exercising the stack")
+			}
+			if err := sink.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+
+			bd := sink.Breakdown()
+			if len(bd.Spans) == 0 {
+				t.Fatal("no spans recorded in an instrumented run")
+			}
+			spans := map[string]telemetry.SpanRow{}
+			for _, row := range bd.Spans {
+				spans[row.Syscall] = row
+			}
+			for _, name := range []string{"socket", "bind", "recvfrom"} {
+				row, ok := spans[name]
+				if !ok {
+					t.Fatalf("iperf3 server recorded no %q spans (got %v)", name, bd.Spans)
+				}
+				if row.Count == 0 || row.Cycles == 0 {
+					t.Fatalf("%q span empty: %+v", name, row)
+				}
+			}
+
+			// The registry is the single source of truth for the legacy
+			// counter sinks: the exit gauge must agree with the raw counter.
+			gauge, ok := sink.Reg.Value("vtime.enclave_exits")
+			if !ok {
+				t.Fatal("vtime.enclave_exits gauge not registered")
+			}
+			if raw := w.Counters.EnclaveExits.Load(); gauge != raw {
+				t.Fatalf("exit gauge %d != counter %d", gauge, raw)
+			}
+			if env == GramineSGX && gauge == 0 {
+				t.Fatal("Gramine-SGX iperf3 run recorded zero enclave exits")
+			}
+
+			// Per-queue drop gauges must exist for both NIC ends.
+			if _, ok := sink.Reg.Value("netsim.eth-server.q0.dropped"); !ok {
+				t.Fatal("server NIC drop gauge not registered")
+			}
+			if _, ok := sink.Reg.Value("netsim.eth-client.q0.dropped"); !ok {
+				t.Fatal("client NIC drop gauge not registered")
+			}
+
+			// The trace must have captured boundary traffic appropriate to
+			// the environment.
+			kinds := map[telemetry.Kind]int{}
+			for _, e := range sink.Trace.Events() {
+				kinds[e.Kind]++
+			}
+			if kinds[telemetry.EvSoftirqFrame] == 0 {
+				t.Fatal("no softirq frame events despite traffic")
+			}
+			if env == GramineSGX && kinds[telemetry.EvEnclaveExit] == 0 {
+				t.Fatal("Gramine-SGX run traced no enclave exits")
+			}
+			if env.IsRakis() {
+				if kinds[telemetry.EvRingProduce] == 0 || kinds[telemetry.EvRingConsume] == 0 {
+					t.Fatalf("RAKIS run traced no certified ring traffic: %v", kinds)
+				}
+			}
+		})
+	}
+}
+
+// TestTelemetryDisabledWorld checks that a world built without a sink
+// still runs and that the nil plumbing stays inert end to end.
+func TestTelemetryDisabledWorld(t *testing.T) {
+	w, err := NewWorld(Options{Env: RakisSGX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Telemetry != nil {
+		t.Fatal("uninstrumented world grew a sink")
+	}
+	if _, err := workloads.IperfUDP(w.WorkloadEnv(), workloads.IperfParams{
+		PacketSize: 256, Count: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Drop accounting works with or without telemetry.
+	_ = w.TotalDrops()
+}

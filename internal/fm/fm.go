@@ -25,6 +25,7 @@ import (
 	"rakis/internal/iouring"
 	"rakis/internal/mem"
 	"rakis/internal/netstack"
+	"rakis/internal/telemetry"
 	"rakis/internal/vtime"
 	"rakis/internal/xsk"
 )
@@ -189,6 +190,7 @@ type UringFM struct {
 
 	bounce    mem.Addr
 	bounceLen int
+	trace     *telemetry.Buf
 }
 
 // NewUringFM attaches the FM to a validated ring and allocates its
@@ -214,6 +216,20 @@ func NewUringFM(ring *iouring.Ring, space *mem.Space, model *vtime.Model, bounce
 
 // Ring returns the underlying certified ring pair.
 func (u *UringFM) Ring() *iouring.Ring { return u.ring }
+
+// SetTrace routes this FM's boundary-copy events (and its ring's
+// produce/refusal/completion events) to the given trace buffer.
+func (u *UringFM) SetTrace(b *telemetry.Buf) {
+	u.trace = b
+	u.ring.SetTrace(b)
+}
+
+// copied charges one bounce-buffer crossing (dir 0 = out of the
+// enclave, 1 = into it) and emits the copy event.
+func (u *UringFM) copied(n int, dir uint64, clk *vtime.Clock) {
+	clk.Charge(vtime.CompCopy, vtime.Bytes(u.model.BoundaryCopyPerByte, n))
+	u.trace.Emit(telemetry.EvBoundaryCopy, clk.Now(), uint64(n), dir)
+}
 
 // submitRetryMax bounds how often submitWait retries a full submission
 // ring before surfacing ErrFull: the kernel consuming slowly (or a lost
@@ -288,7 +304,7 @@ func (u *UringFM) ReadAt(fd int, p []byte, off uint64, clk *vtime.Clock) (int, e
 				return total, err
 			}
 			copy(p, src[:n])
-			clk.Advance(vtime.Bytes(u.model.BoundaryCopyPerByte, n))
+			u.copied(n, 1, clk)
 		}
 		total += n
 		if n < chunk {
@@ -316,7 +332,7 @@ func (u *UringFM) WriteAt(fd int, p []byte, off uint64, clk *vtime.Clock) (int, 
 			return total, err
 		}
 		copy(dst, p[:chunk])
-		clk.Advance(vtime.Bytes(u.model.BoundaryCopyPerByte, chunk))
+		u.copied(chunk, 0, clk)
 		res, err := u.submitWait(iouring.SQE{
 			Op: iouring.OpWrite, FD: int32(fd), Off: off,
 			Addr: u.bounce, Len: uint32(chunk),
@@ -353,7 +369,7 @@ func (u *UringFM) Send(fd int, p []byte, clk *vtime.Clock) (int, error) {
 			return total, err
 		}
 		copy(dst, p[:chunk])
-		clk.Advance(vtime.Bytes(u.model.BoundaryCopyPerByte, chunk))
+		u.copied(chunk, 0, clk)
 		res, err := u.submitWait(iouring.SQE{
 			Op: iouring.OpSend, FD: int32(fd),
 			Addr: u.bounce, Len: uint32(chunk),
@@ -393,7 +409,7 @@ func (u *UringFM) Recv(fd int, p []byte, clk *vtime.Clock) (int, error) {
 			return 0, err
 		}
 		copy(p, src[:n])
-		clk.Advance(vtime.Bytes(u.model.BoundaryCopyPerByte, n))
+		u.copied(n, 1, clk)
 	}
 	return n, nil
 }

@@ -21,6 +21,7 @@ import (
 	"rakis/internal/mem"
 	"rakis/internal/netsim"
 	"rakis/internal/netstack"
+	"rakis/internal/telemetry"
 	"rakis/internal/vtime"
 )
 
@@ -53,6 +54,9 @@ type Kernel struct {
 	// hooks in the wakeup syscalls, the io_uring worker, and the XSK
 	// paths consult it. A nil injector is the well-behaved host.
 	Chaos *chaos.Injector
+
+	// Trace, when non-nil, receives one event per syscall entry.
+	Trace *telemetry.Buf
 
 	vfs *VFS
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rakis/internal/netstack"
+	"rakis/internal/telemetry"
 	"rakis/internal/vtime"
 )
 
@@ -40,6 +41,7 @@ func (p *Proc) enter(clk *vtime.Clock) {
 	}
 	if !p.Free {
 		clk.Advance(p.kern.Model.Syscall)
+		p.kern.Trace.Emit(telemetry.EvSyscall, clk.Now(), 0, 0)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"rakis/internal/mem"
 	"rakis/internal/ring"
+	"rakis/internal/telemetry"
 	"rakis/internal/vtime"
 )
 
@@ -238,6 +239,7 @@ type Ring struct {
 	space       *mem.Space
 	model       *vtime.Model
 	counters    *vtime.Counters
+	trace       *telemetry.Buf
 	waitTimeout time.Duration
 	waker       Waker
 
@@ -316,6 +318,10 @@ func (r *Ring) FD() int { return r.fd }
 // wires it once the Monitor Module watch exists).
 func (r *Ring) SetWaker(w Waker) { r.waker = w }
 
+// SetTrace attaches the owning thread's trace ring; ring traffic,
+// completions, and refusals are recorded on it. A nil buf disables.
+func (r *Ring) SetTrace(b *telemetry.Buf) { r.trace = b }
+
 // Counters returns the ring's counter sink (shared with the FM layer).
 func (r *Ring) Counters() *vtime.Counters { return r.counters }
 
@@ -356,8 +362,9 @@ func (r *Ring) Submit(e SQE, clk *vtime.Clock) (uint64, error) {
 		return 0, err
 	}
 	PutSQE(slot, e)
-	clk.Advance(r.model.RingOp)
+	clk.Charge(vtime.CompRing, r.model.RingOp)
 	r.Sub.Submit(1, clk.Now())
+	r.trace.Emit(telemetry.EvRingProduce, clk.Now(), telemetry.RingUringSub, 1)
 	r.outstanding[e.UserData] = e
 	if r.counters != nil {
 		r.counters.IoUringOps.Add(1)
@@ -424,7 +431,7 @@ func (r *Ring) Drain(clk *vtime.Clock) {
 		}
 		cqe := GetCQE(slot)
 		clk.Sync(r.Compl.SlotStamp(0))
-		clk.Advance(r.model.RingOp)
+		clk.Charge(vtime.CompValidate, r.model.RingOp)
 		pending, known := r.outstanding[cqe.UserData]
 		if !known {
 			r.Compl.Release(1)
@@ -437,6 +444,7 @@ func (r *Ring) Drain(clk *vtime.Clock) {
 			if r.counters != nil {
 				r.counters.CQEViolations.Add(1)
 			}
+			r.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingUringCompl, cqe.UserData)
 			continue
 		}
 		r.Compl.Release(1)
@@ -446,9 +454,11 @@ func (r *Ring) Drain(clk *vtime.Clock) {
 			if r.counters != nil {
 				r.counters.CQEViolations.Add(1)
 			}
+			r.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingUringCompl, uint64(uint32(cqe.Res)))
 			r.results[cqe.UserData] = result{eperm: true}
 			continue
 		}
+		r.trace.Emit(telemetry.EvCQEComplete, clk.Now(), cqe.UserData, uint64(uint32(cqe.Res)))
 		r.results[cqe.UserData] = result{res: cqe.Res}
 	}
 }

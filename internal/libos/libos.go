@@ -23,6 +23,7 @@ import (
 
 	"rakis/internal/hostos"
 	"rakis/internal/sys"
+	"rakis/internal/telemetry"
 	"rakis/internal/vtime"
 )
 
@@ -56,6 +57,7 @@ type Process struct {
 	mode     Mode
 	model    *vtime.Model
 	counters *vtime.Counters
+	sink     *telemetry.Sink
 
 	// exitRes models the serial portion of SGX enclave transitions:
 	// EEXIT/EENTER flush TLBs and contend on the EPC, so concurrent
@@ -85,18 +87,30 @@ func NewProcess(proc *hostos.Proc, mode Mode, counters *vtime.Counters) *Process
 // Mode returns the process's environment mode.
 func (p *Process) Mode() Mode { return p.mode }
 
+// SetTelemetry attaches a telemetry sink: threads created afterwards get
+// a span probe bound to their clock. Call before NewThread.
+func (p *Process) SetTelemetry(s *telemetry.Sink) { p.sink = s }
+
+// Telemetry returns the attached sink (nil when telemetry is off).
+func (p *Process) Telemetry() *telemetry.Sink { return p.sink }
+
 // HostProc exposes the underlying host process (for environment setup).
 func (p *Process) HostProc() *hostos.Proc { return p.proc }
 
 // NewThread returns the syscall interface for one application thread.
 func (p *Process) NewThread() *Thread {
-	return &Thread{p: p}
+	t := &Thread{p: p}
+	if p.sink != nil {
+		t.probe = p.sink.NewProbe(p.sink.ProbeLabel("app"), &t.clk)
+	}
+	return t
 }
 
 // Thread is one application thread's syscall interface.
 type Thread struct {
-	p   *Process
-	clk vtime.Clock
+	p     *Process
+	clk   vtime.Clock
+	probe *telemetry.Probe
 }
 
 var _ sys.Sys = (*Thread)(nil)
@@ -104,15 +118,20 @@ var _ sys.Sys = (*Thread)(nil)
 // Clock returns the thread's virtual clock.
 func (t *Thread) Clock() *vtime.Clock { return &t.clk }
 
-// Clone creates a sibling thread.
-func (t *Thread) Clone() sys.Sys { return &Thread{p: t.p} }
+// Probe returns the thread's telemetry probe (nil when telemetry is
+// off). RAKIS threads share it so a fallback call folds into the span
+// opened at the API hook.
+func (t *Thread) Probe() *telemetry.Probe { return t.probe }
+
+// Clone creates a sibling thread (with its own probe, when attached).
+func (t *Thread) Clone() sys.Sys { return t.p.NewThread() }
 
 // libosEntry charges the in-enclave syscall interception cost.
 func (t *Thread) libosEntry() {
 	if t.p.mode == Native {
 		return
 	}
-	t.clk.Advance(t.p.model.LibOSCall)
+	t.clk.Charge(vtime.CompAPI, t.p.model.LibOSCall)
 	if t.p.counters != nil {
 		t.p.counters.LibOSCalls.Add(1)
 	}
@@ -129,15 +148,30 @@ func (t *Thread) ocall(nbytes int) {
 		t.p.counters.EnclaveExits.Add(1)
 	}
 	serial := t.p.model.EnclaveExit / 2
-	t.clk.Sync(t.p.exitRes.Use(t.clk.Now(), serial))
-	t.clk.Advance(t.p.model.EnclaveExit - serial +
-		vtime.Bytes(t.p.model.BoundaryCopyPerByte, nbytes))
+	t.clk.SyncAs(t.p.exitRes.Use(t.clk.Now(), serial), vtime.CompExit)
+	t.clk.Charge(vtime.CompExit, t.p.model.EnclaveExit-serial)
+	if nbytes > 0 {
+		t.clk.Charge(vtime.CompCopy, vtime.Bytes(t.p.model.BoundaryCopyPerByte, nbytes))
+	}
+	t.probe.Emit(telemetry.EvEnclaveExit, t.clk.Now(), serial, uint64(nbytes))
+}
+
+// resultCopy charges the copy of n result bytes crossing back into the
+// enclave after an OCALL.
+func (t *Thread) resultCopy(n int) {
+	if n <= 0 || t.p.mode != SGX {
+		return
+	}
+	t.clk.Charge(vtime.CompCopy, vtime.Bytes(t.p.model.BoundaryCopyPerByte, n))
+	t.probe.Emit(telemetry.EvBoundaryCopy, t.clk.Now(), uint64(n), 1)
 }
 
 // --- sockets ----------------------------------------------------------------
 
 // Socket creates a socket.
 func (t *Thread) Socket(typ sys.SockType) (int, error) {
+	t.probe.Begin(telemetry.SpanSocket)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	st := hostos.SockUDP
@@ -149,6 +183,8 @@ func (t *Thread) Socket(typ sys.SockType) (int, error) {
 
 // Bind assigns the local port.
 func (t *Thread) Bind(fd int, port uint16) error {
+	t.probe.Begin(telemetry.SpanBind)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	return t.p.proc.Bind(fd, port, &t.clk)
@@ -156,6 +192,8 @@ func (t *Thread) Bind(fd int, port uint16) error {
 
 // Connect connects a socket.
 func (t *Thread) Connect(fd int, addr sys.Addr) error {
+	t.probe.Begin(telemetry.SpanConnect)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	return t.p.proc.Connect(fd, addr, &t.clk)
@@ -163,6 +201,8 @@ func (t *Thread) Connect(fd int, addr sys.Addr) error {
 
 // Listen marks a TCP socket as accepting.
 func (t *Thread) Listen(fd int, backlog int) error {
+	t.probe.Begin(telemetry.SpanListen)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	return t.p.proc.Listen(fd, backlog, &t.clk)
@@ -170,6 +210,8 @@ func (t *Thread) Listen(fd int, backlog int) error {
 
 // Accept waits for a connection.
 func (t *Thread) Accept(fd int, block bool) (int, sys.Addr, error) {
+	t.probe.Begin(telemetry.SpanAccept)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	return t.p.proc.Accept(fd, &t.clk, block)
@@ -177,6 +219,8 @@ func (t *Thread) Accept(fd int, block bool) (int, sys.Addr, error) {
 
 // SendTo transmits a datagram.
 func (t *Thread) SendTo(fd int, p []byte, addr sys.Addr) (int, error) {
+	t.probe.Begin(telemetry.SpanSendTo)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(len(p))
 	return t.p.proc.SendTo(fd, p, addr, &t.clk)
@@ -184,18 +228,20 @@ func (t *Thread) SendTo(fd int, p []byte, addr sys.Addr) (int, error) {
 
 // RecvFrom receives a datagram.
 func (t *Thread) RecvFrom(fd int, p []byte, block bool) (int, sys.Addr, error) {
+	t.probe.Begin(telemetry.SpanRecvFrom)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	n, src, err := t.p.proc.RecvFrom(fd, p, &t.clk, block)
-	if n > 0 && t.p.mode == SGX {
-		// Result payload crosses back into the enclave.
-		t.clk.Advance(vtime.Bytes(t.p.model.BoundaryCopyPerByte, n))
-	}
+	// Result payload crosses back into the enclave.
+	t.resultCopy(n)
 	return n, src, err
 }
 
 // Send writes stream data.
 func (t *Thread) Send(fd int, p []byte) (int, error) {
+	t.probe.Begin(telemetry.SpanSend)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(len(p))
 	return t.p.proc.Send(fd, p, &t.clk)
@@ -203,12 +249,12 @@ func (t *Thread) Send(fd int, p []byte) (int, error) {
 
 // Recv reads stream data.
 func (t *Thread) Recv(fd int, p []byte, block bool) (int, error) {
+	t.probe.Begin(telemetry.SpanRecv)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	n, err := t.p.proc.Recv(fd, p, &t.clk, block)
-	if n > 0 && t.p.mode == SGX {
-		t.clk.Advance(vtime.Bytes(t.p.model.BoundaryCopyPerByte, n))
-	}
+	t.resultCopy(n)
 	return n, err
 }
 
@@ -216,6 +262,8 @@ func (t *Thread) Recv(fd int, p []byte, block bool) (int, error) {
 
 // Open opens a file.
 func (t *Thread) Open(path string, flags int) (int, error) {
+	t.probe.Begin(telemetry.SpanOpen)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(len(path))
 	return t.p.proc.Open(path, flags, &t.clk)
@@ -223,17 +271,19 @@ func (t *Thread) Open(path string, flags int) (int, error) {
 
 // Read reads at the cursor.
 func (t *Thread) Read(fd int, p []byte) (int, error) {
+	t.probe.Begin(telemetry.SpanRead)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	n, err := t.p.proc.Read(fd, p, &t.clk)
-	if n > 0 && t.p.mode == SGX {
-		t.clk.Advance(vtime.Bytes(t.p.model.BoundaryCopyPerByte, n))
-	}
+	t.resultCopy(n)
 	return n, err
 }
 
 // Write writes at the cursor.
 func (t *Thread) Write(fd int, p []byte) (int, error) {
+	t.probe.Begin(telemetry.SpanWrite)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(len(p))
 	return t.p.proc.Write(fd, p, &t.clk)
@@ -241,17 +291,19 @@ func (t *Thread) Write(fd int, p []byte) (int, error) {
 
 // Pread reads at an offset.
 func (t *Thread) Pread(fd int, p []byte, off int64) (int, error) {
+	t.probe.Begin(telemetry.SpanPread)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	n, err := t.p.proc.Pread(fd, p, off, &t.clk)
-	if n > 0 && t.p.mode == SGX {
-		t.clk.Advance(vtime.Bytes(t.p.model.BoundaryCopyPerByte, n))
-	}
+	t.resultCopy(n)
 	return n, err
 }
 
 // Pwrite writes at an offset.
 func (t *Thread) Pwrite(fd int, p []byte, off int64) (int, error) {
+	t.probe.Begin(telemetry.SpanPwrite)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(len(p))
 	return t.p.proc.Pwrite(fd, p, off, &t.clk)
@@ -260,6 +312,8 @@ func (t *Thread) Pwrite(fd int, p []byte, off int64) (int, error) {
 // Lseek repositions the cursor. Gramine emulates lseek inside the
 // enclave (the cursor is LibOS state), so no OCALL in SGX mode.
 func (t *Thread) Lseek(fd int, off int64, whence int) (int64, error) {
+	t.probe.Begin(telemetry.SpanLseek)
+	defer t.probe.End()
 	t.libosEntry()
 	if t.p.mode == Native {
 		return t.p.proc.Lseek(fd, off, whence, &t.clk)
@@ -271,6 +325,8 @@ func (t *Thread) Lseek(fd int, off int64, whence int) (int64, error) {
 
 // Fstat returns the file size.
 func (t *Thread) Fstat(fd int) (int64, error) {
+	t.probe.Begin(telemetry.SpanFstat)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	return t.p.proc.Fstat(fd, &t.clk)
@@ -278,6 +334,8 @@ func (t *Thread) Fstat(fd int) (int64, error) {
 
 // Fsync flushes a file.
 func (t *Thread) Fsync(fd int) error {
+	t.probe.Begin(telemetry.SpanFsync)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	return t.p.proc.Fsync(fd, &t.clk)
@@ -285,6 +343,8 @@ func (t *Thread) Fsync(fd int) error {
 
 // Poll multiplexes descriptors; under SGX each poll is an exit.
 func (t *Thread) Poll(fds []sys.PollFD, timeout time.Duration) (int, error) {
+	t.probe.Begin(telemetry.SpanPoll)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	hfds := make([]hostos.PollFD, len(fds))
@@ -300,6 +360,8 @@ func (t *Thread) Poll(fds []sys.PollFD, timeout time.Duration) (int, error) {
 
 // EpollCreate installs a host epoll instance.
 func (t *Thread) EpollCreate() (int, error) {
+	t.probe.Begin(telemetry.SpanEpollCreate)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	return t.p.proc.EpollCreate(&t.clk)
@@ -307,6 +369,8 @@ func (t *Thread) EpollCreate() (int, error) {
 
 // EpollCtl updates interest on a host epoll instance.
 func (t *Thread) EpollCtl(epfd, op, fd int, events uint32) error {
+	t.probe.Begin(telemetry.SpanEpollCtl)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	return t.p.proc.EpollCtl(epfd, op, fd, events, &t.clk)
@@ -314,6 +378,8 @@ func (t *Thread) EpollCtl(epfd, op, fd int, events uint32) error {
 
 // EpollWait reports ready descriptors; under SGX each wait is an exit.
 func (t *Thread) EpollWait(epfd int, events []sys.EpollEvent, timeout time.Duration) (int, error) {
+	t.probe.Begin(telemetry.SpanEpollWait)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	hev := make([]hostos.EpollEvent, len(events))
@@ -326,6 +392,8 @@ func (t *Thread) EpollWait(epfd int, events []sys.EpollEvent, timeout time.Durat
 
 // Close releases a descriptor.
 func (t *Thread) Close(fd int) error {
+	t.probe.Begin(telemetry.SpanClose)
+	defer t.probe.End()
 	t.libosEntry()
 	t.ocall(0)
 	return t.p.proc.Close(fd, &t.clk)
@@ -334,6 +402,8 @@ func (t *Thread) Close(fd int) error {
 // Futex: Native pays a host syscall; the LibOS modes handle it inside
 // the enclave (§6.1's Gramine-Direct-beats-Native observation).
 func (t *Thread) Futex() {
+	t.probe.Begin(telemetry.SpanFutex)
+	defer t.probe.End()
 	if t.p.mode == Native {
 		t.p.proc.Futex(&t.clk)
 		return

@@ -22,6 +22,7 @@ import (
 	"rakis/internal/iouring"
 	"rakis/internal/mem"
 	"rakis/internal/ring"
+	"rakis/internal/telemetry"
 	"rakis/internal/vtime"
 	"rakis/internal/xsk"
 )
@@ -62,6 +63,10 @@ type Monitor struct {
 	// thread (§4.3: the MM is untrusted; its death may cost availability
 	// only). Set it before Start.
 	Chaos *chaos.Injector
+
+	// Trace, when non-nil, receives one wakeup event per fired residual
+	// syscall. Set it before Start.
+	Trace *telemetry.Buf
 
 	stop chan struct{}
 	done chan struct{}
@@ -185,6 +190,7 @@ func (m *Monitor) Sweep() int {
 			if p != w.last || force {
 				w.last = p
 				m.proc.XSKSendto(w.fd, &m.clk)
+				m.Trace.Emit(telemetry.EvMMWakeup, m.clk.Now(), uint64(w.fd), 0)
 				fired++
 			}
 		case watchXskFill:
@@ -192,6 +198,7 @@ func (m *Monitor) Sweep() int {
 				w.last = p
 				if force || w.flags.Load()&ring.FlagNeedWakeup != 0 {
 					m.proc.XSKRecvfrom(w.fd, &m.clk)
+					m.Trace.Emit(telemetry.EvMMWakeup, m.clk.Now(), uint64(w.fd), 1)
 					fired++
 				}
 			}
@@ -199,6 +206,7 @@ func (m *Monitor) Sweep() int {
 			if p != w.last || force {
 				w.last = p
 				m.proc.IoUringEnter(w.fd, &m.clk)
+				m.Trace.Emit(telemetry.EvMMWakeup, m.clk.Now(), uint64(w.fd), 2)
 				fired++
 			}
 		}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"rakis/internal/chaos"
+	"rakis/internal/telemetry"
 	"rakis/internal/vtime"
 )
 
@@ -79,6 +80,10 @@ type Device struct {
 	// dropped, bit-flipped, or duplicated, and softirq workers stalled.
 	// Set before Start.
 	chaos *chaos.Injector
+
+	// trace, when non-nil, receives one event per softirq-processed
+	// frame. Set before Start.
+	trace *telemetry.Buf
 
 	mu      sync.Mutex
 	handler Handler
@@ -168,6 +173,10 @@ func (d *Device) SetRSS(f RSSFunc) { d.rss.Store(f) }
 // before Start.
 func (d *Device) SetChaos(in *chaos.Injector) { d.chaos = in }
 
+// SetTelemetry routes per-frame softirq events to the given trace
+// buffer. Must be called before Start.
+func (d *Device) SetTelemetry(b *telemetry.Buf) { d.trace = b }
+
 // Start installs the kernel's frame handler and launches the per-queue
 // softirq workers. It must be called exactly once before traffic flows.
 func (d *Device) Start(h Handler) {
@@ -192,6 +201,7 @@ func (d *Device) softirq(q *Queue) {
 		}
 		q.clk.SyncAdvance(f.Stamp, d.model.NicPerFrame)
 		f.Stamp = q.clk.Now()
+		d.trace.Emit(telemetry.EvSoftirqFrame, q.clk.Now(), uint64(q.id), uint64(len(f.Data)))
 		d.handler(q.id, f, &q.clk)
 	}
 }

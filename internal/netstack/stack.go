@@ -106,10 +106,10 @@ func (s *Stack) Close() {
 // through the global lock resource when the ablation flag is on.
 func (s *Stack) charge(clk *vtime.Clock, cost uint64) {
 	if s.globalRes != nil {
-		clk.Sync(s.globalRes.Use(clk.Now(), cost))
+		clk.SyncAs(s.globalRes.Use(clk.Now(), cost), vtime.CompStack)
 		return
 	}
-	clk.Advance(cost)
+	clk.Charge(vtime.CompStack, cost)
 }
 
 // Input feeds one received Ethernet frame into the stack. It runs on the

@@ -137,7 +137,7 @@ func (s *Stack) inputUDP(h IPv4Header, payload, origPkt []byte, clk *vtime.Clock
 	// global-lock ablation serializes through a shared resource (via
 	// Stack.charge).
 	if s.globalRes == nil {
-		clk.Advance(s.model.SocketOp)
+		clk.Charge(vtime.CompStack, s.model.SocketOp)
 	}
 	data := make([]byte, ulen-UDPHeaderBytes)
 	copy(data, payload[UDPHeaderBytes:ulen])
@@ -187,7 +187,7 @@ func (u *UDPSocket) SendTo(payload []byte, dst Addr, clk *vtime.Clock) error {
 	s := u.stack
 	s.charge(clk, s.cfg.PerPacketCost)
 	if s.globalRes == nil {
-		clk.Advance(s.model.SocketOp)
+		clk.Charge(vtime.CompStack, s.model.SocketOp)
 	}
 	dgram := make([]byte, UDPHeaderBytes+len(payload))
 	put16(dgram[0:2], u.local.Port)

@@ -115,7 +115,7 @@ func NewSyncProxy(u *fm.UringFM, model *vtime.Model) *SyncProxy {
 }
 
 func (sp *SyncProxy) charge(clk *vtime.Clock) {
-	clk.Advance(sp.model.SyncProxyOp)
+	clk.Charge(vtime.CompAPI, sp.model.SyncProxyOp)
 }
 
 // Read reads from a host file through io_uring.
@@ -222,14 +222,14 @@ func PollCached(srcs []PollSource, timeout time.Duration, sp *SyncProxy, model *
 	// poll, checking an enclave socket, or consuming a completion.
 	// Descriptors left armed in the cache cost nothing while quiet —
 	// that is the epoll-shaped O(ready) advantage over re-scanned poll.
-	clk.Advance(model.APIHook)
+	clk.Charge(vtime.CompAPI, model.APIHook)
 
 	// Arm async polls for host descriptors, reusing cached arms whose
 	// interest mask matches.
 	tokens := make([]uint64, len(srcs))
 	armed := make([]bool, len(srcs))
 	arm := func(i int) error {
-		clk.Advance(model.PollPerFD)
+		clk.Charge(vtime.CompAPI, model.PollPerFD)
 		tok, err := sp.FM.SubmitPoll(srcs[i].HostFD, srcs[i].Events, clk)
 		if err != nil {
 			return err
@@ -244,7 +244,7 @@ func PollCached(srcs []PollSource, timeout time.Duration, sp *SyncProxy, model *
 	for i := range srcs {
 		srcs[i].Revents = 0
 		if srcs[i].UDP != nil {
-			clk.Advance(model.PollPerFD)
+			clk.Charge(vtime.CompAPI, model.PollPerFD)
 			continue
 		}
 		if cache != nil {

@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"rakis/internal/vtime"
+)
+
+// SpanRow is one syscall's aggregated cost decomposition across every
+// probe: how many calls, their total cycles, and where those cycles
+// went.
+type SpanRow struct {
+	Syscall string            `json:"syscall"`
+	Count   uint64            `json:"count"`
+	Cycles  uint64            `json:"cycles"`
+	Comp    map[string]uint64 `json:"comp"`
+}
+
+// ThreadRow is one simulated thread's whole-run cycle ledger.
+type ThreadRow struct {
+	Thread string            `json:"thread"`
+	Cycles uint64            `json:"cycles"`
+	Comp   map[string]uint64 `json:"comp"`
+}
+
+// Breakdown is the machine-readable cost accounting of one run — the
+// §6 decomposition cmd/rakis-trace emits.
+type Breakdown struct {
+	Schema  string      `json:"schema"`
+	Spans   []SpanRow   `json:"spans"`
+	Threads []ThreadRow `json:"threads"`
+	Metrics []Metric    `json:"metrics"`
+}
+
+// BreakdownSchema identifies the breakdown JSON layout.
+const BreakdownSchema = "rakis-breakdown/v1"
+
+// Breakdown aggregates the sink's probes and registry into the
+// per-syscall and per-thread cost decomposition.
+func (s *Sink) Breakdown() Breakdown {
+	bd := Breakdown{Schema: BreakdownSchema}
+	if s == nil {
+		return bd
+	}
+	var spans [NumSpanKinds]SpanRow
+	for _, p := range s.Probes() {
+		for k := 0; k < NumSpanKinds; k++ {
+			a := &p.agg[k]
+			n := a.count.Load()
+			if n == 0 {
+				continue
+			}
+			row := &spans[k]
+			if row.Comp == nil {
+				row.Syscall = SpanKind(k).String()
+				row.Comp = make(map[string]uint64, vtime.NumComp)
+			}
+			row.Count += n
+			row.Cycles += a.cycles.Load()
+			for c := 0; c < vtime.NumComp; c++ {
+				if v := a.comp[c].Load(); v != 0 {
+					row.Comp[vtime.Comp(c).String()] += v
+				}
+			}
+		}
+		tr := ThreadRow{Thread: p.label, Comp: make(map[string]uint64, vtime.NumComp)}
+		for c := 0; c < vtime.NumComp; c++ {
+			if v := p.attr.Load(vtime.Comp(c)); v != 0 {
+				tr.Comp[vtime.Comp(c).String()] = v
+				tr.Cycles += v
+			}
+		}
+		bd.Threads = append(bd.Threads, tr)
+	}
+	for k := 0; k < NumSpanKinds; k++ {
+		if spans[k].Count > 0 {
+			bd.Spans = append(bd.Spans, spans[k])
+		}
+	}
+	bd.Metrics = s.Reg.Snapshot()
+	return bd
+}
+
+// WriteJSON writes the breakdown as indented JSON.
+func (bd Breakdown) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bd)
+}
+
+// Format renders the breakdown as the human-readable tables
+// cmd/rakis-trace prints: the per-syscall decomposition, the per-thread
+// ledgers, and the nonzero metrics.
+func (bd Breakdown) Format(model *vtime.Model) string {
+	var sb strings.Builder
+	comps := make([]string, 0, vtime.NumComp)
+	for c := 0; c < vtime.NumComp; c++ {
+		comps = append(comps, vtime.Comp(c).String())
+	}
+
+	sb.WriteString("per-syscall cost breakdown (cycles):\n")
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "syscall\tcount\tcycles\tper-call")
+	for _, c := range comps {
+		fmt.Fprintf(tw, "\t%s%%", c)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range bd.Spans {
+		per := uint64(0)
+		if row.Count > 0 {
+			per = row.Cycles / row.Count
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d", row.Syscall, row.Count, row.Cycles, per)
+		for _, c := range comps {
+			fmt.Fprintf(tw, "\t%.1f", pct(row.Comp[c], row.Cycles))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+
+	sb.WriteString("\nper-thread cycle ledger:\n")
+	tw = tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "thread\tcycles")
+	if model != nil {
+		fmt.Fprintf(tw, "\tms")
+	}
+	for _, c := range comps {
+		fmt.Fprintf(tw, "\t%s%%", c)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range bd.Threads {
+		fmt.Fprintf(tw, "%s\t%d", row.Thread, row.Cycles)
+		if model != nil {
+			fmt.Fprintf(tw, "\t%.3f", model.Seconds(row.Cycles)*1e3)
+		}
+		for _, c := range comps {
+			fmt.Fprintf(tw, "\t%.1f", pct(row.Comp[c], row.Cycles))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+
+	sb.WriteString("\nmetrics:\n")
+	tw = tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	for _, m := range bd.Metrics {
+		if m.Value == 0 {
+			continue
+		}
+		if m.Hist != nil {
+			fmt.Fprintf(tw, "%s\t%d\tmean=%.0f p99≤%d\n", m.Name, m.Value, m.Hist.Mean(), m.Hist.Quantile(0.99))
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\n", m.Name, m.Value)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array
+// (about://tracing, Perfetto).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders events as a Chrome about://tracing JSON
+// document. Span-end events become complete ("X") slices; everything
+// else becomes a thread-scoped instant. The model converts virtual
+// cycles to wall microseconds; thread names arrive as metadata records.
+func WriteChromeTrace(w io.Writer, events []Event, model *vtime.Model) error {
+	us := func(cycles uint64) float64 {
+		if model == nil {
+			return float64(cycles)
+		}
+		return model.Seconds(cycles) * 1e6
+	}
+	var out []chromeEvent
+	named := map[int]string{}
+	for _, e := range events {
+		if _, ok := named[e.TID]; !ok {
+			named[e.TID] = e.Thread
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: e.TID,
+				Args: map[string]any{"name": e.Thread},
+			})
+		}
+		switch e.Kind {
+		case EvSpanEnd:
+			out = append(out, chromeEvent{
+				Name: SpanKind(e.A).String(), Ph: "X",
+				TS: us(e.Stamp - e.B), Dur: us(e.B),
+				PID: 1, TID: e.TID,
+			})
+		default:
+			out = append(out, chromeEvent{
+				Name: e.Name, Ph: "i", TS: us(e.Stamp), PID: 1, TID: e.TID, S: "t",
+				Args: map[string]any{"a": e.A, "b": e.B},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteCSV renders events as a CSV log: thread,seq,kind,stamp,a,b.
+func WriteCSV(w io.Writer, events []Event) error {
+	if _, err := fmt.Fprintln(w, "thread,seq,kind,stamp,a,b"); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%d,%d,%d\n",
+			e.Thread, e.Seq, e.Name, e.Stamp, e.A, e.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the bucket count of a log2 histogram: bucket 0 holds
+// the value 0, bucket i (i ≥ 1) holds values in [2^(i-1), 2^i).
+const HistBuckets = 65
+
+// Histogram is a lock-free log2-bucket histogram of uint64 samples —
+// cycle latencies and byte sizes. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// BucketIndex returns the bucket a value falls in.
+func BucketIndex(v uint64) int { return bits.Len64(v) }
+
+// BucketBounds returns the inclusive range [lo, hi] of bucket i.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (i - 1)
+	if i == 64 {
+		return lo, ^uint64(0)
+	}
+	return lo, uint64(1)<<i - 1
+}
+
+// Observe records one sample. Nil-safe.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[BucketIndex(v)].Add(1)
+}
+
+// Merge folds o's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for i := range h.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
+// HistSnapshot is a plain-value copy of a histogram.
+type HistSnapshot struct {
+	Count   uint64              `json:"count"`
+	Sum     uint64              `json:"sum"`
+	Buckets [HistBuckets]uint64 `json:"buckets"`
+}
+
+// Snapshot returns a point-in-time copy.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the average sample, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q ≤ 1): the
+// high edge of the bucket the quantile sample falls in.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= rank {
+			_, hi := BucketBounds(i)
+			return hi
+		}
+	}
+	_, hi := BucketBounds(HistBuckets - 1)
+	return hi
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"rakis/internal/vtime"
+)
+
+// SpanKind names one POSIX call intercepted at the Service Module's API
+// submodule — the unit of the per-syscall cost breakdown.
+type SpanKind uint8
+
+const (
+	SpanSocket SpanKind = iota
+	SpanBind
+	SpanConnect
+	SpanListen
+	SpanAccept
+	SpanSendTo
+	SpanRecvFrom
+	SpanSend
+	SpanRecv
+	SpanOpen
+	SpanRead
+	SpanWrite
+	SpanPread
+	SpanPwrite
+	SpanLseek
+	SpanFstat
+	SpanFsync
+	SpanPoll
+	SpanEpollCreate
+	SpanEpollCtl
+	SpanEpollWait
+	SpanClose
+	SpanFutex
+
+	// NumSpanKinds is the number of span kinds.
+	NumSpanKinds = int(SpanFutex) + 1
+)
+
+var spanNames = [NumSpanKinds]string{
+	"socket", "bind", "connect", "listen", "accept",
+	"sendto", "recvfrom", "send", "recv",
+	"open", "read", "write", "pread", "pwrite",
+	"lseek", "fstat", "fsync", "poll",
+	"epoll_create", "epoll_ctl", "epoll_wait",
+	"close", "futex",
+}
+
+// String returns the syscall name.
+func (k SpanKind) String() string {
+	if int(k) < NumSpanKinds {
+		return spanNames[k]
+	}
+	return "invalid"
+}
+
+// spanAgg accumulates one span kind on one probe. Written only by the
+// probe's own thread; read by exporters after quiesce.
+type spanAgg struct {
+	count  atomic.Uint64
+	cycles atomic.Uint64
+	comp   [vtime.NumComp]atomic.Uint64
+}
+
+// Probe decomposes one simulated thread's POSIX calls into vtime.Comp
+// components. Begin/End bracket each call; the probe's Attribution is
+// bound to the thread's clock, so component deltas over the bracket are
+// exact and sum to the span's cycle count by construction.
+//
+// All methods are nil-receiver safe: a nil probe is the disabled state
+// and costs a pointer test per call.
+type Probe struct {
+	sink  *Sink
+	buf   *Buf
+	clk   *vtime.Clock
+	attr  vtime.Attribution
+	label string
+
+	// Span-in-progress state, touched only by the owning thread.
+	depth     int
+	kind      SpanKind
+	startT    uint64
+	startComp [vtime.NumComp]uint64
+
+	agg [NumSpanKinds]spanAgg
+}
+
+// Label returns the probe's thread label.
+func (p *Probe) Label() string {
+	if p == nil {
+		return ""
+	}
+	return p.label
+}
+
+// Attribution returns the probe's cycle ledger (nil on a nil probe).
+func (p *Probe) Attribution() *vtime.Attribution {
+	if p == nil {
+		return nil
+	}
+	return &p.attr
+}
+
+// TraceBuf returns the probe's trace ring (nil on a nil probe).
+func (p *Probe) TraceBuf() *Buf {
+	if p == nil {
+		return nil
+	}
+	return p.buf
+}
+
+// Emit records an event on the probe's trace ring.
+func (p *Probe) Emit(k Kind, stamp, a, b uint64) {
+	if p == nil {
+		return
+	}
+	p.buf.Emit(k, stamp, a, b)
+}
+
+// Begin opens a span of the given kind. Nested Begins (a RAKIS call
+// falling back to the LibOS path) fold into the outermost span.
+func (p *Probe) Begin(k SpanKind) {
+	if p == nil {
+		return
+	}
+	p.depth++
+	if p.depth > 1 {
+		return
+	}
+	p.kind = k
+	p.startT = p.clk.Now()
+	p.startComp = p.attr.Snapshot()
+}
+
+// End closes the current span, folding its cycle and component deltas
+// into the per-kind aggregates, the sink's latency histogram, and the
+// trace.
+func (p *Probe) End() {
+	if p == nil {
+		return
+	}
+	p.depth--
+	if p.depth > 0 {
+		return
+	}
+	now := p.clk.Now()
+	dur := now - p.startT
+	cur := p.attr.Snapshot()
+	a := &p.agg[p.kind]
+	a.count.Add(1)
+	a.cycles.Add(dur)
+	for c := range cur {
+		a.comp[c].Add(cur[c] - p.startComp[c])
+	}
+	p.sink.spanHist[p.kind].Observe(dur)
+	p.buf.Emit(EvSpanEnd, now, uint64(p.kind), dur)
+}

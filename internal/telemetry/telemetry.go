@@ -1,0 +1,143 @@
+// Package telemetry is the boundary-crossing observability subsystem:
+// it turns any run into the paper's cost accounting — Figure 2's exit
+// counts and §6's decomposition of where time goes (exits vs boundary
+// copies vs ring validation vs stack work).
+//
+// Three layers, all optional and all nil-receiver safe so the
+// instrumented hot paths cost nothing when telemetry is off:
+//
+//   - a metrics Registry of named counters, reader gauges, and
+//     log2-bucket histograms, which absorbs the ad-hoc vtime.Counters
+//     sinks (BindCounters) and the netsim per-queue drop counters;
+//   - a lock-free per-thread ring-buffer Tracer of typed events stamped
+//     with virtual time (enclave exits, boundary copies, certified ring
+//     traffic, refusals, MM wakeups, CQE completions, softirq frames,
+//     chaos faults). A disabled Emit costs one atomic load and zero
+//     allocations;
+//   - per-thread Probes that decompose each POSIX call crossing the
+//     Service Module into vtime.Comp components and assert conservation
+//     against the vtime clocks.
+//
+// Exporters render the result as a Chrome about://tracing JSON file, a
+// CSV event log, or the stable machine-readable breakdown consumed by
+// cmd/rakis-trace and the BENCH trajectory.
+//
+// Trust placement: the registry, trace rings, and span tables live in
+// trusted memory and are written only by the side that owns each
+// instrumented thread. Event arguments may carry untrusted-origin values
+// (a hostile CQE result, a refused descriptor address); telemetry treats
+// them as opaque payloads — they are stored and printed, never used as
+// an index, bound, length, or address.
+//
+//rakis:role enclave
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+
+	"rakis/internal/vtime"
+)
+
+// Sink bundles the three telemetry layers for one run. A nil *Sink is
+// the disabled state: every constructor and hook degrades to a no-op.
+type Sink struct {
+	// Reg is the run's metrics registry.
+	Reg *Registry
+	// Trace is the run's event tracer (created disabled; call
+	// Trace.Enable to start recording).
+	Trace *Tracer
+
+	mu       sync.Mutex
+	probes   []*Probe
+	nprobe   int
+	spanHist [NumSpanKinds]*Histogram
+}
+
+// NewSink returns a ready sink: registry, a tracer with the default ring
+// size, and per-span-kind latency histograms pre-registered.
+func NewSink() *Sink {
+	s := &Sink{Reg: NewRegistry(), Trace: NewTracer(0)}
+	for k := 0; k < NumSpanKinds; k++ {
+		s.spanHist[k] = s.Reg.Histogram("span." + SpanKind(k).String() + ".cycles")
+	}
+	return s
+}
+
+// NewProbe creates a span probe for one simulated thread, binds its
+// cycle ledger to the thread's clock, and gives it a trace ring. Safe on
+// a nil sink (returns a nil probe, itself a no-op).
+func (s *Sink) NewProbe(label string, clk *vtime.Clock) *Probe {
+	if s == nil {
+		return nil
+	}
+	p := &Probe{sink: s, buf: s.Trace.NewBuf(label), clk: clk, label: label}
+	if clk != nil {
+		clk.SetAttribution(&p.attr)
+	}
+	s.mu.Lock()
+	s.probes = append(s.probes, p)
+	s.mu.Unlock()
+	return p
+}
+
+// ProbeLabel derives a unique probe label "prefix.N" for the Nth thread
+// of a family.
+func (s *Sink) ProbeLabel(prefix string) string {
+	if s == nil {
+		return prefix
+	}
+	s.mu.Lock()
+	n := s.nprobe
+	s.nprobe++
+	s.mu.Unlock()
+	return fmt.Sprintf("%s.%d", prefix, n)
+}
+
+// NewBuf returns a trace ring for a thread that records events but has
+// no span lifecycle (the MM, softirq workers, chaos). Nil-safe.
+func (s *Sink) NewBuf(label string) *Buf {
+	if s == nil {
+		return nil
+	}
+	return s.Trace.NewBuf(label)
+}
+
+// Probes returns the probes created so far.
+func (s *Sink) Probes() []*Probe {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Probe(nil), s.probes...)
+}
+
+// CheckConservation verifies the accounting invariant on every probe:
+// the per-component cycle totals sum exactly to the bound clock's time,
+// and each span kind's component sums equal its recorded cycles. Call it
+// after the run has quiesced (world closed, workload joined).
+func (s *Sink) CheckConservation() error {
+	if s == nil {
+		return nil
+	}
+	for _, p := range s.Probes() {
+		if p.clk != nil {
+			if got, want := p.attr.Total(), p.clk.Now(); got != want {
+				return fmt.Errorf("telemetry: probe %s attributed %d cycles, clock at %d", p.label, got, want)
+			}
+		}
+		for k := 0; k < NumSpanKinds; k++ {
+			a := &p.agg[k]
+			var sum uint64
+			for c := range a.comp {
+				sum += a.comp[c].Load()
+			}
+			if cyc := a.cycles.Load(); sum != cyc {
+				return fmt.Errorf("telemetry: probe %s span %s components sum to %d, span cycles %d",
+					p.label, SpanKind(k), sum, cyc)
+			}
+		}
+	}
+	return nil
+}

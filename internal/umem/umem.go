@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"rakis/internal/mem"
+	"rakis/internal/telemetry"
 	"rakis/internal/vtime"
 )
 
@@ -77,6 +78,7 @@ type UMem struct {
 	frameSize  uint32
 	frameCount uint32
 	counters   *vtime.Counters
+	trace      *telemetry.Buf
 
 	// Trusted state.
 	owner []Owner
@@ -95,6 +97,8 @@ type Config struct {
 	FrameCount uint32
 	// Counters receives violation counts; it may be nil.
 	Counters *vtime.Counters
+	// Trace, when non-nil, receives a refusal event per rejected offset.
+	Trace *telemetry.Buf
 }
 
 // New validates the geometry and placement and returns a UMem handle with
@@ -116,6 +120,7 @@ func New(cfg Config) (*UMem, error) {
 		frameSize:  cfg.FrameSize,
 		frameCount: cfg.FrameCount,
 		counters:   cfg.Counters,
+		trace:      cfg.Trace,
 		owner:      make([]Owner, cfg.FrameCount),
 		free:       make([]uint32, 0, cfg.FrameCount),
 	}
@@ -164,11 +169,14 @@ func (u *UMem) Alloc(routine Owner) (uint32, error) {
 	return idx, nil
 }
 
-// violation records a refused offset.
-func (u *UMem) violation(format string, args ...any) error {
+// violation records a refused offset. The trace event carries the
+// hostile offset and length; its stamp is zero because the validator
+// deliberately takes no clock (the caller charges validation cost).
+func (u *UMem) violation(offset uint64, length uint32, format string, args ...any) error {
 	if u.counters != nil {
 		u.counters.UMemViolations.Add(1)
 	}
+	u.trace.Emit(telemetry.EvUMemRefusal, 0, offset, uint64(length))
 	return fmt.Errorf("%w: "+format, append([]any{ErrViolation}, args...)...)
 }
 
@@ -186,15 +194,15 @@ func (u *UMem) ValidateConsumed(routine Owner, offset uint64, length uint32) (ui
 		return 0, fmt.Errorf("%w: routine %v", ErrConfig, routine)
 	}
 	if offset >= u.Size() {
-		return 0, u.violation("offset %d beyond UMem size %d", offset, u.Size())
+		return 0, u.violation(offset, length, "offset %d beyond UMem size %d", offset, u.Size())
 	}
 	idx := uint32(offset / uint64(u.frameSize))
 	within := offset - u.FrameOffset(idx)
 	if uint64(length) > uint64(u.frameSize)-within {
-		return 0, u.violation("range [+%d,%d) crosses frame %d boundary", offset, length, idx)
+		return 0, u.violation(offset, length, "range [+%d,%d) crosses frame %d boundary", offset, length, idx)
 	}
 	if u.owner[idx] != routine {
-		return 0, u.violation("frame %d owned by %v, returned via %v routine",
+		return 0, u.violation(offset, length, "frame %d owned by %v, returned via %v routine",
 			idx, u.owner[idx], routine)
 	}
 	u.owner[idx] = OwnerUser

@@ -1,0 +1,99 @@
+package vtime
+
+import "sync/atomic"
+
+// Comp classifies where a thread's virtual cycles go — the §6 cost
+// decomposition the paper's performance argument rests on. Every cycle a
+// Clock advances is attributed to exactly one component, so the
+// components of any interval sum to the clock delta (conservation).
+type Comp uint8
+
+const (
+	// CompOther is uncategorized work: application compute, LibOS
+	// bookkeeping, in-enclave copies between trusted buffers.
+	CompOther Comp = iota
+	// CompExit is SGX enclave transition cost (EEXIT/EENTER, OCALL
+	// marshalling) — the Figure 2 subject.
+	CompExit
+	// CompCopy is data crossing the trust boundary: OCALL payloads,
+	// bounce-buffer traffic, UMem frame copies.
+	CompCopy
+	// CompValidate is Table 2 validation of untrusted-origin values:
+	// descriptor and CQE checks, UMem ownership tracking.
+	CompValidate
+	// CompRing is certified-ring manipulation: producer/consumer index
+	// maintenance on the shared XSK and io_uring rings.
+	CompRing
+	// CompStack is the in-enclave UDP/IP stack and kernel network stack
+	// packet work.
+	CompStack
+	// CompAPI is the Service Module's API submodule: syscall
+	// interception hooks, SyncProxy dispatch, poll fan-out.
+	CompAPI
+	// CompWait is idle time: the clock raised to a producer's stamp
+	// while blocked on an event.
+	CompWait
+
+	// NumComp is the number of components.
+	NumComp = int(CompWait) + 1
+)
+
+var compNames = [NumComp]string{
+	"other", "exit", "copy", "validate", "ring", "stack", "api", "wait",
+}
+
+// String returns the component's short name.
+func (c Comp) String() string {
+	if int(c) < NumComp {
+		return compNames[c]
+	}
+	return "invalid"
+}
+
+// Attribution is a per-clock cycle ledger: one counter per component.
+// All methods are nil-receiver safe so unattributed clocks pay only a
+// pointer test.
+type Attribution struct {
+	comp [NumComp]atomic.Uint64
+}
+
+// Add charges cycles to a component.
+func (a *Attribution) Add(c Comp, cycles uint64) {
+	if a != nil {
+		a.comp[c].Add(cycles)
+	}
+}
+
+// Load returns one component's total.
+func (a *Attribution) Load(c Comp) uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.comp[c].Load()
+}
+
+// Snapshot returns a point-in-time copy of all components.
+func (a *Attribution) Snapshot() [NumComp]uint64 {
+	var s [NumComp]uint64
+	if a == nil {
+		return s
+	}
+	for i := range s {
+		s[i] = a.comp[i].Load()
+	}
+	return s
+}
+
+// Total returns the sum over all components. For an attribution that has
+// been attached to a clock since cycle zero, Total equals the clock's
+// current time — the conservation invariant telemetry asserts.
+func (a *Attribution) Total() uint64 {
+	var t uint64
+	if a == nil {
+		return 0
+	}
+	for i := range a.comp {
+		t += a.comp[i].Load()
+	}
+	return t
+}

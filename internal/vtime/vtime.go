@@ -25,29 +25,62 @@ import (
 // A Clock is owned by exactly one simulated thread, which is the only
 // caller of Advance and Sync; other threads may concurrently read it with
 // Now. The zero value is a clock at cycle zero, ready to use.
+//
+// A Clock may carry an Attribution (SetAttribution): every cycle the
+// clock gains is then charged to a cost component — Charge and SyncAs
+// name one explicitly, Advance books to CompOther, Sync to CompWait — so
+// component totals always sum to the clock's time.
 type Clock struct {
-	now atomic.Uint64
+	now  atomic.Uint64
+	attr atomic.Pointer[Attribution]
 }
 
 // Now returns the clock's current virtual cycle count.
 func (c *Clock) Now() uint64 { return c.now.Load() }
 
+// SetAttribution attaches a cycle ledger to the clock. Attach while the
+// clock is still at zero for the Total()==Now() invariant to hold.
+func (c *Clock) SetAttribution(a *Attribution) { c.attr.Store(a) }
+
+// Attribution returns the attached ledger, or nil.
+func (c *Clock) Attribution() *Attribution { return c.attr.Load() }
+
 // Advance moves the clock forward by the given number of cycles and
-// returns the new time.
+// returns the new time. The cycles are attributed to CompOther.
 func (c *Clock) Advance(cycles uint64) uint64 {
+	return c.Charge(CompOther, cycles)
+}
+
+// Charge moves the clock forward by cycles attributed to the given cost
+// component, and returns the new time.
+func (c *Clock) Charge(comp Comp, cycles uint64) uint64 {
+	if a := c.attr.Load(); a != nil {
+		a.comp[comp].Add(cycles)
+	}
 	return c.now.Add(cycles)
 }
 
 // Sync raises the clock to stamp if stamp is ahead of it. It models the
 // idle time spent waiting for an event produced at the given virtual time
-// and returns the (possibly unchanged) current time.
+// and returns the (possibly unchanged) current time. The raised cycles
+// are attributed to CompWait.
 func (c *Clock) Sync(stamp uint64) uint64 {
+	return c.SyncAs(stamp, CompWait)
+}
+
+// SyncAs raises the clock to stamp like Sync, attributing the raised
+// cycles to the given component — for waits that are really serialized
+// work, such as the shared portion of an enclave exit.
+func (c *Clock) SyncAs(stamp uint64, comp Comp) uint64 {
 	for {
 		cur := c.now.Load()
 		if stamp <= cur {
 			return cur
 		}
 		if c.now.CompareAndSwap(cur, stamp) {
+			if a := c.attr.Load(); a != nil {
+				a.comp[comp].Add(stamp - cur)
+			}
 			return stamp
 		}
 	}

@@ -29,6 +29,7 @@ import (
 
 	"rakis/internal/mem"
 	"rakis/internal/ring"
+	"rakis/internal/telemetry"
 	"rakis/internal/umem"
 	"rakis/internal/vtime"
 )
@@ -94,6 +95,9 @@ type Config struct {
 	FrameCount uint32
 	Counters   *vtime.Counters
 	Model      *vtime.Model
+	// Trace, when non-nil, receives ring/copy/refusal events for this
+	// socket (shared by the pump thread and user send threads).
+	Trace *telemetry.Buf
 }
 
 // Errors returned by Attach and socket operations.
@@ -126,6 +130,7 @@ type Socket struct {
 	space    *mem.Space
 	model    *vtime.Model
 	counters *vtime.Counters
+	trace    *telemetry.Buf
 }
 
 // Attach validates the untrusted setup and constructs the trusted handle.
@@ -166,7 +171,7 @@ func Attach(cfg Config) (*Socket, error) {
 			Certified: true, Counters: cfg.Counters,
 		})
 	}
-	s := &Socket{fd: cfg.Setup.FD, space: cfg.Space, model: cfg.Model, counters: cfg.Counters}
+	s := &Socket{fd: cfg.Setup.FD, space: cfg.Space, model: cfg.Model, counters: cfg.Counters, trace: cfg.Trace}
 	var err error
 	if s.Fill, err = mk(cfg.Setup.FillBase, FillEntryBytes, ring.Producer); err != nil {
 		return nil, err
@@ -183,7 +188,7 @@ func Attach(cfg Config) (*Socket, error) {
 	s.UMem, err = umem.New(umem.Config{
 		Space: cfg.Space, Base: cfg.Setup.UMemBase,
 		FrameSize: cfg.FrameSize, FrameCount: cfg.FrameCount,
-		Counters: cfg.Counters,
+		Counters: cfg.Counters, Trace: cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -227,8 +232,10 @@ func (s *Socket) refillLocked(clk *vtime.Clock) int {
 		s.Fill.WriteU64(uint32(n), s.UMem.FrameOffset(idx))
 	}
 	if n > 0 {
-		clk.Advance(s.model.RingOp + uint64(n)*s.model.UMemOp)
+		clk.Charge(vtime.CompRing, s.model.RingOp)
+		clk.Charge(vtime.CompValidate, uint64(n)*s.model.UMemOp)
 		s.Fill.Submit(uint32(n), clk.Now())
+		s.trace.Emit(telemetry.EvRingProduce, clk.Now(), telemetry.RingXskFill, uint64(n))
 	}
 	return n
 }
@@ -246,15 +253,18 @@ func (s *Socket) Recv(clk *vtime.Clock) ([]byte, bool) {
 			return nil, false
 		}
 		clk.Sync(s.RX.SlotStamp(0))
-		clk.Advance(s.model.RingOp + s.model.UMemOp)
+		clk.Charge(vtime.CompRing, s.model.RingOp)
+		clk.Charge(vtime.CompValidate, s.model.UMemOp)
 		slot, err := s.RX.SlotBytes(0)
 		if err != nil {
+			s.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingXskRX, 1)
 			s.RX.Release(1)
 			continue
 		}
 		d := GetDesc(slot)
 		if _, err := s.UMem.ValidateConsumed(umem.OwnerFill, d.Addr, d.Len); err != nil {
 			// Table 2 fail action: refuse the frame, advance the consumer.
+			// (UMem emits the EvUMemRefusal with the hostile addr/len.)
 			s.RX.Release(1)
 			continue
 		}
@@ -265,8 +275,10 @@ func (s *Socket) Recv(clk *vtime.Clock) ([]byte, bool) {
 		}
 		payload := make([]byte, d.Len)
 		copy(payload, src)
-		clk.Advance(vtime.Bytes(s.model.BoundaryCopyPerByte, int(d.Len)))
+		clk.Charge(vtime.CompCopy, vtime.Bytes(s.model.BoundaryCopyPerByte, int(d.Len)))
 		s.RX.Release(1)
+		s.trace.Emit(telemetry.EvRingConsume, clk.Now(), telemetry.RingXskRX, 1)
+		s.trace.Emit(telemetry.EvBoundaryCopy, clk.Now(), uint64(d.Len), 1)
 		if s.counters != nil {
 			s.counters.PacketsRx.Add(1)
 			s.counters.BytesRx.Add(uint64(d.Len))
@@ -299,14 +311,17 @@ func (s *Socket) Send(frame []byte, clk *vtime.Clock) error {
 		return err
 	}
 	copy(dst, frame)
-	clk.Advance(s.model.RingOp + s.model.UMemOp +
-		vtime.Bytes(s.model.BoundaryCopyPerByte, len(frame)))
+	clk.Charge(vtime.CompRing, s.model.RingOp)
+	clk.Charge(vtime.CompValidate, s.model.UMemOp)
+	clk.Charge(vtime.CompCopy, vtime.Bytes(s.model.BoundaryCopyPerByte, len(frame)))
 	slot, err := s.TX.SlotBytes(0)
 	if err != nil {
 		return err
 	}
 	PutDesc(slot, Desc{Addr: off, Len: uint32(len(frame))})
 	s.TX.Submit(1, clk.Now())
+	s.trace.Emit(telemetry.EvBoundaryCopy, clk.Now(), uint64(len(frame)), 0)
+	s.trace.Emit(telemetry.EvRingProduce, clk.Now(), telemetry.RingXskTX, 1)
 	if s.counters != nil {
 		s.counters.PacketsTx.Add(1)
 		s.counters.BytesTx.Add(uint64(len(frame)))
@@ -342,7 +357,9 @@ func (s *Socket) reapLocked(clk *vtime.Clock) int {
 		n++
 	}
 	if n > 0 {
-		clk.Advance(s.model.RingOp + uint64(n)*s.model.UMemOp)
+		clk.Charge(vtime.CompRing, s.model.RingOp)
+		clk.Charge(vtime.CompValidate, uint64(n)*s.model.UMemOp)
+		s.trace.Emit(telemetry.EvRingConsume, clk.Now(), telemetry.RingXskCompl, uint64(n))
 	}
 	return n
 }

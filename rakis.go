@@ -33,6 +33,7 @@ import (
 	"rakis/internal/netsim"
 	"rakis/internal/netstack"
 	"rakis/internal/sm"
+	"rakis/internal/telemetry"
 	"rakis/internal/vtime"
 	"rakis/internal/xsk"
 )
@@ -74,6 +75,11 @@ type Config struct {
 	// background scribbler. The trusted side gets no hint that chaos is
 	// on — surviving it is the point.
 	Chaos *chaos.Injector
+	// Telemetry, when non-nil, instruments the whole runtime: every
+	// enclave thread gets a cost-attribution probe, and the boundary
+	// layers (XSKs, io_urings, MM, host kernel, chaos) get trace buffers.
+	// Nil keeps the disabled fast path — one pointer test per hook.
+	Telemetry *telemetry.Sink
 }
 
 func (c *Config) fill() {
@@ -165,6 +171,13 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 	if cfg.Chaos != nil {
 		kern.Chaos = cfg.Chaos
 		cfg.Chaos.Bind(kern.Space, cfg.Counters)
+		cfg.Chaos.SetTrace(cfg.Telemetry.NewBuf("chaos"))
+	}
+	if cfg.Telemetry != nil {
+		telemetry.BindCounters(cfg.Telemetry.Reg, cfg.Counters)
+		if kern.Trace == nil {
+			kern.Trace = cfg.Telemetry.NewBuf("hostos")
+		}
 	}
 	var bootClk vtime.Clock
 
@@ -177,6 +190,7 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 			Space: kern.Space, Setup: res.Setup,
 			RingSize: cfg.RingSize, FrameSize: cfg.FrameSize, FrameCount: cfg.FrameCount,
 			Counters: cfg.Counters, Model: cfg.Model,
+			Trace: cfg.Telemetry.NewBuf(fmt.Sprintf("xsk%d", i)),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("rakis: XSK %d rejected: %w", i, err)
@@ -191,8 +205,9 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 	}
 	rt.Stack = stack
 
-	for _, sock := range rt.socks {
+	for i, sock := range rt.socks {
 		pump := fm.NewXskPump(sock, stack, cfg.Model)
+		cfg.Telemetry.NewProbe(fmt.Sprintf("fm.xsk%d", i), pump.Clock())
 		rt.pumps = append(rt.pumps, pump)
 	}
 
@@ -212,8 +227,11 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 	}
 
 	rt.mon.Chaos = cfg.Chaos
+	rt.mon.Trace = cfg.Telemetry.NewBuf("mm")
+	cfg.Telemetry.NewProbe("mm", rt.mon.Clock())
 
 	rt.libosProc = libos.NewProcess(kern.NewProc(ns, cfg.Counters), cfg.Mode, cfg.Counters)
+	rt.libosProc.SetTelemetry(cfg.Telemetry)
 
 	// TX wakeups are edge-triggered: a swallowed sendto leaves xTX
 	// stranded forever. Each pump gets the nudge/kick ladder against its

@@ -8,6 +8,7 @@ import (
 	"rakis/internal/netstack"
 	"rakis/internal/sm"
 	"rakis/internal/sys"
+	"rakis/internal/telemetry"
 	"rakis/internal/vtime"
 )
 
@@ -21,6 +22,7 @@ import (
 type Thread struct {
 	rt        *Runtime
 	lt        *libos.Thread
+	probe     *telemetry.Probe
 	proxy     *sm.SyncProxy
 	pollCache *sm.PollCache
 }
@@ -39,9 +41,14 @@ func (rt *Runtime) NewThread() (*Thread, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The LibOS thread already owns this thread's probe; the io_uring FM
+	// shares its trace ring so the thread's ring and copy events land in
+	// the same per-thread buffer as its spans.
+	ufm.SetTrace(lt.Probe().TraceBuf())
 	return &Thread{
 		rt:        rt,
 		lt:        lt,
+		probe:     lt.Probe(),
 		proxy:     sm.NewSyncProxy(ufm, rt.cfg.Model),
 		pollCache: sm.NewPollCache(),
 	}, nil
@@ -74,7 +81,7 @@ func (t *Thread) Proxy() *sm.SyncProxy { return t.proxy }
 // hook charges the API submodule's syscall interception cost.
 func (t *Thread) hook() *vtime.Clock {
 	clk := t.lt.Clock()
-	clk.Advance(t.rt.cfg.Model.APIHook)
+	clk.Charge(vtime.CompAPI, t.rt.cfg.Model.APIHook)
 	return clk
 }
 
@@ -83,6 +90,8 @@ func (t *Thread) hook() *vtime.Clock {
 // Socket creates a socket: UDP sockets live in the enclave stack; TCP
 // sockets are host sockets created through the LibOS fallback.
 func (t *Thread) Socket(typ sys.SockType) (int, error) {
+	t.probe.Begin(telemetry.SpanSocket)
+	defer t.probe.End()
 	if typ == sys.UDP {
 		clk := t.hook()
 		_ = clk
@@ -101,6 +110,8 @@ func (t *Thread) Socket(typ sys.SockType) (int, error) {
 
 // Bind assigns the local port.
 func (t *Thread) Bind(fd int, port uint16) error {
+	t.probe.Begin(telemetry.SpanBind)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok {
 		return errors.New("rakis: bad fd")
@@ -121,6 +132,8 @@ func (t *Thread) Bind(fd int, port uint16) error {
 // Connect connects a socket: in-enclave for UDP, LibOS fallback for TCP
 // (connection setup is not one of the five io_uring-served syscalls).
 func (t *Thread) Connect(fd int, addr sys.Addr) error {
+	t.probe.Begin(telemetry.SpanConnect)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok {
 		return errors.New("rakis: bad fd")
@@ -135,6 +148,8 @@ func (t *Thread) Connect(fd int, addr sys.Addr) error {
 
 // Listen marks a TCP socket as accepting (LibOS fallback).
 func (t *Thread) Listen(fd int, backlog int) error {
+	t.probe.Begin(telemetry.SpanListen)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok || e.kind != kindHost {
 		return ErrWrongSocket
@@ -144,6 +159,8 @@ func (t *Thread) Listen(fd int, backlog int) error {
 
 // Accept waits for a connection (LibOS fallback).
 func (t *Thread) Accept(fd int, block bool) (int, sys.Addr, error) {
+	t.probe.Begin(telemetry.SpanAccept)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok || e.kind != kindHost {
 		return -1, sys.Addr{}, ErrWrongSocket
@@ -158,6 +175,8 @@ func (t *Thread) Accept(fd int, block bool) (int, sys.Addr, error) {
 // SendTo transmits a datagram through the enclave stack and the XSKs —
 // no enclave exit.
 func (t *Thread) SendTo(fd int, p []byte, addr sys.Addr) (int, error) {
+	t.probe.Begin(telemetry.SpanSendTo)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok {
 		return 0, errors.New("rakis: bad fd")
@@ -174,6 +193,8 @@ func (t *Thread) SendTo(fd int, p []byte, addr sys.Addr) (int, error) {
 
 // RecvFrom receives a datagram from the enclave stack — no enclave exit.
 func (t *Thread) RecvFrom(fd int, p []byte, block bool) (int, sys.Addr, error) {
+	t.probe.Begin(telemetry.SpanRecvFrom)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok {
 		return 0, sys.Addr{}, errors.New("rakis: bad fd")
@@ -194,6 +215,8 @@ func (t *Thread) RecvFrom(fd int, p []byte, block bool) (int, sys.Addr, error) {
 // Send writes to a connected socket: enclave stack for UDP, SyncProxy
 // (io_uring) for TCP.
 func (t *Thread) Send(fd int, p []byte) (int, error) {
+	t.probe.Begin(telemetry.SpanSend)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok {
 		return 0, errors.New("rakis: bad fd")
@@ -211,6 +234,8 @@ func (t *Thread) Send(fd int, p []byte) (int, error) {
 // Recv reads from a connected socket: enclave stack for UDP, SyncProxy
 // (io_uring) for TCP.
 func (t *Thread) Recv(fd int, p []byte, block bool) (int, error) {
+	t.probe.Begin(telemetry.SpanRecv)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok {
 		return 0, errors.New("rakis: bad fd")
@@ -244,6 +269,8 @@ func (t *Thread) Recv(fd int, p []byte, block bool) (int, error) {
 
 // Open opens a file through the LibOS fallback (not io_uring-served).
 func (t *Thread) Open(path string, flags int) (int, error) {
+	t.probe.Begin(telemetry.SpanOpen)
+	defer t.probe.End()
 	fd, err := t.lt.Open(path, flags)
 	if err != nil {
 		return -1, err
@@ -253,6 +280,8 @@ func (t *Thread) Open(path string, flags int) (int, error) {
 
 // Read reads a file through the SyncProxy (io_uring) — no enclave exit.
 func (t *Thread) Read(fd int, p []byte) (int, error) {
+	t.probe.Begin(telemetry.SpanRead)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok || e.kind != kindHost {
 		return 0, ErrWrongSocket
@@ -262,6 +291,8 @@ func (t *Thread) Read(fd int, p []byte) (int, error) {
 
 // Write writes a file through the SyncProxy (io_uring) — no enclave exit.
 func (t *Thread) Write(fd int, p []byte) (int, error) {
+	t.probe.Begin(telemetry.SpanWrite)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok || e.kind != kindHost {
 		return 0, ErrWrongSocket
@@ -271,6 +302,8 @@ func (t *Thread) Write(fd int, p []byte) (int, error) {
 
 // Pread reads at an offset through the SyncProxy.
 func (t *Thread) Pread(fd int, p []byte, off int64) (int, error) {
+	t.probe.Begin(telemetry.SpanPread)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok || e.kind != kindHost {
 		return 0, ErrWrongSocket
@@ -280,6 +313,8 @@ func (t *Thread) Pread(fd int, p []byte, off int64) (int, error) {
 
 // Pwrite writes at an offset through the SyncProxy.
 func (t *Thread) Pwrite(fd int, p []byte, off int64) (int, error) {
+	t.probe.Begin(telemetry.SpanPwrite)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok || e.kind != kindHost {
 		return 0, ErrWrongSocket
@@ -289,6 +324,8 @@ func (t *Thread) Pwrite(fd int, p []byte, off int64) (int, error) {
 
 // Lseek repositions the cursor (LibOS-emulated).
 func (t *Thread) Lseek(fd int, off int64, whence int) (int64, error) {
+	t.probe.Begin(telemetry.SpanLseek)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok || e.kind != kindHost {
 		return 0, ErrWrongSocket
@@ -298,6 +335,8 @@ func (t *Thread) Lseek(fd int, off int64, whence int) (int64, error) {
 
 // Fstat returns the file size (LibOS fallback).
 func (t *Thread) Fstat(fd int) (int64, error) {
+	t.probe.Begin(telemetry.SpanFstat)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok || e.kind != kindHost {
 		return 0, ErrWrongSocket
@@ -307,6 +346,8 @@ func (t *Thread) Fstat(fd int) (int64, error) {
 
 // Fsync flushes through the SyncProxy (io_uring).
 func (t *Thread) Fsync(fd int) error {
+	t.probe.Begin(telemetry.SpanFsync)
+	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
 	if !ok || e.kind != kindHost {
 		return ErrWrongSocket
@@ -318,6 +359,8 @@ func (t *Thread) Fsync(fd int) error {
 // sockets are watched directly, host descriptors through asynchronous
 // io_uring polls — no enclave exits.
 func (t *Thread) Poll(fds []sys.PollFD, timeout time.Duration) (int, error) {
+	t.probe.Begin(telemetry.SpanPoll)
+	defer t.probe.End()
 	srcs := make([]sm.PollSource, len(fds))
 	for i, f := range fds {
 		e, ok := t.rt.lookup(f.FD)
@@ -345,6 +388,8 @@ func (t *Thread) Poll(fds []sys.PollFD, timeout time.Duration) (int, error) {
 // Close releases a descriptor: enclave close for UDP, LibOS fallback for
 // host descriptors.
 func (t *Thread) Close(fd int) error {
+	t.probe.Begin(telemetry.SpanClose)
+	defer t.probe.End()
 	e, ok := t.rt.remove(fd)
 	if !ok {
 		return errors.New("rakis: bad fd")
@@ -365,4 +410,8 @@ func (t *Thread) Close(fd int) error {
 }
 
 // Futex is handled inside the enclave by the LibOS.
-func (t *Thread) Futex() { t.lt.Futex() }
+func (t *Thread) Futex() {
+	t.probe.Begin(telemetry.SpanFutex)
+	defer t.probe.End()
+	t.lt.Futex()
+}

@@ -18,9 +18,14 @@
 #                        model; fails on any accounting violation (the
 #                        telemetry conservation invariant, see DESIGN.md,
 #                        "Telemetry")
-#   8. bench JSON      — rakis-bench -json: the Figure 2 rows in the
-#                        stable rakis-bench/v1 layout (BENCH_figs.json)
-#   9. rakis-lint      — the trust-boundary analyzers (taintflow,
+#   8. batched path    — the batched-fast-path differential suite and the
+#                        exit-amortization regression guard under -race:
+#                        batched and scalar I/O must differ in cost only
+#                        (see DESIGN.md, "Batched fast path")
+#   9. bench JSON      — rakis-bench -json: the Figure 2 rows plus the
+#                        batched-vs-scalar rows in the stable
+#                        rakis-bench/v1 layout (BENCH_figs.json)
+#  10. rakis-lint      — the trust-boundary analyzers (taintflow,
 #                        rolecheck, boundarycopy; see DESIGN.md)
 set -eu
 cd "$(dirname "$0")"
@@ -47,9 +52,13 @@ echo "==> rakis-trace smoke (conservation gate)"
 go run ./cmd/rakis-trace -workload iperf -env rakis-sgx > /dev/null
 go run ./cmd/rakis-trace -workload fstime -env gramine-sgx > /dev/null
 
-echo "==> rakis-bench -fig 2 -json BENCH_figs.json"
-go run ./cmd/rakis-bench -fig 2 -scale 0.05 -json BENCH_figs.json > /dev/null
+echo "==> batched fast path: differential + exit-amortization guard (-race)"
+go test -race -run 'TestBatchDifferential|TestBatchExitAmortization' ./internal/experiments/
+
+echo "==> rakis-bench -fig 2,batch -json BENCH_figs.json"
+go run ./cmd/rakis-bench -fig 2,batch -scale 0.05 -json BENCH_figs.json > /dev/null
 test -s BENCH_figs.json
+grep -q '"figure": "batch"' BENCH_figs.json
 
 echo "==> rakis-lint ./..."
 go run ./cmd/rakis-lint ./...

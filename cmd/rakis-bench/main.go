@@ -4,7 +4,9 @@
 //
 // Usage:
 //
-//	rakis-bench [-fig 4a|4b|4c|5a|5b|5c|2|all] [-scale 0.25] [-json BENCH_figs.json]
+//	rakis-bench [-fig 4a|4b|4c|5a|5b|5c|2|batch|all] [-scale 0.25] [-json BENCH_figs.json]
+//
+// -fig also accepts a comma-separated list (e.g. -fig 2,batch).
 //
 // Scale stretches or shrinks workload volumes; the shapes (who wins, by
 // what factor) are stable across scales. See EXPERIMENTS.md for recorded
@@ -17,12 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"rakis/internal/experiments"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 4a, 4b, 4c, 5a, 5b, 5c, or all")
+	fig := flag.String("fig", "all", "figures to regenerate (comma-separated): 2, 4a, 4b, 4c, 5a, 5b, 5c, batch, or all")
 	scale := flag.Float64("scale", 0.25, "workload scale factor (1.0 = figure-sized)")
 	jsonPath := flag.String("json", "", "also write measured rows as rakis-bench/v1 JSON to this path")
 	flag.Parse()
@@ -40,12 +43,17 @@ func main() {
 		{"5a", "Figure 5(a): fstime write throughput vs block size", experiments.Fig5aFstime},
 		{"5b", "Figure 5(b): Redis throughput normalized to Native", experiments.Fig5bRedis},
 		{"5c", "Figure 5(c): MCrypt encryption time vs read block size", experiments.Fig5cMcrypt},
+		{"batch", "Batched fast path: enclave exits per datagram vs vector width", experiments.FigBatch},
 	}
 
+	want := map[string]bool{}
+	for _, id := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
 	ran := 0
 	var doc experiments.BenchDoc
 	for _, f := range figures {
-		if *fig != "all" && *fig != f.id {
+		if !want["all"] && !want[f.id] {
 			continue
 		}
 		ran++

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+
+	"rakis/internal/telemetry"
+	"rakis/internal/workloads"
+)
+
+// echoExitCell runs the UDP echo workload at one vector width in a fresh
+// instrumented world and reports (enclave exits per echoed datagram,
+// batch calls, batched messages) out of the telemetry registry — the
+// same vtime.* gauges rakis-bench and cmd/rakis-trace read.
+func echoExitCell(t *testing.T, env Environment, batch int) (exitsPerOp float64, calls, msgs uint64) {
+	t.Helper()
+	sink := telemetry.NewSink()
+	w, err := NewWorld(Options{Env: env, Telemetry: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, runErr := workloads.UDPEcho(w.WorkloadEnv(), workloads.EchoParams{
+		PacketSize: 256, Count: 256, Batch: batch,
+	}, false)
+	w.Close()
+	if runErr != nil {
+		t.Fatalf("%v b=%d: %v", env, batch, runErr)
+	}
+	if res.Echoed != 256 {
+		t.Fatalf("%v b=%d: echoed %d of 256", env, batch, res.Echoed)
+	}
+	exits, ok := sink.Reg.Value("vtime.enclave_exits")
+	if !ok {
+		t.Fatal("vtime.enclave_exits gauge not registered")
+	}
+	calls, _ = sink.Reg.Value("vtime.batch_calls")
+	msgs, _ = sink.Reg.Value("vtime.batched_msgs")
+	return float64(exits) / float64(res.Echoed), calls, msgs
+}
+
+// TestBatchExitAmortization is the exit-amortization regression guard:
+// the XSK echo workload at batch 32 must pay at least 4x fewer enclave
+// exits per datagram than the scalar path on Gramine-SGX (where every
+// scalar recv+send is two OCALLs), and on RAKIS-SGX — whose UDP data
+// path pays zero exits — batching must not add a single exit.
+func TestBatchExitAmortization(t *testing.T) {
+	scalar, _, _ := echoExitCell(t, GramineSGX, 1)
+	batched, calls, msgs := echoExitCell(t, GramineSGX, 32)
+	if calls == 0 {
+		t.Fatal("batch-32 run recorded no vectored calls; the batched path did not execute")
+	}
+	if msgs < 2*256 {
+		// Every datagram passes through one RecvFromN and one SendToN.
+		t.Fatalf("batch-32 run vectored only %d messages, want >= %d", msgs, 2*256)
+	}
+	if scalar < 4*batched {
+		t.Fatalf("exit amortization regressed: scalar %.3f exits/op vs batched %.3f (%.1fx, want >= 4x)",
+			scalar, batched, scalar/batched)
+	}
+	t.Logf("Gramine-SGX: %.3f exits/op scalar, %.3f batched (%.1fx amortization)",
+		scalar, batched, scalar/batched)
+
+	rakisScalar, _, _ := echoExitCell(t, RakisSGX, 1)
+	rakisBatched, rcalls, _ := echoExitCell(t, RakisSGX, 32)
+	if rcalls == 0 {
+		t.Fatal("RAKIS batch-32 run recorded no vectored calls")
+	}
+	if rakisBatched > rakisScalar {
+		t.Fatalf("batching added exits on RAKIS-SGX: %.3f/op batched vs %.3f/op scalar — the data path must stay exit-free",
+			rakisBatched, rakisScalar)
+	}
+	// And the RAKIS floor sits far below even the amortized Gramine cost.
+	if rakisBatched >= batched {
+		t.Fatalf("RAKIS-SGX (%.3f exits/op) not below batched Gramine-SGX (%.3f)", rakisBatched, batched)
+	}
+}

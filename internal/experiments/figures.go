@@ -37,6 +37,9 @@ type Row struct {
 	// measurement (both wire ends). A throughput number with hidden
 	// drops overstates goodput, so every row carries its count.
 	Drops uint64
+	// Batch is the vector width of the I/O calls under measurement;
+	// zero for figures that only exercise the scalar path.
+	Batch int
 }
 
 // PrintRows renders rows as an aligned table grouped by parameter.
@@ -342,6 +345,50 @@ func Fig2Exits(scale Scale) ([]Row, error) {
 	return rows, nil
 }
 
+// FigBatch measures the batched fast path: the UDP echo workload at
+// vector widths 1 and 32, reporting enclave exits per echoed datagram
+// on Gramine-SGX vs RAKIS-SGX. On Gramine-SGX every scalar recv+send
+// pays two OCALLs, so width-32 vectors amortize them ~32x; on RAKIS-SGX
+// the UDP data path already pays zero exits, so both widths sit at the
+// same floor — batching changes nothing but the cost.
+func FigBatch(scale Scale) ([]Row, error) {
+	count := int(float64(2048) * float64(scale))
+	if count < 256 {
+		count = 256
+	}
+	var rows []Row
+	for _, env := range []Environment{GramineSGX, RakisSGX} {
+		for _, batch := range []int{1, 32} {
+			sink := telemetry.NewSink()
+			w, err := NewWorld(Options{Env: env, Telemetry: sink})
+			if err != nil {
+				return nil, fmt.Errorf("%v: %w", env, err)
+			}
+			res, runErr := workloads.UDPEcho(w.WorkloadEnv(), workloads.EchoParams{
+				PacketSize: 256, Count: count, Batch: batch,
+			}, false)
+			drops := w.TotalDrops()
+			w.Close()
+			if runErr != nil {
+				return nil, fmt.Errorf("%v b=%d: %w", env, batch, runErr)
+			}
+			exits, ok := sink.Reg.Value("vtime.enclave_exits")
+			if !ok {
+				return nil, fmt.Errorf("figbatch: exit gauge missing from registry")
+			}
+			if res.Echoed == 0 {
+				return nil, fmt.Errorf("figbatch: %v b=%d echoed nothing", env, batch)
+			}
+			rows = append(rows, Row{
+				Env: env, Param: fmt.Sprintf("b=%d", batch), Batch: batch,
+				Value: float64(exits) / float64(res.Echoed), Unit: "exits/op",
+				Drops: drops,
+			})
+		}
+	}
+	return rows, nil
+}
+
 // BenchSchema identifies the machine-readable bench JSON layout.
 const BenchSchema = "rakis-bench/v1"
 
@@ -354,6 +401,7 @@ type BenchRow struct {
 	Value  float64 `json:"value"`
 	Unit   string  `json:"unit"`
 	Drops  uint64  `json:"drops"`
+	Batch  int     `json:"batch,omitempty"`
 }
 
 // BenchDoc is the BENCH_figs.json document: a schema tag plus every
@@ -368,7 +416,7 @@ func (d *BenchDoc) AddFigure(id string, rows []Row) {
 	for _, r := range rows {
 		d.Rows = append(d.Rows, BenchRow{
 			Figure: id, Env: r.Env.String(), X: r.Param,
-			Value: r.Value, Unit: r.Unit, Drops: r.Drops,
+			Value: r.Value, Unit: r.Unit, Drops: r.Drops, Batch: r.Batch,
 		})
 	}
 }

@@ -107,6 +107,11 @@ func (p *XskPump) Start() {
 	go p.run()
 }
 
+// pumpBatchMax caps how many RX descriptors the pump consumes per ring
+// pass. Batching is opportunistic: the pump drains what is queued in one
+// certified run and never waits for a batch to fill.
+const pumpBatchMax = 32
+
 func (p *XskPump) run() {
 	defer close(p.done)
 	p.sock.Refill(&p.clk)
@@ -119,8 +124,8 @@ func (p *XskPump) run() {
 			return
 		default:
 		}
-		payload, ok := p.sock.Recv(&p.clk)
-		if !ok {
+		payloads := p.sock.RecvBatch(&p.clk, pumpBatchMax)
+		if len(payloads) == 0 {
 			p.sock.Reap(&p.clk)
 			p.sock.Refill(&p.clk)
 			idle++
@@ -157,8 +162,10 @@ func (p *XskPump) run() {
 			continue
 		}
 		idle = 0
-		p.clk.Advance(p.model.FMPerPacket)
-		p.stack.Input(payload, &p.clk)
+		for _, payload := range payloads {
+			p.clk.Advance(p.model.FMPerPacket)
+			p.stack.Input(payload, &p.clk)
+		}
 		p.sock.Refill(&p.clk)
 	}
 }
@@ -251,6 +258,42 @@ func (u *UringFM) submitRetry(e iouring.SQE, clk *vtime.Clock) (uint64, error) {
 		tok, err := u.ring.Submit(e, clk)
 		if err == nil || !errors.Is(err, iouring.ErrFull) || attempt >= submitRetryMax {
 			return tok, err
+		}
+		u.ring.Drain(clk)
+		u.ring.Escalate()
+		if c := u.ring.Counters(); c != nil {
+			c.SubmitRetries.Add(1)
+		}
+		time.Sleep(backoff)
+		if backoff < 2*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// submitRetryN is the vectored form of submitRetry: it pushes the whole
+// batch through SubmitN, re-offering the unsubmitted tail through the
+// same drain/escalate/backoff ladder when the ring fills mid-batch. It
+// returns the tokens for the submitted prefix; the error is non-nil only
+// when the ladder gave up (ErrFull) or a non-retryable error struck, in
+// which case len(tokens) tells the caller how far the batch got.
+func (u *UringFM) submitRetryN(es []iouring.SQE, clk *vtime.Clock) ([]uint64, error) {
+	if len(es) == 0 {
+		return nil, nil
+	}
+	tokens := make([]uint64, 0, len(es))
+	backoff := 20 * time.Microsecond
+	for attempt := 0; ; attempt++ {
+		got, err := u.ring.SubmitN(es[len(tokens):], clk)
+		tokens = append(tokens, got...)
+		if len(tokens) == len(es) {
+			return tokens, nil
+		}
+		if err != nil && !errors.Is(err, iouring.ErrFull) {
+			return tokens, err
+		}
+		if attempt >= submitRetryMax {
+			return tokens, iouring.ErrFull
 		}
 		u.ring.Drain(clk)
 		u.ring.Escalate()
@@ -429,6 +472,24 @@ func (u *UringFM) SubmitPoll(fd int, events uint32, clk *vtime.Clock) (uint64, e
 	return u.submitRetry(iouring.SQE{
 		Op: iouring.OpPollAdd, FD: int32(fd), OpFlags: events,
 	}, clk)
+}
+
+// PollReq names one descriptor to arm in a batched SubmitPollN.
+type PollReq struct {
+	FD     int
+	Events uint32
+}
+
+// SubmitPollN arms asynchronous polls for every request in one batched
+// submission run (one producer publish, at most one MM wakeup) and
+// returns their tokens in request order. Partial arming surfaces as a
+// short token slice plus the error that stopped it.
+func (u *UringFM) SubmitPollN(reqs []PollReq, clk *vtime.Clock) ([]uint64, error) {
+	es := make([]iouring.SQE, len(reqs))
+	for i, q := range reqs {
+		es[i] = iouring.SQE{Op: iouring.OpPollAdd, FD: int32(q.FD), OpFlags: q.Events}
+	}
+	return u.submitRetryN(es, clk)
 }
 
 // TryPoll checks an armed poll without blocking.

@@ -1,0 +1,273 @@
+package fm
+
+// Boundary tests for the submitRetry/submitRetryN backoff ladder: a full
+// iSub at every rung, the escalation trigger on each retry, the give-up
+// path after submitRetryMax rungs, mid-ladder recovery when the kernel
+// consumer frees the ring, and vectored partial success. The "kernel" is
+// a bare host-role ring handle driven by the test — no worker, no rescue
+// scan — so each scenario is exactly the one constructed.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rakis/internal/iouring"
+	"rakis/internal/mem"
+	"rakis/internal/ring"
+	"rakis/internal/vtime"
+)
+
+type ladderFixture struct {
+	sp    *mem.Space
+	u     *UringFM
+	kSub  *ring.Ring // kernel-side consumer handle of iSub
+	kCpl  *ring.Ring // kernel-side producer handle of iCompl
+	ctr   *vtime.Counters
+	clk   vtime.Clock
+	nudge int
+	kick  int
+	dead  bool
+}
+
+func newLadderFixture(t *testing.T, entries uint32) *ladderFixture {
+	t.Helper()
+	f := &ladderFixture{sp: mem.NewSpace(1<<16, 1<<20), ctr: &vtime.Counters{}}
+	subB, err := f.sp.Alloc(mem.Untrusted, ring.TotalBytes(entries, iouring.SQEBytes), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cplB, err := f.sp.Alloc(mem.Untrusted, ring.TotalBytes(entries, iouring.CQEBytes), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := iouring.Attach(iouring.Config{
+		Space: f.sp, Setup: iouring.Setup{FD: 3, SubBase: subB, ComplBase: cplB},
+		Entries: entries, Counters: f.ctr,
+		Waker: iouring.Waker{
+			Nudge: func() { f.nudge++ },
+			Kick:  func() { f.kick++ },
+			Dead:  func() bool { return f.dead },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.u, err = NewUringFM(r, f.sp, nil, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if f.kSub, err = ring.New(ring.Config{
+		Space: f.sp, Access: mem.RoleHost, Base: subB,
+		Size: entries, EntrySize: iouring.SQEBytes, Side: ring.Consumer,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if f.kCpl, err = ring.New(ring.Config{
+		Space: f.sp, Access: mem.RoleHost, Base: cplB,
+		Size: entries, EntrySize: iouring.CQEBytes, Side: ring.Producer,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// fill occupies the whole submission ring with nops nobody consumes.
+func (f *ladderFixture) fill(t *testing.T, entries int) {
+	t.Helper()
+	for i := 0; i < entries; i++ {
+		if _, err := f.u.submitRetry(iouring.SQE{Op: iouring.OpNop}, &f.clk); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if f.nudge != 0 {
+		t.Fatalf("filling a free ring escalated %d times", f.nudge)
+	}
+}
+
+// consume retires n SQEs kernel-side without producing completions.
+func (f *ladderFixture) consume(t *testing.T, n uint32) {
+	t.Helper()
+	avail, err := f.kSub.Available()
+	if err != nil || avail < n {
+		t.Fatalf("kernel sees %d pending (err %v), want >= %d", avail, err, n)
+	}
+	if err := f.kSub.Release(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitRetryGiveUp: the ring stays full at every rung, so the ladder
+// must climb all submitRetryMax rungs — escalating on each — and then
+// surface ErrFull rather than spin forever.
+func TestSubmitRetryGiveUp(t *testing.T) {
+	f := newLadderFixture(t, 8)
+	f.fill(t, 8)
+	start := time.Now()
+	_, err := f.u.submitRetry(iouring.SQE{Op: iouring.OpNop}, &f.clk)
+	if !errors.Is(err, iouring.ErrFull) {
+		t.Fatalf("want ErrFull, got %v", err)
+	}
+	if got := f.ctr.SubmitRetries.Load(); got != submitRetryMax {
+		t.Fatalf("SubmitRetries = %d, want %d (one per rung)", got, submitRetryMax)
+	}
+	if f.nudge != submitRetryMax {
+		t.Fatalf("escalated %d times, want %d (every rung must escalate)", f.nudge, submitRetryMax)
+	}
+	if f.kick != 0 {
+		t.Fatalf("paid %d kicks with the MM alive", f.kick)
+	}
+	// The backoff ladder doubles 20us -> 2ms (capped); riding it to the
+	// give-up rung takes tens of milliseconds of real sleep.
+	if el := time.Since(start); el < 10*time.Millisecond {
+		t.Fatalf("ladder gave up after only %v; backoff rungs not slept", el)
+	}
+}
+
+// TestSubmitRetryRecoversMidLadder: the kernel consumer frees the ring
+// during the Nth escalation, and the ladder must succeed on the next
+// rung instead of giving up.
+func TestSubmitRetryRecoversMidLadder(t *testing.T) {
+	f := newLadderFixture(t, 8)
+	f.fill(t, 8)
+	recoverAt := 3
+	f.u.ring.SetWaker(iouring.Waker{Nudge: func() {
+		f.nudge++
+		if f.nudge == recoverAt {
+			f.consume(t, 4)
+		}
+	}})
+	tok, err := f.u.submitRetry(iouring.SQE{Op: iouring.OpNop}, &f.clk)
+	if err != nil {
+		t.Fatalf("ladder did not recover: %v", err)
+	}
+	if tok == 0 {
+		t.Fatal("recovered submit returned no token")
+	}
+	if got := f.ctr.SubmitRetries.Load(); got != uint64(recoverAt) {
+		t.Fatalf("SubmitRetries = %d, want %d (recovered on rung %d)", got, recoverAt, recoverAt)
+	}
+	// The submitted SQE must be visible kernel-side as the next pending
+	// entry.
+	if avail, _ := f.kSub.Available(); avail != 5 { // 4 old + 1 new
+		t.Fatalf("kernel sees %d pending, want 5", avail)
+	}
+}
+
+// TestSubmitRetryKicksWhenMMDead: with the Monitor Module dead the nudge
+// rung is pointless; every escalation must pay the direct kick instead.
+func TestSubmitRetryKicksWhenMMDead(t *testing.T) {
+	f := newLadderFixture(t, 8)
+	f.fill(t, 8)
+	f.dead = true
+	kickAt := 2
+	f.u.ring.SetWaker(iouring.Waker{
+		Dead: func() bool { return f.dead },
+		Kick: func() {
+			f.kick++
+			if f.kick == kickAt {
+				f.consume(t, 2)
+			}
+		},
+		Nudge: func() { f.nudge++ },
+	})
+	if _, err := f.u.submitRetry(iouring.SQE{Op: iouring.OpNop}, &f.clk); err != nil {
+		t.Fatalf("ladder did not recover via kick: %v", err)
+	}
+	if f.kick != kickAt {
+		t.Fatalf("kicked %d times, want %d", f.kick, kickAt)
+	}
+	if f.nudge != 0 {
+		t.Fatalf("nudged a dead MM %d times", f.nudge)
+	}
+}
+
+// TestSubmitRetryNPartialGiveUp: a batch wider than the ring submits its
+// prefix, rides the full ladder for the tail, and reports how far it got
+// alongside ErrFull.
+func TestSubmitRetryNPartialGiveUp(t *testing.T) {
+	f := newLadderFixture(t, 8)
+	es := make([]iouring.SQE, 12)
+	for i := range es {
+		es[i] = iouring.SQE{Op: iouring.OpNop}
+	}
+	tokens, err := f.u.submitRetryN(es, &f.clk)
+	if !errors.Is(err, iouring.ErrFull) {
+		t.Fatalf("want ErrFull for the unsubmittable tail, got %v", err)
+	}
+	if len(tokens) != 8 {
+		t.Fatalf("submitted prefix %d, want 8 (the ring size)", len(tokens))
+	}
+	for i, tok := range tokens {
+		if tok == 0 || (i > 0 && tok != tokens[i-1]+1) {
+			t.Fatalf("tokens not sequential: %v", tokens)
+		}
+	}
+	if got := f.ctr.SubmitRetries.Load(); got != submitRetryMax {
+		t.Fatalf("SubmitRetries = %d, want %d", got, submitRetryMax)
+	}
+	if avail, _ := f.kSub.Available(); avail != 8 {
+		t.Fatalf("kernel sees %d pending, want 8", avail)
+	}
+}
+
+// TestSubmitRetryNRecoversTail: the whole batch lands once the kernel
+// frees space mid-ladder, with one retry rung counted per re-offer.
+func TestSubmitRetryNRecoversTail(t *testing.T) {
+	f := newLadderFixture(t, 8)
+	recoverAt := 2
+	f.u.ring.SetWaker(iouring.Waker{Nudge: func() {
+		f.nudge++
+		if f.nudge == recoverAt {
+			f.consume(t, 8)
+		}
+	}})
+	es := make([]iouring.SQE, 12)
+	for i := range es {
+		es[i] = iouring.SQE{Op: iouring.OpNop}
+	}
+	tokens, err := f.u.submitRetryN(es, &f.clk)
+	if err != nil {
+		t.Fatalf("batch did not land after recovery: %v", err)
+	}
+	if len(tokens) != 12 {
+		t.Fatalf("submitted %d of 12", len(tokens))
+	}
+	if got := f.ctr.SubmitRetries.Load(); got != uint64(recoverAt) {
+		t.Fatalf("SubmitRetries = %d, want %d", got, recoverAt)
+	}
+	// 8 + 4 across two runs, all pending kernel-side minus the 8 consumed.
+	if avail, _ := f.kSub.Available(); avail != 4 {
+		t.Fatalf("kernel sees %d pending, want 4", avail)
+	}
+	// Exactly two batch publishes (the prefix run and the tail run).
+	if got := f.ctr.BatchCalls.Load(); got != 2 {
+		t.Fatalf("BatchCalls = %d, want 2", got)
+	}
+	if got := f.ctr.BatchedMsgs.Load(); got != 12 {
+		t.Fatalf("BatchedMsgs = %d, want 12", got)
+	}
+}
+
+// TestSubmitRetryNNonRetryableError: a hard error (an SQE naming enclave
+// memory) must surface immediately — no rungs, no backoff.
+func TestSubmitRetryNNonRetryableError(t *testing.T) {
+	f := newLadderFixture(t, 8)
+	trusted, err := f.sp.Alloc(mem.Trusted, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := []iouring.SQE{{Op: iouring.OpRead, Addr: trusted, Len: 64}}
+	tokens, err := f.u.submitRetryN(es, &f.clk)
+	if !errors.Is(err, iouring.ErrBufferPlacement) {
+		t.Fatalf("want ErrBufferPlacement, got %v", err)
+	}
+	if len(tokens) != 0 {
+		t.Fatalf("tokens for a rejected batch: %v", tokens)
+	}
+	if got := f.ctr.SubmitRetries.Load(); got != 0 {
+		t.Fatalf("retried a non-retryable error %d times", got)
+	}
+	if f.nudge != 0 {
+		t.Fatal("escalated on a non-retryable error")
+	}
+}

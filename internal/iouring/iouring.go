@@ -375,6 +375,65 @@ func (r *Ring) Submit(e SQE, clk *vtime.Clock) (uint64, error) {
 	return e.UserData, nil
 }
 
+// SubmitN places up to len(es) requests on iSub as one run: every buffer
+// placement is validated first, then one certified read of the free
+// count sizes the batch and a single producer-index publish exposes all
+// entries at once — so the Monitor Module sees one producer advance and
+// the whole batch costs at most one io_uring_enter wakeup.
+//
+// Partial success follows sendmmsg conventions: the returned tokens
+// cover the prefix that fit; an error is reported only when nothing
+// could be submitted.
+func (r *Ring) SubmitN(es []SQE, clk *vtime.Clock) ([]uint64, error) {
+	if len(es) == 0 {
+		return nil, nil
+	}
+	for _, e := range es {
+		if e.Len > 0 && r.space.IntersectsTrusted(e.Addr, uint64(e.Len)) {
+			return nil, fmt.Errorf("%w: [%#x,+%d)", ErrBufferPlacement, uint64(e.Addr), e.Len)
+		}
+	}
+	free, _ := r.Sub.Free()
+	if free == 0 {
+		free = r.reconcileSub()
+	}
+	if free == 0 {
+		return nil, ErrFull
+	}
+	n := uint32(len(es))
+	if free < n {
+		n = free
+	}
+	tokens := make([]uint64, 0, n)
+	for i := uint32(0); i < n; i++ {
+		e := es[i]
+		slot, err := r.Sub.SlotBytes(i)
+		if err != nil {
+			if len(tokens) == 0 {
+				return nil, err
+			}
+			break
+		}
+		r.nextToken++
+		e.UserData = r.nextToken
+		PutSQE(slot, e)
+		r.outstanding[e.UserData] = e
+		tokens = append(tokens, e.UserData)
+		if r.counters != nil && e.Op == OpPollRemove {
+			r.counters.PollCancels.Add(1)
+		}
+	}
+	clk.Charge(vtime.CompRing, r.model.RingOp)
+	r.Sub.Submit(uint32(len(tokens)), clk.Now())
+	r.trace.Emit(telemetry.EvRingProduce, clk.Now(), telemetry.RingUringSub, uint64(len(tokens)))
+	if r.counters != nil {
+		r.counters.IoUringOps.Add(uint64(len(tokens)))
+		r.counters.BatchCalls.Add(1)
+		r.counters.BatchedMsgs.Add(uint64(len(tokens)))
+	}
+	return tokens, nil
+}
+
 // reconcileSub recovers a submission ring stuck behind a scribbled
 // consumer cell. When every request the FM ever submitted has either a
 // validated completion already consumed or a completion still parked in
@@ -418,48 +477,54 @@ func resPlausible(req SQE, res int32) bool {
 // Drain consumes every available completion, validating each against its
 // outstanding request (Table 2). Foreign completions are refused and
 // skipped; implausible results are parked as -EPERM for their requester.
+//
+// Reaping is coalesced: one certified read of the available count sizes
+// a run, every entry in the run is validated in place, and a single
+// consumer-index publish releases the whole run — per-entry validation
+// with batched ring traffic. The outer loop re-reads availability in
+// case the kernel produced more completions during the run.
 func (r *Ring) Drain(clk *vtime.Clock) {
 	for {
 		avail, _ := r.Compl.Available()
 		if avail == 0 {
 			return
 		}
-		slot, err := r.Compl.SlotBytes(0)
-		if err != nil {
-			r.Compl.Release(1)
-			continue
-		}
-		cqe := GetCQE(slot)
-		clk.Sync(r.Compl.SlotStamp(0))
-		clk.Charge(vtime.CompValidate, r.model.RingOp)
-		pending, known := r.outstanding[cqe.UserData]
-		if !known {
-			r.Compl.Release(1)
-			if r.dropSet[cqe.UserData] {
-				// An abandoned request's completion: silently discard.
-				delete(r.dropSet, cqe.UserData)
+		for i := uint32(0); i < avail; i++ {
+			slot, err := r.Compl.SlotBytes(i)
+			if err != nil {
 				continue
 			}
-			// A completion we never asked for: refuse and advance.
-			if r.counters != nil {
-				r.counters.CQEViolations.Add(1)
+			cqe := GetCQE(slot)
+			clk.Sync(r.Compl.SlotStamp(i))
+			clk.Charge(vtime.CompValidate, r.model.RingOp)
+			pending, known := r.outstanding[cqe.UserData]
+			if !known {
+				if r.dropSet[cqe.UserData] {
+					// An abandoned request's completion: silently discard.
+					delete(r.dropSet, cqe.UserData)
+					continue
+				}
+				// A completion we never asked for: refuse and advance.
+				if r.counters != nil {
+					r.counters.CQEViolations.Add(1)
+				}
+				r.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingUringCompl, cqe.UserData)
+				continue
 			}
-			r.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingUringCompl, cqe.UserData)
-			continue
-		}
-		r.Compl.Release(1)
-		delete(r.outstanding, cqe.UserData)
-		if !resPlausible(pending, cqe.Res) {
-			// Status code impossible for the request: -EPERM.
-			if r.counters != nil {
-				r.counters.CQEViolations.Add(1)
+			delete(r.outstanding, cqe.UserData)
+			if !resPlausible(pending, cqe.Res) {
+				// Status code impossible for the request: -EPERM.
+				if r.counters != nil {
+					r.counters.CQEViolations.Add(1)
+				}
+				r.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingUringCompl, uint64(uint32(cqe.Res)))
+				r.results[cqe.UserData] = result{eperm: true}
+				continue
 			}
-			r.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingUringCompl, uint64(uint32(cqe.Res)))
-			r.results[cqe.UserData] = result{eperm: true}
-			continue
+			r.trace.Emit(telemetry.EvCQEComplete, clk.Now(), cqe.UserData, uint64(uint32(cqe.Res)))
+			r.results[cqe.UserData] = result{res: cqe.Res}
 		}
-		r.trace.Emit(telemetry.EvCQEComplete, clk.Now(), cqe.UserData, uint64(uint32(cqe.Res)))
-		r.results[cqe.UserData] = result{res: cqe.Res}
+		r.Compl.Release(avail)
 	}
 }
 

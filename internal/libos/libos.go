@@ -238,6 +238,76 @@ func (t *Thread) RecvFrom(fd int, p []byte, block bool) (int, sys.Addr, error) {
 	return n, src, err
 }
 
+// SendToN transmits up to len(msgs) datagrams in one vectored call
+// (sendmmsg): one LibOS interception and one OCALL — one enclave exit in
+// SGX mode — cover the whole batch, with every payload crossing the
+// boundary under that single exit. This is the batched amortization of
+// the Figure 2 exit cost.
+func (t *Thread) SendToN(fd int, msgs []sys.Mmsg) (int, error) {
+	t.probe.Begin(telemetry.SpanSendToN)
+	defer t.probe.End()
+	t.libosEntry()
+	total := 0
+	for i := range msgs {
+		total += len(msgs[i].Buf)
+	}
+	t.ocall(total)
+	sent := 0
+	var firstErr error
+	for i := range msgs {
+		n, err := t.p.proc.SendTo(fd, msgs[i].Buf, msgs[i].Addr, &t.clk)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		msgs[i].N = n
+		sent++
+	}
+	if t.p.counters != nil {
+		t.p.counters.BatchCalls.Add(1)
+		t.p.counters.BatchedMsgs.Add(uint64(sent))
+	}
+	if sent == 0 {
+		return 0, firstErr
+	}
+	return sent, nil
+}
+
+// RecvFromN receives up to len(msgs) datagrams in one vectored call
+// (recvmmsg): one LibOS interception and one OCALL cover the batch, and
+// the results cross back into the enclave in one copy. Blocking, when
+// requested, applies only to the first message; the rest drain whatever
+// is already queued.
+func (t *Thread) RecvFromN(fd int, msgs []sys.Mmsg, block bool) (int, error) {
+	t.probe.Begin(telemetry.SpanRecvFromN)
+	defer t.probe.End()
+	t.libosEntry()
+	t.ocall(0)
+	got := 0
+	total := 0
+	var firstErr error
+	for i := range msgs {
+		n, src, err := t.p.proc.RecvFrom(fd, msgs[i].Buf, &t.clk, block && got == 0)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		msgs[i].N = n
+		msgs[i].Addr = src
+		total += n
+		got++
+	}
+	t.resultCopy(total)
+	if t.p.counters != nil {
+		t.p.counters.BatchCalls.Add(1)
+		t.p.counters.BatchedMsgs.Add(uint64(got))
+	}
+	if got == 0 {
+		return 0, firstErr
+	}
+	return got, nil
+}
+
 // Send writes stream data.
 func (t *Thread) Send(fd int, p []byte) (int, error) {
 	t.probe.Begin(telemetry.SpanSend)

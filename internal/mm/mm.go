@@ -68,6 +68,11 @@ type Monitor struct {
 	// syscall. Set it before Start.
 	Trace *telemetry.Buf
 
+	// Counters, when non-nil, records wakeup coalescing: nudges that
+	// arrived while a forced sweep was already pending fold into it
+	// instead of scheduling another. Set it before Start.
+	Counters *vtime.Counters
+
 	stop chan struct{}
 	done chan struct{}
 	// Interval is the real-time poll period of the monitor loop.
@@ -157,7 +162,16 @@ func (m *Monitor) run() {
 // ring's wakeup syscall unconditionally. The enclave writes only this
 // process-local flag — no syscall, no exit — making Nudge the free rung
 // of the lost-wakeup recovery ladder.
-func (m *Monitor) Nudge() { m.force.Store(true) }
+//
+// Duplicate pending nudges coalesce: while a forced sweep is already
+// scheduled, further nudges (several threads escalating at once, or one
+// thread climbing its backoff ladder faster than the sweep period) fold
+// into it, so a nudge storm costs one sweep, not one sweep each.
+func (m *Monitor) Nudge() {
+	if m.force.Swap(true) && m.Counters != nil {
+		m.Counters.WakeupsCoalesced.Add(1)
+	}
+}
 
 // Dead reports whether the monitor thread has terminated (killed by
 // chaos or closed). The enclave consults this to decide between nudging

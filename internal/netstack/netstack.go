@@ -60,6 +60,19 @@ type LinkDevice interface {
 	MTU() int
 }
 
+// BatchLinkDevice is a LinkDevice that can also transmit a run of frames
+// in one call, letting the device amortize its per-call costs (ring lock,
+// certification pass, wakeup) across the run. The stack's batched send
+// path uses it when present and falls back to per-frame SendFrame
+// otherwise.
+type BatchLinkDevice interface {
+	LinkDevice
+	// SendFrames transmits the frames in order and returns the virtual
+	// time the last frame finished serializing. An error is reported
+	// only when the first frame fails; a partial run is success.
+	SendFrames(frames [][]byte, clk *vtime.Clock) (uint64, error)
+}
+
 // Protocol numbers and EtherTypes used by the stack.
 const (
 	EtherTypeIPv4 uint16 = 0x0800

@@ -238,3 +238,50 @@ func (s *Stack) sendIP(proto byte, dst IP4, payload []byte, clk *vtime.Clock) (u
 	}
 	return end, nil
 }
+
+// sendIPBatch encapsulates several same-destination L4 payloads and
+// transmits them as one run. When the link device supports batched
+// output the MAC is resolved once, every fragment of every payload is
+// framed up front, and the whole run is handed to the device in a single
+// call; otherwise it degrades to per-payload sendIP. It returns the
+// number of payloads transmitted and reports an error only when the
+// first payload failed.
+func (s *Stack) sendIPBatch(proto byte, dst IP4, payloads [][]byte, clk *vtime.Clock) (int, error) {
+	bdev, batched := s.dev.(BatchLinkDevice)
+	if !batched || len(payloads) <= 1 {
+		for i, p := range payloads {
+			if _, err := s.sendIP(proto, dst, p, clk); err != nil {
+				if i == 0 {
+					return 0, err
+				}
+				return i, nil
+			}
+		}
+		return len(payloads), nil
+	}
+	mac, err := s.resolve(dst, clk)
+	if err != nil {
+		return 0, err
+	}
+	src := s.dev.MAC()
+	frames := make([][]byte, 0, len(payloads))
+	for _, payload := range payloads {
+		h := IPv4Header{
+			ID:    uint16(s.ipID.Add(1)),
+			TTL:   64,
+			Proto: proto,
+			Src:   s.ip,
+			Dst:   dst,
+		}
+		for _, pkt := range fragmentIPv4(h, payload, s.dev.MTU()) {
+			frames = append(frames, MarshalEth(EthHeader{Dst: mac, Src: src, Type: EtherTypeIPv4}, pkt))
+		}
+	}
+	if _, err := bdev.SendFrames(frames, clk); err != nil {
+		return 0, err
+	}
+	if s.cfg.Counters != nil {
+		s.cfg.Counters.PacketsTx.Add(uint64(len(payloads)))
+	}
+	return len(payloads), nil
+}

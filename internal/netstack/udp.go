@@ -172,6 +172,24 @@ func (u *UDPSocket) RemoteAddr() (Addr, bool) {
 	return *u.connected, true
 }
 
+// buildDatagram encapsulates one payload into a checksummed UDP datagram
+// headed for dst.
+func (u *UDPSocket) buildDatagram(payload []byte, dst Addr) []byte {
+	s := u.stack
+	dgram := make([]byte, UDPHeaderBytes+len(payload))
+	put16(dgram[0:2], u.local.Port)
+	put16(dgram[2:4], dst.Port)
+	put16(dgram[4:6], uint16(len(dgram)))
+	copy(dgram[UDPHeaderBytes:], payload)
+	sum := pseudoHeaderSum(s.ip, dst.IP, ProtoUDP, len(dgram))
+	ck := checksumFold(checksumPartial(sum, dgram))
+	if ck == 0 {
+		ck = 0xFFFF
+	}
+	put16(dgram[6:8], ck)
+	return dgram
+}
+
 // SendTo transmits one datagram to dst, charging the caller's clock for
 // socket and stack work and pacing on the wire.
 func (u *UDPSocket) SendTo(payload []byte, dst Addr, clk *vtime.Clock) error {
@@ -189,19 +207,45 @@ func (u *UDPSocket) SendTo(payload []byte, dst Addr, clk *vtime.Clock) error {
 	if s.globalRes == nil {
 		clk.Charge(vtime.CompStack, s.model.SocketOp)
 	}
-	dgram := make([]byte, UDPHeaderBytes+len(payload))
-	put16(dgram[0:2], u.local.Port)
-	put16(dgram[2:4], dst.Port)
-	put16(dgram[4:6], uint16(len(dgram)))
-	copy(dgram[UDPHeaderBytes:], payload)
-	sum := pseudoHeaderSum(s.ip, dst.IP, ProtoUDP, len(dgram))
-	ck := checksumFold(checksumPartial(sum, dgram))
-	if ck == 0 {
-		ck = 0xFFFF
-	}
-	put16(dgram[6:8], ck)
-	_, err := s.sendIP(ProtoUDP, dst.IP, dgram, clk)
+	_, err := s.sendIP(ProtoUDP, dst.IP, u.buildDatagram(payload, dst), clk)
 	return err
+}
+
+// SendToN transmits up to len(payloads) datagrams to dst as one batched
+// run through the stack's batched IP path. Per-datagram stack and socket
+// work is charged exactly as in SendTo — only the link-layer call count
+// is amortized. Semantics follow sendmmsg: it returns the number of
+// datagrams sent, reporting an error only when the first fails.
+func (u *UDPSocket) SendToN(payloads [][]byte, dst Addr, clk *vtime.Clock) (int, error) {
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	n := len(payloads)
+	for i, p := range payloads {
+		if len(p) > MaxUDPPayload {
+			if i == 0 {
+				return 0, ErrMsgSize
+			}
+			n = i
+			break
+		}
+	}
+	u.mu.Lock()
+	closed := u.closed
+	u.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	s := u.stack
+	dgrams := make([][]byte, n)
+	for i, p := range payloads[:n] {
+		s.charge(clk, s.cfg.PerPacketCost)
+		if s.globalRes == nil {
+			clk.Charge(vtime.CompStack, s.model.SocketOp)
+		}
+		dgrams[i] = u.buildDatagram(p, dst)
+	}
+	return s.sendIPBatch(ProtoUDP, dst.IP, dgrams, clk)
 }
 
 // Send transmits to the connected peer.

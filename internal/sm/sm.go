@@ -17,6 +17,7 @@
 package sm
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -29,12 +30,33 @@ import (
 // XskLink exposes a set of XSK FastPath Modules as the enclave stack's
 // layer-2 device. Sends round-robin across the sockets; the sockets
 // themselves serialize concurrent users internally.
+//
+// Scalar SendFrame calls from unmodified callers fan into opportunistic
+// batches: each call enqueues its frame and whichever caller wins the
+// flush lock drains everything queued into one SendBatch run — so an
+// uncontended caller flushes a batch of one immediately (scalar-identical
+// behaviour), while concurrent senders amortize the ring lock,
+// certification pass, and MM wakeup without anyone ever blocking to wait
+// for a batch to fill.
 type XskLink struct {
 	socks []*xsk.Socket
 	next  atomic.Uint32
 	mac   [6]byte
 	mtu   int
+
+	txq     chan txReq
+	flushMu sync.Mutex
 }
+
+// txReq is one queued scalar SendFrame awaiting a batched flush.
+type txReq struct {
+	data []byte
+	res  chan error
+}
+
+// txQueueCap bounds the scalar-call coalescing queue. Enqueuers double as
+// flushers, so a full queue only ever means a flush is in progress.
+const txQueueCap = 256
 
 // NewXskLink bundles the XSKs behind one link device.
 func NewXskLink(socks []*xsk.Socket, mac [6]byte, mtu int) *XskLink {
@@ -42,6 +64,7 @@ func NewXskLink(socks []*xsk.Socket, mac [6]byte, mtu int) *XskLink {
 		socks: socks,
 		mac:   mac,
 		mtu:   mtu,
+		txq:   make(chan txReq, txQueueCap),
 	}
 }
 
@@ -54,24 +77,121 @@ func NewXskLink(socks []*xsk.Socket, mac [6]byte, mtu int) *XskLink {
 // is the bottleneck, and the frame drops like a NIC queue overflow.
 const sendRetryMax = 8
 
-// SendFrame copies the frame into a UMem slot and publishes it on xTX;
-// the Monitor Module's sendto wakeup makes the kernel transmit it.
+// SendFrame publishes one frame on xTX through the opportunistic batch
+// coalescer: the frame is queued, and the caller either wins the flush
+// lock and drains the whole queue in one SendBatch run, or spins briefly
+// while a concurrent flusher carries its frame out. Either way the call
+// returns once this frame's outcome is known — it never waits for more
+// frames to accumulate.
 func (l *XskLink) SendFrame(data []byte, clk *vtime.Clock) (uint64, error) {
-	i := int(l.next.Add(1)) % len(l.socks)
-	s := l.socks[i]
-	err := s.Send(data, clk)
-	backoff := 10 * time.Microsecond
-	for attempt := 0; (err == xsk.ErrRingFull || err == xsk.ErrNoFrame) && attempt < sendRetryMax; attempt++ {
-		s.Reap(clk)
-		if err = s.Send(data, clk); err == nil {
+	req := txReq{data: data, res: make(chan error, 1)}
+	l.txq <- req
+	for {
+		select {
+		case err := <-req.res:
+			return clk.Now(), err
+		default:
+		}
+		if l.flushMu.TryLock() {
+			l.flushQueued(clk)
+			l.flushMu.Unlock()
+		}
+		select {
+		case err := <-req.res:
+			return clk.Now(), err
+		case <-time.After(20 * time.Microsecond):
+		}
+	}
+}
+
+// SendFrames transmits a run of frames as one batched publish per ring
+// pass, implementing netstack.BatchLinkDevice for the stack's batched IP
+// path. An error is reported only when the first frame fails.
+func (l *XskLink) SendFrames(frames [][]byte, clk *vtime.Clock) (uint64, error) {
+	errs := l.sendBatchRetry(frames, clk)
+	for i, err := range errs {
+		if err != nil {
+			if i == 0 {
+				return clk.Now(), err
+			}
 			break
 		}
+	}
+	return clk.Now(), nil
+}
+
+// flushQueued drains every queued scalar frame into batched sends,
+// delivering each frame's outcome on its result channel. Caller holds
+// flushMu.
+func (l *XskLink) flushQueued(clk *vtime.Clock) {
+	for {
+		var batch []txReq
+	drain:
+		for len(batch) < txQueueCap {
+			select {
+			case r := <-l.txq:
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		if len(batch) == 0 {
+			return
+		}
+		frames := make([][]byte, len(batch))
+		for i, r := range batch {
+			frames[i] = r.data
+		}
+		errs := l.sendBatchRetry(frames, clk)
+		for i, r := range batch {
+			r.res <- errs[i]
+		}
+	}
+}
+
+// sendBatchRetry pushes a frame run through one socket's SendBatch,
+// riding out transient fullness with the same reap-and-backoff ladder as
+// the old scalar path (each retry's certified refresh also counts toward
+// quarantine-and-resync, healing a scribbled control word). Frames still
+// unsent after the ladder drop like a NIC queue overflow; per-frame
+// outcomes are returned positionally.
+func (l *XskLink) sendBatchRetry(frames [][]byte, clk *vtime.Clock) []error {
+	errs := make([]error, len(frames))
+	s := l.socks[int(l.next.Add(1))%len(l.socks)]
+	sent := 0
+	backoff := 10 * time.Microsecond
+	attempt := 0
+	for sent < len(frames) {
+		n, err := s.SendBatch(frames[sent:], clk)
+		sent += n
+		if sent == len(frames) {
+			break
+		}
+		if err != nil && err != xsk.ErrRingFull && err != xsk.ErrNoFrame {
+			// A frame the ring can never take (e.g. oversized): record
+			// its error and move past it.
+			errs[sent] = err
+			sent++
+			continue
+		}
+		if attempt >= sendRetryMax {
+			for i := sent; i < len(frames); i++ {
+				if err != nil {
+					errs[i] = err
+				} else {
+					errs[i] = xsk.ErrRingFull
+				}
+			}
+			break
+		}
+		attempt++
+		s.Reap(clk)
 		time.Sleep(backoff)
 		if backoff < 320*time.Microsecond {
 			backoff *= 2
 		}
 	}
-	return clk.Now(), err
+	return errs
 }
 
 // MAC returns the interface hardware address.
@@ -225,7 +345,9 @@ func PollCached(srcs []PollSource, timeout time.Duration, sp *SyncProxy, model *
 	clk.Charge(vtime.CompAPI, model.APIHook)
 
 	// Arm async polls for host descriptors, reusing cached arms whose
-	// interest mask matches.
+	// interest mask matches. Fresh arms are batched: every descriptor
+	// that needs one goes out in a single SubmitPollN run, so N cold
+	// descriptors cost one producer publish and at most one MM wakeup.
 	tokens := make([]uint64, len(srcs))
 	armed := make([]bool, len(srcs))
 	arm := func(i int) error {
@@ -241,6 +363,7 @@ func PollCached(srcs []PollSource, timeout time.Duration, sp *SyncProxy, model *
 		}
 		return nil
 	}
+	var needArm []int
 	for i := range srcs {
 		srcs[i].Revents = 0
 		if srcs[i].UDP != nil {
@@ -258,7 +381,24 @@ func PollCached(srcs []PollSource, timeout time.Duration, sp *SyncProxy, model *
 				delete(cache.armed, srcs[i].HostFD)
 			}
 		}
-		if err := arm(i); err != nil {
+		needArm = append(needArm, i)
+	}
+	if len(needArm) > 0 {
+		reqs := make([]fm.PollReq, len(needArm))
+		for j, i := range needArm {
+			clk.Charge(vtime.CompAPI, model.PollPerFD)
+			reqs[j] = fm.PollReq{FD: srcs[i].HostFD, Events: srcs[i].Events}
+		}
+		toks, err := sp.FM.SubmitPollN(reqs, clk)
+		for j := range toks {
+			i := needArm[j]
+			tokens[i] = toks[j]
+			armed[i] = true
+			if cache != nil {
+				cache.armed[srcs[i].HostFD] = pollArm{token: toks[j], events: srcs[i].Events}
+			}
+		}
+		if err != nil {
 			return 0, err
 		}
 	}

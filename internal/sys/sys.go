@@ -69,6 +69,16 @@ type Addr = netstack.Addr
 // IP4 re-exports the address type.
 type IP4 = netstack.IP4
 
+// Mmsg is one message slot of a vectored SendToN/RecvFromN call,
+// mirroring struct mmsghdr: the caller supplies Buf (and Addr for
+// sends); the implementation fills N (bytes moved) and, for receives,
+// Addr (the datagram source).
+type Mmsg struct {
+	Buf  []byte
+	Addr Addr
+	N    int
+}
+
 // Sys is the syscall surface available to workloads.
 type Sys interface {
 	// Clock returns this thread's virtual clock.
@@ -85,6 +95,16 @@ type Sys interface {
 	Accept(fd int, block bool) (int, Addr, error)
 	SendTo(fd int, p []byte, addr Addr) (int, error)
 	RecvFrom(fd int, p []byte, block bool) (int, Addr, error)
+
+	// Vectored datagram I/O with sendmmsg/recvmmsg semantics: up to
+	// len(msgs) messages move in one call, amortizing the per-call
+	// boundary cost (one enclave exit instead of len(msgs) on the
+	// LibOS path). Both return the number of messages completed and
+	// report an error only when the first message fails; a partial
+	// batch is success. RecvFromN blocks (if requested) only for the
+	// first message, then drains whatever is queued without waiting.
+	SendToN(fd int, msgs []Mmsg) (int, error)
+	RecvFromN(fd int, msgs []Mmsg, block bool) (int, error)
 	Send(fd int, p []byte) (int, error)
 	Recv(fd int, p []byte, block bool) (int, error)
 

@@ -177,4 +177,7 @@ func BindCounters(r *Registry, c *vtime.Counters) {
 	r.Reader("vtime.fallback_exits", c.FallbackExits.Load)
 	r.Reader("vtime.ring_resyncs", c.RingResyncs.Load)
 	r.Reader("vtime.poll_cancels", c.PollCancels.Load)
+	r.Reader("vtime.batch_calls", c.BatchCalls.Load)
+	r.Reader("vtime.batched_msgs", c.BatchedMsgs.Load)
+	r.Reader("vtime.wakeups_coalesced", c.WakeupsCoalesced.Load)
 }

@@ -34,9 +34,11 @@ const (
 	SpanEpollWait
 	SpanClose
 	SpanFutex
+	SpanSendToN
+	SpanRecvFromN
 
 	// NumSpanKinds is the number of span kinds.
-	NumSpanKinds = int(SpanFutex) + 1
+	NumSpanKinds = int(SpanRecvFromN) + 1
 )
 
 var spanNames = [NumSpanKinds]string{
@@ -46,6 +48,7 @@ var spanNames = [NumSpanKinds]string{
 	"lseek", "fstat", "fsync", "poll",
 	"epoll_create", "epoll_ctl", "epoll_wait",
 	"close", "futex",
+	"sendmmsg", "recvmmsg",
 }
 
 // String returns the syscall name.

@@ -426,11 +426,22 @@ func VerifyAll(depth int) []Report {
 	if depth <= 0 {
 		depth = 4
 	}
+	// The batched models run one level shallower: each of their steps is
+	// a whole run (up to maxModelBatch sub-steps, each asserted), so the
+	// same interleaving coverage costs fewer explicit steps.
+	bdepth := depth - 1
+	if bdepth < 2 {
+		bdepth = 2
+	}
 	return []Report{
 		VerifyRing(ring.Producer, 4, 0, depth),
 		VerifyRing(ring.Consumer, 4, 0, depth),
 		VerifyRing(ring.Producer, 4, ^uint32(0)-2, depth),
 		VerifyRing(ring.Consumer, 4, ^uint32(0)-2, depth),
+		VerifyRingBatched(ring.Producer, 4, 0, bdepth),
+		VerifyRingBatched(ring.Consumer, 4, 0, bdepth),
+		VerifyRingBatched(ring.Producer, 4, ^uint32(0)-2, bdepth),
+		VerifyRingBatched(ring.Consumer, 4, ^uint32(0)-2, bdepth),
 		VerifyUMem(3, 3),
 		VerifyCQE(),
 	}

@@ -31,6 +31,12 @@ type Counters struct {
 	FallbackExits  atomic.Uint64
 	RingResyncs    atomic.Uint64
 	PollCancels    atomic.Uint64
+	// Batched fast-path counters: vectored calls taken, messages moved
+	// through them, and MM wakeups that were folded into an already
+	// pending nudge instead of firing their own syscall.
+	BatchCalls       atomic.Uint64
+	BatchedMsgs      atomic.Uint64
+	WakeupsCoalesced atomic.Uint64
 }
 
 // Snapshot is a plain-value copy of a Counters, safe to store and print.
@@ -54,6 +60,10 @@ type Snapshot struct {
 	FallbackExits  uint64
 	RingResyncs    uint64
 	PollCancels    uint64
+
+	BatchCalls       uint64
+	BatchedMsgs      uint64
+	WakeupsCoalesced uint64
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -78,6 +88,10 @@ func (c *Counters) Snapshot() Snapshot {
 		FallbackExits:  c.FallbackExits.Load(),
 		RingResyncs:    c.RingResyncs.Load(),
 		PollCancels:    c.PollCancels.Load(),
+
+		BatchCalls:       c.BatchCalls.Load(),
+		BatchedMsgs:      c.BatchedMsgs.Load(),
+		WakeupsCoalesced: c.WakeupsCoalesced.Load(),
 	}
 }
 
@@ -103,6 +117,10 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		FallbackExits:  s.FallbackExits - prev.FallbackExits,
 		RingResyncs:    s.RingResyncs - prev.RingResyncs,
 		PollCancels:    s.PollCancels - prev.PollCancels,
+
+		BatchCalls:       s.BatchCalls - prev.BatchCalls,
+		BatchedMsgs:      s.BatchedMsgs - prev.BatchedMsgs,
+		WakeupsCoalesced: s.WakeupsCoalesced - prev.WakeupsCoalesced,
 	}
 }
 
@@ -110,10 +128,12 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
 		"exits=%d syscalls=%d ringviol=%d umemviol=%d cqeviol=%d rx=%d tx=%d drop=%d uring=%d wake=%d"+
-			" faults=%d wretry=%d sretry=%d fbexit=%d resync=%d pollcancel=%d",
+			" faults=%d wretry=%d sretry=%d fbexit=%d resync=%d pollcancel=%d"+
+			" batch=%d batchmsg=%d wcoalesce=%d",
 		s.EnclaveExits, s.Syscalls, s.RingViolations, s.UMemViolations,
 		s.CQEViolations, s.PacketsRx, s.PacketsTx, s.PacketsDropped,
 		s.IoUringOps, s.Wakeups,
 		s.FaultsInjected, s.WakeupRetries, s.SubmitRetries,
-		s.FallbackExits, s.RingResyncs, s.PollCancels)
+		s.FallbackExits, s.RingResyncs, s.PollCancels,
+		s.BatchCalls, s.BatchedMsgs, s.WakeupsCoalesced)
 }

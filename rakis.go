@@ -227,6 +227,7 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 	}
 
 	rt.mon.Chaos = cfg.Chaos
+	rt.mon.Counters = cfg.Counters
 	rt.mon.Trace = cfg.Telemetry.NewBuf("mm")
 	cfg.Telemetry.NewProbe("mm", rt.mon.Clock())
 

@@ -1,40 +1,53 @@
 #!/bin/sh
 # ci.sh — the full verification gate for this repository.
 #
-# Every step must pass before a change lands:
+# Every step must pass before a change lands. The cheap static gates run
+# first so a trust-boundary violation fails the build in seconds, before
+# any long test pass:
 #
-#   1. go vet          — toolchain static checks
-#   2. go build ./...  — everything compiles
-#   3. go test ./...   — unit + integration + property tests
-#   4. go test -race   — FM/ring protocol under the race detector (see
+#   1. go build ./...  — everything compiles
+#   2. rakis-lint      — the trust-boundary analyzers (taintflow,
+#                        doublefetch, rolecheck, boundarycopy,
+#                        annotations; see DESIGN.md). Exit 1 means
+#                        findings, exit 2 means the tool itself failed.
+#   3. analysis tests  — fixture-freshness gate: the analyzers still
+#                        fire on their testdata fixtures and stay clean
+#                        on the production tree
+#   4. go vet          — toolchain static checks
+#   5. go test ./...   — unit + integration + property tests
+#   6. go test -race   — FM/ring protocol under the race detector (see
 #                        race_on_test.go for why this pass is load-bearing),
 #                        shuffled so test-order coupling cannot hide
-#   5. fuzz smoke      — 30 s over the committed netstack seed corpus
+#   7. fuzz smoke      — 30 s over the committed netstack seed corpus
 #                        (internal/netstack/testdata/fuzz), the §5.2-style
 #                        hostile-frame campaign
-#   6. chaos smoke     — rakis-chaos -profile smoke: every workload under
+#   8. chaos smoke     — rakis-chaos -profile smoke: every workload under
 #                        fault injection (see DESIGN.md, "Chaos testing")
-#   7. trace smoke     — rakis-trace: one instrumented cell per trust
+#   9. trace smoke     — rakis-trace: one instrumented cell per trust
 #                        model; fails on any accounting violation (the
 #                        telemetry conservation invariant, see DESIGN.md,
 #                        "Telemetry")
-#   8. batched path    — the batched-fast-path differential suite and the
+#  10. batched path    — the batched-fast-path differential suite and the
 #                        exit-amortization regression guard under -race:
 #                        batched and scalar I/O must differ in cost only
 #                        (see DESIGN.md, "Batched fast path")
-#   9. bench JSON      — rakis-bench -json: the Figure 2 rows plus the
+#  11. bench JSON      — rakis-bench -json: the Figure 2 rows plus the
 #                        batched-vs-scalar rows in the stable
 #                        rakis-bench/v1 layout (BENCH_figs.json)
-#  10. rakis-lint      — the trust-boundary analyzers (taintflow,
-#                        rolecheck, boundarycopy; see DESIGN.md)
 set -eu
 cd "$(dirname "$0")"
 
-echo "==> go vet ./..."
-go vet ./...
-
 echo "==> go build ./..."
 go build ./...
+
+echo "==> rakis-lint ./..."
+go run ./cmd/rakis-lint ./...
+
+echo "==> go test ./internal/analysis/... (fixture freshness)"
+go test ./internal/analysis/...
+
+echo "==> go vet ./..."
+go vet ./...
 
 echo "==> go test ./..."
 go test ./...
@@ -59,8 +72,5 @@ echo "==> rakis-bench -fig 2,batch -json BENCH_figs.json"
 go run ./cmd/rakis-bench -fig 2,batch -scale 0.05 -json BENCH_figs.json > /dev/null
 test -s BENCH_figs.json
 grep -q '"figure": "batch"' BENCH_figs.json
-
-echo "==> rakis-lint ./..."
-go run ./cmd/rakis-lint ./...
 
 echo "ci: all checks passed"

@@ -1,18 +1,30 @@
 // Command rakis-lint is the trustlint multichecker: it runs the static
-// trust-boundary analyzers of internal/analysis (taintflow, rolecheck,
-// boundarycopy) over the requested packages and exits non-zero if any
-// finding survives.
+// trust-boundary analyzers of internal/analysis (taintflow, doublefetch,
+// rolecheck, boundarycopy, annotations) over the requested packages and
+// exits non-zero if any finding survives.
 //
 // Usage:
 //
-//	go run ./cmd/rakis-lint [-list] [packages]
+//	go run ./cmd/rakis-lint [-list] [-json] [packages]
 //
 // Packages default to ./... and accept the usual go list patterns. The
 // module is always loaded whole (cross-package annotations need it);
 // the patterns select which packages are reported on.
+//
+// With -json, findings are emitted on stdout as a JSON array of
+// objects with the fields file, line, col, analyzer, and message (an
+// empty array when clean), and the human-readable rendering is
+// suppressed. The summary line always goes to stderr.
+//
+// Exit status is a contract for CI and editor integrations:
+//
+//	0  clean: the analyzers ran and reported nothing
+//	1  findings: at least one diagnostic was reported
+//	2  the analysis itself failed (load, parse, or type error)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +33,22 @@ import (
 	"rakis/internal/analysis"
 )
 
+// jsonDiag is the machine-readable rendering of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rakis-lint [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: rakis-lint [-list] [-json] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Statically enforces the RAKIS trust-boundary discipline.\n")
+		fmt.Fprintf(os.Stderr, "Exits 0 when clean, 1 on findings, 2 on analysis failure.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,8 +79,27 @@ func main() {
 	}
 
 	diags := analysis.Run(world, targets, analysis.All())
-	for _, d := range diags {
-		fmt.Println(analysis.Format(world.Fset, d))
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			pos := world.Fset.Position(d.Pos)
+			out = append(out, jsonDiag{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(analysis.Format(world.Fset, d))
+		}
 	}
 	if len(diags) > 0 {
 		byPass := map[string]int{}
@@ -78,7 +120,9 @@ func main() {
 	}
 }
 
+// fatal reports an analysis failure (exit 2), distinct from findings
+// (exit 1) so CI can tell "the code is dirty" from "the tool broke".
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rakis-lint:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

@@ -6,7 +6,7 @@
 // (internal/tm) model-checks those checks. Nothing, however, stops a
 // future change from reading a producer index and using it as a copy
 // length without validation. This package closes that gap at compile
-// time with three analyzers, in the style of golang.org/x/tools/go/
+// time with five analyzers, in the style of golang.org/x/tools/go/
 // analysis (re-implemented on the standard library only, since this
 // module is dependency-free):
 //
@@ -14,6 +14,10 @@
 //     untrusted-memory read must pass through a function annotated
 //     //rakis:validator before being used as a slice index, make length,
 //     loop bound, or address offset.
+//   - doublefetch: untrusted shared-memory locations must be fetched
+//     exactly once — into a trusted local or a mem.Snap — before
+//     validation or use; re-reads (TOCTOU), validate-then-re-read, and
+//     decisions taken directly on unsnapshotted reads are flagged.
 //   - rolecheck: host-role packages must never construct
 //     mem.RoleEnclave or reach for the trusted segment.
 //   - boundarycopy: enclave-role packages must access shared memory
@@ -21,6 +25,10 @@
 //     mem.RoleEnclave, never unsafe; and exported entry points that
 //     ingest untrusted setup data (mem.Addr or Setup-typed parameters)
 //     must perform a boundary-validation call.
+//   - annotations: the //rakis: directive surface itself must be
+//     well-formed — known directives only, valid role values, reasons on
+//     every escape hatch, function directives placed where the loader
+//     reads them.
 //
 // Packages and functions declare their part in the trust model with
 // comment directives:
@@ -30,6 +38,8 @@
 //	//rakis:untrusted       function result originates in untrusted memory
 //	//rakis:validator       function validates untrusted values (Table 2)
 //	//rakis:boundary-ok     exported boundary func audited as safe (reason required)
+//	//rakis:snapshot        function performs the one permitted fetch of a location
+//	//rakis:singleread-ok   function audited to re-read deliberately (reason required)
 //
 // cmd/rakis-lint is the multichecker driver; ci.sh runs it alongside the
 // tier-1 tests.
@@ -84,7 +94,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full trustlint suite.
 func All() []*Analyzer {
-	return []*Analyzer{Taintflow, Rolecheck, Boundarycopy}
+	return []*Analyzer{Taintflow, Doublefetch, Rolecheck, Boundarycopy, Annotations}
 }
 
 // Run applies the analyzers to the packages and returns the findings

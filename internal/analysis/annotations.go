@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Annotations audits the //rakis: directive surface itself. The other
+// analyzers trust the annotations; this one keeps the annotations
+// trustworthy:
+//
+//   - every directive must be one the toolchain knows
+//     (role, validator, untrusted, snapshot, boundary-ok, singleread-ok);
+//   - //rakis:role must name enclave or host;
+//   - the escape hatches //rakis:boundary-ok and //rakis:singleread-ok
+//     must carry a reason string — a waiver nobody can audit is a hole,
+//     not a waiver;
+//   - function-level directives must sit in a function's doc comment,
+//     where the loader actually reads them. A directive floating in a
+//     body or above a type silently annotates nothing.
+var Annotations = &Analyzer{
+	Name: "annotations",
+	Doc:  "//rakis: directives must be well-formed, known, and effective; escape hatches need reasons",
+	Run:  runAnnotations,
+}
+
+// funcDirectives are the directives the loader only honors in a
+// function declaration's doc comment.
+var funcDirectives = map[string]bool{
+	"validator":     true,
+	"untrusted":     true,
+	"snapshot":      true,
+	"boundary-ok":   true,
+	"singleread-ok": true,
+}
+
+// reasonRequired marks the escape hatches that waive an analyzer and so
+// must say why.
+var reasonRequired = map[string]bool{
+	"boundary-ok":   true,
+	"singleread-ok": true,
+}
+
+func runAnnotations(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		// Directives are effective only in FuncDecl doc comments (role is
+		// file-scoped and may sit anywhere).
+		funcDocs := make(map[*ast.CommentGroup]bool)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcDocs[fd.Doc] = true
+			}
+		}
+		for _, g := range f.Comments {
+			inFuncDoc := funcDocs[g]
+			for _, c := range g.List {
+				// Mirror directiveLines: only lines whose comment text begins
+				// exactly //rakis: are directives (indented examples inside
+				// prose are not).
+				if !strings.HasPrefix(c.Text, "//rakis:") {
+					continue
+				}
+				body := strings.TrimPrefix(c.Text, "//rakis:")
+				name, rest, _ := strings.Cut(body, " ")
+				// A nested // starts commentary on the directive itself
+				// (fixtures put // want markers there).
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				rest = strings.TrimSpace(rest)
+				switch {
+				case name == "role":
+					if rest != "enclave" && rest != "host" {
+						pass.Reportf(c.Slash, "//rakis:role must be enclave or host, got %q", rest)
+					}
+				case funcDirectives[name]:
+					if !inFuncDoc {
+						pass.Reportf(c.Slash, "//rakis:%s is not in a function's doc comment and annotates nothing", name)
+						continue
+					}
+					if reasonRequired[name] && rest == "" {
+						pass.Reportf(c.Slash, "//rakis:%s requires a reason: //rakis:%s <why this is safe>", name, name)
+					}
+				default:
+					pass.Reportf(c.Slash, "unknown directive //rakis:%s", name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+func TestAnnotationsFixture(t *testing.T) {
+	RunFixture(t, Annotations, "annotations")
+}
+
+// TestAnnotationsCleanOnModule keeps the production directive surface
+// well-formed: known directives only, reasons on every escape hatch.
+func TestAnnotationsCleanOnModule(t *testing.T) {
+	assertCleanModule(t, Annotations)
+}

@@ -1,0 +1,510 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Doublefetch enforces the single-read discipline on untrusted shared
+// memory: every location the host can scribble — ring control words,
+// descriptor and CQE slots, UMem frames, wakeup flags — must be fetched
+// exactly once into trusted storage (a local, a struct, a mem.Snap)
+// before it is validated or used. The classic TOCTOU double-fetch reads
+// a location, validates what it saw, then reads it again for use; the
+// host wins the race by rewriting the bytes between the two reads.
+//
+// The analyzer is function-local and lexical, like taintflow, and
+// reports three patterns:
+//
+//  1. The same untrusted location — identified by the source text of
+//     its accessor call, e.g. `w.flags.Load()` or `r.Compl.SnapSlot(i)`
+//     — fetched at two distinct sites in one function. When a
+//     //rakis:validator call separates the sites, the message names the
+//     validate-then-re-read TOCTOU explicitly.
+//  2. A live untrusted view (a []byte returned by a //rakis:untrusted
+//     accessor such as ring.SlotBytes or mem.Space.Bytes, possibly
+//     resliced into derived variables) read at conflicting sites:
+//     parsed whole more than once, parsed whole and then peeked at
+//     element-wise, or the same element loaded twice. Reads are
+//     whole-view consumptions (argument to an untrusted decoder or a
+//     validator, the source of a copy, a range) and element loads;
+//     writes into the view do not count.
+//  3. A branch, loop, or switch condition, a slice index or bound, or
+//     a make length decided directly by an untrusted fetch that was
+//     never snapshotted into a trusted local — the decision and any
+//     later use of "the same" value are separate fetches by
+//     construction.
+//
+// Fetch-once helpers annotated //rakis:snapshot (mem.Space.Snapshot,
+// ring.SnapSlot) count as single fetch sites; decoders over an already
+// frozen mem.Snap (xsk.SnapDesc, iouring.SnapCQE, Snap.U32) read
+// trusted storage and are exempt. Functions annotated
+// //rakis:singleread-ok <reason> are skipped wholesale — the escape
+// hatch for deliberate re-polling loops.
+//
+// Unlike taintflow, the pass runs on every role: the Monitor Module and
+// the simulated kernel read shared words whose mid-decision change
+// costs availability (a lost wakeup) even though it cannot cost
+// integrity.
+var Doublefetch = &Analyzer{
+	Name: "doublefetch",
+	Doc:  "untrusted shared-memory locations must be fetched exactly once before validation or use",
+	Run:  runDoublefetch,
+}
+
+func runDoublefetch(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Untrusted accessors and snapshot helpers ARE the single
+			// fetch; singleread-ok is the audited waiver.
+			if funcAnnotation(fd, "rakis:untrusted") ||
+				funcAnnotation(fd, "rakis:snapshot") ||
+				funcAnnotation(fd, "rakis:singleread-ok") {
+				continue
+			}
+			t := &fetchTracker{
+				pass:     pass,
+				info:     pass.Pkg.Info,
+				fetches:  make(map[string]*readSite),
+				aliases:  make(map[types.Object]string),
+				views:    make(map[string][]readSite),
+				srcFuncs: make(map[types.Object]bool),
+				writes:   make(map[*ast.IndexExpr]bool),
+				reported: make(map[token.Pos]bool),
+			}
+			t.collectWrites(fd.Body)
+			ast.Inspect(fd.Body, t.visit)
+		}
+	}
+}
+
+// sourceKind classifies a call with respect to untrusted memory.
+type sourceKind int
+
+const (
+	notSource    sourceKind = iota
+	scalarFetch             // fetches a scalar or decoded struct from untrusted memory
+	aliasProduce            // returns a live []byte alias of untrusted memory
+)
+
+// readSite is one lexical site that fetched or read a location.
+type readSite struct {
+	pos  token.Pos
+	gen  int    // validator generation at the time of the read
+	elem string // element key for view reads; "" means whole-view
+}
+
+// fetchTracker walks one function body in lexical order.
+type fetchTracker struct {
+	pass *Pass
+	info *types.Info
+
+	// fetches maps a scalar location key (call source text) to its
+	// first fetch site.
+	fetches map[string]*readSite
+	// aliases maps variables to the location key of the live untrusted
+	// view they alias (reslices share their root's key).
+	aliases map[types.Object]string
+	// views maps a location key to the read sites observed on it.
+	views map[string][]readSite
+	// srcFuncs marks variables holding untrusted method values
+	// (load := cell.Load), whose calls are fetches.
+	srcFuncs map[types.Object]bool
+	// writes marks index expressions that are assignment targets.
+	writes map[*ast.IndexExpr]bool
+	// valGen counts validator calls seen so far; a re-read whose first
+	// fetch predates the current generation is a validate-then-re-read.
+	valGen int
+
+	reported map[token.Pos]bool
+}
+
+// report emits at most one finding per position.
+func (t *fetchTracker) report(pos token.Pos, format string, args ...any) {
+	if t.reported[pos] {
+		return
+	}
+	t.reported[pos] = true
+	t.pass.Reportf(pos, format, args...)
+}
+
+// collectWrites records index expressions used as assignment targets,
+// which are stores into a view, not fetches from it.
+func (t *fetchTracker) collectWrites(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if ix, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
+					t.writes[ix] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+				t.writes[ix] = true
+			}
+		}
+		return true
+	})
+}
+
+// snapTyped reports whether tp is (a pointer to) mem.Snap.
+func (t *fetchTracker) snapTyped(tp types.Type) bool {
+	if ptr, ok := tp.(*types.Pointer); ok {
+		tp = ptr.Elem()
+	}
+	named, ok := tp.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Snap" && obj.Pkg() != nil && obj.Pkg().Path() == "rakis/internal/mem"
+}
+
+// snapConsumer reports whether fn decodes an already-frozen mem.Snap
+// (receiver or any parameter is Snap-typed): such functions read
+// trusted storage, not untrusted memory.
+func (t *fetchTracker) snapConsumer(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil && t.snapTyped(recv.Type()) {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if t.snapTyped(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// byteSliceResult reports whether the call's results include a plain
+// []byte — a live alias rather than a decoded value.
+func (t *fetchTracker) byteSliceResult(call *ast.CallExpr) bool {
+	tv, ok := t.info.Types[call]
+	if !ok {
+		return false
+	}
+	isByteSlice := func(tp types.Type) bool {
+		sl, ok := tp.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isByteSlice(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isByteSlice(tv.Type)
+}
+
+// classify resolves a call's relationship to untrusted memory and its
+// location key (the call's source text).
+func (t *fetchTracker) classify(call *ast.CallExpr) (sourceKind, string) {
+	fn := calleeFunc(t.info, call)
+	if fn == nil {
+		// Calls through a stored untrusted method value are fetches.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj := t.info.Uses[id]; obj != nil && t.srcFuncs[obj] {
+				return scalarFetch, types.ExprString(call)
+			}
+		}
+		return notSource, ""
+	}
+	if isAtomicU32Load(fn) {
+		return scalarFetch, types.ExprString(call)
+	}
+	if t.pass.World.Snapshots[fn] {
+		if t.snapConsumer(fn) {
+			return notSource, "" // decodes frozen trusted bytes
+		}
+		return scalarFetch, types.ExprString(call) // the one permitted fetch
+	}
+	if t.pass.World.Untrusted[fn] {
+		if t.byteSliceResult(call) {
+			return aliasProduce, types.ExprString(call)
+		}
+		return scalarFetch, types.ExprString(call)
+	}
+	return notSource, ""
+}
+
+// conversionTarget returns the target type when call is a conversion.
+func conversionTarget(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// aliasRoot returns the location key when e denotes (a reslice of) a
+// live untrusted view held in a variable.
+func (t *fetchTracker) aliasRoot(e ast.Expr) string {
+	e = ast.Unparen(e)
+	for {
+		se, ok := e.(*ast.SliceExpr)
+		if !ok {
+			break
+		}
+		e = ast.Unparen(se.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj := t.info.Uses[id]
+	if obj == nil {
+		obj = t.info.Defs[id]
+	}
+	if obj == nil {
+		return ""
+	}
+	return t.aliases[obj]
+}
+
+// visit handles one node in lexical (pre-)order.
+func (t *fetchTracker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		t.assign(n.Lhs, n.Rhs)
+	case *ast.GenDecl:
+		for _, spec := range n.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) == 0 {
+				continue
+			}
+			lhs := make([]ast.Expr, len(vs.Names))
+			for i, name := range vs.Names {
+				lhs[i] = name
+			}
+			t.assign(lhs, vs.Values)
+		}
+	case *ast.RangeStmt:
+		if key := t.aliasRoot(n.X); key != "" {
+			t.viewRead(key, "", n.X.Pos())
+		}
+	case *ast.IfStmt:
+		t.scanDecision(n.Cond, "branch condition")
+	case *ast.ForStmt:
+		if n.Cond != nil {
+			t.scanDecision(n.Cond, "loop condition")
+		}
+	case *ast.SwitchStmt:
+		if n.Tag != nil {
+			t.scanDecision(n.Tag, "switch condition")
+		}
+	case *ast.CaseClause:
+		for _, e := range n.List {
+			t.scanDecision(e, "switch case")
+		}
+	case *ast.IndexExpr:
+		if tv, ok := t.info.Types[n.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				break // a hostile map key can only miss
+			}
+		}
+		if !t.writes[n] {
+			if key := t.aliasRoot(n.X); key != "" {
+				t.viewRead(key, types.ExprString(n.Index), n.Pos())
+			}
+		}
+		t.scanDecision(n.Index, "slice index")
+	case *ast.SliceExpr:
+		for _, bound := range []ast.Expr{n.Low, n.High, n.Max} {
+			if bound != nil {
+				t.scanDecision(bound, "slice bound")
+			}
+		}
+	case *ast.CallExpr:
+		t.call(n)
+	}
+	return true
+}
+
+// assign tracks alias bindings and untrusted method values.
+func (t *fetchTracker) assign(lhs, rhs []ast.Expr) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		key := t.rhsAliasKey(rhs[0])
+		for _, l := range lhs {
+			t.bind(l, key, rhs[0])
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i < len(rhs) {
+			t.bind(l, t.rhsAliasKey(rhs[i]), rhs[i])
+		}
+	}
+}
+
+// rhsAliasKey resolves the view key an assignment's RHS carries: a
+// fresh alias from an untrusted accessor, or a (reslice of a) variable
+// already bound to one.
+func (t *fetchTracker) rhsAliasKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if kind, key := t.classify(e); kind == aliasProduce {
+			return key
+		}
+	case *ast.Ident, *ast.SliceExpr:
+		return t.aliasRoot(e)
+	}
+	return ""
+}
+
+// bind updates one assignment target's alias/method-value state.
+func (t *fetchTracker) bind(l ast.Expr, key string, rhs ast.Expr) {
+	id, ok := ast.Unparen(l).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := t.info.Defs[id]
+	if obj == nil {
+		obj = t.info.Uses[id]
+	}
+	if obj == nil || isErrorType(obj.Type()) {
+		return
+	}
+	delete(t.aliases, obj)
+	delete(t.srcFuncs, obj)
+	if key != "" {
+		t.aliases[obj] = key
+		return
+	}
+	// load := cell.Load — an untrusted method value: calling it later is
+	// a fetch.
+	if se, ok := ast.Unparen(rhs).(*ast.SelectorExpr); ok {
+		if sel, ok := t.info.Selections[se]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok &&
+				(isAtomicU32Load(fn) || t.pass.World.Untrusted[fn]) {
+				t.srcFuncs[obj] = true
+			}
+		}
+	}
+}
+
+// scanDecision flags untrusted fetches steering a control or size
+// decision directly, without first landing in trusted storage. The scan
+// descends through operators and conversions but not into ordinary call
+// arguments (a fetch passed to a validator is the discipline, not a
+// violation).
+func (t *fetchTracker) scanDecision(e ast.Expr, what string) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if _, ok := conversionTarget(t.info, e); ok && len(e.Args) == 1 {
+			t.scanDecision(e.Args[0], what)
+			return
+		}
+		if kind, key := t.classify(e); kind != notSource {
+			t.report(e.Pos(), "%s decided by unsnapshotted untrusted read %s; fetch it into a trusted local first", what, key)
+		}
+	case *ast.BinaryExpr:
+		t.scanDecision(e.X, what)
+		t.scanDecision(e.Y, what)
+	case *ast.UnaryExpr:
+		t.scanDecision(e.X, what)
+	case *ast.StarExpr:
+		t.scanDecision(e.X, what)
+	case *ast.IndexExpr:
+		t.scanDecision(e.X, what)
+	case *ast.SliceExpr:
+		t.scanDecision(e.X, what)
+	case *ast.SelectorExpr:
+		t.scanDecision(e.X, what)
+	}
+}
+
+// call applies the fetch rules at a call site.
+func (t *fetchTracker) call(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := t.info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				for _, arg := range call.Args[1:] {
+					t.scanDecision(arg, "make length")
+				}
+			case "copy":
+				// copy(dst, src): only the source position reads.
+				if len(call.Args) == 2 {
+					if key := t.aliasRoot(call.Args[1]); key != "" {
+						t.viewRead(key, "", call.Pos())
+					}
+				}
+			}
+			return
+		}
+	}
+	if _, ok := conversionTarget(t.info, call); ok {
+		return
+	}
+	fn := calleeFunc(t.info, call)
+	kind, key := t.classify(call)
+
+	// A live view handed to an untrusted decoder or a validator is a
+	// whole-view read of that location (recorded before the validator
+	// bumps the generation, so validate-then-re-read is attributed
+	// correctly).
+	aliasArg := false
+	if fn != nil && (t.pass.World.Untrusted[fn] || t.pass.World.Validators[fn]) {
+		for _, arg := range call.Args {
+			if k := t.aliasRoot(arg); k != "" {
+				t.viewRead(k, "", call.Pos())
+				aliasArg = true
+			}
+		}
+	}
+	if fn != nil && t.pass.World.Validators[fn] {
+		t.valGen++
+	}
+	// Rule 1: a scalar fetch of a location already fetched elsewhere in
+	// this function. Decoders consuming a live view are counted above.
+	if kind == scalarFetch && !aliasArg {
+		if prev, ok := t.fetches[key]; ok {
+			if prev.pos != call.Pos() {
+				t.reportSecond(call.Pos(), key, prev.gen)
+			}
+		} else {
+			t.fetches[key] = &readSite{pos: call.Pos(), gen: t.valGen}
+		}
+	}
+}
+
+// viewRead records one read site on a live view and reports conflicts:
+// two whole-view reads, a whole-view read mixed with element loads, or
+// the same element loaded twice.
+func (t *fetchTracker) viewRead(key, elem string, pos token.Pos) {
+	for _, prev := range t.views[key] {
+		if prev.pos == pos && prev.elem == elem {
+			return
+		}
+		if prev.elem == "" || elem == "" || prev.elem == elem {
+			t.reportSecond(pos, key, prev.gen)
+			return
+		}
+	}
+	t.views[key] = append(t.views[key], readSite{pos: pos, gen: t.valGen, elem: elem})
+}
+
+// reportSecond phrases a second fetch of the same location, naming the
+// TOCTOU explicitly when a validator ran between the two.
+func (t *fetchTracker) reportSecond(pos token.Pos, key string, firstGen int) {
+	if firstGen < t.valGen {
+		t.report(pos, "untrusted location %s re-read after a //rakis:validator call (validate-then-re-read TOCTOU); reuse the snapshot that was validated", key)
+		return
+	}
+	t.report(pos, "untrusted location %s fetched twice; fetch it once into a trusted local or mem.Snap", key)
+}

@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+func TestDoublefetchFixture(t *testing.T) {
+	RunFixture(t, Doublefetch, "doublefetch")
+}
+
+// TestDoublefetchCleanOnModule is the fixture-freshness gate for the
+// production tree: every real read site either fetches once or carries
+// an audited waiver.
+func TestDoublefetchCleanOnModule(t *testing.T) {
+	assertCleanModule(t, Doublefetch)
+}

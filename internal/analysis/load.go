@@ -51,6 +51,15 @@ type World struct {
 	Untrusted map[*types.Func]bool
 	// BoundaryOK holds functions annotated //rakis:boundary-ok.
 	BoundaryOK map[*types.Func]bool
+	// Snapshots holds functions annotated //rakis:snapshot: they perform
+	// the one permitted fetch of an untrusted location into trusted
+	// storage (mem.Space.Snapshot, ring.SnapSlot) or decode a frozen
+	// mem.Snap (xsk.SnapDesc, iouring.SnapCQE).
+	Snapshots map[*types.Func]bool
+	// SingleReadOK holds functions annotated //rakis:singleread-ok: the
+	// doublefetch analyzer skips them (reason required, e.g. a polling
+	// loop that re-checks a shared word by design).
+	SingleReadOK map[*types.Func]bool
 
 	std types.Importer
 }
@@ -134,12 +143,14 @@ func LoadModule(dir string) (*World, error) {
 		return nil, err
 	}
 	w := &World{
-		Fset:       token.NewFileSet(),
-		Packages:   make(map[string]*Package),
-		Validators: make(map[*types.Func]bool),
-		Untrusted:  make(map[*types.Func]bool),
-		BoundaryOK: make(map[*types.Func]bool),
-		std:        importer.Default(),
+		Fset:         token.NewFileSet(),
+		Packages:     make(map[string]*Package),
+		Validators:   make(map[*types.Func]bool),
+		Untrusted:    make(map[*types.Func]bool),
+		BoundaryOK:   make(map[*types.Func]bool),
+		Snapshots:    make(map[*types.Func]bool),
+		SingleReadOK: make(map[*types.Func]bool),
+		std:          importer.Default(),
 	}
 	// Parse everything first so import resolution can topo-sort.
 	for _, lp := range listed {

@@ -46,6 +46,7 @@ func runTaintflow(pass *Pass) {
 				pass:     pass,
 				info:     pass.Pkg.Info,
 				tainted:  make(map[types.Object]bool),
+				srcFuncs: make(map[types.Object]bool),
 				reported: make(map[token.Pos]bool),
 			}
 			ast.Inspect(fd.Body, t.visit)
@@ -55,9 +56,13 @@ func runTaintflow(pass *Pass) {
 
 // taintTracker walks one function body in lexical order.
 type taintTracker struct {
-	pass     *Pass
-	info     *types.Info
-	tainted  map[types.Object]bool
+	pass    *Pass
+	info    *types.Info
+	tainted map[types.Object]bool
+	// srcFuncs marks variables holding untrusted method values
+	// (load := cell.Load): calling one is an untrusted read, so storing
+	// the bound method does not launder the source.
+	srcFuncs map[types.Object]bool
 	reported map[token.Pos]bool
 }
 
@@ -114,6 +119,12 @@ func isAtomicU32Load(fn *types.Func) bool {
 func (t *taintTracker) isSourceCall(call *ast.CallExpr) bool {
 	fn := calleeFunc(t.info, call)
 	if fn == nil {
+		// Indirect call through a stored untrusted method value.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj := t.info.Uses[id]; obj != nil && t.srcFuncs[obj] {
+				return true
+			}
+		}
 		return false
 	}
 	return t.pass.World.Untrusted[fn] || isAtomicU32Load(fn)
@@ -318,6 +329,32 @@ func (t *taintTracker) assign(lhs, rhs []ast.Expr) {
 	for i, l := range lhs {
 		if i < len(rhs) {
 			t.setTaint(l, t.exprTainted(rhs[i]))
+			t.trackMethodValue(l, rhs[i])
+		}
+	}
+}
+
+// trackMethodValue records whether l now holds an untrusted method
+// value (load := cell.Load), so later indirect calls count as sources.
+func (t *taintTracker) trackMethodValue(l, r ast.Expr) {
+	id, ok := ast.Unparen(l).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := t.info.Defs[id]
+	if obj == nil {
+		obj = t.info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	delete(t.srcFuncs, obj)
+	if se, ok := ast.Unparen(r).(*ast.SelectorExpr); ok {
+		if sel, ok := t.info.Selections[se]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok &&
+				(isAtomicU32Load(fn) || t.pass.World.Untrusted[fn]) {
+				t.srcFuncs[obj] = true
+			}
 		}
 	}
 }

@@ -1,0 +1,51 @@
+// Package a exercises the annotations analyzer: the //rakis: directive
+// surface must be well-formed.
+//
+//rakis:role enclave
+package a
+
+//rakis:trusted // want `unknown directive //rakis:trusted`
+
+//rakis:role kernel // want `must be enclave or host`
+
+// Bad waives the boundarycopy analyzer without an audit reason.
+//
+//rakis:boundary-ok // want `requires a reason`
+func Bad() {}
+
+// BadPoll waives the doublefetch analyzer without an audit reason.
+//
+//rakis:singleread-ok // want `requires a reason`
+func BadPoll() {}
+
+// Good carries its reason.
+//
+//rakis:boundary-ok encoder only writes; caller validates placement
+func Good() {}
+
+// GoodPoll carries its reason.
+//
+//rakis:singleread-ok spin loop re-polls the doorbell by design
+func GoodPoll() {}
+
+// Accessor directives on functions are effective and need no reason.
+//
+//rakis:untrusted
+func readWord() uint32 { return 0 }
+
+//rakis:validator
+func check(v uint32) bool { return v < 64 }
+
+//rakis:snapshot
+func snap() []byte { return nil }
+
+//rakis:validator // want `not in a function's doc comment`
+type T struct{}
+
+func body() {
+	//rakis:untrusted // want `not in a function's doc comment`
+	_ = readWord()
+	_ = check(0)
+	_ = snap()
+	_ = T{}
+}

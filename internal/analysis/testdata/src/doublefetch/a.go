@@ -1,0 +1,221 @@
+// Package a exercises the doublefetch analyzer: untrusted locations
+// must be fetched exactly once before validation or use.
+//
+//rakis:role enclave
+package a
+
+import (
+	"sync/atomic"
+
+	"rakis/internal/mem"
+)
+
+var cell atomic.Uint32
+var buf [64]byte
+
+//rakis:untrusted
+func readCtrl() uint32 { return cell.Load() }
+
+//rakis:untrusted
+func slotBytes() []byte { return buf[:] }
+
+//rakis:untrusted
+func decode(b []byte) uint32 { return uint32(b[0]) }
+
+//rakis:validator
+func checkCtrl(v uint32) (uint32, bool) { return v % 64, v < 64 }
+
+//rakis:validator
+func checkSlot(b []byte) (uint32, bool) { return uint32(b[0]), true }
+
+// snapSlot models a fetch-once helper: the single permitted read.
+//
+//rakis:untrusted
+//rakis:snapshot
+func snapSlot() []byte {
+	out := make([]byte, 8)
+	copy(out, buf[:8])
+	return out
+}
+
+func sink(uint32) {}
+func sinkB(byte)  {}
+func put(b []byte, v uint32) { b[0] = byte(v) }
+
+// --- rule 1: the same scalar location fetched at two sites ---
+
+func doubleRead() {
+	a := readCtrl()
+	b := readCtrl() // want `untrusted location readCtrl\(\) fetched twice`
+	sink(a + b)
+}
+
+func validateThenReRead() {
+	v := cell.Load()
+	if _, ok := checkCtrl(v); !ok {
+		return
+	}
+	w := cell.Load() // want `re-read after a //rakis:validator call`
+	sink(w)
+}
+
+func doubleSnap() {
+	a := snapSlot()
+	b := snapSlot() // want `untrusted location snapSlot\(\) fetched twice`
+	sinkB(a[0] + b[0])
+}
+
+func methodValue() {
+	load := cell.Load
+	a := load()
+	b := load() // want `untrusted location load\(\) fetched twice`
+	sink(a + b)
+}
+
+func closureRead() {
+	f := func() {
+		a := readCtrl()
+		b := readCtrl() // want `untrusted location readCtrl\(\) fetched twice`
+		sink(a + b)
+	}
+	f()
+}
+
+// distinctLocations is clean: two different cells, one fetch each.
+func distinctLocations(other *atomic.Uint32) {
+	a := cell.Load()
+	b := other.Load()
+	sink(a + b)
+}
+
+// loopSingleSite is clean: one lexical fetch site, even if it executes
+// many times.
+func loopSingleSite() {
+	for i := 0; i < 4; i++ {
+		sink(readCtrl())
+	}
+}
+
+// --- rule 2: live views read at conflicting sites ---
+
+func doubleDecode() {
+	s := slotBytes()
+	x := decode(s)
+	y := decode(s) // want `untrusted location slotBytes\(\) fetched twice`
+	sink(x + y)
+}
+
+func decodeThenPeek() {
+	s := slotBytes()
+	v := decode(s)
+	b := s[0] // want `untrusted location slotBytes\(\) fetched twice`
+	sink(v + uint32(b))
+}
+
+func sameElementTwice() {
+	s := slotBytes()
+	a := s[3]
+	b := s[3] // want `untrusted location slotBytes\(\) fetched twice`
+	sinkB(a + b)
+}
+
+func resliceAlias() {
+	s := slotBytes()
+	hdr := s[:4]
+	v := decode(hdr)
+	w := decode(s) // want `untrusted location slotBytes\(\) fetched twice`
+	sink(v + w)
+}
+
+func validateViewThenDecode() {
+	s := slotBytes()
+	if _, ok := checkSlot(s); !ok {
+		return
+	}
+	v := decode(s) // want `re-read after a //rakis:validator call`
+	sink(v)
+}
+
+// distinctElements is clean: different bytes, each fetched once.
+func distinctElements() {
+	s := slotBytes()
+	a := s[0]
+	b := s[1]
+	sinkB(a + b)
+}
+
+// writePath is clean: stores into a view and handing it to an encoder
+// are not fetches.
+func writePath(v uint32) {
+	s := slotBytes()
+	s[0] = 1
+	s[1] = byte(v)
+	put(s, v)
+}
+
+// copyOnce is clean: one whole-view crossing into trusted memory.
+func copyOnce() {
+	var dst [8]byte
+	s := slotBytes()
+	copy(dst[:], s)
+	sinkB(dst[0])
+}
+
+// --- rule 3: decisions taken directly on unsnapshotted reads ---
+
+func unsnapshottedBranch() {
+	if cell.Load()&1 != 0 { // want `branch condition decided by unsnapshotted untrusted read`
+		sink(1)
+	}
+}
+
+func unsnapshottedLoop() {
+	for i := uint32(0); i < readCtrl(); i++ { // want `loop condition decided by unsnapshotted untrusted read`
+		sink(i)
+	}
+}
+
+func unsnapshottedIndex() {
+	sinkB(buf[readCtrl()]) // want `slice index decided by unsnapshotted untrusted read`
+}
+
+func unsnapshottedMake() {
+	b := make([]byte, readCtrl()) // want `make length decided by unsnapshotted untrusted read`
+	_ = b
+}
+
+func unsnapshottedSwitch() {
+	switch readCtrl() { // want `switch condition decided by unsnapshotted untrusted read`
+	case 1:
+		sink(1)
+	}
+}
+
+// snapshottedBranch is clean: the fetch lands in a trusted local first
+// and every later use reads the local.
+func snapshottedBranch() {
+	v := cell.Load()
+	if v&1 != 0 {
+		sink(v)
+	}
+}
+
+// --- frozen snapshots and audited waivers ---
+
+// frozenDecode is clean: mem.Snap decoders read the frozen trusted
+// copy, so decoding twice is harmless.
+func frozenDecode(s mem.Snap) uint32 {
+	a := s.U32(0)
+	b := s.U32(0)
+	return a + b
+}
+
+// pollCell deliberately re-reads the shared word; the waiver carries
+// its audit reason.
+//
+//rakis:singleread-ok spin loop re-polls the doorbell by design
+func pollCell() {
+	for cell.Load() == 0 {
+	}
+	sink(cell.Load())
+}

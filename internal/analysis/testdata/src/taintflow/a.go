@@ -101,3 +101,34 @@ func reassignmentKillsTaint() byte {
 	n = 3
 	return buf[n] // ok: overwritten with a trusted constant
 }
+
+func closureCapture() byte {
+	n := readCtrl()
+	f := func() byte {
+		return buf[n] // want `untrusted value used as slice index`
+	}
+	return f()
+}
+
+func methodValueLaunder(cell *atomic.Uint32) byte {
+	// Storing the bound method does not launder the source: calling it
+	// is still an untrusted read.
+	load := cell.Load
+	return buf[load()] // want `untrusted value used as slice index`
+}
+
+func resliceKeepsTaint() byte {
+	slot := slotBytes()
+	hdr := slot[:4]
+	j := hdr[1]   // elements of a reslice of an untrusted view stay untrusted
+	return buf[j] // want `untrusted value used as slice index`
+}
+
+func validatedMethodValue(cell *atomic.Uint32) byte {
+	load := cell.Load
+	n, ok := checkCtrl(load())
+	if !ok {
+		return 0
+	}
+	return buf[n] // ok: validated after the indirect read
+}

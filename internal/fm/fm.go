@@ -317,6 +317,11 @@ func (u *UringFM) submitWait(e iouring.SQE, clk *vtime.Clock) (int32, error) {
 }
 
 // bounceView returns the enclave's view of the first n bounce bytes.
+// The bounce buffer lives in shared memory, so the view is a live alias
+// the host can rewrite at any instant: callers must cross it exactly
+// once (one copy in or one copy out) and never parse values from it.
+//
+//rakis:untrusted
 func (u *UringFM) bounceView(n int) ([]byte, error) {
 	return u.space.Bytes(mem.RoleEnclave, u.bounce, uint64(n))
 }

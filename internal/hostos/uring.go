@@ -172,12 +172,16 @@ func (u *uringKernel) worker() {
 			if avail == 0 {
 				break
 			}
-			slot, err := u.sub.SlotBytes(0)
+			// Freeze the SQE before dispatch: the submission ring is
+			// uncertified on this side, and an enclave (or scribbler)
+			// rewriting the live slot between decode and execution must
+			// not split the request into two disagreeing halves.
+			snap, err := u.sub.SnapSlot(0)
 			if err != nil {
 				u.sub.Release(1)
 				continue
 			}
-			sqe := iouring.GetSQE(slot)
+			sqe := iouring.SnapSQE(snap)
 			// The wake latency models the gap between the producer's
 			// advance and this routine being scheduled. Each operation
 			// runs asynchronously with its own virtual clock — as in

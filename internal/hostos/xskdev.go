@@ -210,12 +210,15 @@ func (x *xskKernel) processTX(clk *vtime.Clock) int {
 			break
 		}
 		clk.Sync(x.tx.SlotStamp(0))
-		slot, err := x.tx.SlotBytes(0)
+		// Freeze the descriptor before the bounds check: umemOK and the
+		// copy below must agree on (Addr, Len) even if the producer
+		// rewrites the live slot mid-drain.
+		snap, err := x.tx.SnapSlot(0)
 		if err != nil {
 			x.tx.Release(1)
 			continue
 		}
-		d := xsk.GetDesc(slot)
+		d := xsk.SnapDesc(snap)
 		if !x.umemOK(d.Addr, d.Len) {
 			x.tx.Release(1)
 			continue

@@ -142,6 +142,24 @@ func GetCQE(b []byte) CQE {
 	return CQE{UserData: ld64(b[0:8]), Res: int32(ld32(b[8:12])), Flags: ld32(b[12:16])}
 }
 
+// SnapSQE decodes an SQE from a frozen 64-byte slot snapshot. The
+// fields cannot change after decoding (single fetch), but every one of
+// them is still producer-chosen and must be validated like any other
+// cross-boundary input.
+//
+//rakis:untrusted
+//rakis:snapshot
+func SnapSQE(s mem.Snap) SQE { return GetSQE(s) }
+
+// SnapCQE decodes a CQE from a frozen 16-byte slot snapshot: the
+// UserData the outstanding-request lookup matches and the Res the
+// plausibility check certifies are the same bytes the result map then
+// stores, no matter what the host does to the live slot in between.
+//
+//rakis:untrusted
+//rakis:snapshot
+func SnapCQE(s mem.Snap) CQE { return GetCQE(s) }
+
 func le32(b []byte, v uint32) {
 	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 }
@@ -490,11 +508,15 @@ func (r *Ring) Drain(clk *vtime.Clock) {
 			return
 		}
 		for i := uint32(0); i < avail; i++ {
-			slot, err := r.Compl.SlotBytes(i)
+			// Single fetch: the CQE is frozen into trusted storage before
+			// the outstanding-request match and the plausibility check, so
+			// a host rewriting the live slot mid-validation cannot swap a
+			// certified result for a hostile one.
+			snap, err := r.Compl.SnapSlot(i)
 			if err != nil {
 				continue
 			}
-			cqe := GetCQE(slot)
+			cqe := SnapCQE(snap)
 			clk.Sync(r.Compl.SlotStamp(i))
 			clk.Charge(vtime.CompValidate, r.model.RingOp)
 			pending, known := r.outstanding[cqe.UserData]

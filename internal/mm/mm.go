@@ -208,9 +208,16 @@ func (m *Monitor) Sweep() int {
 				fired++
 			}
 		case watchXskFill:
-			if p != w.last || force || w.flags.Load()&ring.FlagNeedWakeup != 0 {
+			// Single fetch of the shared need-wakeup flag. The old shape
+			// read w.flags.Load() in the outer edge test and again in the
+			// inner firing test; a flag cleared between the two reads made
+			// the pass enter the branch, consume the producer edge
+			// (w.last = p), and then fire nothing — a lost recvfrom wakeup
+			// the edge-triggered sweep never re-issues.
+			needWake := w.flags.Load()&ring.FlagNeedWakeup != 0
+			if p != w.last || force || needWake {
 				w.last = p
-				if force || w.flags.Load()&ring.FlagNeedWakeup != 0 {
+				if force || needWake {
 					m.proc.XSKRecvfrom(w.fd, &m.clk)
 					m.Trace.Emit(telemetry.EvMMWakeup, m.clk.Now(), uint64(w.fd), 1)
 					fired++

@@ -1,6 +1,7 @@
 package mm
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -145,5 +146,83 @@ func TestMonitorRunsAsThread(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("monitor never woke the kernel")
+	}
+}
+
+// oldFillSweep replicates the pre-single-fetch shape of the
+// watchXskFill pass: the shared need-wakeup flag was loaded once in the
+// edge test and again in the firing test. between runs after the first
+// load — the window in which the host (or a concurrent servicing path)
+// can rewrite the flag.
+func oldFillSweep(w *watch, force bool, between func()) bool {
+	p := w.prod.Load()
+	if p != w.last || force || w.flags.Load()&ring.FlagNeedWakeup != 0 {
+		w.last = p
+		between()
+		if force || w.flags.Load()&ring.FlagNeedWakeup != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSweepSingleFetchOfNeedWakeupFlag pins the double-fetch fix in
+// Sweep's fill-ring pass. The old shape could enter the branch because
+// the flag was set, lose the flag to a mid-decision rewrite, consume
+// the producer edge, and fire nothing — a recvfrom wakeup lost until an
+// unrelated event re-arms the edge. The fixed pass samples the flag
+// once, so a sampled-set flag always fires.
+func TestSweepSingleFetchOfNeedWakeupFlag(t *testing.T) {
+	var prod, flags atomic.Uint32
+	w := &watch{kind: watchXskFill, fd: 3, prod: &prod, flags: &flags}
+
+	// The exploit interleaving against the old shape: flag set and a
+	// fresh producer edge, flag scribbled clear between the two loads.
+	prod.Store(5)
+	flags.Store(ring.FlagNeedWakeup)
+	if oldFillSweep(w, false, func() { flags.Store(0) }) {
+		t.Fatal("replica fired; the lost-wakeup interleaving should suppress it")
+	}
+	if w.last != 5 {
+		t.Fatalf("replica left last=%d; the edge must be consumed for the loss", w.last)
+	}
+	// The edge is gone and the flag reads clear: later passes stay
+	// silent even though the wakeup was never issued.
+	if oldFillSweep(w, false, func() {}) {
+		t.Fatal("replica refired without an edge")
+	}
+
+	// The fixed Sweep cannot lose that race: the flag is fetched once,
+	// and a sampled-set flag fires unconditionally.
+	f := newFixture(t)
+	var clk vtime.Clock
+	res, err := f.proc.XSKSetup(f.ns, 0, 64, 2048, 64, &clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock, err := xsk.Attach(xsk.Config{
+		Space: f.kern.Space, Setup: res.Setup,
+		RingSize: 64, FrameSize: 2048, FrameCount: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := New(f.proc)
+	if err := mon.WatchXSK(f.kern.Space, res.Setup); err != nil {
+		t.Fatal(err)
+	}
+	if n := mon.Sweep(); n != 0 {
+		t.Fatalf("idle sweep fired %d", n)
+	}
+	// Need-wakeup with no producer movement must still fire recvfrom:
+	// the single sampled flag is both the branch reason and the firing
+	// reason.
+	sock.Fill.SetFlags(ring.FlagNeedWakeup)
+	before := f.ctrs.Wakeups.Load()
+	if n := mon.Sweep(); n != 1 {
+		t.Fatalf("need-wakeup sweep fired %d, want 1", n)
+	}
+	if f.ctrs.Wakeups.Load() != before+1 {
+		t.Fatal("recvfrom wakeup not issued")
 	}
 }

@@ -334,6 +334,20 @@ func (r *Ring) SlotBytes(i uint32) ([]byte, error) {
 	return r.space.Bytes(r.access, r.SlotAddr(i), uint64(r.entrySize))
 }
 
+// SnapSlot fetches the i-th slot into trusted storage in one pass and
+// returns the frozen copy. Consumers parse descriptors and CQEs out of
+// the Snap rather than the live slot, so validation and use see the
+// same bytes no matter what the host scribbles in between — the
+// single-read discipline the doublefetch analyzer enforces. Producers
+// writing into a slot keep using SlotBytes: a snapshot of a slot about
+// to be overwritten would be wasted work.
+//
+//rakis:untrusted
+//rakis:snapshot
+func (r *Ring) SnapSlot(i uint32) (mem.Snap, error) {
+	return r.space.Snapshot(r.access, r.SlotAddr(i), uint64(r.entrySize))
+}
+
 // WriteU64 stores v into the i-th slot; the slot must be at least 8 bytes.
 func (r *Ring) WriteU64(i uint32, v uint64) error {
 	return r.space.PutU64(r.access, r.SlotAddr(i), v)

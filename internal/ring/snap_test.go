@@ -1,0 +1,46 @@
+package ring
+
+import (
+	"testing"
+
+	"rakis/internal/mem"
+)
+
+// TestSnapSlotFreezesAgainstScribble proves the single-read property at
+// the ring layer: once a consumer snapshots a slot, the host rewriting
+// the live slot cannot change what the snapshot decodes.
+func TestSnapSlotFreezesAgainstScribble(t *testing.T) {
+	fm, host, sp, _ := pair(t, 8, 16, Consumer)
+
+	// Host produces one entry.
+	if err := host.WriteU64(0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Submit(1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := fm.SnapSlot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.U64(0); got != 64 {
+		t.Fatalf("snapshot U64 = %d, want 64", got)
+	}
+
+	// Host scribbles the live slot after the fetch (raw store at the
+	// consumer's absolute slot address — the producer index has moved on,
+	// exactly how a hostile host rewrites in-flight entries).
+	if err := sp.PutU64(mem.RoleHost, fm.SlotAddr(0), 1<<40); err != nil {
+		t.Fatal(err)
+	}
+
+	// The frozen snapshot still decodes the fetched value, while the old
+	// read-it-again pattern would now see the scribble.
+	if got := snap.U64(0); got != 64 {
+		t.Fatalf("snapshot changed under scribble: U64 = %d, want 64", got)
+	}
+	if live, _ := fm.ReadU64(0); live != 1<<40 {
+		t.Fatalf("live slot = %d, want %d", live, uint64(1)<<40)
+	}
+}

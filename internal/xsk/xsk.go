@@ -71,6 +71,16 @@ func GetDesc(b []byte) Desc {
 	return d
 }
 
+// SnapDesc decodes a descriptor from a frozen 16-byte slot snapshot.
+// Unlike GetDesc over a live slot alias, the fields cannot change after
+// decoding — the enclave validates and uses the very bytes it fetched.
+// The decoded offset and length are still host-chosen and remain
+// unvalidated until UMem.ValidateConsumed passes them.
+//
+//rakis:untrusted
+//rakis:snapshot
+func SnapDesc(s mem.Snap) Desc { return GetDesc(s) }
+
 // Setup is what the untrusted initialization hands the enclave: five
 // pointers and a file descriptor.
 type Setup struct {
@@ -255,13 +265,17 @@ func (s *Socket) Recv(clk *vtime.Clock) ([]byte, bool) {
 		clk.Sync(s.RX.SlotStamp(0))
 		clk.Charge(vtime.CompRing, s.model.RingOp)
 		clk.Charge(vtime.CompValidate, s.model.UMemOp)
-		slot, err := s.RX.SlotBytes(0)
+		// Single fetch: the descriptor is frozen into trusted storage
+		// before validation, so the length the copy below trusts is the
+		// length ValidateConsumed certified — a host scribbling the live
+		// slot between the two changes nothing.
+		snap, err := s.RX.SnapSlot(0)
 		if err != nil {
 			s.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingXskRX, 1)
 			s.RX.Release(1)
 			continue
 		}
-		d := GetDesc(slot)
+		d := SnapDesc(snap)
 		if _, err := s.UMem.ValidateConsumed(umem.OwnerFill, d.Addr, d.Len); err != nil {
 			// Table 2 fail action: refuse the frame, advance the consumer.
 			// (UMem emits the EvUMemRefusal with the hostile addr/len.)
@@ -427,12 +441,14 @@ func (s *Socket) RecvBatch(clk *vtime.Clock, max int) [][]byte {
 	totalBytes := 0
 	for i := uint32(0); i < n; i++ {
 		clk.Sync(s.RX.SlotStamp(i))
-		slot, err := s.RX.SlotBytes(i)
+		// Single fetch per descriptor, as in Recv: freeze, validate the
+		// frozen fields, use the frozen fields.
+		snap, err := s.RX.SnapSlot(i)
 		if err != nil {
 			s.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingXskRX, 1)
 			continue
 		}
-		d := GetDesc(slot)
+		d := SnapDesc(snap)
 		if _, err := s.UMem.ValidateConsumed(umem.OwnerFill, d.Addr, d.Len); err != nil {
 			// Table 2 fail action: refuse the frame, advance past it.
 			continue

@@ -225,3 +225,77 @@ func TestRecvSkipsHostileDescriptors(t *testing.T) {
 		t.Fatal("invariant broken")
 	}
 }
+
+// TestRecvSnapshotDefeatsDescriptorScribble pins the single-read
+// discipline on the RX datapath. The enclave freezes a descriptor with
+// SnapSlot, the host scribbles the live slot afterwards, and the frozen
+// snapshot still decodes the fetched values while the live slot — what
+// a read-it-again pattern would consult — has diverged. End to end,
+// Recv then validates and uses the same frozen bytes: a descriptor
+// scribbled hostile before the fetch is refused outright, never
+// half-trusted.
+func TestRecvSnapshotDefeatsDescriptorScribble(t *testing.T) {
+	sp := mem.NewSpace(1<<20, 1<<22)
+	ctrs := &vtime.Counters{}
+	s := validSetup(t, sp, 8, 2048, 16)
+	sock, err := Attach(Config{Space: sp, Setup: s, RingSize: 8, FrameSize: 2048,
+		FrameCount: 16, Counters: ctrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clk vtime.Clock
+	sock.Refill(&clk)
+
+	kFill, _ := ring.New(ring.Config{Space: sp, Access: mem.RoleHost, Base: s.FillBase,
+		Size: 8, EntrySize: FillEntryBytes, Side: ring.Consumer})
+	kRX, _ := ring.New(ring.Config{Space: sp, Access: mem.RoleHost, Base: s.RXBase,
+		Size: 8, EntrySize: DescBytes, Side: ring.Producer})
+
+	legit, _ := kFill.ReadU64(0)
+	kFill.Release(1)
+	payload, _ := sp.Bytes(mem.RoleHost, s.UMemBase+mem.Addr(legit), 4)
+	copy(payload, "good")
+	slot, _ := kRX.SlotBytes(0)
+	PutDesc(slot, Desc{Addr: legit, Len: 4})
+	kRX.Submit(1, 0)
+
+	// The enclave's single fetch freezes the descriptor.
+	snap, err := sock.RX.SnapSlot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := SnapDesc(snap); d.Len != 4 || d.Addr != legit {
+		t.Fatalf("snapshot desc = %+v", d)
+	}
+
+	// Host scribbles the live slot after the fetch: the length now runs
+	// past the frame, a classic validate-small-use-big rewrite.
+	live, err := sp.Bytes(mem.RoleHost, sock.RX.SlotAddr(0), DescBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PutDesc(live, Desc{Addr: legit, Len: 5000})
+
+	// The frozen snapshot is unchanged; the live slot is not. The old
+	// pattern decoded the live view, so what validation certified and
+	// what a later read trusted could differ — exactly this divergence.
+	if d := SnapDesc(snap); d.Len != 4 {
+		t.Fatalf("snapshot changed under scribble: %+v", d)
+	}
+	enclaveLive, _ := sp.Bytes(mem.RoleEnclave, sock.RX.SlotAddr(0), DescBytes)
+	if d := GetDesc(enclaveLive); d.Len != 5000 {
+		t.Fatalf("live desc = %+v, want scribbled Len 5000", d)
+	}
+
+	// Recv fetches once and validates what it fetched: the scribbled
+	// descriptor is seen whole, refused whole, and never half-used.
+	if got, ok := sock.Recv(&clk); ok {
+		t.Fatalf("recv accepted scribbled descriptor: %q", got)
+	}
+	if ctrs.UMemViolations.Load() != 1 {
+		t.Fatalf("violations = %d, want 1", ctrs.UMemViolations.Load())
+	}
+	if !sock.UMem.InvariantHolds() {
+		t.Fatal("invariant broken")
+	}
+}

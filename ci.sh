@@ -20,7 +20,8 @@
 #                        shuffled so test-order coupling cannot hide
 #   7. fuzz smoke      — 30 s over the committed netstack seed corpus
 #                        (internal/netstack/testdata/fuzz), the §5.2-style
-#                        hostile-frame campaign
+#                        hostile-frame campaign, plus 30 s aimed at the
+#                        certify-in-place view parser (FuzzInputView)
 #   8. chaos smoke     — rakis-chaos -profile smoke: every workload under
 #                        fault injection (see DESIGN.md, "Chaos testing")
 #   9. trace smoke     — rakis-trace: one instrumented cell per trust
@@ -31,9 +32,18 @@
 #                        exit-amortization regression guard under -race:
 #                        batched and scalar I/O must differ in cost only
 #                        (see DESIGN.md, "Batched fast path")
-#  11. bench JSON      — rakis-bench -json: the Figure 2 rows plus the
-#                        batched-vs-scalar rows in the stable
-#                        rakis-bench/v1 layout (BENCH_figs.json)
+#  11. zero-copy path  — the zero-copy differential suite under -race:
+#                        the in-place RX/splice datapath and the legacy
+#                        copying path must agree on every observable
+#                        (streams, refusals, packet accounting); plus the
+#                        no-waiver gate — the RX-path packages carry no
+#                        //rakis:singleread-ok escape hatches, so the
+#                        doublefetch analyzer's pass in step 2 covers
+#                        every in-place reader (see DESIGN.md,
+#                        "Zero-copy datapath")
+#  12. bench JSON      — rakis-bench -json: the Figure 2 rows plus the
+#                        batched-vs-scalar and zero-copy rows in the
+#                        stable rakis-bench/v1 layout (BENCH_figs.json)
 set -eu
 cd "$(dirname "$0")"
 
@@ -58,6 +68,9 @@ go test -race -shuffle=on ./internal/...
 echo "==> go test -fuzz=FuzzStackInput -fuzztime=30s ./internal/netstack"
 go test -run='^$' -fuzz='^FuzzStackInput$' -fuzztime=30s ./internal/netstack
 
+echo "==> go test -fuzz=FuzzInputView -fuzztime=30s ./internal/netstack"
+go test -run='^$' -fuzz='^FuzzInputView$' -fuzztime=30s ./internal/netstack
+
 echo "==> rakis-chaos -profile smoke"
 go run ./cmd/rakis-chaos -profile smoke
 
@@ -68,9 +81,18 @@ go run ./cmd/rakis-trace -workload fstime -env gramine-sgx > /dev/null
 echo "==> batched fast path: differential + exit-amortization guard (-race)"
 go test -race -run 'TestBatchDifferential|TestBatchExitAmortization' ./internal/experiments/
 
-echo "==> rakis-bench -fig 2,batch -json BENCH_figs.json"
-go run ./cmd/rakis-bench -fig 2,batch -scale 0.05 -json BENCH_figs.json > /dev/null
+echo "==> zero-copy path: differential suite (-race) + no-waiver gate"
+go test -race -run 'TestZerocopyDifferential|TestZerocopyProxySplice' ./internal/experiments/
+if grep -rn 'rakis:singleread-ok' --include='*.go' \
+    internal/mem internal/umem internal/xsk internal/netstack internal/fm internal/sm; then
+	echo "ci: unexpected //rakis:singleread-ok waiver on the RX path" >&2
+	exit 1
+fi
+
+echo "==> rakis-bench -fig 2,batch,zerocopy -json BENCH_figs.json"
+go run ./cmd/rakis-bench -fig 2,batch,zerocopy -scale 0.05 -json BENCH_figs.json > /dev/null
 test -s BENCH_figs.json
 grep -q '"figure": "batch"' BENCH_figs.json
+grep -q '"figure": "zerocopy"' BENCH_figs.json
 
 echo "ci: all checks passed"

@@ -44,6 +44,7 @@ func main() {
 		{"5b", "Figure 5(b): Redis throughput normalized to Native", experiments.Fig5bRedis},
 		{"5c", "Figure 5(c): MCrypt encryption time vs read block size", experiments.Fig5cMcrypt},
 		{"batch", "Batched fast path: enclave exits per datagram vs vector width", experiments.FigBatch},
+		{"zerocopy", "Zero-copy datapath: copy cycles per datagram, copying vs in-place RX", experiments.FigZerocopy},
 	}
 
 	want := map[string]bool{}

@@ -83,6 +83,9 @@ type Options struct {
 	RingSize uint32
 	// GlobalLockStack enables the enclave-stack global-lock ablation.
 	GlobalLockStack bool
+	// CopyRX selects the legacy copying RX path in RAKIS environments
+	// (the zero-copy ablation). Ignored by the baselines.
+	CopyRX bool
 	// TrustedBytes and UntrustedBytes size the simulated address space.
 	TrustedBytes, UntrustedBytes int
 	// Chaos arms hostile-host fault injection across the kernel, the NIC
@@ -252,6 +255,7 @@ func NewWorld(opt Options) (*World, error) {
 			Model:           encModel,
 			Counters:        w.Counters,
 			GlobalLockStack: opt.GlobalLockStack,
+			CopyRX:          opt.CopyRX,
 			Chaos:           opt.Chaos,
 			Telemetry:       opt.Telemetry,
 		})

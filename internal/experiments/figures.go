@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"text/tabwriter"
 
 	"rakis/internal/telemetry"
@@ -12,13 +13,17 @@ import (
 
 // WorkloadEnv adapts a World to the workloads' environment surface.
 func (w *World) WorkloadEnv() workloads.Env {
-	return workloads.Env{
+	env := workloads.Env{
 		ServerThread: w.ServerThread,
 		ClientThread: w.ClientThread,
 		ServerIP:     w.ServerIP,
 		KernelIP:     KernelIP,
 		Model:        w.Model,
 	}
+	if rt := w.Rakis(); rt != nil {
+		env.SpliceUDPEcho = rt.SpliceUDPEcho
+	}
+	return env
 }
 
 // Scale shrinks experiment sizes: 1.0 regenerates figure-sized runs,
@@ -384,6 +389,85 @@ func FigBatch(scale Scale) ([]Row, error) {
 				Value: float64(exits) / float64(res.Echoed), Unit: "exits/op",
 				Drops: drops,
 			})
+		}
+	}
+	return rows, nil
+}
+
+// FigZerocopy measures the zero-copy RX/splice datapath: iperf3 and the
+// UDP proxy on the RAKIS environments with the legacy copying RX path
+// (CopyRX) versus the certify-in-place view path, reporting the
+// copy-component cycles per delivered datagram summed over the RX
+// datapath clocks (the FM pumps and the application threads — the
+// clocks the copies land on). The "x" rows are the copy/zc ratios the
+// acceptance gate asserts are ≥ 2.
+func FigZerocopy(scale Scale) ([]Row, error) {
+	count := int(float64(2048) * float64(scale))
+	if count < 256 {
+		count = 256
+	}
+	// copyCycPerOp runs one workload in one world and reads the RX
+	// datapath's copy-component cycles per delivered op.
+	copyCycPerOp := func(env Environment, copyRX bool, run func(*World) (int, error)) (float64, uint64, error) {
+		sink := telemetry.NewSink()
+		w, err := NewWorld(Options{Env: env, CopyRX: copyRX, Telemetry: sink})
+		if err != nil {
+			return 0, 0, err
+		}
+		ops, runErr := run(w)
+		drops := w.TotalDrops()
+		w.Close()
+		if runErr != nil {
+			return 0, 0, runErr
+		}
+		if ops == 0 {
+			return 0, 0, fmt.Errorf("figzerocopy: no ops delivered")
+		}
+		var cyc uint64
+		for _, tr := range sink.Breakdown().Threads {
+			if strings.HasPrefix(tr.Thread, "fm.") || strings.HasPrefix(tr.Thread, "app.") {
+				cyc += tr.Comp["copy"]
+			}
+		}
+		return float64(cyc) / float64(ops), drops, nil
+	}
+	type wl struct {
+		name string
+		run  func(*World) (int, error)
+	}
+	wls := []wl{
+		{"iperf", func(w *World) (int, error) {
+			res, err := workloads.IperfUDP(w.WorkloadEnv(), workloads.IperfParams{
+				PacketSize: 1460, Count: count,
+			})
+			return res.Received, err
+		}},
+		{"udpproxy", func(w *World) (int, error) {
+			res, err := workloads.UDPProxy(w.WorkloadEnv(), workloads.ProxyParams{
+				PacketSize: 1024, Count: count,
+			}, false)
+			return res.Echoed, err
+		}},
+	}
+	var rows []Row
+	for _, env := range []Environment{RakisDirect, RakisSGX} {
+		for _, l := range wls {
+			c, cd, err := copyCycPerOp(env, true, l.run)
+			if err != nil {
+				return nil, fmt.Errorf("%v %s copy: %w", env, l.name, err)
+			}
+			z, zd, err := copyCycPerOp(env, false, l.run)
+			if err != nil {
+				return nil, fmt.Errorf("%v %s zc: %w", env, l.name, err)
+			}
+			if z <= 0 {
+				return nil, fmt.Errorf("%v %s: zero-copy path charged no copies", env, l.name)
+			}
+			rows = append(rows,
+				Row{Env: env, Param: l.name + "/copy", Value: c, Unit: "copycyc/op", Drops: cd},
+				Row{Env: env, Param: l.name + "/zc", Value: z, Unit: "copycyc/op", Drops: zd},
+				Row{Env: env, Param: l.name + " ratio", Value: c / z, Unit: "x"},
+			)
 		}
 	}
 	return rows, nil

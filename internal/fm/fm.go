@@ -68,6 +68,13 @@ type XskPump struct {
 	stack *netstack.Stack
 	model *vtime.Model
 
+	// copyRX selects the classic copying RX path (frame copied into a
+	// trusted buffer before the stack parses it) instead of the default
+	// zero-copy path (certified views parsed in place). Set before
+	// Start; the differential suite runs both and asserts they differ
+	// only in cost.
+	copyRX bool
+
 	// waker is the lost-wakeup recovery ladder for the TX direction
 	// (xTX is edge-triggered: a swallowed sendto never re-fires on its
 	// own). Optional; set before Start.
@@ -102,6 +109,10 @@ func (p *XskPump) Socket() *xsk.Socket { return p.sock }
 // Start.
 func (p *XskPump) SetWaker(w iouring.Waker) { p.waker = w }
 
+// SetCopyRX selects the copying RX path instead of zero-copy views.
+// Call before Start.
+func (p *XskPump) SetCopyRX(on bool) { p.copyRX = on }
+
 // Start launches the pump thread.
 func (p *XskPump) Start() {
 	go p.run()
@@ -124,8 +135,8 @@ func (p *XskPump) run() {
 			return
 		default:
 		}
-		payloads := p.sock.RecvBatch(&p.clk, pumpBatchMax)
-		if len(payloads) == 0 {
+		moved := p.pumpOnce()
+		if moved == 0 {
 			p.sock.Reap(&p.clk)
 			p.sock.Refill(&p.clk)
 			idle++
@@ -162,12 +173,30 @@ func (p *XskPump) run() {
 			continue
 		}
 		idle = 0
+		p.sock.Refill(&p.clk)
+	}
+}
+
+// pumpOnce drains one certified RX run into the stack and returns the
+// number of frames moved. The default zero-copy path hands each frame to
+// the stack as a certified in-place view; the copying path materializes
+// a trusted payload first (the pre-zero-copy shape, kept as the
+// differential baseline and the CopyRX ablation).
+func (p *XskPump) pumpOnce() int {
+	if p.copyRX {
+		payloads := p.sock.RecvBatch(&p.clk, pumpBatchMax)
 		for _, payload := range payloads {
 			p.clk.Advance(p.model.FMPerPacket)
 			p.stack.Input(payload, &p.clk)
 		}
-		p.sock.Refill(&p.clk)
+		return len(payloads)
 	}
+	views := p.sock.RecvViews(&p.clk, pumpBatchMax)
+	for i := range views {
+		p.clk.Advance(p.model.FMPerPacket)
+		p.stack.InputView(views[i], &p.clk)
+	}
+	return len(views)
 }
 
 // retry records one rung of the recovery ladder.

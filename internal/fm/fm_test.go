@@ -106,8 +106,8 @@ func TestXskPumpDeliversToStack(t *testing.T) {
 
 	var clk vtime.Clock
 	d, err := usock.RecvTimeout(&clk, 2*time.Second)
-	if err != nil || string(d.Payload) != "hello" {
-		t.Fatalf("pump delivery = %q, %v", d.Payload, err)
+	if err != nil || string(d.Bytes()) != "hello" {
+		t.Fatalf("pump delivery = %q, %v", d.Bytes(), err)
 	}
 	if d.Stamp < 777 {
 		t.Fatalf("stamp %d must include the RX submit time", d.Stamp)

@@ -48,8 +48,9 @@ type Stack struct {
 	arp   *arpTable
 	reasm *reassembler
 
-	udp *udpTable
-	tcp *tcpTable
+	udp    *udpTable
+	tcp    *tcpTable
+	splice spliceTable
 
 	globalRes *vtime.Resource
 	ipID      atomic.Uint32

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"rakis/internal/mem"
 	"rakis/internal/vtime"
 )
 
@@ -15,10 +16,80 @@ const UDPHeaderBytes = 8
 const MaxUDPPayload = 65507
 
 // Datagram is one received UDP payload with its source and stamp.
+//
+// A datagram is either copy-backed (Payload holds trusted bytes, the
+// classic path) or view-backed (the payload still lives in the untrusted
+// UMem frame behind a certified mem.View, the zero-copy path). Consumers
+// go through Len/CopyOut/Bytes so both shapes behave identically; the
+// one explicit copy for a view-backed datagram happens at CopyOut — the
+// app-payload boundary — and releases the frame.
 type Datagram struct {
 	Payload []byte
 	Src     Addr
 	Stamp   uint64
+
+	view    mem.View
+	hasView bool
+}
+
+// ViewDatagram wraps a certified payload view as a datagram. The view
+// must cover exactly the UDP payload bytes.
+func ViewDatagram(v mem.View, src Addr, stamp uint64) Datagram {
+	return Datagram{Src: src, Stamp: stamp, view: v, hasView: true}
+}
+
+// Len returns the payload length in bytes.
+func (d *Datagram) Len() int {
+	if d.hasView {
+		return d.view.Len()
+	}
+	return len(d.Payload)
+}
+
+// IsView reports whether the payload still lives in untrusted memory.
+func (d *Datagram) IsView() bool { return d.hasView }
+
+// CopyOut copies the payload into p, truncating to len(p), and returns
+// the byte count. For a view-backed datagram this is the single
+// app-boundary copy: the frame is released afterwards, whether or not
+// the copy succeeded (a stale view yields 0 bytes). The caller charges
+// the copy at the rate its trust boundary demands.
+//
+//rakis:untrusted
+func (d *Datagram) CopyOut(p []byte) int {
+	if !d.hasView {
+		return copy(p, d.Payload)
+	}
+	n, err := d.view.CopyOut(p, 0)
+	if err != nil {
+		n = 0
+	}
+	d.view.Release()
+	d.hasView = false
+	return n
+}
+
+// Bytes returns the payload as trusted bytes, copying a view-backed
+// payload out (and releasing its frame) on first call.
+func (d *Datagram) Bytes() []byte {
+	if d.hasView {
+		b := make([]byte, d.view.Len())
+		n := d.CopyOut(b)
+		if n != len(b) {
+			b = nil // stale view: the frame is gone
+		}
+		d.Payload = b
+	}
+	return d.Payload
+}
+
+// Release drops a view-backed payload without consuming it, returning
+// the frame to the pool. No-op for copy-backed datagrams.
+func (d *Datagram) Release() {
+	if d.hasView {
+		d.view.Release()
+		d.hasView = false
+	}
 }
 
 // udpTable holds the bound UDP sockets. It uses a read/write lock: the
@@ -141,11 +212,18 @@ func (s *Stack) inputUDP(h IPv4Header, payload, origPkt []byte, clk *vtime.Clock
 	}
 	data := make([]byte, ulen-UDPHeaderBytes)
 	copy(data, payload[UDPHeaderBytes:ulen])
+	clk.Charge(vtime.CompCopy, vtime.Bytes(s.model.KernelCopyPerByte, len(data)))
 	d := Datagram{Payload: data, Src: Addr{IP: h.Src, Port: srcPort}, Stamp: clk.Now()}
+	sock.enqueue(d, s)
+}
+
+// enqueue delivers one datagram to the socket queue, dropping (and
+// releasing any view) when the buffer is full, like Linux.
+func (u *UDPSocket) enqueue(d Datagram, s *Stack) {
 	select {
-	case sock.queue <- d:
+	case u.queue <- d:
 	default:
-		// Socket buffer full: the kernel drops, like Linux.
+		d.Release()
 		if s.cfg.Counters != nil {
 			s.cfg.Counters.PacketsDropped.Add(1)
 		}
@@ -347,4 +425,16 @@ func (u *UDPSocket) Close() {
 	}
 	t.mu.Unlock()
 	close(u.closeC)
+	// Drain what's still queued so view-backed payloads return their
+	// UMem frames to the pool (a no-op for copy-backed datagrams). A
+	// receiver racing the close may still win a queued datagram first;
+	// either way every frame is accounted for.
+	for {
+		select {
+		case d := <-u.queue:
+			d.Release()
+		default:
+			return
+		}
+	}
 }

@@ -1,0 +1,269 @@
+package netstack
+
+import (
+	"sync"
+
+	"rakis/internal/mem"
+	"rakis/internal/vtime"
+)
+
+// viewHeaderSnapMax is the header prefix frozen from an untrusted frame
+// before any parsing decision: Ethernet, a maximal IPv4 header (options
+// included), and the UDP header.
+const viewHeaderSnapMax = EthHeaderBytes + 60 + UDPHeaderBytes
+
+// SpliceDevice re-queues a certified RX frame view onto the transmit
+// path without copying the payload. n is the frame length to transmit.
+type SpliceDevice interface {
+	SpliceFrame(v *mem.View, n uint32, clk *vtime.Clock) error
+}
+
+// spliceTable maps UDP destination ports to splice devices for the
+// in-place echo path.
+type spliceTable struct {
+	mu    sync.RWMutex
+	ports map[uint16]SpliceDevice
+}
+
+// SpliceUDPEcho registers an in-place UDP echo on port: mainstream
+// datagrams addressed to it are reflected to their sender by rewriting
+// the frame header in place (MAC, IP, and port swaps — both checksums
+// survive 16-bit-aligned swaps unchanged) and re-queuing the RX frame on
+// TX with zero payload copies. Passing a nil device unregisters.
+func (s *Stack) SpliceUDPEcho(port uint16, dev SpliceDevice) {
+	s.splice.mu.Lock()
+	defer s.splice.mu.Unlock()
+	if s.splice.ports == nil {
+		s.splice.ports = make(map[uint16]SpliceDevice)
+	}
+	if dev == nil {
+		delete(s.splice.ports, port)
+		return
+	}
+	s.splice.ports[port] = dev
+}
+
+// spliceFor returns the splice device registered for port, if any.
+func (s *Stack) spliceFor(port uint16) SpliceDevice {
+	s.splice.mu.RLock()
+	defer s.splice.mu.RUnlock()
+	return s.splice.ports[port]
+}
+
+// InputView feeds one received frame into the stack as a certified
+// zero-copy view. The mainstream shape — unfragmented IPv4/UDP addressed
+// to this stack, headers intact, a consumer registered — is parsed in
+// place: every header decision comes from one frozen Snap of the header
+// prefix, the payload is traversed at most once (checksum), and the
+// frame is handed on still in untrusted memory (socket queue view or TX
+// splice). Everything else falls back to a single boundary copy followed
+// by the classic Input path, so ARP, fragments, ICMP, TCP, and hostile
+// shapes behave exactly as they always did.
+func (s *Stack) InputView(v mem.View, clk *vtime.Clock) {
+	if s.closed.Load() {
+		return
+	}
+	if s.inputViewInPlace(&v, clk) {
+		return
+	}
+	// A full-length CopyOut either fills the buffer or fails stale.
+	frame := make([]byte, v.Len())
+	_, err := v.CopyOut(frame, 0)
+	v.Release()
+	if err != nil {
+		return
+	}
+	clk.Charge(vtime.CompCopy, vtime.Bytes(s.model.BoundaryCopyPerByte, len(frame)))
+	s.Input(frame, clk)
+}
+
+// viewFrameInfo is the trusted digest of a mainstream frame header,
+// produced by validateViewHeader from the frozen snapshot.
+type viewFrameInfo struct {
+	ihl      int // IPv4 header length in bytes
+	totalLen int // IPv4 total length
+	ulen     int // UDP length field (header + payload)
+	srcIP    IP4
+	dstIP    IP4
+	srcPort  uint16
+	dstPort  uint16
+	ethSrc   [6]byte
+	hasCsum  bool
+}
+
+// validateViewHeader runs every gating check of the in-place parse on
+// the frozen header snapshot: Ethernet type, IPv4 version/ihl/total
+// length/header checksum, no fragmentation, live TTL, UDP protocol, and
+// a UDP length consistent with the IP envelope — all against frameLen,
+// the certified frame length. A true return means the header fields in
+// the digest are safe to use as offsets and bounds within the snapshot
+// and the frame.
+//
+//rakis:validator
+func validateViewHeader(hdr mem.Snap, frameLen int) (viewFrameInfo, bool) {
+	var fi viewFrameInfo
+	hn := len(hdr)
+	if hn < EthHeaderBytes+IPv4HeaderBytes+UDPHeaderBytes {
+		return fi, false
+	}
+	if be16(hdr[12:14]) != EtherTypeIPv4 {
+		return fi, false
+	}
+	ip := hdr[EthHeaderBytes:]
+	if ip[0]>>4 != 4 {
+		return fi, false
+	}
+	ihl := int(ip[0]&0x0F) * 4
+	if ihl < IPv4HeaderBytes || EthHeaderBytes+ihl+UDPHeaderBytes > hn {
+		return fi, false
+	}
+	totalLen := int(be16(ip[2:4]))
+	if totalLen < ihl+UDPHeaderBytes || EthHeaderBytes+totalLen > frameLen {
+		return fi, false
+	}
+	if Checksum(ip[:ihl]) != 0 {
+		return fi, false
+	}
+	fl := be16(ip[6:8])
+	if fl&0x2000 != 0 || fl&0x1FFF != 0 { // fragment: reassembly copies anyway
+		return fi, false
+	}
+	if ip[8] == 0 { // TTL expired
+		return fi, false
+	}
+	if ip[9] != ProtoUDP {
+		return fi, false
+	}
+	copy(fi.srcIP[:], ip[12:16])
+	copy(fi.dstIP[:], ip[16:20])
+	copy(fi.ethSrc[:], hdr[6:12])
+	udp := hdr[EthHeaderBytes+ihl:]
+	fi.srcPort = be16(udp[0:2])
+	fi.dstPort = be16(udp[2:4])
+	fi.ulen = int(be16(udp[4:6]))
+	if fi.ulen < UDPHeaderBytes || fi.ulen > totalLen-ihl {
+		return fi, false
+	}
+	fi.hasCsum = be16(udp[6:8]) != 0
+	fi.ihl, fi.totalLen = ihl, totalLen
+	return fi, true
+}
+
+// inputViewInPlace handles the mainstream UDP shape in place and reports
+// whether it consumed the view. A false return means the caller must run
+// the copying fallback; the view is still live. All gating decisions are
+// taken on the frozen header snapshot before any cost is charged, so a
+// fallen-back packet is charged once, by Input.
+func (s *Stack) inputViewInPlace(v *mem.View, clk *vtime.Clock) bool {
+	hn := v.Len()
+	if hn > viewHeaderSnapMax {
+		hn = viewHeaderSnapMax
+	}
+	hdr, err := v.Snap(0, hn)
+	if err != nil {
+		// Stale view: the frame is already gone; nothing to deliver.
+		return true
+	}
+	fi, ok := validateViewHeader(hdr, v.Len())
+	if !ok {
+		return false
+	}
+	if fi.dstIP != s.ip {
+		return false
+	}
+	udpOff := EthHeaderBytes + fi.ihl
+	spliceDev := s.spliceFor(fi.dstPort)
+	var sock *UDPSocket
+	if spliceDev == nil {
+		if sock = s.lookupUDP(fi.dstPort); sock == nil {
+			return false // port unreachable: the copy path answers it
+		}
+	}
+
+	// Mainstream: parse in place. From here on the packet is consumed
+	// exactly as the copy path would consume it — same charges, same
+	// counters, same drop points — minus the copies.
+	s.charge(clk, s.cfg.PerPacketCost)
+	s.arp.learn(fi.srcIP, fi.ethSrc)
+	if s.cfg.Counters != nil {
+		s.cfg.Counters.PacketsRx.Add(1)
+		s.cfg.Counters.BytesRx.Add(uint64(fi.totalLen - fi.ihl))
+	}
+	if fi.hasCsum {
+		sum := pseudoHeaderSum(fi.srcIP, fi.dstIP, ProtoUDP, fi.ulen)
+		sum = checksumPartial(sum, hdr[udpOff:udpOff+UDPHeaderBytes])
+		if fi.ulen > UDPHeaderBytes {
+			// The single sanctioned payload traversal: one pass, no
+			// decisions on individual bytes, 16-bit alignment preserved
+			// by splitting at the even UDP-header boundary.
+			live, rerr := v.Range(udpOff+UDPHeaderBytes, fi.ulen-UDPHeaderBytes)
+			if rerr != nil {
+				v.Release()
+				return true
+			}
+			sum = checksumPartial(sum, live)
+		}
+		if checksumFold(sum) != 0 {
+			v.Release()
+			return true
+		}
+	}
+	if spliceDev != nil {
+		s.spliceEcho(v, hdr, fi.ihl, fi.totalLen, clk, spliceDev)
+		return true
+	}
+	if s.globalRes == nil {
+		clk.Charge(vtime.CompStack, s.model.SocketOp)
+	}
+	pv, err := v.Slice(udpOff+UDPHeaderBytes, fi.ulen-UDPHeaderBytes)
+	if err != nil {
+		v.Release()
+		return true
+	}
+	sock.enqueue(ViewDatagram(pv, Addr{IP: fi.srcIP, Port: fi.srcPort}, clk.Now()), s)
+	return true
+}
+
+// spliceEcho reflects a checksum-verified UDP frame back to its sender
+// in place: the header rewrite (MAC swap, IP src/dst swap, port swap) is
+// built in trusted scratch from the frozen snapshot and applied with one
+// small CopyIn; both the IPv4 and UDP checksums are invariant under
+// 16-bit-aligned field swaps, so nothing is recomputed and the payload
+// is never read. The frame then moves RX→TX through the splice device.
+func (s *Stack) spliceEcho(v *mem.View, hdr mem.Snap, ihl, totalLen int, clk *vtime.Clock, dev SpliceDevice) {
+	udpOff := EthHeaderBytes + ihl
+	hlen := udpOff + UDPHeaderBytes
+	rew := make([]byte, hlen)
+	copy(rew, hdr[:hlen])
+	copy(rew[0:6], hdr[6:12]) // eth dst ← src
+	copy(rew[6:12], hdr[0:6]) // eth src ← dst
+	copy(rew[EthHeaderBytes+12:EthHeaderBytes+16], hdr[EthHeaderBytes+16:EthHeaderBytes+20])
+	copy(rew[EthHeaderBytes+16:EthHeaderBytes+20], hdr[EthHeaderBytes+12:EthHeaderBytes+16])
+	copy(rew[udpOff:udpOff+2], hdr[udpOff+2:udpOff+4])
+	copy(rew[udpOff+2:udpOff+4], hdr[udpOff:udpOff+2])
+	if _, err := v.CopyIn(0, rew); err != nil {
+		v.Release()
+		return
+	}
+	clk.Charge(vtime.CompCopy, vtime.Bytes(s.model.BoundaryCopyPerByte, len(rew)))
+	frameLen := uint32(EthHeaderBytes + totalLen)
+	if err := dev.SpliceFrame(v, frameLen, clk); err != nil {
+		// TX saturated (or frame not spliceable): degrade to one copied
+		// send of the already-rewritten frame. frameLen is within the
+		// certified view, so the CopyOut either fills frame or fails
+		// stale.
+		frame := make([]byte, frameLen)
+		_, cerr := v.CopyOut(frame, 0)
+		v.Release()
+		if cerr != nil {
+			return
+		}
+		clk.Charge(vtime.CompCopy, vtime.Bytes(s.model.BoundaryCopyPerByte, len(frame)))
+		if _, serr := s.dev.SendFrame(frame, clk); serr != nil {
+			return
+		}
+	}
+	if s.cfg.Counters != nil {
+		s.cfg.Counters.PacketsTx.Add(1)
+	}
+}

@@ -1,0 +1,333 @@
+package netstack
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"rakis/internal/mem"
+	"rakis/internal/umem"
+	"rakis/internal/vtime"
+)
+
+// The adversarial harness for the certify-in-place RX path: a hostile
+// host scribbles UMem frames around and between the enclave's certified
+// reads, and the parse must stay deterministic — stale-but-consistent
+// delivery or outright refusal, never a header parsed from two different
+// byte generations.
+
+// capLink is a LinkDevice that captures transmitted frames.
+type capLink struct {
+	mu     sync.Mutex
+	frames [][]byte
+}
+
+func (l *capLink) SendFrame(data []byte, clk *vtime.Clock) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.frames = append(l.frames, append([]byte(nil), data...))
+	return clk.Now(), nil
+}
+func (l *capLink) MAC() [6]byte { return [6]byte{2, 0, 0, 0, 0, 9} }
+func (l *capLink) MTU() int     { return 1500 }
+
+// viewHarness is one stack wired over a UMem whose frames can be minted
+// into certified views and scribbled from the host role.
+type viewHarness struct {
+	sp    *mem.Space
+	u     *umem.UMem
+	stack *Stack
+	link  *capLink
+	ctrs  *vtime.Counters
+}
+
+var harnessIP = IP4{10, 9, 9, 9}
+
+func newViewHarness(t testing.TB) *viewHarness {
+	t.Helper()
+	sp := mem.NewSpace(1<<20, 1<<22)
+	base, err := sp.Alloc(mem.Untrusted, 16*2048, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrs := &vtime.Counters{}
+	u, err := umem.New(umem.Config{Space: sp, Base: base, FrameSize: 2048, FrameCount: 16, Counters: ctrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := &capLink{}
+	stack, err := New(Config{Name: "enclave", Dev: link, IP: harnessIP, Counters: ctrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stack.Close)
+	return &viewHarness{sp: sp, u: u, stack: stack, link: link, ctrs: ctrs}
+}
+
+// mintView writes frame into a fresh UMem frame and certifies a view
+// over it, exactly as the XSK RX path would after descriptor validation.
+func (h *viewHarness) mintView(t testing.TB, frame []byte) (mem.View, uint32) {
+	t.Helper()
+	idx, err := h.u.Alloc(umem.OwnerFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := h.u.FrameOffset(idx)
+	dst, err := h.sp.Bytes(mem.RoleHost, h.u.Base()+mem.Addr(off), uint64(len(frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(dst, frame)
+	vidx, gen, err := h.u.ValidateView(off, uint32(len(frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.u.MakeView(vidx, gen, off, uint32(len(frame)), h.u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, idx
+}
+
+// scribble rewrites frame bytes from the host role — the hostile write.
+func (h *viewHarness) scribble(t testing.TB, idx uint32, off int, b []byte) {
+	t.Helper()
+	raw, err := h.sp.Bytes(mem.RoleHost, h.u.FrameAddr(idx)+mem.Addr(off), uint64(len(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(raw, b)
+}
+
+// buildUDPFrame assembles a checksummed Ethernet/IPv4/UDP frame.
+func buildUDPFrame(src, dst IP4, sport, dport uint16, payload []byte) []byte {
+	dgram := make([]byte, UDPHeaderBytes+len(payload))
+	put16(dgram[0:2], sport)
+	put16(dgram[2:4], dport)
+	put16(dgram[4:6], uint16(len(dgram)))
+	copy(dgram[UDPHeaderBytes:], payload)
+	sum := pseudoHeaderSum(src, dst, ProtoUDP, len(dgram))
+	ck := checksumFold(checksumPartial(sum, dgram))
+	if ck == 0 {
+		ck = 0xFFFF
+	}
+	put16(dgram[6:8], ck)
+	pkt := MarshalIPv4(IPv4Header{TTL: 64, Proto: ProtoUDP, Src: src, Dst: dst}, dgram)
+	return MarshalEth(EthHeader{Dst: [6]byte{2, 0, 0, 0, 0, 9}, Src: [6]byte{2, 0, 0, 0, 0, 1}, Type: EtherTypeIPv4}, pkt)
+}
+
+var peerIP = IP4{10, 0, 0, 1}
+
+// TestInputViewDeliversInPlace: a mainstream frame arrives as a view,
+// stays a view through the socket queue, and pays its single copy at the
+// app boundary; the frame returns to the pool afterwards.
+func TestInputViewDeliversInPlace(t *testing.T) {
+	h := newViewHarness(t)
+	sock, err := h.stack.UDPBind(4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("certify in place")
+	v, idx := h.mintView(t, buildUDPFrame(peerIP, harnessIP, 12345, 4242, payload))
+	var clk vtime.Clock
+	h.stack.InputView(v, &clk)
+	d, err := sock.RecvFrom(&clk, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsView() {
+		t.Fatal("datagram should still be view-backed at the socket queue")
+	}
+	if got := d.Bytes(); !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q", got)
+	}
+	if h.u.Owner(idx) != umem.OwnerUser {
+		t.Fatalf("frame owner = %v after consumption, want user", h.u.Owner(idx))
+	}
+	if h.u.FreeFrames() != int(h.u.FrameCount()) {
+		t.Fatalf("free frames = %d, want %d", h.u.FreeFrames(), h.u.FrameCount())
+	}
+	if d.Src.IP != peerIP || d.Src.Port != 12345 {
+		t.Fatalf("src = %v", d.Src)
+	}
+}
+
+// TestInputViewFallbackMatchesCopyPath: non-mainstream shapes (here IP
+// fragments, which need reassembly) fall back to one boundary copy plus
+// the classic Input path and behave exactly like a copied delivery.
+func TestInputViewFallbackMatchesCopyPath(t *testing.T) {
+	h := newViewHarness(t)
+	sock, err := h.stack.UDPBind(4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 2000) // forces fragmentation at the sender
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	dgram := make([]byte, UDPHeaderBytes+len(payload))
+	put16(dgram[0:2], 12345)
+	put16(dgram[2:4], 4242)
+	put16(dgram[4:6], uint16(len(dgram)))
+	copy(dgram[UDPHeaderBytes:], payload)
+	h9 := IPv4Header{TTL: 64, Proto: ProtoUDP, Src: peerIP, Dst: harnessIP, ID: 9}
+	var clk vtime.Clock
+	for _, pkt := range fragmentIPv4(h9, dgram, 1500) {
+		frame := MarshalEth(EthHeader{Dst: h.link.MAC(), Src: [6]byte{2, 0, 0, 0, 0, 1}, Type: EtherTypeIPv4}, pkt)
+		v, _ := h.mintView(t, frame)
+		h.stack.InputView(v, &clk)
+	}
+	d, err := sock.RecvFrom(&clk, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.IsView() {
+		t.Fatal("reassembled datagram cannot be view-backed")
+	}
+	if !bytes.Equal(d.Bytes(), payload) {
+		t.Fatal("reassembled payload differs")
+	}
+	if h.u.FreeFrames() != int(h.u.FrameCount()) {
+		t.Fatalf("fragment frames leaked: free = %d", h.u.FreeFrames())
+	}
+}
+
+// TestViewScribbleAfterCertifyIsDeterministic: the hostile host rewrites
+// the frame between certification and the parse. Every header decision
+// comes from one frozen snapshot, so the outcome is deterministic: the
+// scribbled checksum no longer verifies and the datagram is refused —
+// never a parse mixing pre- and post-scribble bytes.
+func TestViewScribbleAfterCertifyIsDeterministic(t *testing.T) {
+	h := newViewHarness(t)
+	sock, err := h.stack.UDPBind(4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("scribble target!")
+	v, idx := h.mintView(t, buildUDPFrame(peerIP, harnessIP, 12345, 4242, payload))
+
+	// Hostile write after certification, before the parse: flip payload
+	// bytes. The UDP checksum in the (equally frozen) header no longer
+	// matches, so the parse refuses the datagram.
+	h.scribble(t, idx, EthHeaderBytes+IPv4HeaderBytes+UDPHeaderBytes, []byte("SCRIBBLE"))
+	var clk vtime.Clock
+	h.stack.InputView(v, &clk)
+	if _, err := sock.RecvFrom(&clk, false); err != ErrWouldBlock {
+		t.Fatal("checksum-scribbled datagram was delivered")
+	}
+	if h.u.Owner(idx) != umem.OwnerUser || h.u.FreeFrames() != int(h.u.FrameCount()) {
+		t.Fatalf("refused frame not released: owner=%v free=%d", h.u.Owner(idx), h.u.FreeFrames())
+	}
+
+	// Scribble after enqueue: the view-backed datagram is queued, then
+	// the host rewrites the payload before the app copies it out. The
+	// delivery is stale-but-consistent: the certified length holds, the
+	// content is whatever single generation the one copy observed.
+	v2, idx2 := h.mintView(t, buildUDPFrame(peerIP, harnessIP, 12345, 4242, []byte("aaaaaaaa")))
+	h.stack.InputView(v2, &clk)
+	h.scribble(t, idx2, EthHeaderBytes+IPv4HeaderBytes+UDPHeaderBytes, []byte("bbbbbbbb"))
+	d, err := sock.RecvFrom(&clk, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Bytes()
+	if len(got) != 8 {
+		t.Fatalf("certified length violated: got %d bytes", len(got))
+	}
+	if !bytes.Equal(got, []byte("bbbbbbbb")) {
+		t.Fatalf("expected the post-scribble generation, got %q", got)
+	}
+}
+
+// TestNegativeControlLiveRereadDiverges is the proof that the Snap
+// discipline is load-bearing: a copy-free parser that re-read the live
+// frame for each decision — the shape this refactor forbids — observes
+// two different values for the same header field across a scribble,
+// while the frozen snapshot observes one.
+func TestNegativeControlLiveRereadDiverges(t *testing.T) {
+	h := newViewHarness(t)
+	v, idx := h.mintView(t, buildUDPFrame(peerIP, harnessIP, 12345, 4242, []byte("pinned?!")))
+
+	ulenOff := EthHeaderBytes + IPv4HeaderBytes + 4 // UDP length field
+	snap, err := v.Snap(ulenOff, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := v.Range(ulenOff, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := be16(live)
+	h.scribble(t, idx, ulenOff, []byte{0xFF, 0xFF})
+
+	// The old shape: two live reads of one field, two different values.
+	if second := be16(live); second == first {
+		t.Fatalf("scribble not visible through live alias: %d == %d", second, first)
+	}
+	// The new shape: the snapshot still holds the certified value.
+	if be16(snap) != first {
+		t.Fatalf("snapshot diverged: %d != %d", be16(snap), first)
+	}
+	v.Release()
+}
+
+// fakeSplice captures the spliced view instead of queuing it on TX.
+type fakeSplice struct {
+	n    uint32
+	view *mem.View
+}
+
+func (f *fakeSplice) SpliceFrame(v *mem.View, n uint32, clk *vtime.Clock) error {
+	f.n = n
+	f.view = v
+	return nil
+}
+
+// TestSpliceEchoRewritesInPlace: the splice path rewrites the frame
+// header in untrusted memory (MAC, IP, port swaps), hands the view to
+// the splice device with the full frame length, and never touches the
+// payload; both checksums still verify after the swap.
+func TestSpliceEchoRewritesInPlace(t *testing.T) {
+	h := newViewHarness(t)
+	fs := &fakeSplice{}
+	h.stack.SpliceUDPEcho(7, fs)
+	payload := []byte("splice me back home")
+	v, idx := h.mintView(t, buildUDPFrame(peerIP, harnessIP, 40000, 7, payload))
+	var clk vtime.Clock
+	h.stack.InputView(v, &clk)
+	if fs.view == nil {
+		t.Fatal("splice device never received the frame")
+	}
+	wantLen := EthHeaderBytes + IPv4HeaderBytes + UDPHeaderBytes + len(payload)
+	if int(fs.n) != wantLen {
+		t.Fatalf("splice length = %d, want %d", fs.n, wantLen)
+	}
+	raw, err := h.sp.Bytes(mem.RoleHost, h.u.FrameAddr(idx), uint64(wantLen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth, pkt, err := ParseEth(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eth.Src != h.link.MAC() || eth.Dst != [6]byte{2, 0, 0, 0, 0, 1} {
+		t.Fatalf("MACs not swapped: %v -> %v", eth.Src, eth.Dst)
+	}
+	iph, dgram, err := ParseIPv4(pkt)
+	if err != nil {
+		t.Fatalf("rewritten IP header does not verify: %v", err)
+	}
+	if iph.Src != harnessIP || iph.Dst != peerIP {
+		t.Fatalf("IPs not swapped: %v -> %v", iph.Src, iph.Dst)
+	}
+	if be16(dgram[0:2]) != 7 || be16(dgram[2:4]) != 40000 {
+		t.Fatalf("ports not swapped: %d -> %d", be16(dgram[0:2]), be16(dgram[2:4]))
+	}
+	sum := pseudoHeaderSum(iph.Src, iph.Dst, ProtoUDP, len(dgram))
+	if checksumFold(checksumPartial(sum, dgram)) != 0 {
+		t.Fatal("UDP checksum does not survive the 16-bit-aligned swaps")
+	}
+	if !bytes.Equal(dgram[UDPHeaderBytes:], payload) {
+		t.Fatal("payload bytes were touched")
+	}
+}

@@ -17,11 +17,13 @@
 package sm
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rakis/internal/fm"
+	"rakis/internal/mem"
 	"rakis/internal/netstack"
 	"rakis/internal/vtime"
 	"rakis/internal/xsk"
@@ -192,6 +194,32 @@ func (l *XskLink) sendBatchRetry(frames [][]byte, clk *vtime.Clock) []error {
 		}
 	}
 	return errs
+}
+
+// SpliceFrame re-queues a certified RX frame view onto the TX ring of
+// the socket that owns its UMem frame — a frame can only be spliced
+// within its own XSK, never across the round-robin set — riding out
+// transient TX fullness with the same reap-and-backoff ladder as the
+// copied send path. It implements netstack.SpliceDevice for the
+// in-place echo path.
+func (l *XskLink) SpliceFrame(v *mem.View, n uint32, clk *vtime.Clock) error {
+	sock, ok := v.Owner().(*xsk.Socket)
+	if !ok {
+		return fmt.Errorf("sm: view not backed by an XSK socket")
+	}
+	backoff := 10 * time.Microsecond
+	var err error
+	for attempt := 0; attempt <= sendRetryMax; attempt++ {
+		if err = sock.SpliceFrame(v, n, clk); err != xsk.ErrRingFull {
+			return err
+		}
+		sock.Reap(clk)
+		time.Sleep(backoff)
+		if backoff < 320*time.Microsecond {
+			backoff *= 2
+		}
+	}
+	return err
 }
 
 // MAC returns the interface hardware address.

@@ -180,4 +180,6 @@ func BindCounters(r *Registry, c *vtime.Counters) {
 	r.Reader("vtime.batch_calls", c.BatchCalls.Load)
 	r.Reader("vtime.batched_msgs", c.BatchedMsgs.Load)
 	r.Reader("vtime.wakeups_coalesced", c.WakeupsCoalesced.Load)
+	r.Reader("vtime.copy_bytes_saved", c.CopyBytesSaved.Load)
+	r.Reader("vtime.splice_frames", c.SpliceFrames.Load)
 }

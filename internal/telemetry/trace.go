@@ -48,9 +48,12 @@ const (
 	EvChaosFault
 	// EvSpanEnd closes a POSIX-call span: A = SpanKind, B = span cycles.
 	EvSpanEnd
+	// EvSpliceFrame is a zero-copy RX→TX frame splice: A = UMem offset,
+	// B = spliced length in bytes (no boundary copy occurred).
+	EvSpliceFrame
 
 	// NumKinds is the number of event kinds.
-	NumKinds = int(EvSpanEnd) + 1
+	NumKinds = int(EvSpliceFrame) + 1
 )
 
 // Ring tags for EvRingProduce/Consume/Refusal events.
@@ -66,7 +69,7 @@ const (
 var kindNames = [NumKinds]string{
 	"none", "enclave_exit", "boundary_copy", "ring_produce", "ring_consume",
 	"ring_refusal", "umem_refusal", "cqe_complete", "mm_wakeup",
-	"softirq_frame", "syscall", "chaos_fault", "span_end",
+	"softirq_frame", "syscall", "chaos_fault", "span_end", "splice_frame",
 }
 
 // String returns the event kind's name.

@@ -23,6 +23,7 @@ package umem
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"rakis/internal/mem"
 	"rakis/internal/telemetry"
@@ -41,6 +42,10 @@ const (
 	// OwnerTx means the frame was produced into xTX and is with the
 	// kernel awaiting transmission.
 	OwnerTx
+	// OwnerView means the frame was validated off xRX and is held by a
+	// live zero-copy view in the enclave; it returns to the user pool
+	// when the view is released, or moves to OwnerTx when spliced.
+	OwnerView
 )
 
 // String returns the owner name.
@@ -52,6 +57,8 @@ func (o Owner) String() string {
 		return "fill"
 	case OwnerTx:
 		return "tx"
+	case OwnerView:
+		return "view"
 	default:
 		return fmt.Sprintf("owner(%d)", uint8(o))
 	}
@@ -83,6 +90,13 @@ type UMem struct {
 	// Trusted state.
 	owner []Owner
 	free  []uint32 // stack of frame indices in the user pool
+	// gens holds one validator generation per frame. A zero-copy view
+	// minted off xRX records the generation it was certified under;
+	// releasing or splicing the frame bumps the cell, so a stale view
+	// can be detected without any shared-memory read. The cells live in
+	// trusted memory and are atomic only so stale-view probes need no
+	// allocator lock.
+	gens []atomic.Uint32
 }
 
 // Config describes a UMem area.
@@ -123,6 +137,7 @@ func New(cfg Config) (*UMem, error) {
 		trace:      cfg.Trace,
 		owner:      make([]Owner, cfg.FrameCount),
 		free:       make([]uint32, 0, cfg.FrameCount),
+		gens:       make([]atomic.Uint32, cfg.FrameCount),
 	}
 	for i := cfg.FrameCount; i > 0; i-- {
 		u.free = append(u.free, i-1)
@@ -210,8 +225,88 @@ func (u *UMem) ValidateConsumed(routine Owner, offset uint64, length uint32) (ui
 	return idx, nil
 }
 
+// ValidateView checks an (offset, length) pair consumed from xRX against
+// the same Table 2 constraints as ValidateConsumed, but instead of
+// returning the frame to the user pool it transfers ownership to a
+// zero-copy view (OwnerView) and returns the frame index together with
+// the validator generation the view is certified under. The frame stays
+// out of the free pool until ReleaseView or SpliceTX retires the view.
+//
+//rakis:validator
+func (u *UMem) ValidateView(offset uint64, length uint32) (uint32, uint32, error) {
+	if offset >= u.Size() {
+		return 0, 0, u.violation(offset, length, "offset %d beyond UMem size %d", offset, u.Size())
+	}
+	idx := uint32(offset / uint64(u.frameSize))
+	within := offset - u.FrameOffset(idx)
+	if uint64(length) > uint64(u.frameSize)-within {
+		return 0, 0, u.violation(offset, length, "range [+%d,%d) crosses frame %d boundary", offset, length, idx)
+	}
+	if u.owner[idx] != OwnerFill {
+		return 0, 0, u.violation(offset, length, "frame %d owned by %v, returned via %v routine",
+			idx, u.owner[idx], OwnerFill)
+	}
+	u.owner[idx] = OwnerView
+	return idx, u.gens[idx].Load(), nil
+}
+
+// ReleaseView retires a view and returns its frame to the user pool. The
+// generation check makes the call idempotent: a second release (or a
+// release after SpliceTX consumed the frame) reports ErrViolation-free
+// staleness and leaves the allocator untouched.
+func (u *UMem) ReleaseView(idx, gen uint32) error {
+	if idx >= u.frameCount {
+		return fmt.Errorf("%w: frame %d out of range", ErrConfig, idx)
+	}
+	cur := u.gens[idx].Load()
+	if u.owner[idx] != OwnerView || cur != gen {
+		return fmt.Errorf("%w: frame %d gen %d", mem.ErrStaleView, idx, gen)
+	}
+	u.gens[idx].Add(1)
+	u.owner[idx] = OwnerUser
+	u.free = append(u.free, idx)
+	return nil
+}
+
+// SpliceTX re-certifies a view-held frame for transmission: ownership
+// moves OwnerView→OwnerTx without the frame ever visiting the free pool,
+// and the generation bump invalidates the view so no further reads can
+// race the kernel's TX consumption. The caller queues the frame's
+// descriptor onto xTX; the completion path retires it exactly like a
+// copied send.
+func (u *UMem) SpliceTX(idx, gen uint32) error {
+	if idx >= u.frameCount {
+		return fmt.Errorf("%w: frame %d out of range", ErrConfig, idx)
+	}
+	cur := u.gens[idx].Load()
+	if u.owner[idx] != OwnerView || cur != gen {
+		return fmt.Errorf("%w: frame %d gen %d", mem.ErrStaleView, idx, gen)
+	}
+	u.gens[idx].Add(1)
+	u.owner[idx] = OwnerTx
+	return nil
+}
+
+// MakeView mints a certified view over the validated range. The (idx,
+// gen) pair must come from ValidateView; owner is the object that routes
+// the eventual release back to this allocator under its own lock
+// (typically the owning xsk.Socket, not the UMem itself, because the
+// allocator's trusted state is guarded by the socket's mutex).
+//
+//rakis:untrusted
+func (u *UMem) MakeView(idx, gen uint32, offset uint64, length uint32, owner mem.ViewOwner) (mem.View, error) {
+	b, err := u.space.Bytes(mem.RoleEnclave, u.base+mem.Addr(offset), uint64(length))
+	if err != nil {
+		return mem.View{}, err
+	}
+	return mem.NewView(b, offset, idx, gen, &u.gens[idx], owner), nil
+}
+
 // Owner returns frame idx's current trusted ownership state.
 func (u *UMem) Owner(idx uint32) Owner { return u.owner[idx] }
+
+// Gen returns frame idx's current validator generation.
+func (u *UMem) Gen(idx uint32) uint32 { return u.gens[idx].Load() }
 
 // FrameBytes returns an enclave-role view of length bytes at the given
 // UMem offset, for copying payloads across the trust boundary. The range

@@ -37,6 +37,11 @@ type Counters struct {
 	BatchCalls       atomic.Uint64
 	BatchedMsgs      atomic.Uint64
 	WakeupsCoalesced atomic.Uint64
+	// Zero-copy datapath counters: boundary-copy bytes the view/splice
+	// paths avoided, and RX frames re-queued onto TX without a payload
+	// copy (see DESIGN.md, "Zero-copy datapath").
+	CopyBytesSaved atomic.Uint64
+	SpliceFrames   atomic.Uint64
 }
 
 // Snapshot is a plain-value copy of a Counters, safe to store and print.
@@ -64,6 +69,9 @@ type Snapshot struct {
 	BatchCalls       uint64
 	BatchedMsgs      uint64
 	WakeupsCoalesced uint64
+
+	CopyBytesSaved uint64
+	SpliceFrames   uint64
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -92,6 +100,9 @@ func (c *Counters) Snapshot() Snapshot {
 		BatchCalls:       c.BatchCalls.Load(),
 		BatchedMsgs:      c.BatchedMsgs.Load(),
 		WakeupsCoalesced: c.WakeupsCoalesced.Load(),
+
+		CopyBytesSaved: c.CopyBytesSaved.Load(),
+		SpliceFrames:   c.SpliceFrames.Load(),
 	}
 }
 
@@ -121,6 +132,9 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		BatchCalls:       s.BatchCalls - prev.BatchCalls,
 		BatchedMsgs:      s.BatchedMsgs - prev.BatchedMsgs,
 		WakeupsCoalesced: s.WakeupsCoalesced - prev.WakeupsCoalesced,
+
+		CopyBytesSaved: s.CopyBytesSaved - prev.CopyBytesSaved,
+		SpliceFrames:   s.SpliceFrames - prev.SpliceFrames,
 	}
 }
 
@@ -129,11 +143,13 @@ func (s Snapshot) String() string {
 	return fmt.Sprintf(
 		"exits=%d syscalls=%d ringviol=%d umemviol=%d cqeviol=%d rx=%d tx=%d drop=%d uring=%d wake=%d"+
 			" faults=%d wretry=%d sretry=%d fbexit=%d resync=%d pollcancel=%d"+
-			" batch=%d batchmsg=%d wcoalesce=%d",
+			" batch=%d batchmsg=%d wcoalesce=%d"+
+			" zcsaved=%d splice=%d",
 		s.EnclaveExits, s.Syscalls, s.RingViolations, s.UMemViolations,
 		s.CQEViolations, s.PacketsRx, s.PacketsTx, s.PacketsDropped,
 		s.IoUringOps, s.Wakeups,
 		s.FaultsInjected, s.WakeupRetries, s.SubmitRetries,
 		s.FallbackExits, s.RingResyncs, s.PollCancels,
-		s.BatchCalls, s.BatchedMsgs, s.WakeupsCoalesced)
+		s.BatchCalls, s.BatchedMsgs, s.WakeupsCoalesced,
+		s.CopyBytesSaved, s.SpliceFrames)
 }

@@ -1,0 +1,147 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"rakis/internal/sys"
+)
+
+// ProxyParams configures one UDP proxy/echo service run. The service
+// reflects every datagram back to its sender; under RAKIS with the
+// zero-copy datapath the reflection happens inside the enclave stack by
+// re-queuing the RX frame on TX (a splice — no payload copy, no socket,
+// no application thread), and everywhere else a plain socket echo loop
+// serves the port.
+type ProxyParams struct {
+	// PacketSize is the UDP payload size in bytes.
+	PacketSize int
+	// Count is the total number of datagrams to reflect.
+	Count int
+	// Window is how many datagrams the client keeps in flight (default
+	// 32); it bounds ring occupancy on the server.
+	Window int
+	// Port is the service port (default 9099).
+	Port uint16
+	// ForceSocket skips the splice registration even when the
+	// environment offers it, pinning the run to the socket echo loop.
+	ForceSocket bool
+}
+
+// ProxyResult is one measurement.
+type ProxyResult struct {
+	// Echoed is how many datagrams made the full round trip.
+	Echoed int
+	// Bytes is the echoed payload volume.
+	Bytes uint64
+	// Spliced reports whether the zero-copy in-stack path served the
+	// run (false: socket echo loop).
+	Spliced bool
+	// Cycles is the client's virtual span over the run (the client is
+	// uncosted; the wire paces it).
+	Cycles uint64
+	// Payloads, when record was set, holds every echoed payload in
+	// arrival order — the byte stream the differential tests compare.
+	Payloads [][]byte
+}
+
+// UDPProxy runs the echo/forward service in the environment under test
+// and drives it with a windowed native client. When the environment can
+// splice (RAKIS, zero-copy RX) the service is the in-stack reflector and
+// no server thread exists; otherwise a scalar socket echo loop serves
+// the port, so the workload runs unmodified on all five environments.
+func UDPProxy(env Env, p ProxyParams, record bool) (ProxyResult, error) {
+	if p.Port == 0 {
+		p.Port = 9099
+	}
+	if p.PacketSize <= 0 {
+		p.PacketSize = 1024
+	}
+	if p.Count <= 0 {
+		p.Count = 512
+	}
+	if p.Window <= 0 {
+		p.Window = 32
+	}
+	res := ProxyResult{}
+	srvErr := make(chan error, 1)
+	if !p.ForceSocket && env.SpliceUDPEcho != nil && env.SpliceUDPEcho(p.Port, true) {
+		res.Spliced = true
+		defer env.SpliceUDPEcho(p.Port, false)
+		srvErr <- nil
+	} else {
+		srv, err := env.ServerThread()
+		if err != nil {
+			return res, err
+		}
+		sfd, err := srv.Socket(sys.UDP)
+		if err != nil {
+			return res, err
+		}
+		if err := srv.Bind(sfd, p.Port); err != nil {
+			return res, err
+		}
+		go func() {
+			buf := make([]byte, p.PacketSize+64)
+			for done := 0; done < p.Count; done++ {
+				n, src, err := srv.RecvFrom(sfd, buf, true)
+				if err != nil {
+					srvErr <- err
+					return
+				}
+				if _, err := srv.SendTo(sfd, buf[:n], src); err != nil {
+					srvErr <- err
+					return
+				}
+			}
+			srvErr <- nil
+		}()
+	}
+
+	cli := env.ClientThread()
+	cfd, err := cli.Socket(sys.UDP)
+	if err != nil {
+		return res, err
+	}
+	dst := sys.Addr{IP: env.ServerIP, Port: p.Port}
+	buf := make([]byte, p.PacketSize+64)
+	clk := cli.Clock()
+	start := clk.Now()
+	seq := uint32(0)
+	for sent := 0; sent < p.Count; {
+		w := p.Window
+		if rem := p.Count - sent; w > rem {
+			w = rem
+		}
+		for i := 0; i < w; i++ {
+			payload := make([]byte, p.PacketSize)
+			putU32(payload, seq)
+			seq++
+			if _, err := cli.SendTo(cfd, payload, dst); err != nil {
+				return res, err
+			}
+		}
+		sent += w
+		for i := 0; i < w; i++ {
+			n, _, ok := pollRecv(cli, cfd, buf, echoTimeout)
+			if !ok {
+				return res, fmt.Errorf("udpproxy: echo %d/%d never returned", res.Echoed+1, p.Count)
+			}
+			if record {
+				res.Payloads = append(res.Payloads, append([]byte(nil), buf[:n]...))
+			}
+			res.Echoed++
+			res.Bytes += uint64(n)
+		}
+	}
+	select {
+	case err := <-srvErr:
+		if err != nil {
+			return res, err
+		}
+	case <-time.After(echoTimeout):
+		return res, fmt.Errorf("udpproxy: server never finished")
+	}
+	res.Cycles = clk.Now() - start
+	return res, nil
+}

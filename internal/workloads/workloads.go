@@ -58,6 +58,10 @@ type Env struct {
 	KernelIP sys.IP4
 	// Model converts cycles to seconds.
 	Model *vtime.Model
+	// SpliceUDPEcho, when non-nil, can register a zero-copy in-stack UDP
+	// echo on a port (RAKIS environments only). It reports whether the
+	// splice is active; environments without the capability leave it nil.
+	SpliceUDPEcho func(port uint16, enable bool) bool
 }
 
 // TCPServerIP returns the address TCP servers are reachable at: RAKIS

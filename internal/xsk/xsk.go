@@ -343,6 +343,166 @@ func (s *Socket) Send(frame []byte, clk *vtime.Clock) error {
 	return nil
 }
 
+// RecvView consumes one packet from xRX as a certified zero-copy view:
+// the descriptor is frozen (SnapSlot/SnapDesc single-fetch discipline),
+// validated against the UMem ownership map, and the frame is handed to
+// the caller in place — no boundary copy. The frame stays owned by the
+// view (umem.OwnerView) until the consumer calls View.Release or splices
+// it onto TX; until then the bytes remain host-writable shared memory,
+// so every header decision downstream must go through View.Snap.
+// It returns (zero View, false) when the ring is empty.
+func (s *Socket) RecvView(clk *vtime.Clock) (mem.View, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		avail, _ := s.RX.Available()
+		if avail == 0 {
+			return mem.View{}, false
+		}
+		clk.Sync(s.RX.SlotStamp(0))
+		clk.Charge(vtime.CompRing, s.model.RingOp)
+		clk.Charge(vtime.CompValidate, s.model.UMemOp)
+		// Single fetch: freeze the descriptor, validate the frozen
+		// fields, mint the view over the frozen fields. The host can
+		// still scribble the payload — that is the view's contract —
+		// but the certified bounds cannot move.
+		snap, err := s.RX.SnapSlot(0)
+		if err != nil {
+			s.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingXskRX, 1)
+			s.RX.Release(1)
+			continue
+		}
+		d := SnapDesc(snap)
+		idx, gen, err := s.UMem.ValidateView(d.Addr, d.Len)
+		if err != nil {
+			// Table 2 fail action: refuse the frame, advance the consumer.
+			s.RX.Release(1)
+			continue
+		}
+		v, err := s.UMem.MakeView(idx, gen, d.Addr, d.Len, s)
+		if err != nil {
+			s.UMem.ReleaseView(idx, gen)
+			s.RX.Release(1)
+			continue
+		}
+		s.RX.Release(1)
+		s.trace.Emit(telemetry.EvRingConsume, clk.Now(), telemetry.RingXskRX, 1)
+		if s.counters != nil {
+			s.counters.PacketsRx.Add(1)
+			s.counters.BytesRx.Add(uint64(d.Len))
+			s.counters.CopyBytesSaved.Add(uint64(d.Len))
+		}
+		return v, true
+	}
+}
+
+// RecvViews consumes up to max packets from xRX as certified zero-copy
+// views: the batched analogue of RecvView, with RecvBatch's ring
+// discipline (one lock, one available read, per-entry freeze+validate,
+// one consumer advance) but no boundary copies. Refused entries are
+// skipped; nil means the ring is empty.
+func (s *Socket) RecvViews(clk *vtime.Clock, max int) []mem.View {
+	if max <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	avail, _ := s.RX.Available()
+	if avail == 0 {
+		return nil
+	}
+	n := avail
+	if uint32(max) < n {
+		n = uint32(max)
+	}
+	clk.Charge(vtime.CompRing, s.model.RingOp)
+	clk.Charge(vtime.CompValidate, uint64(n)*s.model.UMemOp)
+	var out []mem.View
+	totalBytes := 0
+	for i := uint32(0); i < n; i++ {
+		clk.Sync(s.RX.SlotStamp(i))
+		// Single fetch per descriptor, as in RecvView.
+		snap, err := s.RX.SnapSlot(i)
+		if err != nil {
+			s.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingXskRX, 1)
+			continue
+		}
+		d := SnapDesc(snap)
+		idx, gen, err := s.UMem.ValidateView(d.Addr, d.Len)
+		if err != nil {
+			continue
+		}
+		v, err := s.UMem.MakeView(idx, gen, d.Addr, d.Len, s)
+		if err != nil {
+			s.UMem.ReleaseView(idx, gen)
+			continue
+		}
+		out = append(out, v)
+		totalBytes += int(d.Len)
+	}
+	s.RX.Release(n)
+	s.trace.Emit(telemetry.EvRingConsume, clk.Now(), telemetry.RingXskRX, uint64(n))
+	if s.counters != nil {
+		if len(out) > 0 {
+			s.counters.PacketsRx.Add(uint64(len(out)))
+			s.counters.BytesRx.Add(uint64(totalBytes))
+			s.counters.CopyBytesSaved.Add(uint64(totalBytes))
+		}
+		s.counters.BatchCalls.Add(1)
+		s.counters.BatchedMsgs.Add(uint64(len(out)))
+	}
+	return out
+}
+
+// ReleaseView returns a view-held frame to the UMem user pool. It is the
+// mem.ViewOwner implementation the socket hands to MakeView: releases
+// route through the socket lock because the allocator's trusted state is
+// guarded by it.
+func (s *Socket) ReleaseView(idx, gen uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.UMem.ReleaseView(idx, gen)
+}
+
+// SpliceFrame re-certifies a view-held RX frame for transmission and
+// produces it on xTX without any payload copy: ownership moves
+// OwnerView→OwnerTx under the validator, the view's generation is burned
+// so no stale read can race the kernel, and the frame's own descriptor
+// (offset unchanged, length n) is queued. The completion path reclaims
+// the frame exactly like a copied send.
+func (s *Socket) SpliceFrame(v *mem.View, n uint32, clk *vtime.Clock) error {
+	if n > s.UMem.FrameSize() {
+		return ErrTooBig
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked(clk) // opportunistically reclaim completed TX frames
+	free, _ := s.TX.Free()
+	if free == 0 {
+		return ErrRingFull
+	}
+	if err := s.UMem.SpliceTX(v.Frame(), v.Gen()); err != nil {
+		return err
+	}
+	clk.Charge(vtime.CompRing, s.model.RingOp)
+	clk.Charge(vtime.CompValidate, s.model.UMemOp)
+	slot, err := s.TX.SlotBytes(0)
+	if err != nil {
+		return err
+	}
+	PutDesc(slot, Desc{Addr: v.Offset(), Len: n})
+	s.TX.Submit(1, clk.Now())
+	s.trace.Emit(telemetry.EvSpliceFrame, clk.Now(), v.Offset(), uint64(n))
+	s.trace.Emit(telemetry.EvRingProduce, clk.Now(), telemetry.RingXskTX, 1)
+	if s.counters != nil {
+		s.counters.PacketsTx.Add(1)
+		s.counters.BytesTx.Add(uint64(n))
+		s.counters.SpliceFrames.Add(1)
+		s.counters.CopyBytesSaved.Add(uint64(n))
+	}
+	return nil
+}
+
 // SendBatch copies up to len(frames) frames into fresh UMem frames and
 // produces them on xTX as one run: one lock acquisition, one certified
 // read of the ring's free space, one producer-index publish. The Monitor

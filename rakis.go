@@ -70,6 +70,12 @@ type Config struct {
 	Counters *vtime.Counters
 	// GlobalLockStack enables the global-lock netstack ablation.
 	GlobalLockStack bool
+	// CopyRX selects the legacy copying RX path: every received frame is
+	// copied out of the UMem before the stack sees it. Off (the default)
+	// the FM pumps hand the stack certified in-place frame views and the
+	// single explicit copy happens at the app-payload boundary. This is
+	// the zero-copy ablation knob.
+	CopyRX bool
 	// Chaos, when non-nil, arms hostile-host fault injection: Boot hands
 	// the injector to the kernel and the Monitor Module and starts its
 	// background scribbler. The trusted side gets no hint that chaos is
@@ -207,6 +213,7 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 
 	for i, sock := range rt.socks {
 		pump := fm.NewXskPump(sock, stack, cfg.Model)
+		pump.SetCopyRX(cfg.CopyRX)
 		cfg.Telemetry.NewProbe(fmt.Sprintf("fm.xsk%d", i), pump.Clock())
 		rt.pumps = append(rt.pumps, pump)
 	}
@@ -388,6 +395,21 @@ func (rt *Runtime) Close() {
 	}
 	rt.mon.Close()
 	rt.Stack.Close()
+}
+
+// SpliceUDPEcho registers a zero-copy in-place UDP echo on port: frames
+// addressed to it are reflected RX→TX through the owning XSK without a
+// payload copy. With CopyRX set the stack never sees views, so the
+// registration is refused and a socket-level echo must serve the port.
+// Passing enable=false unregisters. Returns whether the splice is
+// active.
+func (rt *Runtime) SpliceUDPEcho(port uint16, enable bool) bool {
+	if enable && !rt.cfg.CopyRX {
+		rt.Stack.SpliceUDPEcho(port, rt.link)
+		return true
+	}
+	rt.Stack.SpliceUDPEcho(port, nil)
+	return false
 }
 
 // Monitor exposes the Monitor Module (for tests and diagnostics).

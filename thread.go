@@ -85,6 +85,23 @@ func (t *Thread) hook() *vtime.Clock {
 	return clk
 }
 
+// recvCopy moves one received payload into the app buffer — the single
+// explicit copy of the RX path. A view-backed datagram crosses the trust
+// boundary right here (boundary-copy rate, traced, frame released); a
+// copy-backed datagram is already trusted and pays only the user-space
+// copy rate.
+func (t *Thread) recvCopy(d *netstack.Datagram, p []byte, clk *vtime.Clock) int {
+	isView := d.IsView()
+	n := d.CopyOut(p)
+	if isView {
+		clk.Charge(vtime.CompCopy, vtime.Bytes(t.rt.cfg.Model.BoundaryCopyPerByte, n))
+		t.probe.TraceBuf().Emit(telemetry.EvBoundaryCopy, clk.Now(), uint64(n), 1)
+	} else {
+		clk.Charge(vtime.CompCopy, vtime.Bytes(t.rt.cfg.Model.UserCopyPerByte, n))
+	}
+	return n
+}
+
 // --- sockets ----------------------------------------------------------------
 
 // Socket creates a socket: UDP sockets live in the enclave stack; TCP
@@ -207,8 +224,7 @@ func (t *Thread) RecvFrom(fd int, p []byte, block bool) (int, sys.Addr, error) {
 	if err != nil {
 		return 0, sys.Addr{}, err
 	}
-	n := copy(p, d.Payload)
-	clk.Advance(vtime.Bytes(t.rt.cfg.Model.UserCopyPerByte, n))
+	n := t.recvCopy(&d, p, clk)
 	return n, d.Src, nil
 }
 
@@ -297,8 +313,7 @@ func (t *Thread) RecvFromN(fd int, msgs []sys.Mmsg, block bool) (int, error) {
 			firstErr = err
 			break
 		}
-		n := copy(msgs[i].Buf, d.Payload)
-		clk.Advance(vtime.Bytes(t.rt.cfg.Model.UserCopyPerByte, n))
+		n := t.recvCopy(&d, msgs[i].Buf, clk)
 		msgs[i].N = n
 		msgs[i].Addr = d.Src
 		got++
@@ -347,8 +362,7 @@ func (t *Thread) Recv(fd int, p []byte, block bool) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		n := copy(p, d.Payload)
-		clk.Advance(vtime.Bytes(t.rt.cfg.Model.UserCopyPerByte, n))
+		n := t.recvCopy(&d, p, clk)
 		return n, nil
 	}
 	if !block {

@@ -41,9 +41,18 @@
 #                        doublefetch analyzer's pass in step 2 covers
 #                        every in-place reader (see DESIGN.md,
 #                        "Zero-copy datapath")
-#  12. bench JSON      — rakis-bench -json: the Figure 2 rows plus the
-#                        batched-vs-scalar and zero-copy rows in the
-#                        stable rakis-bench/v1 layout (BENCH_figs.json)
+#  12. adaptive path   — the self-tuning runtime under -race: the tuner
+#                        convergence suite plus the adaptive smoke (the
+#                        tuner steps under load, never leaves its safety
+#                        envelope, and matches the narrow static's
+#                        exits/op floor); then the faketel chaos profile —
+#                        a hostile host steering the tuner's inputs must
+#                        not push it out of the envelope or flap the mode
+#                        (see DESIGN.md, "Self-tuning runtime")
+#  13. bench JSON      — rakis-bench -json: the Figure 2 rows plus the
+#                        batched-vs-scalar, zero-copy, and adaptive rows
+#                        in the stable rakis-bench/v1 layout
+#                        (BENCH_figs.json)
 set -eu
 cd "$(dirname "$0")"
 
@@ -89,10 +98,18 @@ if grep -rn 'rakis:singleread-ok' --include='*.go' \
 	exit 1
 fi
 
-echo "==> rakis-bench -fig 2,batch,zerocopy -json BENCH_figs.json"
-go run ./cmd/rakis-bench -fig 2,batch,zerocopy -scale 0.05 -json BENCH_figs.json > /dev/null
+echo "==> self-tuning runtime: tuner convergence + adaptive smoke (-race)"
+go test -race ./internal/tuner/
+go test -race -run 'TestAdaptiveSmoke' ./internal/experiments/
+
+echo "==> rakis-chaos -profile faketel (tuner safety under a hostile host)"
+go run ./cmd/rakis-chaos -profile faketel
+
+echo "==> rakis-bench -fig 2,batch,zerocopy,adaptive -json BENCH_figs.json"
+go run ./cmd/rakis-bench -fig 2,batch,zerocopy,adaptive -scale 0.05 -json BENCH_figs.json > /dev/null
 test -s BENCH_figs.json
 grep -q '"figure": "batch"' BENCH_figs.json
 grep -q '"figure": "zerocopy"' BENCH_figs.json
+grep -q '"figure": "adaptive"' BENCH_figs.json
 
 echo "ci: all checks passed"

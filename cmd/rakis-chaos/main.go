@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	profileFlag := flag.String("profile", "all", "profile to run (off, smoke, ring, wakeups, cqe, mmdeath, net, hostile, all)")
+	profileFlag := flag.String("profile", "all", "profile to run (off, smoke, ring, wakeups, cqe, mmdeath, net, faketel, hostile, all)")
 	workloadFlag := flag.String("workload", "all", "workload to run ("+strings.Join(harness.Workloads(), ", ")+", all)")
 	seed := flag.Uint64("seed", 0x7261_6b69_73, "base seed; per-cell streams are derived from it")
 	flag.Parse()

@@ -6,7 +6,7 @@
 // (internal/tm) model-checks those checks. Nothing, however, stops a
 // future change from reading a producer index and using it as a copy
 // length without validation. This package closes that gap at compile
-// time with five analyzers, in the style of golang.org/x/tools/go/
+// time with six analyzers, in the style of golang.org/x/tools/go/
 // analysis (re-implemented on the standard library only, since this
 // module is dependency-free):
 //
@@ -25,6 +25,10 @@
 //     mem.RoleEnclave, never unsafe; and exported entry points that
 //     ingest untrusted setup data (mem.Addr or Setup-typed parameters)
 //     must perform a boundary-validation call.
+//   - tunerinput: the self-tuning control loop (internal/tuner) may
+//     consume only trusted-side telemetry — its imports are allowlisted
+//     to the standard library plus rakis/internal/telemetry, so no host
+//     scribble can ever become a tuner input.
 //   - annotations: the //rakis: directive surface itself must be
 //     well-formed — known directives only, valid role values, reasons on
 //     every escape hatch, function directives placed where the loader
@@ -94,7 +98,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full trustlint suite.
 func All() []*Analyzer {
-	return []*Analyzer{Taintflow, Doublefetch, Rolecheck, Boundarycopy, Annotations}
+	return []*Analyzer{Taintflow, Doublefetch, Rolecheck, Boundarycopy, Annotations, Tunerinput}
 }
 
 // Run applies the analyzers to the packages and returns the findings

@@ -1,0 +1,30 @@
+// Package a exercises the tunerinput analyzer with a control loop that
+// tries to widen its input surface past the trusted telemetry registry:
+// reaching into shared memory or unsafe would let a hostile host steer
+// the knobs.
+package a
+
+import (
+	"sync"   // ok: standard library
+	"unsafe" // want `tuner package must not import unsafe`
+
+	"rakis/internal/mem"       // want `tuner package must not import rakis/internal/mem`
+	"rakis/internal/telemetry" // ok: the sanctioned trusted-side input
+)
+
+// hostSteeredInput sketches the attack the allowlist forbids: deciding a
+// knob from a word the host can scribble.
+func hostSteeredInput(sp *mem.Space, a mem.Addr) uint32 {
+	v, _ := sp.U32(mem.RoleEnclave, a)
+	return v
+}
+
+// trustedInput is the legitimate shape: counters accumulated inside the
+// enclave.
+func trustedInput(r *telemetry.Registry) (uint64, bool) {
+	return r.Value("fm.batch.ops")
+}
+
+var mu sync.Mutex
+
+var _ = unsafe.Sizeof(mu)

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"path"
+	"strconv"
+	"strings"
+)
+
+// Tunerinput keeps the self-tuning control loop's input surface trusted:
+// the tuner decides batch widths, poll modes, and ring geometry, so a
+// hostile host that could feed it fabricated signals would steer those
+// knobs (park latency behind giant gather windows, burn cycles in
+// busy-poll, shrink rings until traffic drops). The defense is that the
+// tuner consumes only trusted-side telemetry counters — values
+// accumulated inside the enclave — and this pass makes that structural:
+// a tuner package may import the standard library and
+// rakis/internal/telemetry, nothing else. In particular it can never
+// import mem/xsk/hostos and read a shared untrusted word, and it can
+// never use unsafe to sidestep the accessors.
+var Tunerinput = &Analyzer{
+	Name: "tunerinput",
+	Doc:  "tuner packages may consume only trusted-side telemetry (import allowlist)",
+	Run:  runTunerinput,
+}
+
+func runTunerinput(pass *Pass) {
+	if !strings.Contains(path.Base(pass.Pkg.ImportPath), "tuner") {
+		return
+	}
+	// Imports are read from the files' ASTs, not the go-list metadata:
+	// fixture packages are loaded directly from a directory and carry no
+	// list entry, and the AST is authoritative either way.
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if tunerImportAllowed(p) {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "tuner package must not import %s: tuner inputs are trusted-side telemetry only", p)
+		}
+	}
+}
+
+// tunerImportAllowed permits the standard library (minus unsafe) and the
+// telemetry registry the tuner is defined to consume.
+func tunerImportAllowed(importPath string) bool {
+	if importPath == "unsafe" {
+		return false
+	}
+	if !strings.HasPrefix(importPath, "rakis/") {
+		return true // standard library
+	}
+	return importPath == "rakis/internal/telemetry"
+}

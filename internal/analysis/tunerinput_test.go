@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"path"
+	"strings"
+	"testing"
+)
+
+func TestTunerinputFixture(t *testing.T) {
+	RunFixture(t, Tunerinput, "tunerinput")
+}
+
+func TestTunerinputCleanOnModule(t *testing.T) {
+	assertCleanModule(t, Tunerinput)
+}
+
+// The real tuner package must be in the analyzer's scope — otherwise the
+// clean-module assertion above is vacuous.
+func TestTunerPackageCovered(t *testing.T) {
+	world, err := sharedWorld()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	pkg := world.Packages["rakis/internal/tuner"]
+	if pkg == nil {
+		t.Fatal("package rakis/internal/tuner not loaded")
+	}
+	if !strings.Contains(path.Base(pkg.ImportPath), "tuner") {
+		t.Fatalf("tuner package %s escapes the tunerinput scope match", pkg.ImportPath)
+	}
+}

@@ -149,6 +149,12 @@ type Profile struct {
 	// availability attack (Table 2 promises safety, not liveness), so
 	// only termination-only profiles may enable it.
 	ScribbleBeyondOwner bool
+	// Adaptive arms the self-tuning runtime in this profile's worlds.
+	// The property under test: a hostile host steering the tuner's
+	// load-following inputs (scribbled rings, dropped wakeups) can waste
+	// cycles but can never push an applied decision outside the safety
+	// envelope or make the wakeup mode flap inside its dwell guard.
+	Adaptive bool
 	// RequireCompletion says whether the chaos suite must see every
 	// workload complete successfully under this profile, or merely
 	// terminate cleanly (no panic, no breach, no hang).

@@ -19,6 +19,7 @@ import (
 	"rakis/internal/chaos"
 	"rakis/internal/experiments"
 	"rakis/internal/telemetry"
+	"rakis/internal/tuner"
 	"rakis/internal/vtime"
 	"rakis/internal/workloads"
 )
@@ -57,6 +58,16 @@ type Result struct {
 	// Granted is the trusted-memory tripwire: host-role accesses to the
 	// trusted segment that were allowed through. Must be zero.
 	Granted uint64
+	// Adaptive records whether the cell ran with the self-tuning runtime
+	// armed (Profile.Adaptive).
+	Adaptive bool
+	// Tuner is the control loop's own accounting for adaptive cells: the
+	// suite asserts EnvelopeViolations stayed zero and the mode never
+	// flapped inside the dwell guard, whatever the injector did.
+	Tuner tuner.Stats
+	// TunerGuard is the dwell guard the cell's tuner ran with, for the
+	// flap check.
+	TunerGuard uint64
 	// TraceTail is the final trace window of a failed cell — the last
 	// events before the panic or error, in virtual-time order — so a
 	// failure report carries the reproducing seed AND what the run was
@@ -69,6 +80,14 @@ func (r Result) Failed(requireCompletion bool) bool {
 	if r.PanicVal != nil || r.Granted != 0 {
 		return true
 	}
+	if r.Adaptive {
+		if r.Tuner.EnvelopeViolations != 0 {
+			return true
+		}
+		if r.Tuner.ModeSwitches > 1 && r.Tuner.MinSwitchGap < r.TunerGuard {
+			return true
+		}
+	}
 	return requireCompletion && r.Err != nil
 }
 
@@ -80,6 +99,10 @@ func (r Result) String() string {
 		status = fmt.Sprintf("PANIC: %v", r.PanicVal)
 	case r.Granted != 0:
 		status = fmt.Sprintf("BREACH: %d trusted accesses granted to host role", r.Granted)
+	case r.Adaptive && r.Tuner.EnvelopeViolations != 0:
+		status = fmt.Sprintf("STEERED: %d tuner decisions left the safety envelope", r.Tuner.EnvelopeViolations)
+	case r.Adaptive && r.Tuner.ModeSwitches > 1 && r.Tuner.MinSwitchGap < r.TunerGuard:
+		status = fmt.Sprintf("FLAP: mode switches %d steps apart, dwell guard %d", r.Tuner.MinSwitchGap, r.TunerGuard)
 	case r.Err != nil:
 		status = fmt.Sprintf("error: %v", r.Err)
 	}
@@ -115,14 +138,21 @@ func RunCell(p chaos.Profile, workload string, seed uint64) (res Result) {
 		Env:       experiments.RakisSGX,
 		Chaos:     inj,
 		Telemetry: sink,
+		Adaptive:  p.Adaptive,
 	})
 	if err != nil {
 		res.Err = fmt.Errorf("world boot: %w", err)
 		tail()
 		return res
 	}
+	res.Adaptive = p.Adaptive
 	res.Err = func() error {
-		defer w.Close()
+		defer func() {
+			// Tuner accounting is read before teardown stops the loop.
+			res.Tuner = w.Rakis().TunerStats()
+			res.TunerGuard = uint64(tuner.DefaultParams().Guard)
+			w.Close()
+		}()
 		return RunWorkload(w, workload)
 	}()
 	res.Counters = w.Counters.Snapshot()

@@ -46,6 +46,7 @@ func TestChaosMatrix(t *testing.T) {
 		t.Run(p.Name, func(t *testing.T) {
 			t.Parallel()
 			var agg map[string]uint64
+			var tunerSteps uint64
 			ran := 0
 			for _, wl := range harness.Workloads() {
 				if skip, why := harness.Excluded(p, wl); skip {
@@ -65,6 +66,7 @@ func TestChaosMatrix(t *testing.T) {
 					t.Errorf("%s/%s: host role breached trusted memory %d times",
 						p.Name, wl, res.Granted)
 				}
+				tunerSteps += res.Tuner.Steps
 				ran++
 				if agg == nil {
 					agg = make(map[string]uint64)
@@ -89,6 +91,11 @@ func TestChaosMatrix(t *testing.T) {
 					t.Errorf("profile %s: expected counter %s stayed zero across %d cells (seed %#x)",
 						p.Name, name, ran, seed)
 				}
+			}
+			// An adaptive profile whose tuner never took a loaded step
+			// proves nothing about envelope safety under attack.
+			if p.Adaptive && tunerSteps == 0 {
+				t.Errorf("profile %s: tuner took no loaded steps across %d cells", p.Name, ran)
 			}
 		})
 	}

@@ -105,6 +105,29 @@ func ProfileList() []Profile {
 			ExpectCounters:    []string{"FaultsInjected"},
 		},
 		{
+			// faketel: the host attacks the self-tuning runtime's inputs.
+			// It cannot write the telemetry registry (trusted memory, and
+			// the tunerinput analyzer keeps untrusted reads out of the
+			// tuner), so the best it can do is steer what the trusted side
+			// observes: scribbled ring words distort certified depth reads,
+			// dropped and delayed wakeups distort the load the pumps see.
+			// The suite asserts the tuner still never leaves its safety
+			// envelope and never flaps inside its dwell guard.
+			Name: "faketel",
+			Prob: map[Site]float64{
+				SiteRingCtrl:  0.8,
+				SiteRingFlags: 0.6,
+				SiteRingData:  0.4,
+				SiteWakeDrop:  0.3,
+				SiteWakeDelay: 0.2,
+			},
+			ScribbleEvery:     100 * time.Microsecond,
+			DelayMax:          time.Millisecond,
+			Adaptive:          true,
+			RequireCompletion: true,
+			ExpectCounters:    []string{"FaultsInjected", "RingViolations"},
+		},
+		{
 			Name: "hostile",
 			Prob: map[Site]float64{
 				SiteRingCtrl:     0.8,

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rakis/internal/netsim"
+	"rakis/internal/telemetry"
+	"rakis/internal/workloads"
+)
+
+// This file is the adaptive figure: the shaped-traffic echo workload on
+// RAKIS-SGX across a grid of static configurations and the self-tuning
+// runtime. Each static configuration is right for one phase of the load
+// and wrong for another — wide batches park datagrams at trickle, busy
+// polling burns the inter-arrival gaps, narrow batches and need-wakeup
+// signalling tax the burst. The tuner moves all three knobs with the
+// load, so the adaptive point sits on (or inside) the latency-vs-cycles
+// frontier the statics trace.
+
+// AdaptiveCell is one configuration's measurement on the shaped load.
+type AdaptiveCell struct {
+	// Name identifies the configuration ("b=1/wake/r2048", "adaptive").
+	Name string
+	// Static knobs (informational; Adaptive ignores them).
+	Batch    int
+	BusyPoll bool
+	Ring     uint32
+	Adaptive bool
+
+	// Sent/Delivered are the schedule size and the echoes that came back.
+	Sent, Delivered int
+	// MeanLat/P99Lat are virtual-cycle round-trip latencies.
+	MeanLat float64
+	P99Lat  uint64
+	// CycPerOp is the server-side busy cycle bill per delivered echo:
+	// every probed server clock's cycles minus its wait component. This
+	// is where busy-poll burn and per-sweep wakeup syscalls surface.
+	CycPerOp float64
+	// ExitsPerOp is enclave exits per delivered echo.
+	ExitsPerOp float64
+	// Drops is the NIC-queue drop count for the run.
+	Drops uint64
+	// TunerSteps/TunerUps/TunerSwitches record the control loop's
+	// activity (adaptive cells only) — diagnostics for a frontier miss.
+	TunerSteps, TunerUps, TunerSwitches uint64
+}
+
+// adaptiveShape is the figure's load: trickle, a sustained burst, then
+// trickle again. The burst is long relative to the tuner's guard window
+// so the control loop is supposed to follow it; the return to trickle
+// catches configurations that cannot come back down.
+func adaptiveShape(scale Scale) netsim.Shape {
+	// Both slow phases and the burst carry real weight in the mean, so a
+	// configuration that is right for one regime and wrong in the other
+	// cannot hide its bad phase behind the other's volume: the long
+	// trickle exposes wide gathers parking datagrams, and the long burst
+	// compounds a scalar server's per-op deficit into a standing queue.
+	// The burst also spans many control windows, so the tuner's ramp
+	// transient stays a small prefix of it.
+	trickleN := int(3000 * float64(scale))
+	burstN := int(3600 * float64(scale))
+	if trickleN < 40 {
+		trickleN = 40
+	}
+	if burstN < 300 {
+		burstN = 300
+	}
+	const (
+		trickleGap = 120_000 // 50us at 2.4 GHz: one datagram at a time
+		// burstGap sits between the narrow and wide per-op service
+		// costs: the server pays a fixed per-wake dispatch cost on top
+		// of per-datagram work, so scalar serving (~3.2 kcyc/op) falls
+		// far behind at this rate and queues without bound, while
+		// amortized wide serving (~1.1 kcyc/op) keeps enough margin to
+		// also drain the backlog that builds while the control loop is
+		// still reacting to the phase edge — without that margin the
+		// onset transient stands for the whole phase and the figure
+		// measures scheduler luck, not configurations. The margin is
+		// judged against the slowest pipeline stage (~1.45 kcyc/op
+		// end-to-end, not just the app thread), and the dispatch cost
+		// keeps both margins wide (scalar ~1.8x underwater, wide ~25%
+		// clear), so the regime separation does not balance on a few
+		// percent of service-rate slack.
+		burstGap = 1_800
+	)
+	return netsim.Shape{Name: "mixed", Phases: []netsim.Phase{
+		{Name: "trickle", Count: trickleN, Gap: trickleGap},
+		{Name: "burst", Count: burstN, Gap: burstGap},
+		{Name: "cooldown", Count: trickleN, Gap: trickleGap},
+	}}
+}
+
+// adaptiveStatics is the static grid the adaptive point is judged
+// against: both batch extremes in both wakeup modes at the default
+// geometry, plus an undersized ring.
+func adaptiveStatics() []AdaptiveCell {
+	return []AdaptiveCell{
+		{Name: "b=1/wake/r2048", Batch: 1, Ring: 2048},
+		{Name: "b=32/wake/r2048", Batch: 32, Ring: 2048},
+		{Name: "b=1/poll/r2048", Batch: 1, BusyPoll: true, Ring: 2048},
+		{Name: "b=32/poll/r2048", Batch: 32, BusyPoll: true, Ring: 2048},
+		{Name: "b=32/wake/r256", Batch: 32, Ring: 256},
+	}
+}
+
+// runAdaptiveCell builds one RAKIS-SGX world, replays the shape, and
+// reads the cell's metrics out of the telemetry sink.
+func runAdaptiveCell(cell AdaptiveCell, shape netsim.Shape, frameCount uint32) (AdaptiveCell, error) {
+	sink := telemetry.NewSink()
+	opt := Options{
+		Env:        RakisSGX,
+		RingSize:   cell.Ring,
+		FrameCount: frameCount,
+		Telemetry:  sink,
+	}
+	if cell.Adaptive {
+		opt.Adaptive = true
+	} else {
+		opt.BatchHint = cell.Batch
+		opt.BusyPoll = cell.BusyPoll
+	}
+	w, err := NewWorld(opt)
+	if err != nil {
+		return cell, err
+	}
+	res, runErr := workloads.ShapedEcho(w.WorkloadEnv(), workloads.ShapedParams{
+		Shape:      shape,
+		PacketSize: 256,
+		// Width 0 follows AdviseBatch: statics report their pinned hint,
+		// the adaptive runtime moves it.
+	})
+	drops := w.TotalDrops()
+	// Fill-exhaustion drops on the XSK path land on the packet counter,
+	// not the NIC queues — fold them in so an undersized ring cannot
+	// hide its losses.
+	if d, ok := sink.Reg.Value("vtime.packets_dropped"); ok {
+		drops += d
+	}
+	if cell.Adaptive {
+		st := w.Rakis().TunerStats()
+		cell.TunerSteps, cell.TunerUps, cell.TunerSwitches = st.Steps, st.BatchUps, st.ModeSwitches
+	}
+	w.Close()
+	if runErr != nil {
+		return cell, fmt.Errorf("%s: %w", cell.Name, runErr)
+	}
+	if res.Delivered == 0 {
+		return cell, fmt.Errorf("%s: nothing delivered", cell.Name)
+	}
+	cell.Sent = res.Sent
+	cell.Delivered = res.Delivered
+	cell.MeanLat = res.MeanLat
+	cell.P99Lat = res.P99Lat
+	cell.Drops = drops
+	var busy uint64
+	for _, tr := range sink.Breakdown().Threads {
+		busy += tr.Cycles - tr.Comp["wait"]
+	}
+	cell.CycPerOp = float64(busy) / float64(res.Delivered)
+	exits, _ := sink.Reg.Value("vtime.enclave_exits")
+	cell.ExitsPerOp = float64(exits) / float64(res.Delivered)
+	return cell, nil
+}
+
+// RunAdaptiveFrontier measures the static grid and the adaptive runtime
+// on the shaped load. The adaptive run happens twice: a short
+// calibration pass at the default geometry feeds the tuner's ring
+// recommendation, and the measured pass applies it at boot — geometry is
+// a (re)configure-time knob, not a live one.
+func RunAdaptiveFrontier(scale Scale) ([]AdaptiveCell, error) {
+	shape := adaptiveShape(scale)
+	var cells []AdaptiveCell
+	for _, s := range adaptiveStatics() {
+		c, err := runAdaptiveCell(s, shape, 0)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, c)
+	}
+
+	// Calibration: quarter-scale shape, default geometry, tuner on.
+	calScale := scale / 4
+	ring, frames := uint32(0), uint32(0)
+	{
+		sink := telemetry.NewSink()
+		w, err := NewWorld(Options{Env: RakisSGX, Adaptive: true, Telemetry: sink})
+		if err != nil {
+			return nil, err
+		}
+		_, runErr := workloads.ShapedEcho(w.WorkloadEnv(), workloads.ShapedParams{
+			Shape: adaptiveShape(calScale), PacketSize: 256,
+		})
+		if rt := w.Rakis(); rt != nil {
+			ring, frames = rt.TunerRecommend()
+		}
+		w.Close()
+		if runErr != nil {
+			return nil, fmt.Errorf("adaptive calibration: %w", runErr)
+		}
+	}
+
+	ad := AdaptiveCell{Name: "adaptive", Adaptive: true, Ring: ring}
+	ad, err := runAdaptiveCell(ad, shape, frames)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, ad)
+	return cells, nil
+}
+
+// FigAdaptive renders the frontier as figure rows: per configuration,
+// mean latency (kcyc), server busy cycles per op (kcyc/op), and enclave
+// exits per op.
+func FigAdaptive(scale Scale) ([]Row, error) {
+	cells, err := RunAdaptiveFrontier(scale)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, c := range cells {
+		rows = append(rows,
+			Row{Env: RakisSGX, Param: c.Name + "/lat", Value: c.MeanLat / 1e3, Unit: "kcyc", Drops: c.Drops, Batch: c.Batch},
+			Row{Env: RakisSGX, Param: c.Name + "/cyc", Value: c.CycPerOp / 1e3, Unit: "kcyc/op", Drops: c.Drops, Batch: c.Batch},
+			Row{Env: RakisSGX, Param: c.Name + "/exits", Value: c.ExitsPerOp, Unit: "exits/op", Drops: c.Drops, Batch: c.Batch},
+		)
+	}
+	return rows, nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"testing"
+
+	"rakis/internal/telemetry"
+	"rakis/internal/workloads"
+)
+
+// TestAdaptiveFigureGate is the acceptance gate for the self-tuning
+// runtime: on the shaped load (trickle / burst / cooldown), the adaptive
+// configuration must sit inside the latency-vs-cycles frontier traced by
+// every static configuration. Concretely, against each static it must
+//
+//   - deliver at least as much,
+//   - win at least one axis (mean latency or busy cycles/op) by 1.3x,
+//   - not lose the other axis by more than 1.5x, and
+//   - win the latency*cycles product by 1.25x (ratio <= 0.8),
+//
+// and its enclave exits/op must not exceed the best static's by more
+// than 5%. Thresholds carry ~2x slack against measured margins so the
+// gate survives scheduler noise and -race timing shifts.
+func TestAdaptiveFigureGate(t *testing.T) {
+	cells, err := RunAdaptiveFrontier(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ad *AdaptiveCell
+	var statics []AdaptiveCell
+	for i := range cells {
+		if cells[i].Adaptive {
+			ad = &cells[i]
+		} else {
+			statics = append(statics, cells[i])
+		}
+	}
+	if ad == nil || len(statics) == 0 {
+		t.Fatalf("frontier missing cells: %+v", cells)
+	}
+	for _, c := range cells {
+		t.Logf("%-18s del=%d/%d drops=%d lat=%.0f p99=%d cyc/op=%.0f exits/op=%.3f",
+			c.Name, c.Delivered, c.Sent, c.Drops, c.MeanLat, c.P99Lat, c.CycPerOp, c.ExitsPerOp)
+	}
+	if ad.Delivered != ad.Sent {
+		t.Errorf("adaptive dropped traffic: delivered %d of %d", ad.Delivered, ad.Sent)
+	}
+	minExits := statics[0].ExitsPerOp
+	for _, s := range statics {
+		if s.ExitsPerOp < minExits {
+			minExits = s.ExitsPerOp
+		}
+	}
+	if ad.ExitsPerOp > minExits*1.05 {
+		t.Errorf("adaptive exits/op %.4f exceeds best static %.4f by >5%%", ad.ExitsPerOp, minExits)
+	}
+	for _, s := range statics {
+		if ad.Delivered < s.Delivered {
+			t.Errorf("adaptive delivered %d < static %s's %d", ad.Delivered, s.Name, s.Delivered)
+		}
+		latRatio := s.MeanLat / ad.MeanLat
+		cycRatio := s.CycPerOp / ad.CycPerOp
+		if latRatio < 1.3 && cycRatio < 1.3 {
+			t.Errorf("adaptive does not clearly beat %s on any axis: lat %.2fx cyc %.2fx", s.Name, latRatio, cycRatio)
+		}
+		if latRatio < 1.0/1.5 || cycRatio < 1.0/1.5 {
+			t.Errorf("adaptive loses an axis to %s by >1.5x: lat %.2fx cyc %.2fx", s.Name, latRatio, cycRatio)
+		}
+		if prod := (ad.MeanLat * ad.CycPerOp) / (s.MeanLat * s.CycPerOp); prod > 0.8 {
+			t.Errorf("adaptive lat*cyc product vs %s is %.2f, want <= 0.8", s.Name, prod)
+		}
+	}
+}
+
+// TestAdaptiveSmoke is the quick CI leg: the adaptive runtime on a short
+// shaped run must deliver everything, keep exits/op at the narrow
+// static's floor, and the tuner must have actually stepped without ever
+// leaving its safety envelope.
+func TestAdaptiveSmoke(t *testing.T) {
+	run := func(adaptive bool) (AdaptiveCell, *World, error) {
+		sink := telemetry.NewSink()
+		opt := Options{Env: RakisSGX, Telemetry: sink, Adaptive: adaptive}
+		if !adaptive {
+			opt.BatchHint = 1
+		}
+		w, err := NewWorld(opt)
+		if err != nil {
+			return AdaptiveCell{}, nil, err
+		}
+		res, runErr := workloads.ShapedEcho(w.WorkloadEnv(), workloads.ShapedParams{
+			Shape: adaptiveShape(0.25), PacketSize: 256,
+		})
+		if runErr != nil {
+			w.Close()
+			return AdaptiveCell{}, nil, runErr
+		}
+		cell := AdaptiveCell{Sent: res.Sent, Delivered: res.Delivered, MeanLat: res.MeanLat}
+		if exits, ok := sink.Reg.Value("vtime.enclave_exits"); ok && res.Delivered > 0 {
+			cell.ExitsPerOp = float64(exits) / float64(res.Delivered)
+		}
+		return cell, w, nil
+	}
+
+	static, w, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	ad, w, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := w.Rakis().TunerStats()
+	w.Close()
+
+	if ad.Delivered != ad.Sent {
+		t.Errorf("adaptive delivered %d of %d", ad.Delivered, ad.Sent)
+	}
+	if ad.ExitsPerOp > static.ExitsPerOp*1.05 {
+		t.Errorf("adaptive exits/op %.4f worse than static %.4f", ad.ExitsPerOp, static.ExitsPerOp)
+	}
+	if stats.Steps == 0 {
+		t.Error("tuner never stepped during a loaded run")
+	}
+	if stats.EnvelopeViolations != 0 {
+		t.Errorf("tuner left its safety envelope %d times", stats.EnvelopeViolations)
+	}
+	t.Logf("static lat=%.0f exits/op=%.3f | adaptive lat=%.0f exits/op=%.3f steps=%d ups=%d switches=%d",
+		static.MeanLat, static.ExitsPerOp, ad.MeanLat, ad.ExitsPerOp, stats.Steps, stats.BatchUps, stats.ModeSwitches)
+}

@@ -16,6 +16,7 @@ import (
 	"rakis/internal/netstack"
 	"rakis/internal/sys"
 	"rakis/internal/telemetry"
+	"rakis/internal/tuner"
 	"rakis/internal/vtime"
 )
 
@@ -86,6 +87,21 @@ type Options struct {
 	// CopyRX selects the legacy copying RX path in RAKIS environments
 	// (the zero-copy ablation). Ignored by the baselines.
 	CopyRX bool
+	// FrameCount overrides the UMem frame count in RAKIS environments
+	// (0 keeps the runtime default). The adaptive figure sets it from the
+	// tuner's geometry recommendation.
+	FrameCount uint32
+	// Adaptive enables the self-tuning runtime in RAKIS environments.
+	Adaptive bool
+	// TunerParams overrides the tuner's pacing/envelope (zero value =
+	// tuner.DefaultParams). Ignored unless Adaptive.
+	TunerParams tuner.Params
+	// BusyPoll statically selects kernel busy-poll mode in RAKIS
+	// environments. Ignored when Adaptive.
+	BusyPoll bool
+	// BatchHint statically pins the advised vector width in RAKIS
+	// environments (default 1). Ignored when Adaptive.
+	BatchHint int
 	// TrustedBytes and UntrustedBytes size the simulated address space.
 	TrustedBytes, UntrustedBytes int
 	// Chaos arms hostile-host fault injection across the kernel, the NIC
@@ -251,6 +267,7 @@ func NewWorld(opt Options) (*World, error) {
 			IP:              RakisIP,
 			NumXSKs:         opt.NumXSKs,
 			RingSize:        opt.RingSize,
+			FrameCount:      opt.FrameCount,
 			Mode:            mode,
 			Model:           encModel,
 			Counters:        w.Counters,
@@ -258,6 +275,10 @@ func NewWorld(opt Options) (*World, error) {
 			CopyRX:          opt.CopyRX,
 			Chaos:           opt.Chaos,
 			Telemetry:       opt.Telemetry,
+			Adaptive:        opt.Adaptive,
+			TunerParams:     opt.TunerParams,
+			BusyPoll:        opt.BusyPoll,
+			BatchHint:       opt.BatchHint,
 		})
 		if err != nil {
 			return nil, err

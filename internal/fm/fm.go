@@ -26,6 +26,7 @@ import (
 	"rakis/internal/mem"
 	"rakis/internal/netstack"
 	"rakis/internal/telemetry"
+	"rakis/internal/tuner"
 	"rakis/internal/vtime"
 	"rakis/internal/xsk"
 )
@@ -80,6 +81,18 @@ type XskPump struct {
 	// own). Optional; set before Start.
 	waker iouring.Waker
 
+	// tuning, when non-nil, couples the pump to the self-tuning runtime:
+	// the advised vector width caps the per-pass drain, and busy-poll
+	// mode parks the TX nudge ladder (the kernel worker drains xTX, so a
+	// pending entry is not a lost wakeup). A nil state means static
+	// full-width behaviour.
+	tuning *tuner.State
+
+	// depth, when non-nil, receives one sample per active pass: the
+	// certified RX backlog found before draining. This is the trusted
+	// queue-depth histogram the tuner steps on.
+	depth *telemetry.Histogram
+
 	clk  vtime.Clock
 	stop chan struct{}
 	done chan struct{}
@@ -113,6 +126,14 @@ func (p *XskPump) SetWaker(w iouring.Waker) { p.waker = w }
 // Call before Start.
 func (p *XskPump) SetCopyRX(on bool) { p.copyRX = on }
 
+// SetTuning couples the pump to the shared tuner state. Call before
+// Start.
+func (p *XskPump) SetTuning(st *tuner.State) { p.tuning = st }
+
+// SetDepthHist installs the queue-depth histogram the pump samples on
+// every active pass. Call before Start.
+func (p *XskPump) SetDepthHist(h *telemetry.Histogram) { p.depth = h }
+
 // Start launches the pump thread.
 func (p *XskPump) Start() {
 	go p.run()
@@ -144,8 +165,12 @@ func (p *XskPump) run() {
 				time.Sleep(20 * time.Microsecond)
 			}
 			// TX recovery ladder: entries stranded on xTX mean a lost
-			// sendto wakeup (edge-triggered — nothing re-fires it).
-			if p.waker.Nudge != nil || p.waker.Kick != nil {
+			// sendto wakeup (edge-triggered — nothing re-fires it). In
+			// busy-poll mode the ladder parks: the kernel worker drains
+			// xTX on its own, so pending entries are just in flight.
+			if p.tuning.BusyPoll() {
+				stallSince = time.Time{}
+			} else if p.waker.Nudge != nil || p.waker.Kick != nil {
 				if p.sock.TxPending() {
 					now := time.Now()
 					if stallSince.IsZero() {
@@ -183,15 +208,24 @@ func (p *XskPump) run() {
 // a trusted payload first (the pre-zero-copy shape, kept as the
 // differential baseline and the CopyRX ablation).
 func (p *XskPump) pumpOnce() int {
+	if q := p.sock.RxQueued(); q > 0 {
+		p.depth.Observe(uint64(q))
+	}
+	width := pumpBatchMax
+	if p.tuning != nil {
+		if b := p.tuning.Batch(); b < width {
+			width = b
+		}
+	}
 	if p.copyRX {
-		payloads := p.sock.RecvBatch(&p.clk, pumpBatchMax)
+		payloads := p.sock.RecvBatch(&p.clk, width)
 		for _, payload := range payloads {
 			p.clk.Advance(p.model.FMPerPacket)
 			p.stack.Input(payload, &p.clk)
 		}
 		return len(payloads)
 	}
-	views := p.sock.RecvViews(&p.clk, pumpBatchMax)
+	views := p.sock.RecvViews(&p.clk, width)
 	for i := range views {
 		p.clk.Advance(p.model.FMPerPacket)
 		p.stack.InputView(views[i], &p.clk)

@@ -3,6 +3,7 @@ package hostos
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rakis/internal/chaos"
@@ -29,6 +30,17 @@ type xskKernel struct {
 
 	rxMu sync.Mutex // serializes softirq delivery (one per queue, but be safe)
 	txMu sync.Mutex // serializes sendto processing
+
+	// Busy-poll worker: a kernel thread pinned to this socket that
+	// drains xTX and keeps the receive path unblocked without any
+	// need-wakeup syscalls (SO_BUSY_POLL / napi_busy_loop in spirit).
+	// pollClk is allocated with the socket and survives mode toggles so
+	// one telemetry probe covers every incarnation of the worker.
+	pollMu    sync.Mutex
+	pollStop  chan struct{}
+	pollDone  chan struct{}
+	pollClk   vtime.Clock
+	pollFresh atomic.Bool
 
 	counters *vtime.Counters
 }
@@ -126,8 +138,10 @@ func (p *Proc) XSKSetup(ns *NetNS, queueID int, ringSize, frameSize, frameCount 
 	}}, nil
 }
 
-// unbind detaches the XSK from its queue.
+// unbind detaches the XSK from its queue and retires its busy-poll
+// worker.
 func (x *xskKernel) unbind() {
+	x.setBusyPoll(false)
 	x.ns.mu.Lock()
 	if x.ns.xsks[x.queueID] == x {
 		delete(x.ns.xsks, x.queueID)
@@ -322,4 +336,97 @@ func (x *xskKernel) resumeRX() {
 	x.rx.Republish()
 	x.rxMu.Unlock()
 	x.fill.SetFlags(0)
+}
+
+// pollInterval is the real-time pass period of the busy-poll worker —
+// same order as the Monitor sweep, but with no syscall per pass.
+const pollInterval = 5 * time.Microsecond
+
+// XSKBusyPoll switches the socket's kernel busy-poll worker on or off
+// (the SO_PREFER_BUSY_POLL trade: no per-edge wakeup syscalls, one core
+// spinning instead). The caller is a host thread — in RAKIS deployments
+// the Monitor Module, so a mode switch never costs an enclave exit.
+func (p *Proc) XSKBusyPoll(fd int, on bool, clk *vtime.Clock) error {
+	p.enter(clk)
+	obj, err := p.kern.lookupFD(fd)
+	if err != nil {
+		return err
+	}
+	x, ok := obj.(*xskKernel)
+	if !ok {
+		return ErrNotSocket
+	}
+	x.setBusyPoll(on)
+	return nil
+}
+
+// XSKPollClock exposes the socket's busy-poll worker clock so the
+// telemetry layer can attach a probe: the spin burn must show up in the
+// cycle accounting, or busy-poll would look free.
+func (p *Proc) XSKPollClock(fd int) *vtime.Clock {
+	obj, err := p.kern.lookupFD(fd)
+	if err != nil {
+		return nil
+	}
+	x, ok := obj.(*xskKernel)
+	if !ok {
+		return nil
+	}
+	return &x.pollClk
+}
+
+// setBusyPoll starts or stops the worker, idempotently.
+func (x *xskKernel) setBusyPoll(on bool) {
+	x.pollMu.Lock()
+	defer x.pollMu.Unlock()
+	if on == (x.pollStop != nil) {
+		return
+	}
+	if on {
+		x.pollFresh.Store(true)
+		x.pollStop = make(chan struct{})
+		x.pollDone = make(chan struct{})
+		go x.pollLoop(x.pollStop, x.pollDone)
+	} else {
+		close(x.pollStop)
+		<-x.pollDone
+		x.pollStop, x.pollDone = nil, nil
+	}
+}
+
+func (x *xskKernel) pollLoop(stop, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		x.pollPass()
+		time.Sleep(pollInterval)
+	}
+}
+
+// pollPass is one spin of the worker. The gap between the worker's
+// clock and the oldest pending TX frame is exactly the time the core
+// spent polling empty rings, so it is booked as spin (CompOther) before
+// the frame is processed — busy-poll's cost is idle cycles, and the
+// accounting must show it.
+func (x *xskKernel) pollPass() {
+	clk := &x.pollClk
+	x.txMu.Lock()
+	x.tx.Republish()
+	if avail, _ := x.tx.Available(); avail > 0 {
+		if x.pollFresh.Swap(false) {
+			// First frame after (re)enabling: the worker was not
+			// spinning across the gap since its last run, so catching
+			// the clock up is wait, not burn.
+			clk.Sync(x.tx.SlotStamp(0))
+		} else {
+			clk.SyncAs(x.tx.SlotStamp(0), vtime.CompOther)
+		}
+	}
+	x.txMu.Unlock()
+	x.processTX(clk)
+	x.resumeRX()
 }

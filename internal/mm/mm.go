@@ -42,6 +42,14 @@ type watch struct {
 	prod  *atomic.Uint32
 	flags *atomic.Uint32
 	last  uint32
+
+	// suppressed counts producer edges this watch consumed without
+	// firing a wakeup syscall: fill edges the kernel never flagged
+	// need-wakeup for, and any XSK edge absorbed while the busy-poll
+	// worker owns the ring. Exported per shard (the tuner reads it per
+	// queue; the aggregate alone cannot tell a hot shard from ten warm
+	// ones).
+	suppressed atomic.Uint64
 }
 
 // Monitor is the Monitor Module thread.
@@ -58,6 +66,16 @@ type Monitor struct {
 	// the producer index unchanged, so the normal edge-triggered sweep
 	// would never re-fire it.
 	force atomic.Bool
+
+	// busyDesired is the wakeup mode the tuner asked for; busyApplied is
+	// what the sweep has actually switched the kernel to. The MM applies
+	// mode changes itself — it is the syscall proxy, so flipping kernel
+	// busy-poll on or off costs a host-thread syscall, never an enclave
+	// exit. While busy-poll is applied the sweep skips XSK watches
+	// (the kernel worker drains those rings), absorbing their edges into
+	// the per-shard suppressed counters.
+	busyDesired atomic.Bool
+	busyApplied atomic.Bool
 
 	// Chaos, when non-nil, lets the fault injector stall or kill this
 	// thread (§4.3: the MM is untrusted; its death may cost availability
@@ -196,9 +214,22 @@ func (m *Monitor) Sweep() int {
 	watches := make([]*watch, len(m.watches))
 	copy(watches, m.watches)
 	m.mu.Unlock()
+	m.applyMode(watches)
+	busy := m.busyApplied.Load()
 	fired := 0
 	for _, w := range watches {
 		p := w.prod.Load()
+		if busy && (w.kind == watchXskTX || w.kind == watchXskFill) {
+			// The kernel busy-poll worker owns the XSK rings: consume the
+			// edge so a later mode switch back does not replay stale
+			// producer movement as a wakeup burst, and book the syscall we
+			// did not need to issue.
+			if p != w.last || force {
+				w.last = p
+				w.suppressed.Add(1)
+			}
+			continue
+		}
 		switch w.kind {
 		case watchXskTX:
 			if p != w.last || force {
@@ -221,6 +252,12 @@ func (m *Monitor) Sweep() int {
 					m.proc.XSKRecvfrom(w.fd, &m.clk)
 					m.Trace.Emit(telemetry.EvMMWakeup, m.clk.Now(), uint64(w.fd), 1)
 					fired++
+				} else {
+					// Producer edge with the need-wakeup flag clear: the
+					// kernel is still consuming, so the recvfrom was not
+					// needed — the duplicate-wakeup coalescing this watch
+					// exists for, now accounted per shard.
+					w.suppressed.Add(1)
 				}
 			}
 		case watchUring:
@@ -233,6 +270,71 @@ func (m *Monitor) Sweep() int {
 		}
 	}
 	return fired
+}
+
+// RequestBusyPoll asks the monitor to switch every watched XSK to (or
+// from) kernel busy-poll on its next sweep. The caller (the tuner, from
+// inside the enclave) writes only this process-local flag — the actual
+// setsockopt-style syscalls are issued by the MM thread, so a mode
+// switch never costs an enclave exit. Untrusted like everything else
+// here: a dead or stalled MM delays the switch, which costs cycles,
+// never safety.
+func (m *Monitor) RequestBusyPoll(on bool) { m.busyDesired.Store(on) }
+
+// BusyPollApplied reports the mode the sweep last applied.
+func (m *Monitor) BusyPollApplied() bool { return m.busyApplied.Load() }
+
+// applyMode reconciles the applied wakeup mode with the requested one,
+// issuing one busy-poll toggle per distinct XSK fd.
+func (m *Monitor) applyMode(watches []*watch) {
+	want := m.busyDesired.Load()
+	if m.busyApplied.Load() == want {
+		return
+	}
+	seen := make(map[int]bool)
+	for _, w := range watches {
+		if w.kind == watchUring || seen[w.fd] {
+			continue
+		}
+		seen[w.fd] = true
+		m.proc.XSKBusyPoll(w.fd, want, &m.clk)
+	}
+	m.busyApplied.Store(want)
+}
+
+// WatchStat is one watched ring's identity and suppression count.
+type WatchStat struct {
+	FD         int
+	Kind       string
+	Suppressed uint64
+}
+
+// WatchStats returns a snapshot of every watch's per-shard suppression
+// counter.
+func (m *Monitor) WatchStats() []WatchStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kinds := map[watchKind]string{watchXskTX: "tx", watchXskFill: "fill", watchUring: "uring"}
+	out := make([]WatchStat, 0, len(m.watches))
+	for _, w := range m.watches {
+		out = append(out, WatchStat{FD: w.fd, Kind: kinds[w.kind], Suppressed: w.suppressed.Load()})
+	}
+	return out
+}
+
+// Suppressed returns the total wakeups suppressed for one XSK fd (tx
+// and fill watches summed) — the per-shard gauge the registry exports
+// as mm.xsk<N>.wakeups_suppressed.
+func (m *Monitor) Suppressed(fd int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, w := range m.watches {
+		if w.fd == fd {
+			n += w.suppressed.Load()
+		}
+	}
+	return n
 }
 
 // Close stops the monitor thread.

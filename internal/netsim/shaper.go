@@ -1,0 +1,105 @@
+package netsim
+
+// This file is the deterministic traffic shaper: pure schedules of
+// virtual departure times that load generators replay. Nothing here
+// touches a Device — the shaper decides *when* each datagram leaves,
+// the workload decides what it is and sends it — so the same Shape
+// drives every environment identically and a run is reproducible
+// bit-for-bit.
+
+// Phase is one segment of a shaped schedule: Count departures spaced
+// Gap virtual cycles apart.
+type Phase struct {
+	// Name labels the phase in per-phase results ("burst", "quiet", ...).
+	Name string
+	// Count is how many datagrams depart during the phase.
+	Count int
+	// Gap is the virtual-cycle spacing between consecutive departures.
+	Gap uint64
+}
+
+// Shape is a named sequence of phases.
+type Shape struct {
+	Name   string
+	Phases []Phase
+}
+
+// Departure is one scheduled send: which phase it belongs to and its
+// virtual-time offset from the start of the schedule.
+type Departure struct {
+	Phase int
+	At    uint64
+}
+
+// Total returns the number of departures in the whole schedule.
+func (s Shape) Total() int {
+	n := 0
+	for _, p := range s.Phases {
+		n += p.Count
+	}
+	return n
+}
+
+// Schedule expands the shape into its departure list. Phases abut: the
+// first departure of phase k+1 follows the last of phase k by phase
+// k+1's gap.
+func (s Shape) Schedule() []Departure {
+	out := make([]Departure, 0, s.Total())
+	var t uint64
+	for pi, p := range s.Phases {
+		for i := 0; i < p.Count; i++ {
+			if len(out) > 0 || i > 0 {
+				t += p.Gap
+			}
+			out = append(out, Departure{Phase: pi, At: t})
+		}
+	}
+	return out
+}
+
+// StepShape is a two-level step load: a trickle phase followed by a
+// sustained high-rate phase — the canonical ramp-up/ramp-down probe for
+// a control loop.
+func StepShape(lowN int, lowGap uint64, highN int, highGap uint64) Shape {
+	return Shape{Name: "step", Phases: []Phase{
+		{Name: "low", Count: lowN, Gap: lowGap},
+		{Name: "high", Count: highN, Gap: highGap},
+	}}
+}
+
+// BurstShape is an on/off burst pattern: cycles repetitions of a dense
+// burst followed by a sparse quiet tail. Bursts should be long relative
+// to a tuner's guard window, or hysteresis (correctly) refuses to
+// follow them.
+func BurstShape(cycles, burstN int, burstGap uint64, quietN int, quietGap uint64) Shape {
+	s := Shape{Name: "burst"}
+	for i := 0; i < cycles; i++ {
+		s.Phases = append(s.Phases,
+			Phase{Name: "burst", Count: burstN, Gap: burstGap},
+			Phase{Name: "quiet", Count: quietN, Gap: quietGap},
+		)
+	}
+	return s
+}
+
+// DiurnalShape approximates a day's traffic curve in five steps: night
+// trickle, morning ramp, midday peak, evening ramp-down, night again.
+// peakGap spaces departures at the peak; the shoulders run at 4x and
+// the nights at 32x that spacing.
+func DiurnalShape(peakN int, peakGap uint64) Shape {
+	shoulderN := peakN / 2
+	nightN := peakN / 8
+	if shoulderN < 1 {
+		shoulderN = 1
+	}
+	if nightN < 1 {
+		nightN = 1
+	}
+	return Shape{Name: "diurnal", Phases: []Phase{
+		{Name: "night", Count: nightN, Gap: 32 * peakGap},
+		{Name: "morning", Count: shoulderN, Gap: 4 * peakGap},
+		{Name: "midday", Count: peakN, Gap: peakGap},
+		{Name: "evening", Count: shoulderN, Gap: 4 * peakGap},
+		{Name: "night2", Count: nightN, Gap: 32 * peakGap},
+	}}
+}

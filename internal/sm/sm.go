@@ -25,6 +25,7 @@ import (
 	"rakis/internal/fm"
 	"rakis/internal/mem"
 	"rakis/internal/netstack"
+	"rakis/internal/tuner"
 	"rakis/internal/vtime"
 	"rakis/internal/xsk"
 )
@@ -48,6 +49,12 @@ type XskLink struct {
 
 	txq     chan txReq
 	flushMu sync.Mutex
+
+	// tuning, when non-nil, tells the send ladder which wakeup mode is
+	// in effect: under busy-poll the kernel worker drains xTX every few
+	// microseconds, so a full-ring retry sleeps at poll scale instead of
+	// climbing the long need-wakeup backoff.
+	tuning *tuner.State
 }
 
 // txReq is one queued scalar SendFrame awaiting a batched flush.
@@ -162,6 +169,10 @@ func (l *XskLink) sendBatchRetry(frames [][]byte, clk *vtime.Clock) []error {
 	s := l.socks[int(l.next.Add(1))%len(l.socks)]
 	sent := 0
 	backoff := 10 * time.Microsecond
+	maxBackoff := 320 * time.Microsecond
+	if l.tuning.BusyPoll() {
+		maxBackoff = 20 * time.Microsecond
+	}
 	attempt := 0
 	for sent < len(frames) {
 		n, err := s.SendBatch(frames[sent:], clk)
@@ -189,12 +200,16 @@ func (l *XskLink) sendBatchRetry(frames [][]byte, clk *vtime.Clock) []error {
 		attempt++
 		s.Reap(clk)
 		time.Sleep(backoff)
-		if backoff < 320*time.Microsecond {
+		if backoff < maxBackoff {
 			backoff *= 2
 		}
 	}
 	return errs
 }
+
+// SetTuning couples the link's send ladder to the shared tuner state.
+// Call before traffic starts.
+func (l *XskLink) SetTuning(st *tuner.State) { l.tuning = st }
 
 // SpliceFrame re-queues a certified RX frame view onto the TX ring of
 // the socket that owns its UMem frame — a frame can only be spliced

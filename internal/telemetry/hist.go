@@ -77,6 +77,35 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Merge returns the bucket-wise sum of two snapshots.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	return s
+}
+
+// Sub returns the bucket-wise difference s−o, for windowed views over a
+// cumulative histogram: Sub of an earlier snapshot of the same
+// histogram yields exactly the samples observed in between. Counts are
+// clamped at zero so a stale baseline cannot underflow.
+func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	s.Count = sub(s.Count, o.Count)
+	s.Sum = sub(s.Sum, o.Sum)
+	for i := range s.Buckets {
+		s.Buckets[i] = sub(s.Buckets[i], o.Buckets[i])
+	}
+	return s
+}
+
 // Mean returns the average sample, or 0 when empty.
 func (s HistSnapshot) Mean() float64 {
 	if s.Count == 0 {

@@ -70,6 +70,12 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Reader registers a gauge whose value is sampled by calling fn at
 // snapshot time. Registering a name twice replaces the reader.
+//
+// Contract: fn must be cheap (an atomic load or a short uncontended
+// lock over foreign state) and must never re-enter the registry.
+// Snapshot and Values sample readers while holding the registry lock so
+// one snapshot is a single coherent cut across every metric; a reader
+// that blocks or calls back into the registry deadlocks.
 func (r *Registry) Reader(name string, fn func() uint64) {
 	if r == nil {
 		return
@@ -121,8 +127,13 @@ type Metric struct {
 	Hist  *HistSnapshot `json:"hist,omitempty"`
 }
 
-// Snapshot samples every metric, sorted by name. Histograms with no
-// observations are omitted.
+// Snapshot samples every metric under one hold of the registry lock —
+// a coherent cut: no metric in the result can postdate another by more
+// than the sampling loop itself. Readers are sampled inside the lock
+// (see the Reader contract), which is what makes the cut safe for the
+// tuner and rakis-trace to difference against a previous snapshot
+// without torn multi-counter reads. Histograms with no observations are
+// omitted; the result is sorted by name.
 func (r *Registry) Snapshot() []Metric {
 	if r == nil {
 		return nil
@@ -132,9 +143,8 @@ func (r *Registry) Snapshot() []Metric {
 	for name, c := range r.counters {
 		out = append(out, Metric{Name: name, Kind: "counter", Value: c.Load()})
 	}
-	readers := make(map[string]func() uint64, len(r.readers))
 	for name, fn := range r.readers {
-		readers[name] = fn
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: fn()})
 	}
 	for name, h := range r.hists {
 		if s := h.Snapshot(); s.Count > 0 {
@@ -143,11 +153,27 @@ func (r *Registry) Snapshot() []Metric {
 		}
 	}
 	r.mu.Unlock()
-	// Sample readers outside the lock: they reach into foreign state.
-	for name, fn := range readers {
-		out = append(out, Metric{Name: name, Kind: "gauge", Value: fn()})
-	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Values returns every scalar metric (counters and reader gauges) as
+// one coherent name→value cut, sampled under a single hold of the
+// registry lock. This is the tuner's input read: differencing two
+// Values cuts yields window deltas with no torn reads.
+func (r *Registry) Values() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.counters)+len(r.readers))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	for name, fn := range r.readers {
+		out[name] = fn()
+	}
 	return out
 }
 

@@ -1,0 +1,254 @@
+package tuner
+
+import (
+	"sync"
+	"testing"
+
+	"rakis/internal/telemetry"
+)
+
+// depth builds a window histogram observing v, n times.
+func depth(v uint64, n int) telemetry.HistSnapshot {
+	var h telemetry.Histogram
+	for i := 0; i < n; i++ {
+		h.Observe(v)
+	}
+	return h.Snapshot()
+}
+
+// window is one synthetic load-table entry.
+type window struct {
+	ops   uint64
+	depth uint64 // observed backlog per active pump pass (0 = idle window)
+}
+
+func drive(t *testing.T, tn *Tuner, table []window) []Decision {
+	t.Helper()
+	out := make([]Decision, 0, len(table))
+	for _, w := range table {
+		in := Input{Ops: w.ops}
+		if w.depth > 0 {
+			in.Depth = depth(w.depth, 16)
+		}
+		out = append(out, tn.Step(in))
+	}
+	return out
+}
+
+// TestStepLoadMonotoneRamp drives a step load (trickle -> saturation ->
+// trickle) and asserts the batch width ramps monotonically up through
+// the hot phase and monotonically back down through the cool phase —
+// the tentpole's "monotone ramp-up/ramp-down" property.
+func TestStepLoadMonotoneRamp(t *testing.T) {
+	tn := New(Params{}, nil)
+	hot := make([]window, 12)
+	for i := range hot {
+		hot[i] = window{ops: 1000, depth: 64}
+	}
+	ds := drive(t, tn, hot)
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Batch < ds[i-1].Batch {
+			t.Fatalf("batch not monotone up under step load: %d then %d", ds[i-1].Batch, ds[i].Batch)
+		}
+	}
+	if got := ds[len(ds)-1].Batch; got != tn.Params().MaxBatch {
+		t.Fatalf("batch did not reach MaxBatch under saturation: got %d", got)
+	}
+
+	cool := make([]window, 24)
+	for i := range cool {
+		cool[i] = window{ops: 4, depth: 1}
+	}
+	ds = drive(t, tn, cool)
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Batch > ds[i-1].Batch {
+			t.Fatalf("batch not monotone down after load drop: %d then %d", ds[i-1].Batch, ds[i].Batch)
+		}
+	}
+	if got := ds[len(ds)-1].Batch; got != tn.Params().MinBatch {
+		t.Fatalf("batch did not decay to MinBatch at trickle: got %d", got)
+	}
+}
+
+// TestModeHysteresisNoFlap drives an adversarially oscillating load
+// (alternating deep/shallow windows, the worst case for a naive
+// threshold) and asserts no two mode switches land within the guard
+// window.
+func TestModeHysteresisNoFlap(t *testing.T) {
+	tn := New(Params{}, nil)
+	table := make([]window, 64)
+	for i := range table {
+		if i%2 == 0 {
+			table[i] = window{ops: 1000, depth: 32} // above PollOn
+		} else {
+			table[i] = window{ops: 2, depth: 1} // below PollOff
+		}
+	}
+	drive(t, tn, table)
+	st := tn.Stats()
+	if st.ModeSwitches > 1 && st.MinSwitchGap < uint64(tn.Params().Guard) {
+		t.Fatalf("mode flapped: min switch gap %d < guard %d (switches=%d)",
+			st.MinSwitchGap, tn.Params().Guard, st.ModeSwitches)
+	}
+	if st.ModeSwitches == 0 {
+		t.Fatalf("expected at least one mode switch under deep load")
+	}
+}
+
+// TestBurstLoadConvergence drives an on/off burst pattern with bursts
+// long relative to the guard and asserts the mode tracks the phases:
+// busy-poll inside bursts, wakeup restored in the quiet tails.
+func TestBurstLoadConvergence(t *testing.T) {
+	tn := New(Params{}, nil)
+	var table []window
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < 10; i++ {
+			table = append(table, window{ops: 1000, depth: 48})
+		}
+		for i := 0; i < 10; i++ {
+			table = append(table, window{ops: 1, depth: 1})
+		}
+	}
+	ds := drive(t, tn, table)
+	// End of each burst phase: busy-poll; end of each quiet phase: wakeup.
+	for cycle := 0; cycle < 3; cycle++ {
+		if m := ds[cycle*20+9].Mode; m != ModeBusyPoll {
+			t.Fatalf("cycle %d: expected busy-poll at burst end, got %v", cycle, m)
+		}
+		if m := ds[cycle*20+19].Mode; m != ModeWakeup {
+			t.Fatalf("cycle %d: expected wakeup at quiet end, got %v", cycle, m)
+		}
+	}
+}
+
+// TestSingleQuietTickDoesNotCollapseBatch checks DownGuard: one shallow
+// window inside a burst must not halve the width.
+func TestSingleQuietTickDoesNotCollapseBatch(t *testing.T) {
+	tn := New(Params{}, nil)
+	drive(t, tn, []window{{1000, 64}, {1000, 64}, {1000, 64}, {1000, 64}})
+	before := tn.Current().Batch
+	drive(t, tn, []window{{1, 1}}) // single quiet tick
+	if got := tn.Current().Batch; got != before {
+		t.Fatalf("single quiet tick collapsed batch %d -> %d", before, got)
+	}
+}
+
+// TestIdleDecay: fully idle windows decay the width and drop out of
+// busy-poll (after the dwell), so an abandoned runtime does not spin.
+func TestIdleDecay(t *testing.T) {
+	tn := New(Params{}, nil)
+	drive(t, tn, []window{{1000, 64}, {1000, 64}, {1000, 64}, {1000, 64}, {1000, 64}, {1000, 64}})
+	if tn.Current().Mode != ModeBusyPoll {
+		t.Fatalf("setup: expected busy-poll under saturation")
+	}
+	for i := 0; i < 32; i++ {
+		tn.Step(Input{})
+	}
+	d := tn.Current()
+	if d.Mode != ModeWakeup {
+		t.Fatalf("idle runtime still busy-polling")
+	}
+	if d.Batch != tn.Params().MinBatch {
+		t.Fatalf("idle runtime still advising batch %d", d.Batch)
+	}
+}
+
+// TestEnvelopeUnderHostileInputs feeds absurd inputs (the worst a
+// hostile host could induce indirectly by starving/flooding the data
+// path, plus values no honest counter produces) and asserts every
+// applied decision stays inside the safety envelope.
+func TestEnvelopeUnderHostileInputs(t *testing.T) {
+	tn := New(Params{}, nil)
+	hostile := []Input{
+		{Ops: ^uint64(0), Depth: depth(^uint64(0)>>1, 8)},
+		{Ops: 1, Depth: depth(1<<40, 64)},
+		{Ops: ^uint64(0), BatchCalls: 1, BatchedMsgs: ^uint64(0)},
+		{Drops: ^uint64(0), Depth: depth(1<<62, 2)},
+		{Suppressed: ^uint64(0)},
+	}
+	for i := 0; i < 200; i++ {
+		d := tn.Step(hostile[i%len(hostile)])
+		if !tn.InEnvelope(d) {
+			t.Fatalf("decision %+v escaped the envelope", d)
+		}
+	}
+	st := tn.Stats()
+	if st.EnvelopeViolations != 0 {
+		t.Fatalf("envelope violations recorded: %d", st.EnvelopeViolations)
+	}
+	// History trail too: every decision ever applied was safe.
+	for _, d := range tn.History() {
+		if !tn.InEnvelope(d) {
+			t.Fatalf("historical decision %+v escaped the envelope", d)
+		}
+	}
+}
+
+// TestGeometryRecommendation: sustained deep windows push the
+// recommended ring toward headroom over the p99 depth, clamped to the
+// envelope.
+func TestGeometryRecommendation(t *testing.T) {
+	tn := New(Params{}, nil)
+	for i := 0; i < 8; i++ {
+		tn.Step(Input{Ops: 1000, Depth: depth(200, 32)})
+	}
+	rec := tn.Recommend()
+	if rec.Ring < 1024 || rec.Ring > tn.Params().MaxRing {
+		t.Fatalf("recommended ring %d not in expected band for p99~256 depth", rec.Ring)
+	}
+	if rec.Ring&(rec.Ring-1) != 0 {
+		t.Fatalf("recommended ring %d not a power of two", rec.Ring)
+	}
+	if rec.Frames != rec.Ring*tn.Params().FramesPerSlot {
+		t.Fatalf("frames %d not %d x ring", rec.Frames, tn.Params().FramesPerSlot)
+	}
+
+	// Trickle-only traffic recommends the minimal geometry.
+	tn2 := New(Params{}, nil)
+	for i := 0; i < 8; i++ {
+		tn2.Step(Input{Ops: 4, Depth: depth(1, 4)})
+	}
+	if rec := tn2.Recommend(); rec.Ring != tn2.Params().MinRing {
+		t.Fatalf("trickle recommended ring %d, want MinRing %d", rec.Ring, tn2.Params().MinRing)
+	}
+}
+
+// TestStateConcurrentReaders exercises the shared cell under -race:
+// one stepper, many readers.
+func TestStateConcurrentReaders(t *testing.T) {
+	tn := New(Params{}, nil)
+	st := tn.State()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if b := st.Batch(); b < 1 || b > 64 {
+					panic("batch outside envelope")
+				}
+				_ = st.BusyPoll()
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		tn.Step(Input{Ops: uint64(i), Depth: depth(uint64(i%128), 8)})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestNilStateSafe: data-path readers tolerate a nil cell (static
+// configurations never allocate one).
+func TestNilStateSafe(t *testing.T) {
+	var s *State
+	if s.Batch() != 1 || s.BusyPoll() {
+		t.Fatalf("nil state must read as batch=1, wakeup mode")
+	}
+}

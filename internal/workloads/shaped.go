@@ -1,0 +1,339 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rakis/internal/netsim"
+	"rakis/internal/sys"
+)
+
+// ShapedParams configures a shaped-traffic echo run: the client replays
+// a netsim.Shape schedule (each datagram departs at its scheduled
+// virtual time, real-time paced to match), and the server echoes in
+// gather windows of the advised width. This is the workload under the
+// adaptive figure: per-datagram virtual round-trip latency against the
+// server-side cycle bill, across load phases a static configuration
+// cannot be right for all of.
+type ShapedParams struct {
+	// Shape is the departure schedule.
+	Shape netsim.Shape
+	// PacketSize is the UDP payload size (min 16: seq, phase, departure
+	// stamp ride in the payload).
+	PacketSize int
+	// Port is the server port (default 7).
+	Port uint16
+	// Width fixes the server's gather width; 0 follows the runtime's
+	// AdviseBatch — static configurations pin it, the adaptive runtime
+	// moves it.
+	Width int
+}
+
+// PhaseStat is one phase's delivery and latency accounting.
+type PhaseStat struct {
+	Name    string
+	Sent    int
+	Echoed  int
+	MeanLat float64 // virtual cycles
+	P99Lat  uint64
+}
+
+// ShapedResult is one shaped run's measurement.
+type ShapedResult struct {
+	Sent      int
+	Delivered int
+	MeanLat   float64 // virtual cycles over delivered echoes
+	P99Lat    uint64
+	Phases    []PhaseStat
+}
+
+// batchAdviser is the optional per-thread interface the self-tuning
+// runtime implements; environments without a tuner report their static
+// hint.
+type batchAdviser interface{ AdviseBatch() int }
+
+const (
+	finSeq = ^uint32(0)
+	// finCount redundantly signals end-of-stream past a lossy wire.
+	finCount = 8
+	// shapedGatherMax bounds the server's gather window.
+	shapedGatherMax = 64
+	// roundWait bounds how long a gather round waits in real time with
+	// no traffic at all before giving the termination check a chance.
+	roundWait = 150 * time.Millisecond
+	// flushCycles is the gather window's coalescing budget in virtual
+	// cycles (50us at 2.4 GHz): a partial window flushes once the span
+	// from its first arrival reaches this, like recvmmsg's timeout. The
+	// latency cost of a too-wide width is therefore min((w-1)*gap,
+	// flushCycles) of parking — a deterministic, virtual-time quantity.
+	flushCycles = 120_000
+	// paceFloor is the smallest sleep worth issuing when real-pacing
+	// the schedule; sub-floor gaps accumulate as debt and are slept in
+	// chunks, so the real send rate tracks the virtual schedule at any
+	// gap instead of decoupling below timer resolution.
+	paceFloor = 50 * time.Microsecond
+	// dispatchCycles is the server's fixed per-wake cost (
+	// ~0.8us at 2.4 GHz): an event-driven server pays one event-loop
+	// iteration — readiness return, dispatch, bookkeeping — per gather
+	// round regardless of how many datagrams the round carries. This is
+	// the cost the width knob amortizes: a scalar server pays it per
+	// datagram, a 32-wide gather splits it 32 ways.
+	dispatchCycles = 2_000
+)
+
+// ShapedEcho replays the shape through the environment and returns
+// per-phase latency statistics. The server-side cycle bill is read by
+// the caller from the environment's telemetry.
+func ShapedEcho(env Env, p ShapedParams) (ShapedResult, error) {
+	if p.Port == 0 {
+		p.Port = 7
+	}
+	if p.PacketSize < 16 {
+		p.PacketSize = 16
+	}
+	sched := p.Shape.Schedule()
+	res := ShapedResult{Sent: len(sched)}
+	if len(sched) == 0 {
+		return res, nil
+	}
+
+	srv, err := env.ServerThread()
+	if err != nil {
+		return res, err
+	}
+	sfd, err := srv.Socket(sys.UDP)
+	if err != nil {
+		return res, err
+	}
+	if err := srv.Bind(sfd, p.Port); err != nil {
+		return res, err
+	}
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- shapedServer(srv, sfd, p) }()
+
+	// Sender and receiver are separate client threads sharing one
+	// socket: the sender's clock paces scheduled departures, the
+	// receiver's clock syncs to echo arrivals, so RTT = receiver now −
+	// embedded departure stamp.
+	sender := env.ClientThread()
+	cfd, err := sender.Socket(sys.UDP)
+	if err != nil {
+		return res, err
+	}
+	dst := sys.Addr{IP: env.ServerIP, Port: p.Port}
+
+	type echo struct {
+		phase int
+		rtt   uint64
+	}
+	echoes := make(chan echo, len(sched))
+	recvDone := make(chan int, 1)
+	go func() {
+		rcv := env.ClientThread()
+		rclk := rcv.Clock()
+		buf := make([]byte, p.PacketSize+64)
+		got := 0
+		for got < len(sched) {
+			n, _, ok := pollRecv(rcv, cfd, buf, time.Second)
+			if !ok {
+				break // drops: the stream went quiet short of the total
+			}
+			if n < 16 {
+				continue
+			}
+			seq := getU32(buf)
+			if seq == finSeq {
+				break // FIFO per flow: everything echoed is already here
+			}
+			phase := int(getU32(buf[4:]))
+			depart := getU64(buf[8:])
+			var rtt uint64
+			if now := rclk.Now(); now > depart {
+				rtt = now - depart
+			}
+			echoes <- echo{phase: phase, rtt: rtt}
+			got++
+		}
+		recvDone <- got
+	}()
+
+	clk := sender.Clock()
+	base := clk.Now()
+	var prevAt uint64
+	var debt time.Duration
+	payload := make([]byte, p.PacketSize)
+	for i, d := range sched {
+		clk.Sync(base + d.At)
+		// Real-time pacing keeps the physical run aligned with the
+		// virtual schedule, so real-time-driven machinery (MM sweep
+		// cadence, ring backlogs, the tuner's windows) sees the load
+		// shape too.
+		if gap := d.At - prevAt; i > 0 && gap > 0 {
+			debt += time.Duration(env.Model.Seconds(gap) * float64(time.Second))
+			if debt >= paceFloor {
+				time.Sleep(debt)
+				debt = 0
+			}
+		}
+		prevAt = d.At
+		putU32(payload, uint32(i))
+		putU32(payload[4:], uint32(d.Phase))
+		putU64(payload[8:], clk.Now())
+		if _, err := sender.SendTo(cfd, payload, dst); err != nil {
+			return res, err
+		}
+	}
+	for i := 0; i < finCount; i++ {
+		putU32(payload, finSeq)
+		if _, err := sender.SendTo(cfd, payload, dst); err != nil {
+			return res, err
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	res.Delivered = <-recvDone
+	close(echoes)
+	if err := <-srvErr; err != nil {
+		return res, err
+	}
+	if err := shapedSanity(res); err != nil {
+		return res, err
+	}
+
+	// Fold echoes into totals and per-phase stats.
+	type acc struct {
+		n    int
+		sum  uint64
+		rtts []uint64
+	}
+	perPhase := make([]acc, len(p.Shape.Phases))
+	var total acc
+	for e := range echoes {
+		total.n++
+		total.sum += e.rtt
+		total.rtts = append(total.rtts, e.rtt)
+		if e.phase >= 0 && e.phase < len(perPhase) {
+			perPhase[e.phase].n++
+			perPhase[e.phase].sum += e.rtt
+			perPhase[e.phase].rtts = append(perPhase[e.phase].rtts, e.rtt)
+		}
+	}
+	p99 := func(rtts []uint64) uint64 {
+		if len(rtts) == 0 {
+			return 0
+		}
+		sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+		return rtts[len(rtts)*99/100]
+	}
+	if total.n > 0 {
+		res.MeanLat = float64(total.sum) / float64(total.n)
+		res.P99Lat = p99(total.rtts)
+	}
+	sent := make([]int, len(p.Shape.Phases))
+	for _, d := range sched {
+		sent[d.Phase]++
+	}
+	for i, ph := range p.Shape.Phases {
+		st := PhaseStat{Name: ph.Name, Sent: sent[i], Echoed: perPhase[i].n, P99Lat: p99(perPhase[i].rtts)}
+		if perPhase[i].n > 0 {
+			st.MeanLat = float64(perPhase[i].sum) / float64(perPhase[i].n)
+		}
+		res.Phases = append(res.Phases, st)
+	}
+	return res, nil
+}
+
+// shapedServer echoes in gather windows: it collects up to the advised
+// width (or until the flush deadline) and replies with one vectored
+// send. The width knob's whole trade lives here — a wide window
+// amortizes per-call costs under load and parks early arrivals at
+// trickle.
+func shapedServer(srv sys.Sys, sfd int, p ShapedParams) error {
+	adviser, _ := srv.(batchAdviser)
+	width := func() int {
+		w := p.Width
+		if w <= 0 && adviser != nil {
+			w = adviser.AdviseBatch()
+		}
+		if w < 1 {
+			w = 1
+		}
+		if w > shapedGatherMax {
+			w = shapedGatherMax
+		}
+		return w
+	}
+	msgs := make([]sys.Mmsg, shapedGatherMax)
+	for i := range msgs {
+		msgs[i].Buf = make([]byte, p.PacketSize+64)
+	}
+	sawFin := false
+	lastTraffic := time.Now()
+	clk := srv.Clock()
+	for {
+		w := width()
+		got := 0
+		var windowStart uint64
+		deadline := time.Now().Add(roundWait)
+		for got < w {
+			n, err := srv.RecvFromN(sfd, msgs[got:w], false)
+			if err == nil && n > 0 {
+				if got == 0 {
+					// The clock just synced to the first arrival: the
+					// window's coalescing budget starts here.
+					windowStart = clk.Now()
+				}
+				got += n
+				if clk.Now()-windowStart >= flushCycles {
+					break
+				}
+				continue
+			}
+			if got > 0 && clk.Now()-windowStart >= flushCycles {
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			if _, err := srv.Poll([]sys.PollFD{{FD: sfd, Events: sys.PollIn}}, 5*time.Millisecond); err != nil {
+				return err
+			}
+		}
+		if got == 0 {
+			// Exit on FIN, or on a long quiet stretch in case every FIN
+			// was dropped on a lossy run.
+			if sawFin || time.Since(lastTraffic) > echoTimeout {
+				return nil
+			}
+			continue
+		}
+		lastTraffic = time.Now()
+		// One event-loop iteration per gather round, however many
+		// datagrams it carried.
+		clk.Advance(dispatchCycles)
+		out := make([]sys.Mmsg, 0, got)
+		for i := 0; i < got; i++ {
+			if msgs[i].N >= 4 && getU32(msgs[i].Buf) == finSeq {
+				sawFin = true
+			}
+			out = append(out, sys.Mmsg{Buf: msgs[i].Buf[:msgs[i].N], Addr: msgs[i].Addr})
+		}
+		sent := 0
+		for sent < len(out) {
+			n, err := srv.SendToN(sfd, out[sent:])
+			if err != nil {
+				return err
+			}
+			sent += n
+		}
+	}
+}
+
+// shapedSanity guards against schedule/result bookkeeping drift.
+func shapedSanity(r ShapedResult) error {
+	if r.Delivered > r.Sent {
+		return fmt.Errorf("shaped: delivered %d > sent %d", r.Delivered, r.Sent)
+	}
+	return nil
+}

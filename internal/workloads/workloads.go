@@ -111,3 +111,12 @@ func putU32(b []byte, v uint32) {
 func getU32(b []byte) uint32 {
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v>>32))
+	putU32(b[4:], uint32(v))
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b))<<32 | uint64(getU32(b[4:]))
+}

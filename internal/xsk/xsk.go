@@ -222,6 +222,17 @@ func (s *Socket) TxPending() bool {
 	return free < s.TX.Size()
 }
 
+// RxQueued reports how many RX descriptors are waiting, via the same
+// certified index read the receive path uses (a hostile index reads as
+// zero). This is the trusted queue-depth sample the FM pump feeds the
+// tuner's occupancy histograms.
+func (s *Socket) RxQueued() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	avail, _ := s.RX.Available()
+	return avail
+}
+
 // Refill produces as many free UMem frames into xFill as fit, keeping the
 // kernel supplied with RX buffers (§4.1 "Quality of service assurance").
 // It returns the number produced.

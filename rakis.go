@@ -34,6 +34,7 @@ import (
 	"rakis/internal/netstack"
 	"rakis/internal/sm"
 	"rakis/internal/telemetry"
+	"rakis/internal/tuner"
 	"rakis/internal/vtime"
 	"rakis/internal/xsk"
 )
@@ -86,6 +87,23 @@ type Config struct {
 	// layers (XSKs, io_urings, MM, host kernel, chaos) get trace buffers.
 	// Nil keeps the disabled fast path — one pointer test per hook.
 	Telemetry *telemetry.Sink
+	// Adaptive enables the self-tuning runtime (internal/tuner): a
+	// control loop steps on trusted-side telemetry and adapts the
+	// advised vector width, the wakeup-vs-busy-poll mode, and the
+	// recommended ring geometry. Off, the three knobs stay wherever
+	// BatchHint/BusyPoll pin them.
+	Adaptive bool
+	// TunerParams overrides the control-loop pacing and safety envelope;
+	// the zero value selects tuner.DefaultParams. Ignored unless
+	// Adaptive.
+	TunerParams tuner.Params
+	// BusyPoll statically selects the kernel busy-poll wakeup mode
+	// instead of MM need-wakeup signalling. Ignored when Adaptive (the
+	// tuner owns the mode).
+	BusyPoll bool
+	// BatchHint statically pins the vector width AdviseBatch reports to
+	// applications (default 1). Ignored when Adaptive.
+	BatchHint int
 }
 
 func (c *Config) fill() {
@@ -130,6 +148,17 @@ type Runtime struct {
 
 	wdStop chan struct{}
 	wdDone chan struct{}
+
+	// Self-tuning runtime: tuning is the shared cell the data path
+	// reads; tun and the loop goroutine exist only when cfg.Adaptive.
+	tuning     *tuner.State
+	tun        *tuner.Tuner
+	tunClk     vtime.Clock
+	depthHists []*telemetry.Histogram
+	appDepth   *telemetry.Histogram
+	tunStop    chan struct{}
+	tunDone    chan struct{}
+	tunKick    chan struct{}
 
 	mu       sync.Mutex
 	fds      map[int]*entry
@@ -211,12 +240,44 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 	}
 	rt.Stack = stack
 
+	// The shared tuning cell exists in every configuration: static runs
+	// pin it at (BatchHint, BusyPoll) and the data path reads it the same
+	// way, so adaptive and static differ only in who writes the cell.
+	batchHint := cfg.BatchHint
+	if batchHint <= 0 {
+		batchHint = 1
+	}
+	rt.tuning = tuner.NewState(batchHint, cfg.BusyPoll && !cfg.Adaptive)
+	if cfg.Adaptive {
+		rt.tun = tuner.New(cfg.TunerParams, rt.tuning)
+	}
+	rt.link.SetTuning(rt.tuning)
+
 	for i, sock := range rt.socks {
 		pump := fm.NewXskPump(sock, stack, cfg.Model)
 		pump.SetCopyRX(cfg.CopyRX)
+		pump.SetTuning(rt.tuning)
+		var depth *telemetry.Histogram
+		if cfg.Telemetry != nil {
+			depth = cfg.Telemetry.Reg.Histogram(fmt.Sprintf("fm.xsk%d.qdepth", i))
+		} else {
+			depth = &telemetry.Histogram{}
+		}
+		pump.SetDepthHist(depth)
+		rt.depthHists = append(rt.depthHists, depth)
 		cfg.Telemetry.NewProbe(fmt.Sprintf("fm.xsk%d", i), pump.Clock())
 		rt.pumps = append(rt.pumps, pump)
 	}
+
+	// The app-side receive backlog: XSK ring occupancy only shows load
+	// the pump is behind on, but under a saturating app the queue builds
+	// at the socket layer — the tuner needs both views of depth.
+	if cfg.Telemetry != nil {
+		rt.appDepth = cfg.Telemetry.Reg.Histogram("app.qdepth")
+	} else {
+		rt.appDepth = &telemetry.Histogram{}
+	}
+	rt.depthHists = append(rt.depthHists, rt.appDepth)
 
 	ns.AttachXDP(steeringProgram(cfg.IP))
 	installRSS(ns, cfg.IP, cfg.NumXSKs)
@@ -237,6 +298,39 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 	rt.mon.Counters = cfg.Counters
 	rt.mon.Trace = cfg.Telemetry.NewBuf("mm")
 	cfg.Telemetry.NewProbe("mm", rt.mon.Clock())
+
+	// Per-shard suppression gauges and the busy-poll worker clocks: the
+	// spin burn must show up in the breakdown, or busy-poll looks free.
+	for i, sock := range rt.socks {
+		fd := sock.FD()
+		if cfg.Telemetry != nil {
+			cfg.Telemetry.Reg.Reader(fmt.Sprintf("mm.xsk%d.wakeups_suppressed", i),
+				func() uint64 { return rt.mon.Suppressed(fd) })
+		}
+		if pc := rt.hostProc.XSKPollClock(fd); pc != nil {
+			cfg.Telemetry.NewProbe(fmt.Sprintf("napi.xsk%d", i), pc)
+		}
+	}
+	if cfg.BusyPoll && !cfg.Adaptive {
+		// Static busy-poll: apply immediately and keep the MM's applied
+		// state consistent so its sweeps skip the XSK watches.
+		rt.mon.RequestBusyPoll(true)
+	}
+	if cfg.Adaptive {
+		cfg.Telemetry.NewProbe("tuner", &rt.tunClk)
+		if cfg.Telemetry != nil {
+			cfg.Telemetry.Reg.Reader("tuner.batch", func() uint64 { return uint64(rt.tuning.Batch()) })
+			cfg.Telemetry.Reg.Reader("tuner.busypoll", func() uint64 {
+				if rt.tuning.BusyPoll() {
+					return 1
+				}
+				return 0
+			})
+			cfg.Telemetry.Reg.Reader("tuner.mode_switches", func() uint64 { return rt.tun.Stats().ModeSwitches })
+			cfg.Telemetry.Reg.Reader("tuner.clamps", func() uint64 { return rt.tun.Stats().Clamps })
+			cfg.Telemetry.Reg.Reader("tuner.envelope_violations", func() uint64 { return rt.tun.Stats().EnvelopeViolations })
+		}
+	}
 
 	rt.libosProc = libos.NewProcess(kern.NewProc(ns, cfg.Counters), cfg.Mode, cfg.Counters)
 	rt.libosProc.SetTelemetry(cfg.Telemetry)
@@ -265,7 +359,115 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 		cfg.Chaos.Start()
 	}
 	go rt.watchdog()
+	if cfg.Adaptive {
+		rt.tunStop = make(chan struct{})
+		rt.tunDone = make(chan struct{})
+		rt.tunKick = make(chan struct{}, 1)
+		go rt.tuneLoop()
+	}
 	return rt, nil
+}
+
+// tuneWindow is the previous cut of the tuner's counter inputs.
+type tuneWindow struct {
+	ops, bcalls, bmsgs, suppressed, drops uint64
+	depth                                 telemetry.HistSnapshot
+}
+
+// tuneLoop runs the self-tuning control loop: each step differences the
+// trusted counters against the previous window, steps the tuner, and
+// forwards the wakeup-mode request to the Monitor Module (which applies
+// it with host-thread syscalls — a mode switch never costs an enclave
+// exit). Steps are driven two ways: the data path kicks the loop when
+// fresh evidence lands (so a short hot burst gets as many control steps
+// as it has traffic, independent of wall-clock timer resolution), and a
+// ticker provides the idle heartbeat that lets the tuner decay batch
+// width and leave busy-poll when traffic stops.
+func (rt *Runtime) tuneLoop() {
+	defer close(rt.tunDone)
+	tick := time.NewTicker(100 * time.Microsecond)
+	defer tick.Stop()
+	var prev tuneWindow
+	for {
+		fromTick := false
+		select {
+		case <-rt.tunStop:
+			return
+		case <-rt.tunKick:
+		case <-tick.C:
+			fromTick = true
+		}
+		rt.tuneStep(&prev, fromTick)
+	}
+}
+
+// Control-step evidence floors: a step fires once a window holds this
+// many ops or depth samples; smaller windows keep accumulating. Idle
+// ticker steps (no traffic at all) bypass the floor so batch width and
+// busy-poll can decay when load stops.
+const (
+	tuneWindowOps     = 16
+	tuneWindowSamples = 8
+)
+
+// kickTuner nudges the control loop from the data path. Non-blocking
+// and coalescing: a full kick channel means a step is already pending.
+func (rt *Runtime) kickTuner() {
+	if rt.tunKick == nil {
+		return
+	}
+	select {
+	case rt.tunKick <- struct{}{}:
+	default:
+	}
+}
+
+func (rt *Runtime) tuneStep(prev *tuneWindow, fromTick bool) {
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	var cur tuneWindow
+	if c := rt.cfg.Counters; c != nil {
+		cur.ops = c.PacketsRx.Load() + c.PacketsTx.Load()
+		cur.bcalls = c.BatchCalls.Load()
+		cur.bmsgs = c.BatchedMsgs.Load()
+		cur.drops = c.PacketsDropped.Load()
+	}
+	for _, s := range rt.mon.WatchStats() {
+		cur.suppressed += s.Suppressed
+	}
+	for _, h := range rt.depthHists {
+		cur.depth = cur.depth.Merge(h.Snapshot())
+	}
+	in := tuner.Input{
+		Ops:        sub(cur.ops, prev.ops),
+		BatchCalls: sub(cur.bcalls, prev.bcalls),
+		BatchedMsgs: sub(cur.bmsgs, prev.bmsgs),
+		Suppressed: sub(cur.suppressed, prev.suppressed),
+		Drops:      sub(cur.drops, prev.drops),
+		Depth:      cur.depth.Sub(prev.depth),
+	}
+	if in.Ops < tuneWindowOps && in.Depth.Count < tuneWindowSamples {
+		// Thin evidence: a one-sample window would let a single quiet
+		// drain vote down a ramp the backlog justifies. Accumulate —
+		// unless the ticker says traffic has stopped entirely, which is
+		// the decay path and needs no evidence.
+		if !fromTick || in.Ops > 0 {
+			return
+		}
+	}
+	// The loop's own cost: one LibOS-call-sized charge per active step.
+	// Idle steps are free spins on a parked thread and would otherwise
+	// dominate the adaptive configuration's cycle count at trickle.
+	if in.Ops > 0 || in.Depth.Count > 0 {
+		rt.tunClk.Advance(rt.cfg.Model.LibOSCall)
+	}
+	d := rt.tun.Step(in)
+	rt.mon.RequestBusyPoll(d.Mode == tuner.ModeBusyPoll)
+	*prev = cur
 }
 
 // watchdog is the MM-death degradation path (§4.3: the Monitor Module is
@@ -381,6 +583,14 @@ func installRSS(ns *hostos.NetNS, ip netstack.IP4, numXSKs int) {
 // watchdog stops first: the monitor's normal shutdown looks exactly like
 // an MM death, and must not trigger a burst of paid fallback exits.
 func (rt *Runtime) Close() {
+	if rt.tunStop != nil {
+		select {
+		case <-rt.tunStop:
+		default:
+			close(rt.tunStop)
+		}
+		<-rt.tunDone
+	}
 	select {
 	case <-rt.wdStop:
 	default:
@@ -394,6 +604,12 @@ func (rt *Runtime) Close() {
 		p.Close()
 	}
 	rt.mon.Close()
+	// Retire any busy-poll workers the tuner (or a static BusyPoll
+	// config) left running; their clocks stay readable for breakdowns.
+	var clk vtime.Clock
+	for _, s := range rt.socks {
+		rt.hostProc.XSKBusyPoll(s.FD(), false, &clk)
+	}
 	rt.Stack.Close()
 }
 
@@ -420,6 +636,53 @@ func (rt *Runtime) Pumps() []*fm.XskPump { return rt.pumps }
 
 // HostProc exposes the host-side process used for setup and the MM.
 func (rt *Runtime) HostProc() *hostos.Proc { return rt.hostProc }
+
+// Tuning exposes the shared knob cell the data path reads (never nil
+// after Boot).
+func (rt *Runtime) Tuning() *tuner.State { return rt.tuning }
+
+// TunerStats returns the control loop's accounting; the zero Stats when
+// the runtime is not adaptive. The chaos harness asserts
+// EnvelopeViolations == 0 and MinSwitchGap >= Guard on it.
+func (rt *Runtime) TunerStats() tuner.Stats {
+	if rt.tun == nil {
+		return tuner.Stats{}
+	}
+	return rt.tun.Stats()
+}
+
+// TunerDecision returns the operating point currently in effect (the
+// static pin when not adaptive).
+func (rt *Runtime) TunerDecision() tuner.Decision {
+	if rt.tun == nil {
+		d := tuner.Decision{Batch: rt.tuning.Batch(), Ring: rt.cfg.RingSize}
+		if rt.tuning.BusyPoll() {
+			d.Mode = tuner.ModeBusyPoll
+		}
+		return d
+	}
+	return rt.tun.Current()
+}
+
+// TunerHistory returns the trail of applied decisions (nil when not
+// adaptive).
+func (rt *Runtime) TunerHistory() []tuner.Decision {
+	if rt.tun == nil {
+		return nil
+	}
+	return rt.tun.History()
+}
+
+// TunerRecommend returns the geometry the tuner recommends for the next
+// (re)configure: ring size and UMem frame count derived from the
+// observed depth percentiles. Zeroes when not adaptive.
+func (rt *Runtime) TunerRecommend() (ringSize, frameCount uint32) {
+	if rt.tun == nil {
+		return 0, 0
+	}
+	d := rt.tun.Recommend()
+	return d.Ring, d.Frames
+}
 
 // registerEntry installs an fd table entry and returns its descriptor.
 func (rt *Runtime) registerEntry(e *entry) int {

@@ -85,6 +85,12 @@ func (t *Thread) hook() *vtime.Clock {
 	return clk
 }
 
+// AdviseBatch reports the vector width the self-tuning runtime
+// currently advises for SendToN/RecvFromN (the static BatchHint when
+// the tuner is off). Batching-aware applications poll it to size their
+// gather windows; ignoring it is always correct, just not always fast.
+func (t *Thread) AdviseBatch() int { return t.rt.tuning.Batch() }
+
 // recvCopy moves one received payload into the app buffer — the single
 // explicit copy of the RX path. A view-backed datagram crosses the trust
 // boundary right here (boundary-copy rate, traced, frame released); a
@@ -325,6 +331,12 @@ func (t *Thread) RecvFromN(fd int, msgs []sys.Mmsg, block bool) (int, error) {
 	if got == 0 {
 		return 0, firstErr
 	}
+	// Receive backlog at drain time: what this call took plus what is
+	// still queued. This is the tuner's app-side depth signal — it can
+	// exceed the current advised width, which is exactly what lets the
+	// width ramp instead of capping its own evidence.
+	t.rt.appDepth.Observe(uint64(got + e.udp.QueueLen()))
+	t.rt.kickTuner()
 	return got, nil
 }
 

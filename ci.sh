@@ -49,9 +49,19 @@
 #                        a hostile host steering the tuner's inputs must
 #                        not push it out of the envelope or flap the mode
 #                        (see DESIGN.md, "Self-tuning runtime")
-#  13. bench JSON      — rakis-bench -json: the Figure 2 rows plus the
-#                        batched-vs-scalar, zero-copy, and adaptive rows
-#                        in the stable rakis-bench/v1 layout
+#  13. sharded path    — the sharded data path: the demux suite under
+#                        -race (widths 1..64, rebind, cross-shard port
+#                        collision, bind/close/recv churn), the
+#                        flow-affinity differential (affine TX vs the
+#                        round-robin ablation must be stream-identical),
+#                        and the shardq quarantine scenario — a host
+#                        denying one queue of a four-shard world must
+#                        confine refusals to that shard while every
+#                        healthy shard's flows complete (see DESIGN.md,
+#                        "Sharded data path")
+#  14. bench JSON      — rakis-bench -json: the Figure 2 rows plus the
+#                        batched-vs-scalar, zero-copy, adaptive, and
+#                        shards rows in the stable rakis-bench/v1 layout
 #                        (BENCH_figs.json)
 set -eu
 cd "$(dirname "$0")"
@@ -105,11 +115,17 @@ go test -race -run 'TestAdaptiveSmoke' ./internal/experiments/
 echo "==> rakis-chaos -profile faketel (tuner safety under a hostile host)"
 go run ./cmd/rakis-chaos -profile faketel
 
-echo "==> rakis-bench -fig 2,batch,zerocopy,adaptive -json BENCH_figs.json"
-go run ./cmd/rakis-bench -fig 2,batch,zerocopy,adaptive -scale 0.05 -json BENCH_figs.json > /dev/null
+echo "==> sharded data path: demux (-race) + affinity differential + quarantine"
+go test -race -run 'TestShard' ./internal/netstack/
+go test -race -run 'TestShardAffinityDifferential' ./internal/experiments/
+go test -run 'TestShardQuarantine' ./internal/chaos/harness/
+
+echo "==> rakis-bench -fig 2,batch,zerocopy,adaptive,shards -json BENCH_figs.json"
+go run ./cmd/rakis-bench -fig 2,batch,zerocopy,adaptive,shards -scale 0.05 -json BENCH_figs.json > /dev/null
 test -s BENCH_figs.json
 grep -q '"figure": "batch"' BENCH_figs.json
 grep -q '"figure": "zerocopy"' BENCH_figs.json
 grep -q '"figure": "adaptive"' BENCH_figs.json
+grep -q '"figure": "shards"' BENCH_figs.json
 
 echo "ci: all checks passed"

@@ -33,6 +33,7 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -140,6 +141,14 @@ type Profile struct {
 	// safety-net scan so lost wakeups actually stall (otherwise the
 	// scan masks them within milliseconds).
 	DisableKernelScan bool
+	// TargetOneXSK restricts the scribbler to the rings of a single XSK:
+	// the last-registered one, i.e. the highest queue. Queue 0 is never
+	// the target because ARP and other unbound traffic ride it — killing
+	// it would sever steering for every shard instead of exactly one.
+	// Combined with ScribbleBeyondOwner this models a host that denies
+	// service on one queue of a sharded runtime; the quarantine scenario
+	// asserts the damage stays confined to that shard's flows.
+	TargetOneXSK bool
 	// ScribbleBeyondOwner lets the control-word scribbler forge index
 	// values ahead of the owner's true position. Such values pass
 	// certification — they are indistinguishable from genuine progress —
@@ -467,13 +476,18 @@ func (in *Injector) scribbler() {
 	}
 }
 
-// scribbleOnce attacks one randomly chosen registered ring.
+// scribbleOnce attacks one randomly chosen registered ring — or, with
+// TargetOneXSK, one ring of the quarantine target's four.
 func (in *Injector) scribbleOnce() {
 	in.regionMu.Lock()
-	n := len(in.regions)
+	cands := in.regions
+	if in.profile.TargetOneXSK {
+		cands = targetXSKRegions(in.regions)
+	}
+	n := len(cands)
 	var rg RingRegion
 	if n > 0 {
-		rg = in.regions[in.randN(int64(n))]
+		rg = cands[in.randN(int64(n))]
 	}
 	in.regionMu.Unlock()
 	if n == 0 {
@@ -488,6 +502,29 @@ func (in *Injector) scribbleOnce() {
 	if rg.KernelSide == ring.Producer && in.roll(SiteRingData) {
 		in.scribbleData(rg)
 	}
+}
+
+// targetXSKRegions selects the quarantine target's rings: the four
+// regions sharing the name prefix ("xsk<fd>") of the last-registered
+// XSK region. Setup registers XSKs in queue order, so this is the
+// highest queue — never queue 0.
+func targetXSKRegions(regions []RingRegion) []RingRegion {
+	owner := ""
+	for _, rg := range regions {
+		if strings.HasPrefix(rg.Name, "xsk") {
+			owner, _, _ = strings.Cut(rg.Name, "-")
+		}
+	}
+	if owner == "" {
+		return nil
+	}
+	var out []RingRegion
+	for _, rg := range regions {
+		if name, _, _ := strings.Cut(rg.Name, "-"); name == owner {
+			out = append(out, rg)
+		}
+	}
+	return out
 }
 
 // cells loads the raw producer and consumer words of a ring, host-role.

@@ -1,0 +1,57 @@
+package harness_test
+
+import (
+	"testing"
+
+	"rakis/internal/chaos/harness"
+)
+
+// TestShardQuarantine asserts the blast radius of a one-queue denial on
+// a sharded runtime: the shardq profile permanently desyncs the last
+// XSK's rings, and the suite requires that (a) every flow pinned to a
+// healthy shard completes in full — the node stays live, (b) the
+// per-shard refusal counters show defence activity on the target shard
+// and nowhere else, and (c) the trusted-memory tripwire stays zero.
+// The scribbler is an intentional data race, so like the scribbling
+// matrix profiles this scenario only runs uninstrumented.
+func TestShardQuarantine(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("shardq scribbles shared memory by design; covered by the uninstrumented pass")
+	}
+	seed := baseSeed(t)
+	res, err := harness.RunShardQuarantine(seed)
+	if err != nil {
+		t.Fatalf("scenario error (replay with RAKIS_CHAOS_SEED=%#x): %v", seed, err)
+	}
+	if res.Granted != 0 {
+		t.Errorf("host role breached trusted memory %d times", res.Granted)
+	}
+	t.Logf("per-flow echoes: %v (shards %v), target shard %d", res.FlowEchoed, res.FlowShard, res.Target)
+	for i, sh := range res.FlowShard {
+		if sh == res.Target {
+			continue // the quarantined shard's flows may die; that is the point
+		}
+		if res.FlowEchoed[i] != res.PerFlow {
+			t.Errorf("flow %d on healthy shard %d: %d/%d echoes (seed %#x)",
+				i, sh, res.FlowEchoed[i], res.PerFlow, seed)
+		}
+	}
+	if len(res.Stats) != res.Shards {
+		t.Fatalf("ShardStats has %d entries, want %d", len(res.Stats), res.Shards)
+	}
+	for _, s := range res.Stats {
+		t.Logf("shard %d: rx=%d tx=%d wakeups=%d suppressed=%d refusals=%d",
+			s.Shard, s.RxPkts, s.TxPkts, s.Wakeups, s.Suppressed, s.Refusals)
+		if s.Shard == res.Target {
+			if s.Refusals == 0 {
+				t.Errorf("target shard %d: no ring refusals despite 0.9-prob ctrl scribbles (seed %#x)",
+					s.Shard, seed)
+			}
+			continue
+		}
+		if s.Refusals != 0 {
+			t.Errorf("healthy shard %d: %d refusals — quarantine leaked across shards (seed %#x)",
+				s.Shard, s.Refusals, seed)
+		}
+	}
+}

@@ -128,6 +128,26 @@ func ProfileList() []Profile {
 			ExpectCounters:    []string{"FaultsInjected", "RingViolations"},
 		},
 		{
+			// shardq: the host denies service on exactly one XSK queue of
+			// a sharded runtime — beyond-owner forgeries permanently
+			// desync the target's rings while every other queue stays
+			// clean. Pure availability attack on one shard; the
+			// quarantine scenario asserts flows on healthy shards still
+			// complete and refusals stay confined to the target.
+			Name: "shardq",
+			Prob: map[Site]float64{
+				SiteRingCtrl:  0.9,
+				SiteRingFlags: 0.4,
+				SiteRingData:  0.4,
+			},
+			ScribbleEvery:       50 * time.Microsecond,
+			TargetOneXSK:        true,
+			ScribbleBeyondOwner: true,
+			DisableKernelScan:   true,
+			RequireCompletion:   false,
+			ExpectCounters:      []string{"FaultsInjected"},
+		},
+		{
 			Name: "hostile",
 			Prob: map[Site]float64{
 				SiteRingCtrl:     0.8,

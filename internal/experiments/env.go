@@ -77,6 +77,10 @@ type Options struct {
 	Env Environment
 	// ServerQueues is the server NIC queue count (default 4).
 	ServerQueues int
+	// ClientQueues is the client NIC queue count (default 2). The shard
+	// scaling figure raises it with the shard count so the uncosted
+	// load generator's NIC never becomes the bottleneck being measured.
+	ClientQueues int
 	// NumXSKs is the XSK count for RAKIS environments (default 1;
 	// Memcached uses 4, §6.1).
 	NumXSKs int
@@ -87,6 +91,9 @@ type Options struct {
 	// CopyRX selects the legacy copying RX path in RAKIS environments
 	// (the zero-copy ablation). Ignored by the baselines.
 	CopyRX bool
+	// RoundRobinTX retains the pre-shard rotating TX queue selection in
+	// RAKIS environments (the flow-affinity ablation).
+	RoundRobinTX bool
 	// FrameCount overrides the UMem frame count in RAKIS environments
 	// (0 keeps the runtime default). The adaptive figure sets it from the
 	// tuner's geometry recommendation.
@@ -121,6 +128,9 @@ type Options struct {
 func (o *Options) fill() {
 	if o.ServerQueues <= 0 {
 		o.ServerQueues = 4
+	}
+	if o.ClientQueues <= 0 {
+		o.ClientQueues = 2
 	}
 	if o.NumXSKs <= 0 {
 		o.NumXSKs = 1
@@ -200,7 +210,7 @@ func NewWorld(opt Options) (*World, error) {
 	w.Kern.Chaos = opt.Chaos
 	opt.Chaos.Bind(w.Space, w.Counters)
 	cliDev, srvDev := netsim.NewPair(model,
-		netsim.Config{Name: "eth-client", MAC: [6]byte{2, 0, 0, 0, 0, 1}, Queues: 2},
+		netsim.Config{Name: "eth-client", MAC: [6]byte{2, 0, 0, 0, 0, 1}, Queues: opt.ClientQueues},
 		netsim.Config{Name: "eth-server", MAC: [6]byte{2, 0, 0, 0, 0, 2}, Queues: opt.ServerQueues},
 	)
 	// The wire is host-controlled too: both directions get the fault
@@ -273,6 +283,7 @@ func NewWorld(opt Options) (*World, error) {
 			Counters:        w.Counters,
 			GlobalLockStack: opt.GlobalLockStack,
 			CopyRX:          opt.CopyRX,
+			RoundRobinTX:    opt.RoundRobinTX,
 			Chaos:           opt.Chaos,
 			Telemetry:       opt.Telemetry,
 			Adaptive:        opt.Adaptive,
@@ -305,6 +316,10 @@ func (w *World) ClientThread() sys.Sys {
 
 // Rakis exposes the RAKIS runtime in RAKIS environments (nil otherwise).
 func (w *World) Rakis() *rakis.Runtime { return w.rakisRT }
+
+// ClientDev exposes the client-side NIC. The million-flow generator
+// injects raw frames on it directly, bypassing per-flow client sockets.
+func (w *World) ClientDev() *netsim.Device { return w.cliDev }
 
 // TotalDrops sums the NIC queue drops on both ends of the wire — full
 // receive queues silently eat frames, and a throughput figure that hides

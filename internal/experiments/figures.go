@@ -17,6 +17,7 @@ func (w *World) WorkloadEnv() workloads.Env {
 		ServerThread: w.ServerThread,
 		ClientThread: w.ClientThread,
 		ServerIP:     w.ServerIP,
+		ClientIP:     ClientIP,
 		KernelIP:     KernelIP,
 		Model:        w.Model,
 	}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"rakis/internal/workloads"
+)
+
+// heapAllocNow reads live heap bytes after a full collection, so the
+// flood's footprint delta measures retained state, not GC slack.
+func heapAllocNow() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// TestMillionFlows offers one datagram from each of 2^20 distinct flows
+// to a four-shard world and asserts the three properties the generator
+// exists to prove: per-flow state stays bounded (live heap grows by far
+// less than a per-flow footprint would cost), the sharded demux does not
+// degrade with flow count (the second half of the flood takes about as
+// long as the first), and delivery spreads across every shard with the
+// TX path still live (sampled echoes flow).
+func TestMillionFlows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2^20-flow flood is a long test")
+	}
+	const shards = 4
+	flows := 1 << 20
+	if raceDetectorEnabled {
+		// The generator is single-threaded and allocation-free per frame;
+		// under the instrumented build the same properties hold at a
+		// sixteenth of the volume in a sixteenth of the wall time.
+		flows = 1 << 16
+	}
+	w, err := NewWorld(Options{
+		Env:          RakisSGX,
+		NumXSKs:      shards,
+		ServerQueues: shards,
+		BusyPoll:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	before := heapAllocNow()
+	res, err := workloads.MillionFlows(w.WorkloadEnv(), workloads.FloodParams{
+		Flows:  flows,
+		Shards: shards,
+		Dev:    w.ClientDev(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	growth := int64(heapAllocNow()) - int64(before)
+	t.Logf("injected=%d delivered=%d echoed=%d perShard=%v firstHalf=%v secondHalf=%v heapGrowth=%dKiB",
+		res.Injected, res.Delivered, res.Echoed, res.PerShard,
+		res.FirstHalf, res.SecondHalf, growth/1024)
+
+	if res.Injected != flows {
+		t.Fatalf("injected %d of %d", res.Injected, flows)
+	}
+	// Healthy world: the windowed pacing keeps socket queues under
+	// capacity, so delivery is essentially lossless.
+	if res.Delivered < flows-flows/100 {
+		t.Errorf("delivered %d of %d (>1%% loss on a healthy world)", res.Delivered, flows)
+	}
+	if res.Echoed == 0 {
+		t.Error("no sampled echoes: TX path went dead under flood")
+	}
+	for sh, n := range res.PerShard {
+		if n == 0 {
+			t.Errorf("shard %d delivered nothing — flows did not spread", sh)
+		}
+	}
+	// Bounded state: a million flows with even 64 bytes of per-flow
+	// server state would retain 64 MiB. The budget is far below that and
+	// far above test noise.
+	const heapBudget = 32 << 20
+	if growth > heapBudget {
+		t.Errorf("live heap grew %d bytes across the flood (budget %d): per-flow state leaked",
+			growth, heapBudget)
+	}
+	// Flat delivery: a demux that slows down as flows accumulate shows a
+	// second half materially slower than the first.
+	if res.SecondHalf > res.FirstHalf*5/2 {
+		t.Errorf("second half %v vs first half %v: delivery degraded with flow count",
+			res.SecondHalf, res.FirstHalf)
+	}
+}

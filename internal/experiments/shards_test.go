@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestShardScalingGate is the acceptance gate for the sharded data
+// path: on the flow-pinned echo load with a fixed total volume, eight
+// shards must deliver at least 3x the single-shard throughput, and the
+// per-op enclave exit bill must stay within 1.2x of the single-shard
+// floor — scale-out that bought throughput by multiplying boundary
+// crossings would be cheating the paper's core claim.
+func TestShardScalingGate(t *testing.T) {
+	cells, err := RunShardScaling(0.5, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ShardCell{}
+	for _, c := range cells {
+		t.Logf("%-14s ops=%d thr=%.0f ops/s exits/op=%.4f drops=%d rx=%v",
+			c.Name, c.Ops, c.OpsPerSec, c.ExitsPerOp, c.Drops, c.PerShardRx)
+		byName[c.Name] = c
+	}
+	for _, wl := range []string{"echo", "memcached"} {
+		one, ok1 := byName[wl+"/1"]
+		eight, ok8 := byName[wl+"/8"]
+		if !ok1 || !ok8 {
+			t.Fatalf("%s cells missing from %v", wl, cells)
+		}
+		if speedup := eight.OpsPerSec / one.OpsPerSec; speedup < 3 {
+			t.Errorf("%s: 8-shard throughput only %.2fx the 1-shard cell (want >= 3x)", wl, speedup)
+		}
+		if one.ExitsPerOp > 0 && eight.ExitsPerOp > one.ExitsPerOp*1.2 {
+			t.Errorf("%s: 8-shard exits/op %.4f exceeds 1.2x the 1-shard floor %.4f",
+				wl, eight.ExitsPerOp, one.ExitsPerOp)
+		}
+	}
+	// Balance: the pinned echo flows must actually land on all eight
+	// shards — a sweep that funnels everything through one pump would
+	// "scale" only by luck.
+	eight := byName["echo/8"]
+	if len(eight.PerShardRx) != 8 {
+		t.Fatalf("echo/8: expected 8 shard rollups, got %v", eight.PerShardRx)
+	}
+	for i, rx := range eight.PerShardRx {
+		if rx == 0 {
+			t.Errorf("echo/8: shard %d moved no frames: %v", i, eight.PerShardRx)
+		}
+	}
+}

@@ -20,6 +20,7 @@ package fm
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"rakis/internal/iouring"
@@ -93,6 +94,15 @@ type XskPump struct {
 	// queue-depth histogram the tuner steps on.
 	depth *telemetry.Histogram
 
+	// shard is the demux shard this pump feeds — its own XSK queue
+	// index. RSS steered every frame on this queue with the shard hash,
+	// so the stack takes only this shard's locks for the pump's frames.
+	shard int
+
+	// moved counts frames this pump has handed to the stack (the
+	// per-shard RX throughput rollup).
+	moved atomic.Uint64
+
 	clk  vtime.Clock
 	stop chan struct{}
 	done chan struct{}
@@ -133,6 +143,13 @@ func (p *XskPump) SetTuning(st *tuner.State) { p.tuning = st }
 // SetDepthHist installs the queue-depth histogram the pump samples on
 // every active pass. Call before Start.
 func (p *XskPump) SetDepthHist(h *telemetry.Histogram) { p.depth = h }
+
+// SetShard binds the pump to its demux shard (its XSK queue index).
+// Call before Start.
+func (p *XskPump) SetShard(i int) { p.shard = i }
+
+// Moved returns the number of frames the pump has fed into the stack.
+func (p *XskPump) Moved() uint64 { return p.moved.Load() }
 
 // Start launches the pump thread.
 func (p *XskPump) Start() {
@@ -221,15 +238,17 @@ func (p *XskPump) pumpOnce() int {
 		payloads := p.sock.RecvBatch(&p.clk, width)
 		for _, payload := range payloads {
 			p.clk.Advance(p.model.FMPerPacket)
-			p.stack.Input(payload, &p.clk)
+			p.stack.InputShard(payload, &p.clk, p.shard)
 		}
+		p.moved.Add(uint64(len(payloads)))
 		return len(payloads)
 	}
 	views := p.sock.RecvViews(&p.clk, width)
 	for i := range views {
 		p.clk.Advance(p.model.FMPerPacket)
-		p.stack.InputView(views[i], &p.clk)
+		p.stack.InputViewShard(views[i], &p.clk, p.shard)
 	}
+	p.moved.Add(uint64(len(views)))
 	return len(views)
 }
 

@@ -42,6 +42,14 @@ type xskKernel struct {
 	pollClk   vtime.Clock
 	pollFresh atomic.Bool
 
+	// txClk is the driver TX context for this queue. The sendto wakeup
+	// is only a doorbell in zero-copy XDP: the syscall cost lands on the
+	// calling thread (the Monitor Module), but the per-frame driver work
+	// runs in the queue's NAPI TX context — this clock — so N queues
+	// drain in parallel instead of serializing every frame on the one
+	// MM thread.
+	txClk vtime.Clock
+
 	counters *vtime.Counters
 }
 
@@ -288,11 +296,33 @@ func (p *Proc) XSKSendto(fd int, clk *vtime.Clock) (int, error) {
 		}()
 		return 0, nil
 	}
-	n := x.processTX(clk)
+	// The doorbell is paid above (p.enter, on the caller's clock); the
+	// frame drain runs in the queue's driver context. The driver cannot
+	// start before the doorbell rang, so its clock first catches up to
+	// the caller.
+	x.txMu.Lock()
+	x.txClk.Sync(clk.Now())
+	x.txMu.Unlock()
+	n := x.processTX(&x.txClk)
 	if inj.WakeDup() {
-		n += x.processTX(clk)
+		n += x.processTX(&x.txClk)
 	}
 	return n, nil
+}
+
+// XSKTxClock exposes the queue's driver TX context clock so telemetry
+// can attach a probe — the drain work moved off the MM clock must stay
+// visible in the cycle accounting.
+func (p *Proc) XSKTxClock(fd int) *vtime.Clock {
+	obj, err := p.kern.lookupFD(fd)
+	if err != nil {
+		return nil
+	}
+	x, ok := obj.(*xskKernel)
+	if !ok {
+		return nil
+	}
+	return &x.txClk
 }
 
 // XSKRecvfrom is the recvfrom(fd) wakeup: it clears the fill ring's

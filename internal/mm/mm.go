@@ -50,6 +50,12 @@ type watch struct {
 	// queue; the aggregate alone cannot tell a hot shard from ten warm
 	// ones).
 	suppressed atomic.Uint64
+
+	// issued counts wakeup syscalls this watch actually fired — the
+	// per-shard half of the single-multiplexer story: one MM thread
+	// serves every shard, and this shows which shard's flags it fired
+	// for.
+	issued atomic.Uint64
 }
 
 // Monitor is the Monitor Module thread.
@@ -236,6 +242,7 @@ func (m *Monitor) Sweep() int {
 				w.last = p
 				m.proc.XSKSendto(w.fd, &m.clk)
 				m.Trace.Emit(telemetry.EvMMWakeup, m.clk.Now(), uint64(w.fd), 0)
+				w.issued.Add(1)
 				fired++
 			}
 		case watchXskFill:
@@ -251,6 +258,7 @@ func (m *Monitor) Sweep() int {
 				if force || needWake {
 					m.proc.XSKRecvfrom(w.fd, &m.clk)
 					m.Trace.Emit(telemetry.EvMMWakeup, m.clk.Now(), uint64(w.fd), 1)
+					w.issued.Add(1)
 					fired++
 				} else {
 					// Producer edge with the need-wakeup flag clear: the
@@ -265,6 +273,7 @@ func (m *Monitor) Sweep() int {
 				w.last = p
 				m.proc.IoUringEnter(w.fd, &m.clk)
 				m.Trace.Emit(telemetry.EvMMWakeup, m.clk.Now(), uint64(w.fd), 2)
+				w.issued.Add(1)
 				fired++
 			}
 		}
@@ -302,22 +311,24 @@ func (m *Monitor) applyMode(watches []*watch) {
 	m.busyApplied.Store(want)
 }
 
-// WatchStat is one watched ring's identity and suppression count.
+// WatchStat is one watched ring's identity, suppression count, and
+// issued-wakeup count.
 type WatchStat struct {
 	FD         int
 	Kind       string
 	Suppressed uint64
+	Issued     uint64
 }
 
 // WatchStats returns a snapshot of every watch's per-shard suppression
-// counter.
+// and issued-wakeup counters.
 func (m *Monitor) WatchStats() []WatchStat {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	kinds := map[watchKind]string{watchXskTX: "tx", watchXskFill: "fill", watchUring: "uring"}
 	out := make([]WatchStat, 0, len(m.watches))
 	for _, w := range m.watches {
-		out = append(out, WatchStat{FD: w.fd, Kind: kinds[w.kind], Suppressed: w.suppressed.Load()})
+		out = append(out, WatchStat{FD: w.fd, Kind: kinds[w.kind], Suppressed: w.suppressed.Load(), Issued: w.issued.Load()})
 	}
 	return out
 }
@@ -332,6 +343,21 @@ func (m *Monitor) Suppressed(fd int) uint64 {
 	for _, w := range m.watches {
 		if w.fd == fd {
 			n += w.suppressed.Load()
+		}
+	}
+	return n
+}
+
+// Wakeups returns the total wakeup syscalls actually issued for one fd
+// (all its watches summed) — the per-shard gauge the registry exports
+// as mm.xsk<N>.wakeups.
+func (m *Monitor) Wakeups(fd int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, w := range m.watches {
+		if w.fd == fd {
+			n += w.issued.Load()
 		}
 	}
 	return n

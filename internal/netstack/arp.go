@@ -51,21 +51,38 @@ func marshalARP(p arpPacket) []byte {
 	return b
 }
 
-// arpTable is the stack's neighbour cache. Static entries (from the RAKIS
-// configuration, which carries the peer MAC as §7 "Deployment Simplicity"
-// describes) never expire; learned entries are kept until the stack dies —
-// the simulated segment has no mobility.
+// arpLearnedCap bounds the learned half of the neighbour cache. Learned
+// entries used to be kept until the stack died, which was fine for a
+// handful of simulated hosts but is a memory hole once a load generator
+// throws 10^6 distinct source IPs at the stack (~100 MB of map). The cap
+// is sized far above any in-flight window — a reply always resolves the
+// entry learned when its request arrived a queue-depth ago — so eviction
+// only ever trims flows that have long since gone quiet.
+const arpLearnedCap = 32768
+
+// arpTable is the stack's neighbour cache. Static entries (from the
+// RAKIS configuration, which carries the peer MAC as §7 "Deployment
+// Simplicity" describes) never expire and never count against the cap;
+// learned entries are bounded by arpLearnedCap with FIFO eviction — the
+// simulated segment has no mobility, so recency is all that matters.
 type arpTable struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	entries map[IP4][6]byte
+	static  map[IP4]struct{}
+	order   []IP4 // learned insertion order, oldest first
+	evict   int   // next eviction cursor into order
 }
 
 func newARPTable(static map[IP4][6]byte) *arpTable {
-	t := &arpTable{entries: make(map[IP4][6]byte)}
+	t := &arpTable{
+		entries: make(map[IP4][6]byte),
+		static:  make(map[IP4]struct{}),
+	}
 	t.cond = sync.NewCond(&t.mu)
 	for ip, mac := range static {
 		t.entries[ip] = mac
+		t.static[ip] = struct{}{}
 	}
 	return t
 }
@@ -79,6 +96,21 @@ func (t *arpTable) lookup(ip IP4) ([6]byte, bool) {
 
 func (t *arpTable) learn(ip IP4, mac [6]byte) {
 	t.mu.Lock()
+	if _, isStatic := t.static[ip]; !isStatic {
+		if _, known := t.entries[ip]; !known {
+			t.order = append(t.order, ip)
+			if len(t.order)-t.evict > arpLearnedCap {
+				delete(t.entries, t.order[t.evict])
+				t.order[t.evict] = IP4{}
+				t.evict++
+				if t.evict > arpLearnedCap {
+					// Compact the consumed prefix so order stays O(cap).
+					t.order = append(t.order[:0], t.order[t.evict:]...)
+					t.evict = 0
+				}
+			}
+		}
+	}
 	t.entries[ip] = mac
 	t.mu.Unlock()
 	t.cond.Broadcast()

@@ -34,6 +34,14 @@ type Config struct {
 	// resource, reproducing the original LWIP global-lock contention the
 	// paper removed (ablation; §4.2 implementation note).
 	GlobalLock bool
+	// Shards partitions the UDP demux tables and per-socket receive
+	// queues per RSS queue: InputShard(i) traffic only ever touches
+	// shard i's demux replica and shard i's queue of each socket, so N
+	// pump threads share no hot-path lock. Shard selection must agree
+	// with the RSS steering hash (FlowHash) — the stack trusts the
+	// caller's shard index. Zero or one selects the classic single-shard
+	// layout (the kernel stack stays there).
+	Shards int
 	// StaticARP seeds the neighbour cache (the RAKIS deployment config
 	// carries the peer MAC).
 	StaticARP map[IP4][6]byte
@@ -68,6 +76,9 @@ func New(cfg Config) (*Stack, error) {
 	if cfg.PerPacketCost == 0 {
 		cfg.PerPacketCost = cfg.Model.KernelNetPerPacket
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
 	s := &Stack{
 		cfg:   cfg,
 		model: cfg.Model,
@@ -75,7 +86,7 @@ func New(cfg Config) (*Stack, error) {
 		ip:    cfg.IP,
 		arp:   newARPTable(cfg.StaticARP),
 		reasm: newReassembler(),
-		udp:   newUDPTable(),
+		udp:   newUDPTable(cfg.Shards),
 	}
 	if cfg.EnableTCP {
 		s.tcp = newTCPTable(s)
@@ -88,6 +99,9 @@ func New(cfg Config) (*Stack, error) {
 
 // IP returns the interface address.
 func (s *Stack) IP() IP4 { return s.ip }
+
+// Shards returns the demux shard count.
+func (s *Stack) Shards() int { return len(s.udp.demux) }
 
 // Model returns the stack's cost model.
 func (s *Stack) Model() *vtime.Model { return s.model }
@@ -113,9 +127,18 @@ func (s *Stack) charge(clk *vtime.Clock, cost uint64) {
 	clk.Charge(vtime.CompStack, cost)
 }
 
-// Input feeds one received Ethernet frame into the stack. It runs on the
-// caller's (softirq or FM) virtual clock and never retains frame.
+// Input feeds one received Ethernet frame into the stack on shard 0. It
+// runs on the caller's (softirq or FM) virtual clock and never retains
+// frame.
 func (s *Stack) Input(frame []byte, clk *vtime.Clock) {
+	s.InputShard(frame, clk, 0)
+}
+
+// InputShard feeds one received Ethernet frame into the stack through
+// the given demux shard. The caller (an FM pump bound to one XSK queue)
+// guarantees the frame was RSS-steered to that queue, so every lock the
+// demux takes belongs to this shard alone.
+func (s *Stack) InputShard(frame []byte, clk *vtime.Clock, shard int) {
 	if s.closed.Load() {
 		return
 	}
@@ -128,7 +151,7 @@ func (s *Stack) Input(frame []byte, clk *vtime.Clock) {
 	case EtherTypeARP:
 		s.inputARP(payload, clk)
 	case EtherTypeIPv4:
-		s.inputIPv4(eth, payload, clk)
+		s.inputIPv4(eth, payload, clk, shard)
 	}
 }
 
@@ -154,7 +177,7 @@ func (s *Stack) inputARP(payload []byte, clk *vtime.Clock) {
 	}
 }
 
-func (s *Stack) inputIPv4(eth EthHeader, pkt []byte, clk *vtime.Clock) {
+func (s *Stack) inputIPv4(eth EthHeader, pkt []byte, clk *vtime.Clock, shard int) {
 	h, payload, err := ParseIPv4(pkt)
 	if err != nil {
 		return
@@ -177,7 +200,7 @@ func (s *Stack) inputIPv4(eth EthHeader, pkt []byte, clk *vtime.Clock) {
 	}
 	switch h.Proto {
 	case ProtoUDP:
-		s.inputUDP(h, payload, pkt, clk)
+		s.inputUDP(h, payload, pkt, clk, shard)
 	case ProtoTCP:
 		if s.tcp != nil {
 			s.tcp.input(h, payload, clk)

@@ -3,6 +3,7 @@ package netstack
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rakis/internal/mem"
@@ -92,18 +93,64 @@ func (d *Datagram) Release() {
 	}
 }
 
-// udpTable holds the bound UDP sockets. It uses a read/write lock: the
-// hot path (demux on receive) takes only the read side, matching the
-// paper's move away from a single global stack lock.
+// udpTable holds the bound UDP sockets. The port→socket demux map is
+// replicated once per shard, each replica under its own RWMutex: a
+// shard's pump thread only ever touches its own replica, so the hot
+// demux path of one queue never bounces another queue's lock cache line
+// — the scale-out version of the paper's move away from a single global
+// stack lock. Bind-time bookkeeping (collision detection, the ephemeral
+// counter) lives under one cold global mutex and fans the entry into
+// every replica.
 type udpTable struct {
-	mu        sync.RWMutex
+	mu        sync.Mutex
 	ports     map[uint16]*UDPSocket
 	ephemeral uint16
 	closed    bool
+
+	demux []demuxShard
 }
 
-func newUDPTable() *udpTable {
-	return &udpTable{ports: make(map[uint16]*UDPSocket), ephemeral: 32768}
+// demuxShard is one shard's replica of the port→socket map. The padding
+// keeps neighbouring shards' locks off one cache line.
+type demuxShard struct {
+	mu    sync.RWMutex
+	ports map[uint16]*UDPSocket
+	_     [32]byte
+}
+
+func newUDPTable(shards int) *udpTable {
+	if shards < 1 {
+		shards = 1
+	}
+	t := &udpTable{ports: make(map[uint16]*UDPSocket), ephemeral: 32768}
+	t.demux = make([]demuxShard, shards)
+	for i := range t.demux {
+		t.demux[i].ports = make(map[uint16]*UDPSocket)
+	}
+	return t
+}
+
+// publish fans a bind into every shard replica. Caller holds t.mu.
+func (t *udpTable) publish(port uint16, sock *UDPSocket) {
+	for i := range t.demux {
+		d := &t.demux[i]
+		d.mu.Lock()
+		d.ports[port] = sock
+		d.mu.Unlock()
+	}
+}
+
+// retract removes sock's binding from every shard replica if it still
+// owns the port. Caller holds t.mu.
+func (t *udpTable) retract(port uint16, sock *UDPSocket) {
+	for i := range t.demux {
+		d := &t.demux[i]
+		d.mu.Lock()
+		if d.ports[port] == sock {
+			delete(d.ports, port)
+		}
+		d.mu.Unlock()
+	}
 }
 
 func (t *udpTable) closeAll() {
@@ -119,9 +166,16 @@ func (t *udpTable) closeAll() {
 	}
 }
 
-// UDPSocket is a bound UDP endpoint with a per-socket receive queue and
+// UDPSocket is a bound UDP endpoint with a per-shard receive queue and
 // its own virtual-time serialization resource (the fine-grained-locking
-// design of §4.2).
+// design of §4.2, extended per-queue for the sharded data path).
+//
+// Receive queues are per-shard so concurrent pump threads enqueue
+// without sharing a lock: RSS steers every packet of a flow to one
+// queue, so per-flow FIFO order is preserved within its shard queue
+// while cross-flow order relaxes — which UDP permits. Receivers scan the
+// shard queues round-robin under a coalesced wakeup channel, so any mix
+// of blocking receivers drains any mix of shards without lost wakeups.
 type UDPSocket struct {
 	stack *Stack
 	local Addr
@@ -130,16 +184,33 @@ type UDPSocket struct {
 	connected *Addr
 	closed    bool
 
-	queue  chan Datagram
-	closeC chan struct{}
+	// closing flips before the per-shard drain in Close; enqueuers check
+	// it under the shard lock, so no datagram can land after the drain
+	// has swept its shard (the frame-economy invariant for view-backed
+	// payloads).
+	closing atomic.Bool
+
+	shardQ  []sockQ
+	pending atomic.Int64
+	wake    chan struct{} // cap 1: coalesced data-available signal
+	rr      atomic.Uint32 // receiver scan origin, rotated per pop
+	closeC  chan struct{}
 }
 
-// RecvQueueCap is the per-socket receive queue capacity in datagrams,
+// sockQ is one shard's slice-backed FIFO of queued datagrams.
+type sockQ struct {
+	mu   sync.Mutex
+	buf  []Datagram
+	head int
+	_    [32]byte
+}
+
+// RecvQueueCap is the per-shard receive queue capacity in datagrams,
 // sized like the 16 MB / 2K-ring memory budget of §6.1.
 const RecvQueueCap = 2048
 
 // UDPBind creates a socket bound to (stack IP, port); port 0 picks an
-// ephemeral port.
+// ephemeral port. The socket gets one receive queue per stack shard.
 func (s *Stack) UDPBind(port uint16) (*UDPSocket, error) {
 	t := s.udp
 	t.mu.Lock()
@@ -167,22 +238,34 @@ func (s *Stack) UDPBind(port uint16) (*UDPSocket, error) {
 	sock := &UDPSocket{
 		stack:  s,
 		local:  Addr{IP: s.ip, Port: port},
-		queue:  make(chan Datagram, RecvQueueCap),
+		shardQ: make([]sockQ, len(t.demux)),
+		wake:   make(chan struct{}, 1),
 		closeC: make(chan struct{}),
 	}
 	t.ports[port] = sock
+	t.publish(port, sock)
 	return sock, nil
 }
 
-// lookupUDP finds the socket for a destination port.
+// lookupUDP finds the socket for a destination port on shard 0 (the
+// single-shard demux path).
 func (s *Stack) lookupUDP(port uint16) *UDPSocket {
-	s.udp.mu.RLock()
-	defer s.udp.mu.RUnlock()
-	return s.udp.ports[port]
+	return s.lookupUDPShard(port, 0)
 }
 
-// inputUDP demuxes one UDP datagram to its socket queue.
-func (s *Stack) inputUDP(h IPv4Header, payload, origPkt []byte, clk *vtime.Clock) {
+// lookupUDPShard finds the socket for a destination port through the
+// shard's own demux replica — the only lock the hot path touches, and
+// one no other shard's pump ever takes.
+func (s *Stack) lookupUDPShard(port uint16, shard int) *UDPSocket {
+	d := &s.udp.demux[shard]
+	d.mu.RLock()
+	sock := d.ports[port]
+	d.mu.RUnlock()
+	return sock
+}
+
+// inputUDP demuxes one UDP datagram to its socket's shard queue.
+func (s *Stack) inputUDP(h IPv4Header, payload, origPkt []byte, clk *vtime.Clock, shard int) {
 	if len(payload) < UDPHeaderBytes {
 		return
 	}
@@ -198,7 +281,7 @@ func (s *Stack) inputUDP(h IPv4Header, payload, origPkt []byte, clk *vtime.Clock
 			return
 		}
 	}
-	sock := s.lookupUDP(dstPort)
+	sock := s.lookupUDPShard(dstPort, shard)
 	if sock == nil {
 		s.sendPortUnreachable(h, origPkt, clk)
 		return
@@ -214,20 +297,66 @@ func (s *Stack) inputUDP(h IPv4Header, payload, origPkt []byte, clk *vtime.Clock
 	copy(data, payload[UDPHeaderBytes:ulen])
 	clk.Charge(vtime.CompCopy, vtime.Bytes(s.model.KernelCopyPerByte, len(data)))
 	d := Datagram{Payload: data, Src: Addr{IP: h.Src, Port: srcPort}, Stamp: clk.Now()}
-	sock.enqueue(d, s)
+	sock.enqueue(d, s, shard)
 }
 
-// enqueue delivers one datagram to the socket queue, dropping (and
-// releasing any view) when the buffer is full, like Linux.
-func (u *UDPSocket) enqueue(d Datagram, s *Stack) {
-	select {
-	case u.queue <- d:
-	default:
+// enqueue delivers one datagram to the socket's shard queue, dropping
+// (and releasing any view) when that queue is full, like Linux. The
+// closing check happens under the shard lock, so an enqueue can never
+// race past Close's drain and strand a view-backed frame.
+func (u *UDPSocket) enqueue(d Datagram, s *Stack, shard int) {
+	q := &u.shardQ[shard%len(u.shardQ)]
+	q.mu.Lock()
+	if u.closing.Load() || len(q.buf)-q.head >= RecvQueueCap {
+		q.mu.Unlock()
 		d.Release()
 		if s.cfg.Counters != nil {
 			s.cfg.Counters.PacketsDropped.Add(1)
 		}
+		return
 	}
+	q.buf = append(q.buf, d)
+	q.mu.Unlock()
+	u.pending.Add(1)
+	select {
+	case u.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pop takes the oldest datagram from the first non-empty shard queue,
+// scanning from a rotating origin so no shard starves. After a
+// successful pop with datagrams still pending it re-signals the wakeup
+// channel: the signal is coalesced on enqueue, so a waking receiver
+// passes the baton to the next blocked receiver (no lost wakeups with
+// multiple concurrent receivers).
+func (u *UDPSocket) pop() (Datagram, bool) {
+	n := len(u.shardQ)
+	start := int(u.rr.Add(1))
+	for i := 0; i < n; i++ {
+		q := &u.shardQ[(start+i)%n]
+		q.mu.Lock()
+		if q.head >= len(q.buf) {
+			q.mu.Unlock()
+			continue
+		}
+		d := q.buf[q.head]
+		q.buf[q.head] = Datagram{}
+		q.head++
+		if q.head == len(q.buf) {
+			q.buf = q.buf[:0]
+			q.head = 0
+		}
+		q.mu.Unlock()
+		if u.pending.Add(-1) > 0 {
+			select {
+			case u.wake <- struct{}{}:
+			default:
+			}
+		}
+		return d, true
+	}
+	return Datagram{}, false
 }
 
 // LocalAddr returns the socket's bound address.
@@ -340,60 +469,61 @@ func (u *UDPSocket) Send(payload []byte, clk *vtime.Clock) error {
 // data arrives or the socket closes. The caller's clock is synced to the
 // datagram's arrival stamp (idle waiting costs no virtual busy time).
 func (u *UDPSocket) RecvFrom(clk *vtime.Clock, block bool) (Datagram, error) {
-	if !block {
-		select {
-		case d, ok := <-u.queue:
-			if !ok {
-				return Datagram{}, ErrClosed
-			}
-			u.finishRecv(&d, clk)
-			return d, nil
-		default:
-			select {
-			case <-u.closeC:
-				return Datagram{}, ErrClosed
-			default:
-			}
-			return Datagram{}, ErrWouldBlock
-		}
-	}
-	select {
-	case d, ok := <-u.queue:
-		if !ok {
-			return Datagram{}, ErrClosed
-		}
+	if d, ok := u.pop(); ok {
 		u.finishRecv(&d, clk)
 		return d, nil
-	case <-u.closeC:
-		// Drain anything that raced with close.
+	}
+	if !block {
 		select {
-		case d, ok := <-u.queue:
-			if ok {
+		case <-u.closeC:
+			return Datagram{}, ErrClosed
+		default:
+		}
+		return Datagram{}, ErrWouldBlock
+	}
+	for {
+		select {
+		case <-u.wake:
+			if d, ok := u.pop(); ok {
 				u.finishRecv(&d, clk)
 				return d, nil
 			}
-		default:
+		case <-u.closeC:
+			// Drain anything that raced with close.
+			if d, ok := u.pop(); ok {
+				u.finishRecv(&d, clk)
+				return d, nil
+			}
+			return Datagram{}, ErrClosed
 		}
-		return Datagram{}, ErrClosed
 	}
 }
 
 // RecvTimeout is RecvFrom with a real-time cap on the wait, used by
 // workload drivers to detect quiescence.
 func (u *UDPSocket) RecvTimeout(clk *vtime.Clock, d time.Duration) (Datagram, error) {
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	select {
-	case dg, ok := <-u.queue:
-		if !ok {
-			return Datagram{}, ErrClosed
-		}
+	if dg, ok := u.pop(); ok {
 		u.finishRecv(&dg, clk)
 		return dg, nil
-	case <-u.closeC:
-		return Datagram{}, ErrClosed
-	case <-timer.C:
-		return Datagram{}, ErrTimeout
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		select {
+		case <-u.wake:
+			if dg, ok := u.pop(); ok {
+				u.finishRecv(&dg, clk)
+				return dg, nil
+			}
+		case <-u.closeC:
+			if dg, ok := u.pop(); ok {
+				u.finishRecv(&dg, clk)
+				return dg, nil
+			}
+			return Datagram{}, ErrClosed
+		case <-timer.C:
+			return Datagram{}, ErrTimeout
+		}
 	}
 }
 
@@ -404,10 +534,15 @@ func (u *UDPSocket) finishRecv(d *Datagram, clk *vtime.Clock) {
 }
 
 // Readable reports whether a datagram is queued (poll support).
-func (u *UDPSocket) Readable() bool { return len(u.queue) > 0 }
+func (u *UDPSocket) Readable() bool { return u.pending.Load() > 0 }
 
-// QueueLen returns the number of queued datagrams.
-func (u *UDPSocket) QueueLen() int { return len(u.queue) }
+// QueueLen returns the number of queued datagrams across all shards.
+func (u *UDPSocket) QueueLen() int {
+	if n := u.pending.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
 
 // Close unbinds the socket; blocked receivers return ErrClosed.
 func (u *UDPSocket) Close() {
@@ -423,18 +558,27 @@ func (u *UDPSocket) Close() {
 	if t.ports[u.local.Port] == u {
 		delete(t.ports, u.local.Port)
 	}
+	t.retract(u.local.Port, u)
 	t.mu.Unlock()
-	close(u.closeC)
-	// Drain what's still queued so view-backed payloads return their
-	// UMem frames to the pool (a no-op for copy-backed datagrams). A
-	// receiver racing the close may still win a queued datagram first;
-	// either way every frame is accounted for.
-	for {
-		select {
-		case d := <-u.queue:
-			d.Release()
-		default:
-			return
+	// Flip closing before sweeping the shard queues: enqueuers observe
+	// it under the shard lock, so anything not drained here was never
+	// queued. Views go back to the frame pool either way.
+	u.closing.Store(true)
+	var drained int64
+	for i := range u.shardQ {
+		q := &u.shardQ[i]
+		q.mu.Lock()
+		for q.head < len(q.buf) {
+			q.buf[q.head].Release()
+			q.buf[q.head] = Datagram{}
+			q.head++
+			drained++
 		}
+		q.buf, q.head = nil, 0
+		q.mu.Unlock()
 	}
+	if drained > 0 {
+		u.pending.Add(-drained)
+	}
+	close(u.closeC)
 }

@@ -60,10 +60,18 @@ func (s *Stack) spliceFor(port uint16) SpliceDevice {
 // by the classic Input path, so ARP, fragments, ICMP, TCP, and hostile
 // shapes behave exactly as they always did.
 func (s *Stack) InputView(v mem.View, clk *vtime.Clock) {
+	s.InputViewShard(v, clk, 0)
+}
+
+// InputViewShard is InputView through the given demux shard: the
+// in-place path demuxes via the shard's own table replica and queues on
+// the socket's shard queue, and the copying fallback stays on the same
+// shard — so a pump's frames never leave its shard however they parse.
+func (s *Stack) InputViewShard(v mem.View, clk *vtime.Clock, shard int) {
 	if s.closed.Load() {
 		return
 	}
-	if s.inputViewInPlace(&v, clk) {
+	if s.inputViewInPlace(&v, clk, shard) {
 		return
 	}
 	// A full-length CopyOut either fills the buffer or fails stale.
@@ -74,7 +82,7 @@ func (s *Stack) InputView(v mem.View, clk *vtime.Clock) {
 		return
 	}
 	clk.Charge(vtime.CompCopy, vtime.Bytes(s.model.BoundaryCopyPerByte, len(frame)))
-	s.Input(frame, clk)
+	s.InputShard(frame, clk, shard)
 }
 
 // viewFrameInfo is the trusted digest of a mainstream frame header,
@@ -154,7 +162,7 @@ func validateViewHeader(hdr mem.Snap, frameLen int) (viewFrameInfo, bool) {
 // the copying fallback; the view is still live. All gating decisions are
 // taken on the frozen header snapshot before any cost is charged, so a
 // fallen-back packet is charged once, by Input.
-func (s *Stack) inputViewInPlace(v *mem.View, clk *vtime.Clock) bool {
+func (s *Stack) inputViewInPlace(v *mem.View, clk *vtime.Clock, shard int) bool {
 	hn := v.Len()
 	if hn > viewHeaderSnapMax {
 		hn = viewHeaderSnapMax
@@ -175,7 +183,7 @@ func (s *Stack) inputViewInPlace(v *mem.View, clk *vtime.Clock) bool {
 	spliceDev := s.spliceFor(fi.dstPort)
 	var sock *UDPSocket
 	if spliceDev == nil {
-		if sock = s.lookupUDP(fi.dstPort); sock == nil {
+		if sock = s.lookupUDPShard(fi.dstPort, shard); sock == nil {
 			return false // port unreachable: the copy path answers it
 		}
 	}
@@ -220,7 +228,7 @@ func (s *Stack) inputViewInPlace(v *mem.View, clk *vtime.Clock) bool {
 		v.Release()
 		return true
 	}
-	sock.enqueue(ViewDatagram(pv, Addr{IP: fi.srcIP, Port: fi.srcPort}, clk.Now()), s)
+	sock.enqueue(ViewDatagram(pv, Addr{IP: fi.srcIP, Port: fi.srcPort}, clk.Now()), s, shard)
 	return true
 }
 

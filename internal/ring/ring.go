@@ -130,6 +130,11 @@ type Ring struct {
 	// resyncThreshold consecutive refusals the last trusted value is
 	// written back over the hostile one (quarantine-and-resync).
 	violStreak uint32
+
+	// viol is this ring's lifetime certification-failure count — the
+	// per-ring slice of Counters.RingViolations, so a shard's refusals
+	// can be told apart from its neighbours'.
+	viol atomic.Uint64
 }
 
 // resyncThreshold is how many consecutive certification failures the ring
@@ -205,11 +210,15 @@ func (r *Ring) Stamp() *vtime.Stamp { return r.stamp }
 
 // violation records a failed certification check.
 func (r *Ring) violation() error {
+	r.viol.Add(1)
 	if r.counters != nil {
 		r.counters.RingViolations.Add(1)
 	}
 	return ErrViolation
 }
+
+// Violations returns this ring's lifetime certification-failure count.
+func (r *Ring) Violations() uint64 { return r.viol.Load() }
 
 // refreshPeer loads the peer index from untrusted memory and, for
 // certified rings, admits it only if the Table 2 constraint holds. It

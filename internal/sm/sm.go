@@ -31,30 +31,49 @@ import (
 )
 
 // XskLink exposes a set of XSK FastPath Modules as the enclave stack's
-// layer-2 device. Sends round-robin across the sockets; the sockets
-// themselves serialize concurrent users internally.
+// layer-2 device. TX is flow-affine: each outgoing IPv4/UDP frame is
+// hashed with the reversed netstack.FlowHash tuple, which by the RSS
+// consistency invariant is exactly the queue its flow's inbound packets
+// arrive on — so a flow's RX, stack processing, and TX all stay on one
+// shard and the per-shard TX queues and flush locks never see
+// cross-shard traffic. Frames with no flow identity (ARP, non-IPv4)
+// hand off to shard 0, matching the steering program's ARP-on-queue-0
+// rule. The retained round-robin mode is the pre-shard ablation.
 //
 // Scalar SendFrame calls from unmodified callers fan into opportunistic
-// batches: each call enqueues its frame and whichever caller wins the
-// flush lock drains everything queued into one SendBatch run — so an
-// uncontended caller flushes a batch of one immediately (scalar-identical
-// behaviour), while concurrent senders amortize the ring lock,
-// certification pass, and MM wakeup without anyone ever blocking to wait
-// for a batch to fill.
+// batches: each call enqueues its frame on its shard and whichever
+// caller wins that shard's flush lock drains everything queued there
+// into one SendBatch run — so an uncontended caller flushes a batch of
+// one immediately (scalar-identical behaviour), while concurrent
+// senders of the same shard amortize the ring lock, certification pass,
+// and MM wakeup without anyone ever blocking to wait for a batch to
+// fill.
 type XskLink struct {
 	socks []*xsk.Socket
 	next  atomic.Uint32
 	mac   [6]byte
 	mtu   int
 
-	txq     chan txReq
-	flushMu sync.Mutex
+	shards     []linkShard
+	roundRobin bool
 
 	// tuning, when non-nil, tells the send ladder which wakeup mode is
 	// in effect: under busy-poll the kernel worker drains xTX every few
 	// microseconds, so a full-ring retry sleeps at poll scale instead of
 	// climbing the long need-wakeup backoff.
 	tuning *tuner.State
+	// shardTuning, when set, gives each shard's ladder its own mode
+	// cell so a busy-polled hot queue backs off at poll scale while its
+	// idle neighbours keep the long need-wakeup ladder.
+	shardTuning []*tuner.State
+}
+
+// linkShard is one XSK queue's TX state: its coalescing queue, its
+// flush lock, and its transmit counter.
+type linkShard struct {
+	txq     chan txReq
+	flushMu sync.Mutex
+	txPkts  atomic.Uint64
 }
 
 // txReq is one queued scalar SendFrame awaiting a batched flush.
@@ -63,18 +82,81 @@ type txReq struct {
 	res  chan error
 }
 
-// txQueueCap bounds the scalar-call coalescing queue. Enqueuers double as
-// flushers, so a full queue only ever means a flush is in progress.
+// txQueueCap bounds each shard's scalar-call coalescing queue.
+// Enqueuers double as flushers, so a full queue only ever means a flush
+// is in progress.
 const txQueueCap = 256
 
 // NewXskLink bundles the XSKs behind one link device.
 func NewXskLink(socks []*xsk.Socket, mac [6]byte, mtu int) *XskLink {
-	return &XskLink{
-		socks: socks,
-		mac:   mac,
-		mtu:   mtu,
-		txq:   make(chan txReq, txQueueCap),
+	l := &XskLink{
+		socks:  socks,
+		mac:    mac,
+		mtu:    mtu,
+		shards: make([]linkShard, len(socks)),
 	}
+	for i := range l.shards {
+		l.shards[i].txq = make(chan txReq, txQueueCap)
+	}
+	return l
+}
+
+// SetRoundRobin reverts TX queue selection to the pre-shard round-robin
+// (the flow-affinity ablation). Call before traffic starts.
+func (l *XskLink) SetRoundRobin(on bool) { l.roundRobin = on }
+
+// SetShardTuning installs per-shard tuner states (index-aligned with
+// the sockets). Call before traffic starts.
+func (l *XskLink) SetShardTuning(states []*tuner.State) { l.shardTuning = states }
+
+// ShardTx returns the number of frames shard i has transmitted.
+func (l *XskLink) ShardTx(i int) uint64 {
+	if i < 0 || i >= len(l.shards) {
+		return 0
+	}
+	return l.shards[i].txPkts.Load()
+}
+
+// shardState returns the tuner cell steering shard i's send ladder.
+func (l *XskLink) shardState(i int) *tuner.State {
+	if i >= 0 && i < len(l.shardTuning) {
+		return l.shardTuning[i]
+	}
+	return l.tuning
+}
+
+// txShard picks the TX queue for one frame. Flow-affine mode parses the
+// IPv4/UDP header the enclave stack just built and hashes the reversed
+// flow tuple — the shard the peer's packets arrive on. Anything without
+// a flow identity (ARP, non-UDP) goes to shard 0, whose queue also
+// carries inbound ARP. Round-robin mode rotates, as the pre-shard link
+// did.
+func (l *XskLink) txShard(frame []byte) int {
+	n := len(l.socks)
+	if n <= 1 {
+		return 0
+	}
+	if l.roundRobin {
+		return int(l.next.Add(1)) % n
+	}
+	const ethHdr = 14
+	if len(frame) < ethHdr+20 || frame[12] != 0x08 || frame[13] != 0x00 {
+		return 0
+	}
+	ip := frame[ethHdr:]
+	if ip[0]>>4 != 4 {
+		return 0
+	}
+	ihl := int(ip[0]&0x0F) * 4
+	if ihl < 20 || ip[9] != 17 || len(frame) < ethHdr+ihl+4 {
+		return 0
+	}
+	var src, dst netstack.IP4
+	copy(src[:], ip[12:16])
+	copy(dst[:], ip[16:20])
+	sport := uint16(ip[ihl])<<8 | uint16(ip[ihl+1])
+	dport := uint16(ip[ihl+2])<<8 | uint16(ip[ihl+3])
+	return netstack.TXShard(src, dst, sport, dport, n)
 }
 
 // sendRetryMax bounds SendFrame's retries on a full ring. Transient
@@ -93,17 +175,19 @@ const sendRetryMax = 8
 // returns once this frame's outcome is known — it never waits for more
 // frames to accumulate.
 func (l *XskLink) SendFrame(data []byte, clk *vtime.Clock) (uint64, error) {
+	shard := l.txShard(data)
+	sh := &l.shards[shard]
 	req := txReq{data: data, res: make(chan error, 1)}
-	l.txq <- req
+	sh.txq <- req
 	for {
 		select {
 		case err := <-req.res:
 			return clk.Now(), err
 		default:
 		}
-		if l.flushMu.TryLock() {
-			l.flushQueued(clk)
-			l.flushMu.Unlock()
+		if sh.flushMu.TryLock() {
+			l.flushQueued(shard, clk)
+			sh.flushMu.Unlock()
 		}
 		select {
 		case err := <-req.res:
@@ -115,9 +199,64 @@ func (l *XskLink) SendFrame(data []byte, clk *vtime.Clock) (uint64, error) {
 
 // SendFrames transmits a run of frames as one batched publish per ring
 // pass, implementing netstack.BatchLinkDevice for the stack's batched IP
-// path. An error is reported only when the first frame fails.
+// path. The run is partitioned by TX shard first — a batched send from
+// one socket is a single flow, so the common case is one partition — and
+// each partition goes out through its own queue's ring. An error is
+// reported only when the first frame fails.
 func (l *XskLink) SendFrames(frames [][]byte, clk *vtime.Clock) (uint64, error) {
-	errs := l.sendBatchRetry(frames, clk)
+	errs := make([]error, len(frames))
+	if l.roundRobin || len(l.socks) == 1 {
+		// Ablation/single-queue: whole run on one rotating socket, as
+		// the pre-shard link sent it.
+		shard := 0
+		if l.roundRobin && len(l.socks) > 1 {
+			shard = int(l.next.Add(1)) % len(l.socks)
+		}
+		l.sendBatchRetry(shard, frames, errs, clk)
+	} else {
+		first := l.txShard(frames[0])
+		uniform := true
+		var shards []int
+		for i := 1; i < len(frames); i++ {
+			s := l.txShard(frames[i])
+			if s != first {
+				if uniform {
+					shards = make([]int, len(frames))
+					for j := 0; j < i; j++ {
+						shards[j] = first
+					}
+					uniform = false
+				}
+			}
+			if !uniform {
+				shards[i] = s
+			}
+		}
+		if uniform {
+			l.sendBatchRetry(first, frames, errs, clk)
+		} else {
+			// Mixed run: send each shard's subsequence as its own batch,
+			// preserving per-flow order (a flow only ever has one shard).
+			for sh := 0; sh < len(l.socks); sh++ {
+				var sub [][]byte
+				var idx []int
+				for i, s := range shards {
+					if s == sh {
+						sub = append(sub, frames[i])
+						idx = append(idx, i)
+					}
+				}
+				if len(sub) == 0 {
+					continue
+				}
+				subErrs := make([]error, len(sub))
+				l.sendBatchRetry(sh, sub, subErrs, clk)
+				for j, i := range idx {
+					errs[i] = subErrs[j]
+				}
+			}
+		}
+	}
 	for i, err := range errs {
 		if err != nil {
 			if i == 0 {
@@ -129,16 +268,17 @@ func (l *XskLink) SendFrames(frames [][]byte, clk *vtime.Clock) (uint64, error) 
 	return clk.Now(), nil
 }
 
-// flushQueued drains every queued scalar frame into batched sends,
-// delivering each frame's outcome on its result channel. Caller holds
-// flushMu.
-func (l *XskLink) flushQueued(clk *vtime.Clock) {
+// flushQueued drains every scalar frame queued on one shard into
+// batched sends, delivering each frame's outcome on its result channel.
+// Caller holds that shard's flushMu.
+func (l *XskLink) flushQueued(shard int, clk *vtime.Clock) {
+	sh := &l.shards[shard]
 	for {
 		var batch []txReq
 	drain:
 		for len(batch) < txQueueCap {
 			select {
-			case r := <-l.txq:
+			case r := <-sh.txq:
 				batch = append(batch, r)
 			default:
 				break drain
@@ -151,31 +291,35 @@ func (l *XskLink) flushQueued(clk *vtime.Clock) {
 		for i, r := range batch {
 			frames[i] = r.data
 		}
-		errs := l.sendBatchRetry(frames, clk)
+		errs := make([]error, len(frames))
+		l.sendBatchRetry(shard, frames, errs, clk)
 		for i, r := range batch {
 			r.res <- errs[i]
 		}
 	}
 }
 
-// sendBatchRetry pushes a frame run through one socket's SendBatch,
+// sendBatchRetry pushes a frame run through one shard's SendBatch,
 // riding out transient fullness with the same reap-and-backoff ladder as
 // the old scalar path (each retry's certified refresh also counts toward
 // quarantine-and-resync, healing a scribbled control word). Frames still
 // unsent after the ladder drop like a NIC queue overflow; per-frame
-// outcomes are returned positionally.
-func (l *XskLink) sendBatchRetry(frames [][]byte, clk *vtime.Clock) []error {
-	errs := make([]error, len(frames))
-	s := l.socks[int(l.next.Add(1))%len(l.socks)]
+// outcomes land positionally in errs.
+func (l *XskLink) sendBatchRetry(shard int, frames [][]byte, errs []error, clk *vtime.Clock) {
+	s := l.socks[shard]
+	st := l.shardState(shard)
 	sent := 0
 	backoff := 10 * time.Microsecond
 	maxBackoff := 320 * time.Microsecond
-	if l.tuning.BusyPoll() {
+	if st.BusyPoll() {
 		maxBackoff = 20 * time.Microsecond
 	}
 	attempt := 0
 	for sent < len(frames) {
 		n, err := s.SendBatch(frames[sent:], clk)
+		if n > 0 {
+			l.shards[shard].txPkts.Add(uint64(n))
+		}
 		sent += n
 		if sent == len(frames) {
 			break
@@ -204,7 +348,6 @@ func (l *XskLink) sendBatchRetry(frames [][]byte, clk *vtime.Clock) []error {
 			backoff *= 2
 		}
 	}
-	return errs
 }
 
 // SetTuning couples the link's send ladder to the shared tuner state.
@@ -226,6 +369,16 @@ func (l *XskLink) SpliceFrame(v *mem.View, n uint32, clk *vtime.Clock) error {
 	var err error
 	for attempt := 0; attempt <= sendRetryMax; attempt++ {
 		if err = sock.SpliceFrame(v, n, clk); err != xsk.ErrRingFull {
+			if err == nil {
+				// A splice is inherently shard-affine (the frame never
+				// leaves its owning XSK); find the shard for its counter.
+				for i, s := range l.socks {
+					if s == sock {
+						l.shards[i].txPkts.Add(1)
+						break
+					}
+				}
+			}
 			return err
 		}
 		sock.Reap(clk)
@@ -244,7 +397,8 @@ func (l *XskLink) MAC() [6]byte { return l.mac }
 func (l *XskLink) MTU() int { return l.mtu }
 
 // NewEnclaveStack builds the trimmed in-enclave UDP/IP stack over the
-// given XSK link.
+// given XSK link, with one demux shard per XSK queue so the pump
+// threads share no hot-path lock.
 func NewEnclaveStack(link *XskLink, ip netstack.IP4, model *vtime.Model, counters *vtime.Counters, globalLock bool) (*netstack.Stack, error) {
 	if model == nil {
 		model = vtime.Default()
@@ -259,6 +413,7 @@ func NewEnclaveStack(link *XskLink, ip netstack.IP4, model *vtime.Model, counter
 		EnableICMP:    false,
 		PerPacketCost: model.EnclaveStackPerPacket,
 		GlobalLock:    globalLock,
+		Shards:        len(link.socks),
 	})
 }
 

@@ -138,7 +138,7 @@ func Curl(env Env, p CurlParams, readFile func(string) ([]byte, error)) (CurlRes
 
 	// The server address here is the *native* side: curl runs in the
 	// environment and reaches out.
-	dst := sys.Addr{IP: env.ClientIP(), Port: p.Port}
+	dst := sys.Addr{IP: env.ClientIP, Port: p.Port}
 	sp := startSpan(curl.Clock())
 	if _, err := curl.SendTo(fd, []byte("REQ "+p.Path), dst); err != nil {
 		return CurlResult{}, err
@@ -203,7 +203,3 @@ func Curl(env Env, p CurlParams, readFile func(string) ([]byte, error)) (CurlRes
 		Seconds: env.Model.Seconds(cycles),
 	}, nil
 }
-
-// clientIPHack: Env carries the server-side addresses; the native peer's
-// address is fixed by the testbed.
-func (e Env) ClientIP() sys.IP4 { return sys.IP4{10, 0, 0, 1} }

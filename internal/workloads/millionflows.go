@@ -1,0 +1,268 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rakis/internal/netsim"
+	"rakis/internal/netstack"
+	"rakis/internal/sys"
+)
+
+// MillionFlows is the flow-scale load generator: it offers datagrams
+// from a million distinct flows to one server socket without a million
+// client sockets, goroutines, or per-flow state. Flows are derived, not
+// stored — flow i's (source IP, source port) is computed from i — and
+// the frames are injected raw on the client NIC, so the only per-flow
+// memory anywhere in the run is whatever the server side keeps. The
+// point of the workload is that the sharded demux keeps that at zero:
+// delivery stays flat from the first flow to the millionth, and the
+// (bounded) enclave ARP cache is the only state that even notices.
+
+// FloodParams configures one run.
+type FloodParams struct {
+	// Flows is the number of distinct flows offered (default 1<<20).
+	// Each flow sends exactly one datagram.
+	Flows int
+	// PacketSize is the UDP payload size (default 64, min 8: the
+	// payload leads with the flow id).
+	PacketSize int
+	// Port is the server port (default 9, the discard service).
+	Port uint16
+	// Window bounds injected-minus-delivered frames in flight (default
+	// 1024): the generator self-paces against the server's consumption
+	// so the socket queues never overflow on a healthy host. Outstanding
+	// frames that stop draining (a quarantined shard eating its flows)
+	// are written off after a stall so the flood still completes.
+	Window int
+	// Shards is the server runtime's shard count, for the per-shard
+	// delivery accounting (default 1).
+	Shards int
+	// EchoEvery makes the server echo every Nth delivered datagram
+	// (default 1024; 0 disables): a sampled proof that the TX path stays
+	// live under flood, without doubling the wire load.
+	EchoEvery int
+	// ServerThreads is the sink thread count (default Shards).
+	ServerThreads int
+	// Dev is the client NIC the generator injects raw frames on
+	// (required — see experiments.World.ClientDev).
+	Dev *netsim.Device
+}
+
+func (p *FloodParams) fill() {
+	if p.Flows <= 0 {
+		p.Flows = 1 << 20
+	}
+	if p.PacketSize < 8 {
+		p.PacketSize = 64
+	}
+	if p.Port == 0 {
+		p.Port = 9
+	}
+	if p.Window <= 0 {
+		p.Window = 1024
+	}
+	if p.Shards <= 0 {
+		p.Shards = 1
+	}
+	if p.EchoEvery == 0 {
+		p.EchoEvery = 1024
+	}
+	if p.ServerThreads <= 0 {
+		p.ServerThreads = p.Shards
+	}
+}
+
+// FloodResult is one measurement.
+type FloodResult struct {
+	// Injected is how many frames went onto the wire.
+	Injected int
+	// Delivered is how many datagrams the server socket handed to the
+	// sink threads.
+	Delivered int
+	// Echoed is how many sampled echoes the server transmitted.
+	Echoed int
+	// PerShard is Delivered split by the RSS shard each datagram's flow
+	// hashes to (length Shards).
+	PerShard []int
+	// FirstHalf and SecondHalf are the wall-clock times to inject each
+	// half of the flows: a demux that degrades with flow count shows up
+	// as a second half much slower than the first.
+	FirstHalf, SecondHalf time.Duration
+}
+
+// floodFlow is the derived per-flow identity — computed, never stored.
+// 16384 ports across 64 source IPs cover 2^20 flows; larger floods wrap
+// onto more IPs.
+type floodFlow struct {
+	ip   sys.IP4
+	port uint16
+}
+
+func floodFlowAt(i int) floodFlow {
+	return floodFlow{
+		ip:   sys.IP4{10, 1, byte(i >> 22), byte(i >> 14)},
+		port: uint16(20000 + (i & 0x3FFF)),
+	}
+}
+
+// floodSink drains the server socket, counting per-shard deliveries and
+// echoing every EchoEvery-th datagram.
+func floodSink(t sys.Sys, fd int, p FloodParams, serverIP sys.IP4,
+	delivered *atomic.Int64, echoed *atomic.Int64, perShard []atomic.Int64, stop <-chan struct{}) {
+	buf := make([]byte, p.PacketSize+64)
+	for {
+		n, src, err := t.RecvFrom(fd, buf, false)
+		if err != nil {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := t.Poll([]sys.PollFD{{FD: fd, Events: sys.PollIn}}, 20*time.Millisecond); err != nil {
+				return
+			}
+			continue
+		}
+		d := delivered.Add(1)
+		sh := netstack.RXShard(src.IP, serverIP, src.Port, p.Port, p.Shards)
+		perShard[sh].Add(1)
+		if p.EchoEvery > 0 && d%int64(p.EchoEvery) == 0 {
+			if _, err := t.SendTo(fd, buf[:n], src); err == nil {
+				echoed.Add(1)
+			}
+		}
+	}
+}
+
+// MillionFlows runs the flood: a sink server in the environment under
+// test, loaded by raw-injected frames from Flows distinct derived flows.
+func MillionFlows(env Env, p FloodParams) (FloodResult, error) {
+	p.fill()
+	res := FloodResult{PerShard: make([]int, p.Shards)}
+	if p.Dev == nil {
+		return res, fmt.Errorf("millionflows: no client device to inject on")
+	}
+
+	first, err := env.ServerThread()
+	if err != nil {
+		return res, err
+	}
+	sfd, err := first.Socket(sys.UDP)
+	if err != nil {
+		return res, err
+	}
+	if err := first.Bind(sfd, p.Port); err != nil {
+		return res, err
+	}
+	var delivered, echoed atomic.Int64
+	perShard := make([]atomic.Int64, p.Shards)
+	stop := make(chan struct{})
+	var srvWG sync.WaitGroup
+	threads := make([]sys.Sys, p.ServerThreads)
+	threads[0] = first
+	for i := 1; i < p.ServerThreads; i++ {
+		threads[i] = first.Clone()
+	}
+	for _, st := range threads {
+		srvWG.Add(1)
+		go func(st sys.Sys) {
+			defer srvWG.Done()
+			floodSink(st, sfd, p, env.ServerIP, &delivered, &echoed, perShard, stop)
+		}(st)
+	}
+
+	// One frame buffer for the whole flood: the NIC copies on Transmit,
+	// so each injection only mutates the flow-dependent fields in place
+	// — source IP and port, the payload's flow tag, the IP checksum.
+	dstMAC := p.Dev.Peer().MAC()
+	srcMAC := p.Dev.MAC()
+	udp := make([]byte, netstack.UDPHeaderBytes+p.PacketSize)
+	be16put(udp[2:4], p.Port)
+	be16put(udp[4:6], uint16(len(udp)))
+	// UDP checksum 0 = "not computed": legal for UDP/IPv4, and the
+	// receive path honors it, so per-frame mutation skips the pseudo
+	// header sum. The IP header checksum below is still real.
+	frame := netstack.MarshalEth(
+		netstack.EthHeader{Dst: dstMAC, Src: srcMAC, Type: netstack.EtherTypeIPv4},
+		netstack.MarshalIPv4(netstack.IPv4Header{Proto: netstack.ProtoUDP, Dst: env.ServerIP}, udp))
+	const (
+		ipOff  = 14      // IP header offset in frame
+		udpOff = 14 + 20 // UDP header offset (no IP options)
+	)
+
+	// Windowed self-pacing with stall write-off: outstanding frames a
+	// dead shard will never deliver must not wedge the generator.
+	const stallAfter = 250 * time.Millisecond
+	writtenOff := int64(0)
+	lastSeen := int64(0)
+	lastProgress := time.Now()
+	wait := func() {
+		for {
+			d := delivered.Load()
+			if d != lastSeen {
+				lastSeen, lastProgress = d, time.Now()
+			}
+			if int64(res.Injected)-d-writtenOff < int64(p.Window) {
+				return
+			}
+			if time.Since(lastProgress) > stallAfter {
+				writtenOff = int64(res.Injected) - d
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	startWall := time.Now()
+	var halfWall time.Time
+	var vt uint64
+	for i := 0; i < p.Flows; i++ {
+		wait()
+		f := floodFlowAt(i)
+		copy(frame[ipOff+12:ipOff+16], f.ip[:])
+		be16put(frame[udpOff:udpOff+2], f.port)
+		putU32(frame[udpOff+8:], uint32(i))
+		frame[ipOff+10], frame[ipOff+11] = 0, 0
+		ck := netstack.Checksum(frame[ipOff : ipOff+20])
+		be16put(frame[ipOff+10:ipOff+12], ck)
+		end, err := p.Dev.Transmit(frame, vt)
+		if err != nil {
+			close(stop)
+			srvWG.Wait()
+			return res, fmt.Errorf("millionflows: inject %d: %w", i, err)
+		}
+		vt = end
+		res.Injected++
+		if i == p.Flows/2 {
+			halfWall = time.Now()
+		}
+	}
+	// Drain: the flood is done when delivery stops moving.
+	for {
+		d := delivered.Load()
+		time.Sleep(20 * time.Millisecond)
+		if delivered.Load() == d {
+			break
+		}
+	}
+	close(stop)
+	srvWG.Wait()
+
+	res.Delivered = int(delivered.Load())
+	res.Echoed = int(echoed.Load())
+	for i := range perShard {
+		res.PerShard[i] = int(perShard[i].Load())
+	}
+	if halfWall.IsZero() {
+		halfWall = time.Now()
+	}
+	res.FirstHalf = halfWall.Sub(startWall)
+	res.SecondHalf = time.Since(halfWall)
+	return res, nil
+}
+
+// be16put writes a big-endian uint16 (the workloads' wire order).
+func be16put(b []byte, v uint16) { b[0], b[1] = byte(v>>8), byte(v) }

@@ -1,0 +1,278 @@
+package workloads
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rakis/internal/netstack"
+	"rakis/internal/sys"
+	"rakis/internal/vtime"
+)
+
+// ShardedEcho is the shard-scaling workload: many concurrent UDP flows
+// ping-ponging against a multi-threaded echo server that shares one
+// socket. Each flow's client source port is chosen so the flow hashes to
+// a designated RSS shard — the same netstack.FlowHash the kernel's
+// steering, the enclave demux, and the flow-affine TX path all compute —
+// so the flow's entire round trip stays on one shard and the run loads
+// every shard evenly.
+
+// ShardedEchoParams configures one run.
+type ShardedEchoParams struct {
+	// Flows is the number of concurrent client flows (default 8).
+	Flows int
+	// PerFlow is how many datagrams each flow ping-pongs (default 64).
+	PerFlow int
+	// Window is the per-flow pipelining depth (default 1). At 1 flows
+	// are strict stop-and-wait — one outstanding datagram, so per-flow
+	// payload order is deterministic in every TX-selection mode, which
+	// is what the affinity differential test compares. The scaling
+	// figure raises it so the measurement is bound by the shared data
+	// path, not by each flow's round-trip latency (which no amount of
+	// sharding can shrink).
+	Window int
+	// PacketSize is the UDP payload size (default 256, min 8).
+	PacketSize int
+	// Port is the server port (default 7).
+	Port uint16
+	// Shards is the server runtime's shard count; flow i is pinned to
+	// shard i % Shards by source-port search (default 1).
+	Shards int
+	// ServerThreads is the receiver thread count sharing the server
+	// socket (default Shards).
+	ServerThreads int
+	// BestEffort tolerates per-flow loss: a flow whose echo times out is
+	// marked incomplete instead of failing the run. The chaos quarantine
+	// scenario uses it — flows on the scribbled shard are expected to
+	// die while every other flow completes.
+	BestEffort bool
+	// Record keeps each flow's echoed payloads in per-flow order.
+	Record bool
+}
+
+func (p *ShardedEchoParams) fill() {
+	if p.Flows <= 0 {
+		p.Flows = 8
+	}
+	if p.PerFlow <= 0 {
+		p.PerFlow = 64
+	}
+	if p.Window <= 0 {
+		p.Window = 1
+	}
+	if p.PacketSize < 8 {
+		p.PacketSize = 256
+	}
+	if p.Port == 0 {
+		p.Port = 7
+	}
+	if p.Shards <= 0 {
+		p.Shards = 1
+	}
+	if p.ServerThreads <= 0 {
+		p.ServerThreads = p.Shards
+	}
+}
+
+// FlowResult is one flow's outcome.
+type FlowResult struct {
+	// Shard is the RSS shard the flow was pinned to.
+	Shard int
+	// Port is the searched client source port that pins it.
+	Port uint16
+	// Echoed is how many of the flow's datagrams made the round trip.
+	Echoed int
+	// Stream holds the flow's echoed payloads in arrival order when
+	// Record was set.
+	Stream [][]byte
+}
+
+// ShardedEchoResult is one measurement.
+type ShardedEchoResult struct {
+	// Flows holds per-flow outcomes, indexed by flow id.
+	Flows []FlowResult
+	// Echoed is the total round trips across all flows.
+	Echoed int
+	// Cycles is the client-side virtual makespan (max client clock).
+	Cycles uint64
+}
+
+// PinFlowPort searches for a client source port that makes the flow
+// (src:port -> dst:dstPort) hash to the target shard. The search space
+// starts above the ephemeral ranges the other workloads use; taken
+// guards against handing out one port twice.
+func PinFlowPort(src, dst sys.IP4, dstPort uint16, shard, shards int, taken map[uint16]bool) (uint16, error) {
+	for p := uint16(21000); p < 60000; p++ {
+		if taken[p] {
+			continue
+		}
+		if netstack.RXShard(src, dst, p, dstPort, shards) == shard {
+			taken[p] = true
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("shardedecho: no free port hashes to shard %d/%d", shard, shards)
+}
+
+// shardedEchoPill is the server-thread poison byte. Flow payloads start
+// with a big-endian flow id, and flow ids stay far below 2^24, so a
+// first byte of 0xFF can only be a pill.
+const shardedEchoPill = 0xFF
+
+// shardedEchoServe echoes datagrams until it eats a pill or the socket
+// has been idle long enough that every pill must have been lost (the
+// quarantined-shard case: pills steered onto a dead queue never arrive).
+func shardedEchoServe(t sys.Sys, fd int) {
+	const idleMax = 15 * time.Second
+	buf := make([]byte, 65536)
+	idle := time.Now().Add(idleMax)
+	for {
+		n, src, err := t.RecvFrom(fd, buf, false)
+		if err != nil {
+			if time.Now().After(idle) {
+				return
+			}
+			if _, err := t.Poll([]sys.PollFD{{FD: fd, Events: sys.PollIn}}, 50*time.Millisecond); err != nil {
+				return
+			}
+			continue
+		}
+		idle = time.Now().Add(idleMax)
+		if n >= 1 && buf[0] == shardedEchoPill {
+			return
+		}
+		t.SendTo(fd, buf[:n], src)
+		// Share the socket queue with sibling server threads (see the
+		// memcached server's identical yield).
+		runtime.Gosched()
+	}
+}
+
+// ShardedEcho runs the full workload and reports per-flow outcomes plus
+// the client-clock makespan the throughput figures divide by.
+func ShardedEcho(env Env, p ShardedEchoParams) (ShardedEchoResult, error) {
+	p.fill()
+	res := ShardedEchoResult{Flows: make([]FlowResult, p.Flows)}
+
+	// Pin every flow's source port before anything runs, so a search
+	// failure is a clean error rather than a half-started world.
+	taken := make(map[uint16]bool)
+	for i := range res.Flows {
+		res.Flows[i].Shard = i % p.Shards
+		port, err := PinFlowPort(env.ClientIP, env.ServerIP, p.Port, res.Flows[i].Shard, p.Shards, taken)
+		if err != nil {
+			return res, err
+		}
+		res.Flows[i].Port = port
+	}
+
+	first, err := env.ServerThread()
+	if err != nil {
+		return res, err
+	}
+	sfd, err := first.Socket(sys.UDP)
+	if err != nil {
+		return res, err
+	}
+	if err := first.Bind(sfd, p.Port); err != nil {
+		return res, err
+	}
+	var srvWG sync.WaitGroup
+	srvThreads := make([]sys.Sys, p.ServerThreads)
+	srvThreads[0] = first
+	for i := 1; i < p.ServerThreads; i++ {
+		srvThreads[i] = first.Clone()
+	}
+	for _, st := range srvThreads {
+		srvWG.Add(1)
+		go func(st sys.Sys) {
+			defer srvWG.Done()
+			shardedEchoServe(st, sfd)
+		}(st)
+	}
+
+	var echoed atomic.Int64
+	var cliWG sync.WaitGroup
+	clocks := make([]*vtime.Clock, p.Flows)
+	errs := make(chan error, p.Flows)
+	dst := sys.Addr{IP: env.ServerIP, Port: p.Port}
+	for f := 0; f < p.Flows; f++ {
+		cli := env.ClientThread()
+		clocks[f] = cli.Clock()
+		cliWG.Add(1)
+		go func(f int, cli sys.Sys) {
+			defer cliWG.Done()
+			fr := &res.Flows[f]
+			cfd, err := cli.Socket(sys.UDP)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := cli.Bind(cfd, fr.Port); err != nil {
+				errs <- fmt.Errorf("flow %d bind %d: %w", f, fr.Port, err)
+				return
+			}
+			buf := make([]byte, p.PacketSize+64)
+			payload := make([]byte, p.PacketSize)
+			sent, inflight := 0, 0
+			for recvd := 0; recvd < p.PerFlow; recvd++ {
+				for sent < p.PerFlow && inflight < p.Window {
+					putU32(payload, uint32(f))
+					putU32(payload[4:], uint32(sent))
+					if _, err := cli.SendTo(cfd, payload, dst); err != nil {
+						errs <- fmt.Errorf("flow %d: %w", f, err)
+						return
+					}
+					sent++
+					inflight++
+				}
+				n, _, ok := pollRecv(cli, cfd, buf, echoTimeout)
+				if !ok {
+					if p.BestEffort {
+						return
+					}
+					errs <- fmt.Errorf("flow %d (shard %d): echo %d/%d never returned",
+						f, fr.Shard, recvd+1, p.PerFlow)
+					return
+				}
+				inflight--
+				if p.Record {
+					fr.Stream = append(fr.Stream, append([]byte(nil), buf[:n]...))
+				}
+				fr.Echoed++
+				echoed.Add(1)
+			}
+		}(f, cli)
+	}
+	cliWG.Wait()
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+
+	// Poison the server threads from many distinct ephemeral ports so
+	// the pills spread across shards — under a quarantined shard, any
+	// pill reaching a healthy queue can retire any thread (the MPMC
+	// socket lets every thread pop every shard queue).
+	killer := env.ClientThread()
+	for i := 0; i < p.ServerThreads*4; i++ {
+		kfd, err := killer.Socket(sys.UDP)
+		if err != nil {
+			break
+		}
+		killer.SendTo(kfd, []byte{shardedEchoPill}, dst)
+	}
+	srvWG.Wait()
+
+	for _, c := range clocks {
+		if c.Now() > res.Cycles {
+			res.Cycles = c.Now()
+		}
+	}
+	res.Echoed = int(echoed.Load())
+	return res, nil
+}

@@ -53,6 +53,9 @@ type Env struct {
 	ClientThread func() sys.Sys
 	// ServerIP is where servers listen in this environment.
 	ServerIP sys.IP4
+	// ClientIP is the load generator's address. Sharded workloads need
+	// it to pin flows to RSS shards by source-port choice.
+	ClientIP sys.IP4
 	// KernelIP is the server host's kernel address (TCP servers under
 	// RAKIS listen here, since RAKIS uses the host TCP stack).
 	KernelIP sys.IP4

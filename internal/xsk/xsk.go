@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rakis/internal/mem"
 	"rakis/internal/ring"
@@ -141,6 +142,11 @@ type Socket struct {
 	model    *vtime.Model
 	counters *vtime.Counters
 	trace    *telemetry.Buf
+
+	// descRefusals counts RX descriptors this socket refused (failed
+	// slot snapshot or UMem validation) — the descriptor-level half of
+	// Refusals().
+	descRefusals atomic.Uint64
 }
 
 // Attach validates the untrusted setup and constructs the trusted handle.
@@ -212,6 +218,16 @@ func (s *Socket) FD() int { return s.fd }
 // Counters returns the socket's statistics sink (may be nil).
 func (s *Socket) Counters() *vtime.Counters { return s.counters }
 
+// Refusals returns this socket's lifetime refusal count: RX descriptors
+// refused (failed slot snapshot or UMem validation) plus certification
+// violations detected on its four rings. Per-socket, so a sharded
+// runtime can attribute host misbehavior to the queue it targeted.
+func (s *Socket) Refusals() uint64 {
+	return s.descRefusals.Load() +
+		s.Fill.Violations() + s.RX.Violations() +
+		s.TX.Violations() + s.Compl.Violations()
+}
+
 // TxPending reports whether xTX holds entries the kernel has not yet
 // consumed. Sustained pending entries mean the sendto wakeup was lost —
 // the pump thread uses this to drive the nudge/kick recovery ladder.
@@ -282,6 +298,7 @@ func (s *Socket) Recv(clk *vtime.Clock) ([]byte, bool) {
 		// slot between the two changes nothing.
 		snap, err := s.RX.SnapSlot(0)
 		if err != nil {
+			s.descRefusals.Add(1)
 			s.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingXskRX, 1)
 			s.RX.Release(1)
 			continue
@@ -379,6 +396,7 @@ func (s *Socket) RecvView(clk *vtime.Clock) (mem.View, bool) {
 		// but the certified bounds cannot move.
 		snap, err := s.RX.SnapSlot(0)
 		if err != nil {
+			s.descRefusals.Add(1)
 			s.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingXskRX, 1)
 			s.RX.Release(1)
 			continue
@@ -435,6 +453,7 @@ func (s *Socket) RecvViews(clk *vtime.Clock, max int) []mem.View {
 		// Single fetch per descriptor, as in RecvView.
 		snap, err := s.RX.SnapSlot(i)
 		if err != nil {
+			s.descRefusals.Add(1)
 			s.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingXskRX, 1)
 			continue
 		}
@@ -616,6 +635,7 @@ func (s *Socket) RecvBatch(clk *vtime.Clock, max int) [][]byte {
 		// frozen fields, use the frozen fields.
 		snap, err := s.RX.SnapSlot(i)
 		if err != nil {
+			s.descRefusals.Add(1)
 			s.trace.Emit(telemetry.EvRingRefusal, clk.Now(), telemetry.RingXskRX, 1)
 			continue
 		}

@@ -71,6 +71,12 @@ type Config struct {
 	Counters *vtime.Counters
 	// GlobalLockStack enables the global-lock netstack ablation.
 	GlobalLockStack bool
+	// RoundRobinTX retains the pre-shard TX queue selection as an
+	// ablation: outbound frames rotate across the XSKs instead of
+	// following the RSS flow hash. Replies then leave on a different
+	// queue than the kernel steers the flow's RX to, defeating shard
+	// affinity (the sharded-scale-out figure measures the cost).
+	RoundRobinTX bool
 	// CopyRX selects the legacy copying RX path: every received frame is
 	// copied out of the UMem before the stack sees it. Off (the default)
 	// the FM pumps hand the stack certified in-place frame views and the
@@ -151,8 +157,15 @@ type Runtime struct {
 
 	// Self-tuning runtime: tuning is the shared cell the data path
 	// reads; tun and the loop goroutine exist only when cfg.Adaptive.
-	tuning     *tuner.State
-	tun        *tuner.Tuner
+	// shardTuning holds one cell per XSK shard — at NumXSKs == 1 (or
+	// static runs) every slot aliases tuning, so the single-queue
+	// configuration is bit-identical to the pre-shard runtime; with
+	// multiple shards under Adaptive each slot is an independent cell
+	// stepped by its own shardTuns entry on per-shard evidence.
+	tuning      *tuner.State
+	tun         *tuner.Tuner
+	shardTuning []*tuner.State
+	shardTuns   []*tuner.Tuner
 	tunClk     vtime.Clock
 	depthHists []*telemetry.Histogram
 	appDepth   *telemetry.Histogram
@@ -234,6 +247,7 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 	}
 
 	rt.link = sm.NewXskLink(rt.socks, ns.Dev.MAC(), ns.Dev.MTU())
+	rt.link.SetRoundRobin(cfg.RoundRobinTX)
 	stack, err := sm.NewEnclaveStack(rt.link, cfg.IP, cfg.Model, cfg.Counters, cfg.GlobalLockStack)
 	if err != nil {
 		return nil, err
@@ -251,12 +265,27 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 	if cfg.Adaptive {
 		rt.tun = tuner.New(cfg.TunerParams, rt.tuning)
 	}
+	// Every shard slot starts as an alias of the global cell; only a
+	// multi-queue adaptive runtime splits them into independent cells.
+	rt.shardTuning = make([]*tuner.State, cfg.NumXSKs)
+	for i := range rt.shardTuning {
+		rt.shardTuning[i] = rt.tuning
+	}
+	if cfg.Adaptive && cfg.NumXSKs > 1 {
+		rt.shardTuns = make([]*tuner.Tuner, cfg.NumXSKs)
+		for i := range rt.shardTuns {
+			rt.shardTuning[i] = tuner.NewState(batchHint, false)
+			rt.shardTuns[i] = tuner.New(cfg.TunerParams, rt.shardTuning[i])
+		}
+	}
 	rt.link.SetTuning(rt.tuning)
+	rt.link.SetShardTuning(rt.shardTuning)
 
 	for i, sock := range rt.socks {
 		pump := fm.NewXskPump(sock, stack, cfg.Model)
 		pump.SetCopyRX(cfg.CopyRX)
-		pump.SetTuning(rt.tuning)
+		pump.SetShard(i)
+		pump.SetTuning(rt.shardTuning[i])
 		var depth *telemetry.Histogram
 		if cfg.Telemetry != nil {
 			depth = cfg.Telemetry.Reg.Histogram(fmt.Sprintf("fm.xsk%d.qdepth", i))
@@ -306,9 +335,22 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 		if cfg.Telemetry != nil {
 			cfg.Telemetry.Reg.Reader(fmt.Sprintf("mm.xsk%d.wakeups_suppressed", i),
 				func() uint64 { return rt.mon.Suppressed(fd) })
+			// Per-shard rollup: RX packets the shard's pump moved, TX
+			// packets its link lane sent, wakeup syscalls the MM issued
+			// for it, and the frames it refused. The shards figure table
+			// consumes these via Registry.Snapshot.
+			cfg.Telemetry.Reg.Reader(fmt.Sprintf("fm.xsk%d.rx_pkts", i), rt.pumps[i].Moved)
+			cfg.Telemetry.Reg.Reader(fmt.Sprintf("sm.xsk%d.tx_pkts", i),
+				func() uint64 { return rt.link.ShardTx(i) })
+			cfg.Telemetry.Reg.Reader(fmt.Sprintf("mm.xsk%d.wakeups", i),
+				func() uint64 { return rt.mon.Wakeups(fd) })
+			cfg.Telemetry.Reg.Reader(fmt.Sprintf("xsk%d.refusals", i), sock.Refusals)
 		}
 		if pc := rt.hostProc.XSKPollClock(fd); pc != nil {
 			cfg.Telemetry.NewProbe(fmt.Sprintf("napi.xsk%d", i), pc)
+		}
+		if tc := rt.hostProc.XSKTxClock(fd); tc != nil {
+			cfg.Telemetry.NewProbe(fmt.Sprintf("txdrv.xsk%d", i), tc)
 		}
 	}
 	if cfg.BusyPoll && !cfg.Adaptive {
@@ -372,6 +414,17 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 type tuneWindow struct {
 	ops, bcalls, bmsgs, suppressed, drops uint64
 	depth                                 telemetry.HistSnapshot
+	// shards holds the per-shard cut when the runtime runs independent
+	// shard tuners (nil otherwise).
+	shards []shardWindow
+}
+
+// shardWindow is one shard's slice of the counter cut: packets its own
+// pump and TX lane moved, wakeups the MM suppressed for its fd, and its
+// pump's queue-depth histogram.
+type shardWindow struct {
+	ops, suppressed uint64
+	depth           telemetry.HistSnapshot
 }
 
 // tuneLoop runs the self-tuning control loop: each step differences the
@@ -466,7 +519,38 @@ func (rt *Runtime) tuneStep(prev *tuneWindow, fromTick bool) {
 		rt.tunClk.Advance(rt.cfg.Model.LibOSCall)
 	}
 	d := rt.tun.Step(in)
-	rt.mon.RequestBusyPoll(d.Mode == tuner.ModeBusyPoll)
+	busy := d.Mode == tuner.ModeBusyPoll
+	// Multi-queue adaptive runtimes additionally step one tuner per
+	// shard on that shard's own evidence (its pump's RX, its TX lane,
+	// its fd's suppressions, its queue depth plus the shared app
+	// backlog). The global tuner keeps owning the advised batch width;
+	// the wakeup mode the MM applies is the OR of every decision — one
+	// hot shard is reason enough to spin, and the MM applies the mode
+	// to all queues anyway.
+	if rt.shardTuns != nil {
+		cur.shards = make([]shardWindow, len(rt.shardTuns))
+		app := rt.appDepth.Snapshot()
+		for i, st := range rt.shardTuns {
+			sw := &cur.shards[i]
+			sw.ops = rt.pumps[i].Moved() + rt.link.ShardTx(i)
+			sw.suppressed = rt.mon.Suppressed(rt.socks[i].FD())
+			sw.depth = rt.depthHists[i].Snapshot().Merge(app)
+			var p shardWindow
+			if i < len(prev.shards) {
+				p = prev.shards[i]
+			}
+			sd := st.Step(tuner.Input{
+				Ops:         sub(sw.ops, p.ops),
+				BatchCalls:  in.BatchCalls,
+				BatchedMsgs: in.BatchedMsgs,
+				Suppressed:  sub(sw.suppressed, p.suppressed),
+				Drops:       in.Drops,
+				Depth:       sw.depth.Sub(p.depth),
+			})
+			busy = busy || sd.Mode == tuner.ModeBusyPoll
+		}
+	}
+	rt.mon.RequestBusyPoll(busy)
 	*prev = cur
 }
 
@@ -545,7 +629,10 @@ func steeringProgram(ip netstack.IP4) hostos.XDPProg {
 }
 
 // installRSS spreads enclave-bound flows over the XSK-backed queues and
-// leaves other traffic on the default hash.
+// leaves other traffic on the default hash. The steering hash is
+// netstack.FlowHash — the same function the enclave's demux shards and
+// the link's flow-affine TX use — so a flow's RX queue, its demux
+// shard, and its reply TX queue all agree by construction.
 func installRSS(ns *hostos.NetNS, ip netstack.IP4, numXSKs int) {
 	ns.Dev.SetRSS(func(data []byte, queues int) int {
 		if len(data) >= 14+20 {
@@ -557,18 +644,17 @@ func installRSS(ns *hostos.NetNS, ip netstack.IP4, numXSKs int) {
 					if numXSKs == 1 {
 						return 0
 					}
-					base := 2166136261
-					h := uint32(base)
 					ihl := int(data[14]&0x0F) * 4
-					if len(data) >= 14+ihl+4 {
-						for _, b := range data[14+12 : 14+20] {
-							h = (h ^ uint32(b)) * 16777619
-						}
-						for _, b := range data[14+ihl : 14+ihl+4] {
-							h = (h ^ uint32(b)) * 16777619
-						}
+					if len(data) < 14+ihl+4 {
+						// Too short to carry ports: the hash over no
+						// bytes is the FNV offset basis.
+						return int(2166136261 % uint32(numXSKs))
 					}
-					return int(h % uint32(numXSKs))
+					var src netstack.IP4
+					copy(src[:], data[14+12:14+16])
+					sport := uint16(data[14+ihl])<<8 | uint16(data[14+ihl+1])
+					dport := uint16(data[14+ihl+2])<<8 | uint16(data[14+ihl+3])
+					return netstack.RXShard(src, dst, sport, dport, numXSKs)
 				}
 			}
 			if etherType == 0x0806 {
@@ -630,6 +716,45 @@ func (rt *Runtime) SpliceUDPEcho(port uint16, enable bool) bool {
 
 // Monitor exposes the Monitor Module (for tests and diagnostics).
 func (rt *Runtime) Monitor() *mm.Monitor { return rt.mon }
+
+// ShardStat is one XSK shard's rollup: the packets its pump and TX lane
+// moved, the wakeup syscalls the MM issued and suppressed for its fd,
+// the frames it refused, and its tuning cell's current operating point.
+type ShardStat struct {
+	Shard      int
+	FD         int
+	RxPkts     uint64
+	TxPkts     uint64
+	Wakeups    uint64
+	Suppressed uint64
+	Refusals   uint64
+	Batch      int
+	BusyPoll   bool
+}
+
+// ShardStats returns a coherent per-shard rollup, one entry per XSK.
+// The same numbers are exported as fm.xsk<i>.rx_pkts /
+// sm.xsk<i>.tx_pkts / mm.xsk<i>.wakeups / xsk<i>.refusals registry
+// readers when telemetry is on; this accessor works either way.
+func (rt *Runtime) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(rt.socks))
+	for i, sock := range rt.socks {
+		fd := sock.FD()
+		st := rt.shardTuning[i]
+		out[i] = ShardStat{
+			Shard:      i,
+			FD:         fd,
+			RxPkts:     rt.pumps[i].Moved(),
+			TxPkts:     rt.link.ShardTx(i),
+			Wakeups:    rt.mon.Wakeups(fd),
+			Suppressed: rt.mon.Suppressed(fd),
+			Refusals:   sock.Refusals(),
+			Batch:      st.Batch(),
+			BusyPoll:   st.BusyPoll(),
+		}
+	}
+	return out
+}
 
 // Pumps exposes the XSK pump threads (their clocks feed measurements).
 func (rt *Runtime) Pumps() []*fm.XskPump { return rt.pumps }

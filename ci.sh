@@ -21,7 +21,9 @@
 #   7. fuzz smoke      — 30 s over the committed netstack seed corpus
 #                        (internal/netstack/testdata/fuzz), the §5.2-style
 #                        hostile-frame campaign, plus 30 s aimed at the
-#                        certify-in-place view parser (FuzzInputView)
+#                        certify-in-place view parser (FuzzInputView) and
+#                        30 s at the TCP segment ingest (FuzzInputTCP,
+#                        seeded with the hostile-handshake corpus)
 #   8. chaos smoke     — rakis-chaos -profile smoke: every workload under
 #                        fault injection (see DESIGN.md, "Chaos testing")
 #   9. trace smoke     — rakis-trace: one instrumented cell per trust
@@ -59,9 +61,21 @@
 #                        confine refusals to that shard while every
 #                        healthy shard's flows complete (see DESIGN.md,
 #                        "Sharded data path")
-#  14. bench JSON      — rakis-bench -json: the Figure 2 rows plus the
-#                        batched-vs-scalar, zero-copy, adaptive, and
-#                        shards rows in the stable rakis-bench/v1 layout
+#  14. xsk-tcp path    — the in-enclave TCP battery: the TCP shard suite
+#                        under -race (concurrent accept/close/rebind at
+#                        widths 1..64, cross-shard port collisions,
+#                        retransmit-vs-close races, hostile-scribble
+#                        refusal), the proxied-vs-XSK differential
+#                        (byte-identical streams and exact refusal/ring
+#                        accounting at widths 1..64, incl. completion-safe
+#                        chaos profiles), the SYN-flood gate under -race
+#                        (stateless cookies, bounded memory, 100% healthy
+#                        delivery), and the figure gate (zero steady-state
+#                        exits at ≥1.5x proxied throughput; see DESIGN.md,
+#                        "In-enclave TCP")
+#  15. bench JSON      — rakis-bench -json: the Figure 2 rows plus the
+#                        batched-vs-scalar, zero-copy, adaptive, shards,
+#                        and tcp rows in the stable rakis-bench/v1 layout
 #                        (BENCH_figs.json)
 set -eu
 cd "$(dirname "$0")"
@@ -89,6 +103,11 @@ go test -run='^$' -fuzz='^FuzzStackInput$' -fuzztime=30s ./internal/netstack
 
 echo "==> go test -fuzz=FuzzInputView -fuzztime=30s ./internal/netstack"
 go test -run='^$' -fuzz='^FuzzInputView$' -fuzztime=30s ./internal/netstack
+
+# -fuzzminimizetime is capped: the default burns 60 s minimizing every
+# new interesting input, which can eat the whole fuzz budget.
+echo "==> go test -fuzz=FuzzInputTCP -fuzztime=30s ./internal/netstack"
+go test -run='^$' -fuzz='^FuzzInputTCP$' -fuzztime=30s -fuzzminimizetime=10x ./internal/netstack
 
 echo "==> rakis-chaos -profile smoke"
 go run ./cmd/rakis-chaos -profile smoke
@@ -120,12 +139,19 @@ go test -race -run 'TestShard' ./internal/netstack/
 go test -race -run 'TestShardAffinityDifferential' ./internal/experiments/
 go test -run 'TestShardQuarantine' ./internal/chaos/harness/
 
-echo "==> rakis-bench -fig 2,batch,zerocopy,adaptive,shards -json BENCH_figs.json"
-go run ./cmd/rakis-bench -fig 2,batch,zerocopy,adaptive,shards -scale 0.05 -json BENCH_figs.json > /dev/null
+echo "==> in-enclave TCP: shard suite (-race) + differential + synflood gate (-race) + figure gate"
+go test -race -run 'TestTCPShard|TestTCPViewScribble' ./internal/netstack/
+go test -run 'TestTCPDifferential' ./internal/experiments/
+go test -race -run 'TestSynFlood' ./internal/chaos/harness/
+go test -run 'TestTCPFigureGate' ./internal/experiments/
+
+echo "==> rakis-bench -fig 2,batch,zerocopy,adaptive,shards,tcp -json BENCH_figs.json"
+go run ./cmd/rakis-bench -fig 2,batch,zerocopy,adaptive,shards,tcp -scale 0.05 -json BENCH_figs.json > /dev/null
 test -s BENCH_figs.json
 grep -q '"figure": "batch"' BENCH_figs.json
 grep -q '"figure": "zerocopy"' BENCH_figs.json
 grep -q '"figure": "adaptive"' BENCH_figs.json
 grep -q '"figure": "shards"' BENCH_figs.json
+grep -q '"figure": "tcp"' BENCH_figs.json
 
 echo "ci: all checks passed"

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rakis-bench [-fig 4a|4b|4c|5a|5b|5c|2|batch|zerocopy|adaptive|shards|all] [-scale 0.25] [-json BENCH_figs.json]
+//	rakis-bench [-fig 4a|4b|4c|5a|5b|5c|2|batch|zerocopy|adaptive|shards|tcp|all] [-scale 0.25] [-json BENCH_figs.json]
 //
 // -fig also accepts a comma-separated list (e.g. -fig 2,batch).
 //
@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figures to regenerate (comma-separated): 2, 4a, 4b, 4c, 5a, 5b, 5c, batch, zerocopy, adaptive, shards, or all")
+	fig := flag.String("fig", "all", "figures to regenerate (comma-separated): 2, 4a, 4b, 4c, 5a, 5b, 5c, batch, zerocopy, adaptive, shards, tcp, or all")
 	scale := flag.Float64("scale", 0.25, "workload scale factor (1.0 = figure-sized)")
 	jsonPath := flag.String("json", "", "also write measured rows as rakis-bench/v1 JSON to this path")
 	flag.Parse()
@@ -47,6 +47,7 @@ func main() {
 		{"zerocopy", "Zero-copy datapath: copy cycles per datagram, copying vs in-place RX", experiments.FigZerocopy},
 		{"adaptive", "Self-tuning runtime: latency-vs-cycles frontier, adaptive vs static", experiments.FigAdaptive},
 		{"shards", "Sharded scale-out: throughput and exits/op vs XSK shard count, with round-robin TX ablation", experiments.FigShards},
+		{"tcp", "In-enclave TCP: Redis-style throughput and exits/op, io_uring-proxied vs XSK TCP", experiments.FigTCP},
 	}
 
 	want := map[string]bool{}

@@ -23,6 +23,7 @@ import (
 // epollItem is one registered descriptor.
 type epollItem struct {
 	udp    *netstack.UDPSocket
+	tcp    *netstack.TCPSocket
 	hostFD int
 	isUDP  bool
 	events uint32
@@ -72,6 +73,11 @@ func (t *Thread) EpollCtl(epfd, op, fd int, events uint32) error {
 	case kindUDP:
 		item.udp = target.udp
 		item.isUDP = true
+	case kindTCP:
+		if target.tcp == nil {
+			return errors.New("rakis: epoll on unconnected TCP fd")
+		}
+		item.tcp = target.tcp
 	case kindHost:
 		item.hostFD = target.host
 	default:
@@ -124,9 +130,12 @@ func (t *Thread) EpollWait(epfd int, events []sys.EpollEvent, timeout time.Durat
 	fds := make([]int, 0, len(ep.interest))
 	for fd, item := range ep.interest {
 		src := sm.PollSource{Events: item.events}
-		if item.isUDP {
+		switch {
+		case item.isUDP:
 			src.UDP = item.udp
-		} else {
+		case item.tcp != nil:
+			src.TCP = item.tcp
+		default:
 			src.HostFD = item.hostFD
 		}
 		srcs = append(srcs, src)

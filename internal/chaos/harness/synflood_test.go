@@ -1,0 +1,78 @@
+package harness_test
+
+import (
+	"testing"
+
+	"rakis/internal/chaos/harness"
+)
+
+// TestSynFlood is the SYN-flood gate for the in-enclave TCP listen path.
+// The scenario sprays spoofed SYNs at 10^5+ handshakes/s while healthy
+// Redis flows and connection churn share the sharded stack; the gate
+// asserts the statelessness bargain end to end:
+//
+//   - Bounded enclave memory: the flood moves the cookies-sent counter,
+//     never the connection table — no per-SYN state exists until a
+//     cookie round-trips.
+//   - Healthy flows keep 100% delivery and churn completes.
+//   - Refusal counters stay confined to stray teardown segments — they
+//     do not scale with the flood.
+//   - The trust boundary holds (zero host-role trusted accesses).
+//
+// The suite runs under -race: the synflood profile carries no
+// shared-memory scribbler, so every fault flows through race-clean
+// sites.
+func TestSynFlood(t *testing.T) {
+	res, err := harness.RunSynFlood(baseSeed(t))
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	t.Logf("flood: %d SYNs at %.0f/s; cookies sent=%d accepted=%d refused=%d; conns after=%d; healthy %d/%d ops; churn %d rounds",
+		res.FloodSYNs, res.FloodRate, res.CookiesSent, res.CookiesAccepted,
+		res.Refused, res.ConnsAfter, res.HealthyOps, res.HealthyWant, res.ChurnRounds)
+
+	// The 10^5/s load spec is proven by the uninstrumented pass; under
+	// the race detector the whole simulated machine runs several times
+	// slower (and the -race CI pass runs packages in parallel), so the
+	// instrumented pass validates the invariants at a floor that only
+	// catches a stalled flood (same precedent as raceWorkloads).
+	rateFloor := 1e5
+	if raceDetectorEnabled {
+		rateFloor = 2e3
+	}
+	if res.FloodRate < rateFloor {
+		t.Errorf("flood rate %.0f SYNs/s below the %.0f/s load floor", res.FloodRate, rateFloor)
+	}
+	// Statelessness: the overwhelming majority of delivered SYNs were
+	// answered from stack memory alone (NIC-queue overflow may drop some
+	// of the offered load; none may mint state).
+	if res.CookiesSent < uint64(res.FloodSYNs)/4 {
+		t.Errorf("cookies sent = %d for %d SYNs offered: the flood never reached the cookie path",
+			res.CookiesSent, res.FloodSYNs)
+	}
+	if res.ConnsAfter > 16 {
+		t.Errorf("connection table holds %d conns after the flood: per-SYN state leaked", res.ConnsAfter)
+	}
+	// Cookie acceptances belong to genuine handshakes (healthy + churn +
+	// shutdown connections), bounded far below the flood.
+	if res.CookiesAccepted < 6 || res.CookiesAccepted > 128 {
+		t.Errorf("cookies accepted = %d, want the healthy-flow handful (6..128)", res.CookiesAccepted)
+	}
+	// Refusals stay confined: stray segments after teardown, never a
+	// flood-proportional bill.
+	if res.Refused > uint64(res.FloodSYNs)/50 {
+		t.Errorf("refused = %d scales with the %d-SYN flood", res.Refused, res.FloodSYNs)
+	}
+	if res.HealthyErr != nil {
+		t.Errorf("healthy flows failed under flood: %v", res.HealthyErr)
+	}
+	if res.HealthyOps != res.HealthyWant {
+		t.Errorf("healthy flows delivered %d of %d ops", res.HealthyOps, res.HealthyWant)
+	}
+	if res.ChurnErr != nil {
+		t.Errorf("connection churn failed under flood: %v", res.ChurnErr)
+	}
+	if res.Granted != 0 {
+		t.Errorf("host role breached trusted memory %d times", res.Granted)
+	}
+}

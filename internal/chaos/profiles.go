@@ -148,6 +148,22 @@ func ProfileList() []Profile {
 			ExpectCounters:      []string{"FaultsInjected"},
 		},
 		{
+			// synflood: the wire regime of the SYN-flood scenario
+			// (harness.RunSynFlood drives the flood itself — 10^5
+			// spoofed handshakes/s against the in-enclave TCP listener).
+			// Light loss and duplication keep the RTO and cookie paths
+			// honest without corruption, so the scenario's cookie and
+			// refusal accounting stays exact. Completion-safe: healthy
+			// established flows must deliver in full.
+			Name: "synflood",
+			Prob: map[Site]float64{
+				SiteNetDrop: 0.01,
+				SiteNetDup:  0.02,
+			},
+			RequireCompletion: true,
+			ExpectCounters:    []string{"FaultsInjected"},
+		},
+		{
 			Name: "hostile",
 			Prob: map[Site]float64{
 				SiteRingCtrl:     0.8,

@@ -34,6 +34,12 @@ const (
 	RakisDirect
 	// RakisSGX runs under RAKIS inside SGX.
 	RakisSGX
+	// RakisSGXXskTCP is RakisSGX with the in-enclave TCP stack over the
+	// XSK path (beyond the paper, which proxied TCP through io_uring):
+	// listen/accept/connect/send/recv run enclave-side at the zero-exit
+	// floor with the SYN-cookie listen path. Not part of Environments —
+	// it extends figures, never alters the paper's five rows.
+	RakisSGXXskTCP
 )
 
 // Environments lists all five in the paper's presentation order.
@@ -50,13 +56,17 @@ func (e Environment) String() string {
 		return "Gramine-SGX"
 	case RakisDirect:
 		return "Rakis-Direct"
+	case RakisSGXXskTCP:
+		return "Rakis-SGX-XSK-TCP"
 	default:
 		return "Rakis-SGX"
 	}
 }
 
 // IsRakis reports whether the environment runs under RAKIS.
-func (e Environment) IsRakis() bool { return e == RakisDirect || e == RakisSGX }
+func (e Environment) IsRakis() bool {
+	return e == RakisDirect || e == RakisSGX || e == RakisSGXXskTCP
+}
 
 // Addresses of the simulated testbed.
 var (
@@ -265,11 +275,11 @@ func NewWorld(opt Options) (*World, error) {
 		w.ServerIP = KernelIP
 		w.serverProc = libos.NewProcess(w.Kern.NewProc(w.ServerNS, w.Counters), libos.SGX, w.Counters)
 		w.serverProc.SetTelemetry(opt.Telemetry)
-	case RakisDirect, RakisSGX:
+	case RakisDirect, RakisSGX, RakisSGXXskTCP:
 		w.ServerIP = RakisIP
 		mode := libos.Direct
 		encModel := rakisDirectModel(model)
-		if opt.Env == RakisSGX {
+		if opt.Env != RakisDirect {
 			mode = libos.SGX
 			encModel = model
 		}
@@ -290,6 +300,7 @@ func NewWorld(opt Options) (*World, error) {
 			TunerParams:     opt.TunerParams,
 			BusyPoll:        opt.BusyPoll,
 			BatchHint:       opt.BatchHint,
+			EnclaveTCP:      opt.Env == RakisSGXXskTCP,
 		})
 		if err != nil {
 			return nil, err

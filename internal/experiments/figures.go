@@ -24,6 +24,9 @@ func (w *World) WorkloadEnv() workloads.Env {
 	if rt := w.Rakis(); rt != nil {
 		env.SpliceUDPEcho = rt.SpliceUDPEcho
 	}
+	if w.Opt.Env == RakisSGXXskTCP {
+		env.TCPIP = RakisIP
+	}
 	return env
 }
 
@@ -48,6 +51,31 @@ type Row struct {
 	Batch int
 }
 
+// printCols returns the table's environment columns: the paper's five
+// in presentation order, followed by any extra environments the figure
+// measured (e.g. the in-enclave XSK TCP configuration) in
+// first-appearance order. Columns no row measured are omitted.
+func printCols(rows []Row) []Environment {
+	seen := map[Environment]bool{}
+	for _, r := range rows {
+		seen[r.Env] = true
+	}
+	var cols []Environment
+	for _, e := range Environments {
+		if seen[e] {
+			cols = append(cols, e)
+			delete(seen, e)
+		}
+	}
+	for _, r := range rows {
+		if seen[r.Env] {
+			cols = append(cols, r.Env)
+			delete(seen, r.Env)
+		}
+	}
+	return cols
+}
+
 // PrintRows renders rows as an aligned table grouped by parameter.
 func PrintRows(out io.Writer, title string, rows []Row) {
 	fmt.Fprintf(out, "\n%s\n", title)
@@ -60,8 +88,9 @@ func PrintRows(out io.Writer, title string, rows []Row) {
 		}
 		byParam[r.Param] = append(byParam[r.Param], r)
 	}
+	cols := printCols(rows)
 	fmt.Fprintf(tw, "param")
-	for _, e := range Environments {
+	for _, e := range cols {
 		fmt.Fprintf(tw, "\t%s", e)
 	}
 	if len(rows) > 0 {
@@ -71,7 +100,7 @@ func PrintRows(out io.Writer, title string, rows []Row) {
 	anyDrops := false
 	for _, p := range order {
 		fmt.Fprintf(tw, "%s", p)
-		for _, e := range Environments {
+		for _, e := range cols {
 			v := 0.0
 			for _, r := range byParam[p] {
 				if r.Env == e {
@@ -89,7 +118,7 @@ func PrintRows(out io.Writer, title string, rows []Row) {
 		fmt.Fprintln(tw, "-- NIC drops --")
 		for _, p := range order {
 			fmt.Fprintf(tw, "%s", p)
-			for _, e := range Environments {
+			for _, e := range cols {
 				var d uint64
 				for _, r := range byParam[p] {
 					if r.Env == e {

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rakis/internal/telemetry"
+	"rakis/internal/workloads"
+)
+
+// TCPFigOps returns the Redis op count used by FigTCP at the given
+// scale (shared with the gate test so both measure the same regime).
+func TCPFigOps(scale Scale) int {
+	ops := int(float64(4000) * float64(scale))
+	if ops < 800 {
+		ops = 800
+	}
+	return ops
+}
+
+// TCPCell runs the Redis-style TCP echo workload in one environment and
+// reports throughput plus steady-state enclave exits per operation. The
+// exit counter is snapshotted after world boot, so what is measured is
+// the workload's own exit bill: for the io_uring-proxied configuration
+// that includes its per-thread ring setup; for the XSK TCP
+// configuration everything from listen to close stays enclave-side.
+type TCPCellResult struct {
+	OpsPerSec  float64
+	ExitsPerOp float64
+	Ops        int
+	Drops      uint64
+}
+
+// RunTCPCell boots one world, serves ops Redis SET commands over TCP,
+// and returns the measured cell.
+func RunTCPCell(env Environment, ops int) (TCPCellResult, error) {
+	sink := telemetry.NewSink()
+	w, err := NewWorld(Options{Env: env, NumXSKs: 2, Telemetry: sink})
+	if err != nil {
+		return TCPCellResult{}, err
+	}
+	exits0, _ := sink.Reg.Value("vtime.enclave_exits")
+	res, runErr := workloads.Redis(w.WorkloadEnv(), workloads.RedisParams{
+		Command:     "SET",
+		Ops:         ops,
+		Connections: 8,
+		UseEpoll:    true,
+	})
+	exits1, _ := sink.Reg.Value("vtime.enclave_exits")
+	drops := w.TotalDrops()
+	w.Close()
+	if runErr != nil {
+		return TCPCellResult{}, fmt.Errorf("tcp cell %v: %w", env, runErr)
+	}
+	return TCPCellResult{
+		OpsPerSec:  res.OpsPerSec,
+		ExitsPerOp: float64(exits1-exits0) / float64(res.Ops),
+		Ops:        res.Ops,
+		Drops:      drops,
+	}, nil
+}
+
+// FigTCP extends Figure 5(b): the Redis-style TCP workload on the
+// io_uring-proxied configuration (the paper's RAKIS-SGX, TCP terminated
+// in the host kernel per §7) versus the in-enclave XSK TCP environment.
+// Two row groups: client-observed throughput and steady-state enclave
+// exits per op. The XSK row must sit at the zero-exit floor while
+// beating the proxied row's throughput — the figure the paper never
+// achieved.
+func FigTCP(scale Scale) ([]Row, error) {
+	ops := TCPFigOps(scale)
+	var rows []Row
+	for _, env := range []Environment{RakisSGX, RakisSGXXskTCP} {
+		cell, err := RunTCPCell(env, ops)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows,
+			Row{Env: env, Param: "redis-SET", Value: cell.OpsPerSec, Unit: "ops/s", Drops: cell.Drops},
+			Row{Env: env, Param: "exits/op", Value: cell.ExitsPerOp, Unit: "exits/op"},
+		)
+	}
+	return rows, nil
+}

@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rakis/internal/chaos"
+	"rakis/internal/sys"
+)
+
+// Differential tests for the in-enclave XSK TCP path: the same
+// deterministic TCP workload run against the io_uring-proxied
+// environment (TCP terminated in the host kernel, the paper's §7
+// configuration) and against the in-enclave XSK TCP environment must
+// produce byte-identical application streams at every connection width.
+// Moving the TCP endpoint across the trust boundary changes who pays
+// for a segment — never what the application observes. Refusal and ring
+// accounting is asserted exactly, not bounded: a clean run refuses
+// nothing in either world, the cookie counters move once per handshake
+// on the enclave stack and never on the kernel stack, and a probe at a
+// closed port costs exactly one deterministic refusal in each.
+
+// tcpDiffWidths is the connection-parallelism ladder. Width also sets
+// the XSK shard count (capped at 8 queues) so the high widths exercise
+// cross-shard demux, not just one busy lane.
+var tcpDiffWidths = []int{1, 2, 4, 8, 16, 32, 64}
+
+const (
+	tcpDiffPort = 6401
+	tcpDiffMsgs = 6
+)
+
+// tcpDiffMsg is message k of connection ci: a deterministic size in
+// [1, 2800] — straddling the 1460-byte MSS so multi-segment sends and
+// reassembly are on the differential path — with a deterministic fill.
+func tcpDiffMsg(ci, k int) []byte {
+	size := 1 + (ci*131+k*977)%2800
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(ci*7 + k*13 + i*31)
+	}
+	return b
+}
+
+// tcpDiffServer is a poll-loop echo server: every received byte is sent
+// straight back. It exits once all `conns` expected connections have
+// been accepted and have closed.
+func tcpDiffServer(t sys.Sys, port uint16, conns int, ready chan<- struct{}) error {
+	lfd, err := t.Socket(sys.TCP)
+	if err != nil {
+		return err
+	}
+	if err := t.Bind(lfd, port); err != nil {
+		return err
+	}
+	if err := t.Listen(lfd, 128); err != nil {
+		return err
+	}
+	close(ready)
+	accepted := 0
+	live := make(map[int]bool)
+	buf := make([]byte, 65536)
+	giveUp := time.Now().Add(60 * time.Second)
+	for {
+		if accepted == conns && len(live) == 0 {
+			t.Close(lfd)
+			return nil
+		}
+		if time.Now().After(giveUp) {
+			for fd := range live {
+				t.Close(fd)
+			}
+			t.Close(lfd)
+			return fmt.Errorf("tcp diff server: %d/%d conns still open after 60s", len(live), conns)
+		}
+		fds := make([]sys.PollFD, 0, len(live)+1)
+		if accepted < conns {
+			fds = append(fds, sys.PollFD{FD: lfd, Events: sys.PollIn})
+		}
+		for fd := range live {
+			fds = append(fds, sys.PollFD{FD: fd, Events: sys.PollIn})
+		}
+		if _, err := t.Poll(fds, time.Second); err != nil {
+			return err
+		}
+		for _, pf := range fds {
+			if pf.Revents == 0 {
+				continue
+			}
+			if pf.FD == lfd {
+				if nfd, _, err := t.Accept(lfd, false); err == nil {
+					live[nfd] = true
+					accepted++
+				}
+				continue
+			}
+			n, err := t.Recv(pf.FD, buf, false)
+			if err != nil {
+				continue
+			}
+			if n == 0 { // EOF
+				t.Close(pf.FD)
+				delete(live, pf.FD)
+				continue
+			}
+			if _, err := t.Send(pf.FD, buf[:n]); err != nil {
+				t.Close(pf.FD)
+				delete(live, pf.FD)
+			}
+		}
+	}
+}
+
+// tcpDiffClient drives one connection stop-and-wait through the message
+// schedule and returns the concatenated reply stream.
+func tcpDiffClient(cli sys.Sys, dst sys.Addr, ci int) ([]byte, error) {
+	fd, err := cli.Socket(sys.TCP)
+	if err != nil {
+		return nil, err
+	}
+	if err := cli.Connect(fd, dst); err != nil {
+		return nil, fmt.Errorf("conn %d connect: %w", ci, err)
+	}
+	var stream []byte
+	scratch := make([]byte, 8192)
+	for k := 0; k < tcpDiffMsgs; k++ {
+		msg := tcpDiffMsg(ci, k)
+		if _, err := cli.Send(fd, msg); err != nil {
+			return nil, fmt.Errorf("conn %d msg %d send: %w", ci, k, err)
+		}
+		deadline := time.Now().Add(20 * time.Second)
+		for got := 0; got < len(msg); {
+			n, err := cli.Recv(fd, scratch, false)
+			if err == nil {
+				if n == 0 {
+					return nil, fmt.Errorf("conn %d msg %d: EOF mid-echo", ci, k)
+				}
+				stream = append(stream, scratch[:n]...)
+				got += n
+				continue
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("conn %d msg %d: no echo within 20s (%d/%d bytes)", ci, k, got, len(msg))
+			}
+			cli.Poll([]sys.PollFD{{FD: fd, Events: sys.PollIn}}, 50*time.Millisecond)
+		}
+	}
+	cli.Close(fd)
+	return stream, nil
+}
+
+// tcpDiffRun is one world's observable outcome: per-connection reply
+// streams plus the exact refusal, cookie, and ring accounting.
+type tcpDiffRun struct {
+	streams         [][]byte
+	refused         uint64
+	cookiesSent     uint64
+	cookiesAccepted uint64
+	ringViolations  uint64
+	ringResyncs     uint64
+}
+
+// runTCPDiffWorld boots one world of the given environment, runs the
+// echo schedule at the given width, and captures the outcome.
+func runTCPDiffWorld(t *testing.T, env Environment, width int, inj *chaos.Injector) tcpDiffRun {
+	t.Helper()
+	shards := width
+	if shards > 8 {
+		shards = 8
+	}
+	w, err := NewWorld(Options{Env: env, NumXSKs: shards, ServerQueues: shards, Chaos: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	e := w.WorkloadEnv()
+	srv, err := e.ServerThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan struct{})
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- tcpDiffServer(srv, tcpDiffPort, width, ready) }()
+	<-ready
+
+	dst := sys.Addr{IP: e.TCPServerIP(), Port: tcpDiffPort}
+	streams := make([][]byte, width)
+	errs := make([]error, width)
+	var wg sync.WaitGroup
+	for ci := 0; ci < width; ci++ {
+		cli := e.ClientThread()
+		wg.Add(1)
+		go func(ci int, cli sys.Sys) {
+			defer wg.Done()
+			streams[ci], errs[ci] = tcpDiffClient(cli, dst, ci)
+		}(ci, cli)
+	}
+	wg.Wait()
+	for ci, err := range errs {
+		if err != nil {
+			t.Fatalf("%v width %d: client %d: %v", env, width, ci, err)
+		}
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatalf("%v width %d: server: %v", env, width, err)
+	}
+	return tcpDiffRun{
+		streams:         streams,
+		refused:         w.Counters.TCPRefused.Load(),
+		cookiesSent:     w.Counters.TCPCookiesSent.Load(),
+		cookiesAccepted: w.Counters.TCPCookiesAccepted.Load(),
+		ringViolations:  w.Counters.RingViolations.Load() + w.Counters.UMemViolations.Load(),
+		ringResyncs:     w.Counters.RingResyncs.Load(),
+	}
+}
+
+// assertTCPStreams fails unless both runs produced byte-identical
+// per-connection reply streams that also match the send schedule — a
+// bug corrupting both worlds identically cannot hide behind equality.
+func assertTCPStreams(t *testing.T, proxied, xsk tcpDiffRun, width int) {
+	t.Helper()
+	for ci := 0; ci < width; ci++ {
+		if !bytes.Equal(proxied.streams[ci], xsk.streams[ci]) {
+			t.Fatalf("width %d conn %d: proxied and xsk-tcp reply streams diverge (%d vs %d bytes)",
+				width, ci, len(proxied.streams[ci]), len(xsk.streams[ci]))
+		}
+		var want []byte
+		for k := 0; k < tcpDiffMsgs; k++ {
+			want = append(want, tcpDiffMsg(ci, k)...)
+		}
+		if !bytes.Equal(xsk.streams[ci], want) {
+			t.Fatalf("width %d conn %d: reply stream does not match the send schedule", width, ci)
+		}
+	}
+}
+
+// TestTCPDifferentialStreams: at every width 1..64, the proxied and
+// XSK TCP environments deliver byte-identical reply streams, with the
+// exact clean-run accounting of each world: zero refusals and zero ring
+// violations in both; on the enclave stack exactly one cookie minted
+// and one accepted per handshake; on the kernel stack no cookies at all
+// (its listen path is stateful).
+func TestTCPDifferentialStreams(t *testing.T) {
+	for _, width := range tcpDiffWidths {
+		proxied := runTCPDiffWorld(t, RakisSGX, width, nil)
+		xsk := runTCPDiffWorld(t, RakisSGXXskTCP, width, nil)
+		assertTCPStreams(t, proxied, xsk, width)
+		for _, r := range []struct {
+			name string
+			run  tcpDiffRun
+		}{{"proxied", proxied}, {"xsk-tcp", xsk}} {
+			if r.run.refused != 0 {
+				t.Errorf("width %d %s: %d refusals on a clean run, want exactly 0", width, r.name, r.run.refused)
+			}
+			if r.run.ringViolations != 0 || r.run.ringResyncs != 0 {
+				t.Errorf("width %d %s: ring accounting %d violations / %d resyncs, want exactly 0 / 0",
+					width, r.name, r.run.ringViolations, r.run.ringResyncs)
+			}
+		}
+		if proxied.cookiesSent != 0 || proxied.cookiesAccepted != 0 {
+			t.Errorf("width %d proxied: cookie counters moved (%d sent, %d accepted) on the stateful kernel listen path",
+				width, proxied.cookiesSent, proxied.cookiesAccepted)
+		}
+		if xsk.cookiesSent != uint64(width) || xsk.cookiesAccepted != uint64(width) {
+			t.Errorf("width %d xsk-tcp: cookies sent=%d accepted=%d, want exactly %d/%d (one per handshake)",
+				width, xsk.cookiesSent, xsk.cookiesAccepted, width, width)
+		}
+	}
+}
+
+// TestTCPDifferentialRefusal: a connect at a closed port is refused in
+// both environments with identical application-visible behavior and
+// exactly one deterministic refusal on the answering stack — the
+// kernel's in the proxied world, the enclave's in the XSK world.
+func TestTCPDifferentialRefusal(t *testing.T) {
+	for _, env := range []Environment{RakisSGX, RakisSGXXskTCP} {
+		w, err := NewWorld(Options{Env: env, NumXSKs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := w.WorkloadEnv()
+		cli := e.ClientThread()
+		fd, err := cli.Socket(sys.TCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = cli.Connect(fd, sys.Addr{IP: e.TCPServerIP(), Port: 9})
+		refused := w.Counters.TCPRefused.Load()
+		w.Close()
+		if err == nil {
+			t.Errorf("%v: connect to a closed port succeeded", env)
+		}
+		if refused != 1 {
+			t.Errorf("%v: closed-port probe cost %d refusals, want exactly 1", env, refused)
+		}
+	}
+}
+
+// TestTCPDifferentialUnderChaos: under the completion-safe wire
+// profiles (same profile, same seed in both worlds) the two
+// environments still deliver byte-identical reply streams. Loss,
+// duplication, and corruption change retransmission bills — RTO on the
+// enclave stack, the kernel's on the proxied path — never application
+// bytes. Fault timing is not deterministic across the two worlds, so
+// only completion and stream equality are asserted, the same contract
+// the chaos matrix enforces.
+func TestTCPDifferentialUnderChaos(t *testing.T) {
+	const width = 8
+	profiles := chaos.Profiles()
+	for _, name := range []string{"net", "synflood"} {
+		prof, ok := profiles[name]
+		if !ok {
+			t.Fatalf("chaos profile %q missing", name)
+		}
+		if !prof.RequireCompletion {
+			t.Fatalf("profile %q does not require completion; the differential contract needs one that does", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			seed := uint64(0x7cb)
+			proxied := runTCPDiffWorld(t, RakisSGX, width, chaos.New(prof, seed, nil, nil))
+			xsk := runTCPDiffWorld(t, RakisSGXXskTCP, width, chaos.New(prof, seed, nil, nil))
+			assertTCPStreams(t, proxied, xsk, width)
+		})
+	}
+}

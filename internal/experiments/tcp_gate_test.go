@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestTCPFigureGate pins the acceptance bar of the in-enclave TCP
+// figure: the XSK TCP environment serves the Redis-style TCP echo at
+// the startup-only exit floor (steady-state exits/op ≤ 0.01) and at
+// ≥1.5× the throughput of the io_uring-proxied row. A regression in the
+// view-path TCP ingest, the cookie listen path, the flow-affine TX
+// lanes, or the poll plumbing shows up here as either exit leakage or a
+// throughput collapse.
+func TestTCPFigureGate(t *testing.T) {
+	ops := TCPFigOps(0.25)
+	proxied, err := RunTCPCell(RakisSGX, ops)
+	if err != nil {
+		t.Fatalf("proxied cell: %v", err)
+	}
+	xsk, err := RunTCPCell(RakisSGXXskTCP, ops)
+	if err != nil {
+		t.Fatalf("xsk cell: %v", err)
+	}
+	t.Logf("proxied: %.0f ops/s, %.4f exits/op (%d ops, %d drops)",
+		proxied.OpsPerSec, proxied.ExitsPerOp, proxied.Ops, proxied.Drops)
+	t.Logf("xsk-tcp: %.0f ops/s, %.4f exits/op (%d ops, %d drops)",
+		xsk.OpsPerSec, xsk.ExitsPerOp, xsk.Ops, xsk.Drops)
+
+	if xsk.ExitsPerOp > 0.01 {
+		t.Errorf("xsk-tcp steady-state exits/op = %.4f, want ≤ 0.01 (startup-only floor)",
+			xsk.ExitsPerOp)
+	}
+	if xsk.OpsPerSec < 1.5*proxied.OpsPerSec {
+		t.Errorf("xsk-tcp throughput %.0f ops/s < 1.5x proxied %.0f ops/s",
+			xsk.OpsPerSec, proxied.OpsPerSec)
+	}
+}

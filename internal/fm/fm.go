@@ -174,6 +174,10 @@ func (p *XskPump) run() {
 		default:
 		}
 		moved := p.pumpOnce()
+		// Service this shard's TCP retransmission wheel on the pump's
+		// clock: due retransmits are charged here and leave on this
+		// shard's flow-affine TX lane. A single atomic load when idle.
+		p.stack.TickTCP(&p.clk, p.shard)
 		if moved == 0 {
 			p.sock.Reap(&p.clk)
 			p.sock.Refill(&p.clk)

@@ -20,10 +20,16 @@ type Config struct {
 	Model *vtime.Model
 	// Counters receives statistics; it may be nil.
 	Counters *vtime.Counters
-	// EnableTCP compiles in the TCP layer (full kernel configuration).
-	// The trimmed enclave build leaves it false, per §4.2/§7: a TCP
-	// stack inside the enclave would inflate the TCB.
+	// EnableTCP compiles in the TCP layer. The kernel configuration has
+	// always carried it; the trimmed enclave build (which the paper kept
+	// UDP-only, proxying TCP through io_uring per §4.2/§7) can now opt in
+	// to run TCP on the zero-exit XSK path.
 	EnableTCP bool
+	// TCPCookies selects the stateless SYN-cookie listen path: no
+	// per-SYN state is allocated until the cookie round-trips, so a
+	// spoofed-SYN flood cannot grow enclave memory. The kernel stack
+	// keeps the classic stateful handshake (false).
+	TCPCookies bool
 	// EnableICMP compiles in ICMP echo/unreachable handling.
 	EnableICMP bool
 	// PerPacketCost is the processing cost charged per packet (the
@@ -89,7 +95,7 @@ func New(cfg Config) (*Stack, error) {
 		udp:   newUDPTable(cfg.Shards),
 	}
 	if cfg.EnableTCP {
-		s.tcp = newTCPTable(s)
+		s.tcp = newTCPTable(s, cfg.Shards, cfg.TCPCookies)
 	}
 	if cfg.GlobalLock {
 		s.globalRes = &vtime.Resource{}
@@ -203,7 +209,7 @@ func (s *Stack) inputIPv4(eth EthHeader, pkt []byte, clk *vtime.Clock, shard int
 		s.inputUDP(h, payload, pkt, clk, shard)
 	case ProtoTCP:
 		if s.tcp != nil {
-			s.tcp.input(h, payload, clk)
+			s.tcp.input(h, payload, clk, shard, &eth.Src)
 		}
 	case ProtoICMP:
 		if s.cfg.EnableICMP {
@@ -251,6 +257,34 @@ func (s *Stack) sendIP(proto byte, dst IP4, payload []byte, clk *vtime.Clock) (u
 		Dst:   dst,
 	}
 	end := clk.Now()
+	for _, pkt := range fragmentIPv4(h, payload, s.dev.MTU()) {
+		end, err = s.sendFrame(mac, EtherTypeIPv4, pkt, clk)
+		if err != nil {
+			return end, err
+		}
+	}
+	if s.cfg.Counters != nil {
+		s.cfg.Counters.PacketsTx.Add(1)
+	}
+	return end, nil
+}
+
+// sendIPTo is sendIP with the layer-2 destination already in hand: no
+// ARP lookup, no resolution stall, no neighbour-cache insertion. The
+// enclave TCP path uses it for every reply whose MAC came off the
+// triggering frame (SYN-cookie SYN|ACKs, RSTs to spoofed sources) and
+// for established flows with a cached peer MAC, so hostile traffic can
+// neither block an FM pump on resolution nor grow shared ARP state.
+func (s *Stack) sendIPTo(mac [6]byte, proto byte, dst IP4, payload []byte, clk *vtime.Clock) (uint64, error) {
+	h := IPv4Header{
+		ID:    uint16(s.ipID.Add(1)),
+		TTL:   64,
+		Proto: proto,
+		Src:   s.ip,
+		Dst:   dst,
+	}
+	end := clk.Now()
+	var err error
 	for _, pkt := range fragmentIPv4(h, payload, s.dev.MTU()) {
 		end, err = s.sendFrame(mac, EtherTypeIPv4, pkt, clk)
 		if err != nil {

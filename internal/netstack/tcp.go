@@ -12,23 +12,33 @@ import (
 
 // TCP constants. The implementation is deliberately compact but real:
 // three-way handshake, sequence/ack bookkeeping, flow-control windows,
-// retransmission as a safety net, and orderly close. Congestion control
-// is omitted — the simulated wire is lossless and single-hop, so flow
-// control alone governs throughput, which is what the Redis experiment
-// exercises. Only the full (kernel) stack configuration enables TCP; the
-// enclave build excludes it by design (§7 "TCP Stack Considerations").
+// retransmission under a lossy wire, and orderly close. Congestion
+// control is omitted — the simulated wire is single-hop, so flow control
+// alone governs throughput, which is what the Redis experiment
+// exercises. Two configurations run it: the full kernel stack (stateful
+// listen, ARP-resolved output) and the trimmed enclave stack over XSK
+// (stateless SYN-cookie listen, per-connection cached peer MAC so no
+// reply ever blocks on ARP for a spoofed source, and demux sharded by
+// the RSS flow hash so a connection lives entirely on one FM shard).
 const (
 	TCPHeaderBytes = 20
+	// tcpHeaderMax is the largest legal TCP header (data offset 15).
+	tcpHeaderMax = 60
 	// MSS is the maximum segment payload (1500 MTU - 20 IP - 20 TCP).
 	MSS = 1460
 	// rcvBufCap is the receive buffer and maximum advertised window.
 	rcvBufCap = 65535
 	// sndBufCap is the send buffer capacity.
 	sndBufCap = 256 * 1024
-	// rtoInitial is the real-time retransmission timeout. The wire is
-	// lossless, so this fires only when a queue overflowed.
+	// rtoInitial is the real-time retransmission timeout; the engine's
+	// deadlines pace in host time (like every blocking wait in the
+	// simulation) while the retransmit work itself is charged to the
+	// servicing pump's virtual clock.
 	rtoInitial = 200 * time.Millisecond
 	rtoMax     = 2 * time.Second
+	// tcpTickFallback is the fallback ticker period for stacks with no
+	// FM pumps driving TickTCP (the kernel configuration).
+	tcpTickFallback = 5 * time.Millisecond
 	// connectTimeout bounds the real-time handshake wait.
 	connectTimeout = 5 * time.Second
 )
@@ -114,6 +124,25 @@ func marshalTCP(src, dst IP4, s tcpSeg) []byte {
 	return b
 }
 
+// TCP flag bits, exported for frame-building tools outside the package
+// (the chaos harness's SYN-flood generator builds hostile segments with
+// MarshalTCP).
+const (
+	TCPFlagFIN = flagFIN
+	TCPFlagSYN = flagSYN
+	TCPFlagRST = flagRST
+	TCPFlagPSH = flagPSH
+	TCPFlagACK = flagACK
+)
+
+// MarshalTCP assembles a checksummed TCP segment (no options).
+func MarshalTCP(src, dst IP4, srcPort, dstPort uint16, seq, ack uint32, flags byte, wnd uint16, payload []byte) []byte {
+	return marshalTCP(src, dst, tcpSeg{
+		srcPort: srcPort, dstPort: dstPort,
+		seq: seq, ack: ack, flags: flags, wnd: wnd, payload: payload,
+	})
+}
+
 // connKey identifies a connection from the stack's point of view.
 type connKey struct {
 	remoteIP   IP4
@@ -121,26 +150,179 @@ type connKey struct {
 	localPort  uint16
 }
 
+// tcpShard is one demux replica: the connection and listener maps one FM
+// pump reads on its own RSS shard. Connections are published only to
+// their flow's home shard (RSS consistency means every segment of the
+// flow arrives there); listeners fan out to all shards, since SYNs carry
+// any flow identity.
+type tcpShard struct {
+	mu        sync.RWMutex
+	conns     map[connKey]*TCPSocket
+	listeners map[uint16]*TCPSocket
+	_         [32]byte // keep neighbouring shard locks off one cache line
+}
+
+// tcpTimerShard is one shard's retransmission timer wheel. Deadlines
+// pace in host real time; servicing happens on the shard's FM pump
+// (TickTCP, work charged to the pump's virtual clock and transmitted on
+// the shard's flow-affine TX lane) with a slow fallback ticker for
+// stacks that have no pumps.
+type tcpTimerShard struct {
+	mu   sync.Mutex
+	due  map[*TCPSocket]time.Time
+	next atomic.Int64 // unixnano of the earliest deadline; 0 = empty
+}
+
+func (ts *tcpTimerShard) arm(c *TCPSocket, at time.Time) {
+	ts.mu.Lock()
+	ts.due[c] = at
+	n := at.UnixNano()
+	if cur := ts.next.Load(); cur == 0 || n < cur {
+		ts.next.Store(n)
+	}
+	ts.mu.Unlock()
+}
+
+func (ts *tcpTimerShard) disarm(c *TCPSocket) {
+	ts.mu.Lock()
+	delete(ts.due, c)
+	if len(ts.due) == 0 {
+		ts.next.Store(0)
+	}
+	ts.mu.Unlock()
+}
+
+// expire pops every socket whose deadline has passed and recomputes the
+// earliest remaining deadline.
+func (ts *tcpTimerShard) expire(now time.Time) []*TCPSocket {
+	if n := ts.next.Load(); n == 0 || now.UnixNano() < n {
+		return nil
+	}
+	ts.mu.Lock()
+	var fired []*TCPSocket
+	var next int64
+	for c, at := range ts.due {
+		if !at.After(now) {
+			fired = append(fired, c)
+			delete(ts.due, c)
+			continue
+		}
+		if n := at.UnixNano(); next == 0 || n < next {
+			next = n
+		}
+	}
+	ts.next.Store(next)
+	ts.mu.Unlock()
+	return fired
+}
+
+// tcpSecretSalt differentiates cookie secrets across stacks created in
+// the same nanosecond (tests boot many worlds back to back).
+var tcpSecretSalt atomic.Uint64
+
 // tcpTable holds connections and listeners.
 type tcpTable struct {
-	stack     *Stack
+	stack   *Stack
+	cookies bool
+
+	// mu guards the authoritative maps (bind-time bookkeeping). The hot
+	// path never takes it: segment demux reads the per-shard replicas.
 	mu        sync.RWMutex
 	conns     map[connKey]*TCPSocket
 	listeners map[uint16]*TCPSocket
 	ephemeral uint16
 	issBase   atomic.Uint32
+
+	demux  []tcpShard
+	timers []tcpTimerShard
+
+	cookieSecret [2]uint32
+
+	tickStop chan struct{}
+	tickDone chan struct{}
+	closed   atomic.Bool
 }
 
-func newTCPTable(s *Stack) *tcpTable {
-	return &tcpTable{
+func newTCPTable(s *Stack, shards int, cookies bool) *tcpTable {
+	if shards < 1 {
+		shards = 1
+	}
+	t := &tcpTable{
 		stack:     s,
+		cookies:   cookies,
 		conns:     make(map[connKey]*TCPSocket),
 		listeners: make(map[uint16]*TCPSocket),
 		ephemeral: 40000,
+		demux:     make([]tcpShard, shards),
+		timers:    make([]tcpTimerShard, shards),
+		tickStop:  make(chan struct{}),
+		tickDone:  make(chan struct{}),
+	}
+	for i := range t.demux {
+		t.demux[i].conns = make(map[connKey]*TCPSocket)
+		t.demux[i].listeners = make(map[uint16]*TCPSocket)
+		t.timers[i].due = make(map[*TCPSocket]time.Time)
+	}
+	// A lightly keyed cookie secret: the simulation needs distinct,
+	// unpredictable-enough keys per stack instance, not cryptography.
+	seed := uint64(time.Now().UnixNano()) + uint64(tcpSecretSalt.Add(0x9e3779b97f4a7c15))
+	t.cookieSecret[0] = uint32(seed) ^ 0x9e3779b9
+	t.cookieSecret[1] = uint32(seed>>32) ^ 0x85ebca6b
+	go t.tickLoop()
+	return t
+}
+
+// homeShard returns the RSS shard a connection's inbound segments arrive
+// on: the single FlowHash invariant, applied to the remote→local tuple
+// exactly as the kernel's RX steering applies it.
+func (t *tcpTable) homeShard(key connKey) int {
+	return RXShard(key.remoteIP, t.stack.ip, key.remotePort, key.localPort, len(t.demux))
+}
+
+// publishConn installs a registered connection in its home shard's
+// replica.
+func (t *tcpTable) publishConn(key connKey, c *TCPSocket) {
+	d := &t.demux[c.shard]
+	d.mu.Lock()
+	d.conns[key] = c
+	d.mu.Unlock()
+}
+
+func (t *tcpTable) retractConn(key connKey, c *TCPSocket) {
+	d := &t.demux[c.shard]
+	d.mu.Lock()
+	if d.conns[key] == c {
+		delete(d.conns, key)
+	}
+	d.mu.Unlock()
+}
+
+// publishListener fans a listener out to every shard replica.
+func (t *tcpTable) publishListener(port uint16, l *TCPSocket) {
+	for i := range t.demux {
+		d := &t.demux[i]
+		d.mu.Lock()
+		d.listeners[port] = l
+		d.mu.Unlock()
+	}
+}
+
+func (t *tcpTable) retractListener(port uint16, l *TCPSocket) {
+	for i := range t.demux {
+		d := &t.demux[i]
+		d.mu.Lock()
+		if d.listeners[port] == l {
+			delete(d.listeners, port)
+		}
+		d.mu.Unlock()
 	}
 }
 
 func (t *tcpTable) closeAll() {
+	if t.closed.CompareAndSwap(false, true) {
+		close(t.tickStop)
+		<-t.tickDone
+	}
 	t.mu.Lock()
 	var socks []*TCPSocket
 	for _, c := range t.conns {
@@ -159,20 +341,108 @@ func (t *tcpTable) nextISS() uint32 { return t.issBase.Add(0x1000_1) * 31 }
 
 func (t *tcpTable) register(key connKey, c *TCPSocket) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if _, dup := t.conns[key]; dup {
+		t.mu.Unlock()
 		return fmt.Errorf("%w: tcp %v", ErrPortInUse, key)
 	}
 	t.conns[key] = c
+	t.mu.Unlock()
+	c.shard = t.homeShard(key)
+	t.publishConn(key, c)
 	return nil
 }
 
-func (t *tcpTable) deregister(key connKey) {
+func (t *tcpTable) deregister(key connKey, c *TCPSocket) {
 	t.mu.Lock()
-	if t.conns[key] != nil {
+	if t.conns[key] == c {
 		delete(t.conns, key)
 	}
 	t.mu.Unlock()
+	t.retractConn(key, c)
+}
+
+// refuse counts one deterministic refusal (invalid cookie, full accept
+// queue, or a segment matching no endpoint).
+func (t *tcpTable) refuse() {
+	if c := t.stack.cfg.Counters; c != nil {
+		c.TCPRefused.Add(1)
+	}
+}
+
+// tickLoop is the fallback timer driver: stacks whose shards are pumped
+// by FMs service their wheels from TickTCP within microseconds, so this
+// ticker only matters when no pump exists (the kernel stack) or a pump
+// has stalled. Fallback retransmits run on a clock minted from the
+// socket's last virtual timestamp, as the pre-wheel engine did.
+func (t *tcpTable) tickLoop() {
+	defer close(t.tickDone)
+	tick := time.NewTicker(tcpTickFallback)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.tickStop:
+			return
+		case <-tick.C:
+			for i := range t.timers {
+				t.serviceTimers(i, nil)
+			}
+		}
+	}
+}
+
+// serviceTimers fires every due retransmission on one shard's wheel.
+// With a non-nil clk (an FM pump's clock) the retransmit work is charged
+// there — the same attribution discipline as the TX doorbell model — and
+// the segments leave on the pump's own flow-affine lane.
+func (t *tcpTable) serviceTimers(shard int, clk *vtime.Clock) {
+	if shard < 0 || shard >= len(t.timers) {
+		return
+	}
+	for _, c := range t.timers[shard].expire(time.Now()) {
+		if clk != nil {
+			c.onRTO(clk)
+			continue
+		}
+		var mint vtime.Clock
+		mint.Sync(c.lastVTime.Load())
+		c.onRTO(&mint)
+	}
+}
+
+// TickTCP services the given shard's TCP retransmission wheel on the
+// caller's clock. FM pumps call it once per loop; it is a single atomic
+// load when nothing is due.
+func (s *Stack) TickTCP(clk *vtime.Clock, shard int) {
+	if s.tcp == nil {
+		return
+	}
+	s.tcp.serviceTimers(shard%len(s.tcp.timers), clk)
+}
+
+// TCPStats is a point-in-time summary of the TCP table, exposed so the
+// SYN-flood gate can assert bounded state: a flood of spoofed SYNs must
+// move CookiesSent without moving Conns.
+type TCPStats struct {
+	Conns, Listeners             int
+	CookiesSent, CookiesAccepted uint64
+	Refused                      uint64
+}
+
+// TCPStats reports the table summary (zero value when TCP is trimmed).
+func (s *Stack) TCPStats() TCPStats {
+	if s.tcp == nil {
+		return TCPStats{}
+	}
+	t := s.tcp
+	t.mu.RLock()
+	st := TCPStats{Conns: len(t.conns), Listeners: len(t.listeners)}
+	t.mu.RUnlock()
+	if c := s.cfg.Counters; c != nil {
+		st.CookiesSent = c.TCPCookiesSent.Load()
+		st.CookiesAccepted = c.TCPCookiesAccepted.Load()
+		st.Refused = c.TCPRefused.Load()
+	}
+	return st
 }
 
 // TCPSocket is a TCP endpoint (listener or connection).
@@ -187,6 +457,14 @@ type TCPSocket struct {
 	local  Addr
 	remote Addr
 	key    connKey
+	shard  int
+
+	// peerMAC caches the flow's layer-2 reply address, learned from the
+	// frames the connection itself receives. The enclave path never
+	// inserts TCP peers into the shared ARP cache (a SYN flood would
+	// grow it per-SYN) and never blocks a pump on ARP resolution.
+	peerMAC [6]byte
+	hasMAC  bool
 
 	// Send side: sndBuf holds bytes [sndUna, sndUna+len); the first
 	// sndNxt-sndUna of them are in flight.
@@ -205,12 +483,11 @@ type TCPSocket struct {
 
 	err     error
 	backlog chan *TCPSocket // listeners only
-	parent  *TCPSocket      // SYN_RCVD children
+	parent  *TCPSocket      // SYN_RCVD children (stateful listen only)
 
 	stamp     vtime.Stamp // raised when data/EOF arrives
 	lastVTime atomic.Uint64
 
-	rto      *time.Timer
 	rtoD     time.Duration
 	deadDone bool
 }
@@ -233,8 +510,8 @@ func (s *Stack) TCPListen(port uint16, backlog int) (*TCPSocket, error) {
 	}
 	t := s.tcp
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if _, used := t.listeners[port]; used {
+		t.mu.Unlock()
 		return nil, fmt.Errorf("%w: tcp/%d", ErrPortInUse, port)
 	}
 	l := newTCPSocket(t)
@@ -242,6 +519,8 @@ func (s *Stack) TCPListen(port uint16, backlog int) (*TCPSocket, error) {
 	l.local = Addr{IP: s.ip, Port: port}
 	l.backlog = make(chan *TCPSocket, backlog)
 	t.listeners[port] = l
+	t.mu.Unlock()
+	t.publishListener(port, l)
 	return l, nil
 }
 
@@ -257,12 +536,13 @@ func (s *Stack) TCPConnect(dst Addr, clk *vtime.Clock) (*TCPSocket, error) {
 
 	t.mu.Lock()
 	var port uint16
+	var key connKey
 	for i := 0; i < 65536; i++ {
 		t.ephemeral++
 		if t.ephemeral < 40000 {
 			t.ephemeral = 40000
 		}
-		key := connKey{dst.IP, dst.Port, t.ephemeral}
+		key = connKey{dst.IP, dst.Port, t.ephemeral}
 		if _, used := t.conns[key]; !used {
 			port = t.ephemeral
 			c.key = key
@@ -274,6 +554,8 @@ func (s *Stack) TCPConnect(dst Addr, clk *vtime.Clock) (*TCPSocket, error) {
 	if port == 0 {
 		return nil, fmt.Errorf("%w: no ephemeral TCP ports", ErrPortInUse)
 	}
+	c.shard = t.homeShard(key)
+	t.publishConn(key, c)
 	c.local = Addr{IP: s.ip, Port: port}
 
 	c.mu.Lock()
@@ -292,7 +574,7 @@ func (s *Stack) TCPConnect(dst Addr, clk *vtime.Clock) (*TCPSocket, error) {
 
 	if err != nil || !ok || state != stateEstablished {
 		c.abort(nil)
-		t.deregister(c.key)
+		t.deregister(c.key, c)
 		if err == nil {
 			err = ErrTimeout
 		}
@@ -327,6 +609,25 @@ func (l *TCPSocket) Accept(clk *vtime.Clock, block bool) (*TCPSocket, error) {
 	}
 	clk.Sync(c.stamp.Load())
 	return c, nil
+}
+
+// offerBacklog enqueues an established child on the listener's accept
+// queue. The push is serialized with the listener's own lock so it can
+// never race the close of the backlog channel in Close/abort; it
+// reports false when the listener is closed or the queue is full —
+// both are the deterministic-refusal outcome for the caller.
+func (l *TCPSocket) offerBacklog(c *TCPSocket) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.state != stateListen || l.deadDone {
+		return false
+	}
+	select {
+	case l.backlog <- c:
+		return true
+	default:
+		return false
+	}
 }
 
 // Send queues data for transmission, blocking while the send buffer is
@@ -460,6 +761,9 @@ func (c *TCPSocket) State() string {
 	return c.state.String()
 }
 
+// Shard returns the RSS shard the connection's segments arrive on.
+func (c *TCPSocket) Shard() int { return c.shard }
+
 // Close performs an orderly close: pending data is flushed, then a FIN.
 func (c *TCPSocket) Close(clk *vtime.Clock) error {
 	c.mu.Lock()
@@ -468,9 +772,15 @@ func (c *TCPSocket) Close(clk *vtime.Clock) error {
 	case stateListen:
 		c.state = stateClosed
 		c.table.mu.Lock()
-		delete(c.table.listeners, c.local.Port)
+		if c.table.listeners[c.local.Port] == c {
+			delete(c.table.listeners, c.local.Port)
+		}
 		c.table.mu.Unlock()
-		close(c.backlog)
+		c.table.retractListener(c.local.Port, c)
+		if !c.deadDone {
+			c.deadDone = true
+			close(c.backlog)
+		}
 		return nil
 	case stateEstablished:
 		c.state = stateFinWait1
@@ -494,8 +804,11 @@ func (c *TCPSocket) abort(err error) {
 	if c.state == stateListen {
 		c.state = stateClosed
 		c.table.mu.Lock()
-		delete(c.table.listeners, c.local.Port)
+		if c.table.listeners[c.local.Port] == c {
+			delete(c.table.listeners, c.local.Port)
+		}
 		c.table.mu.Unlock()
+		c.table.retractListener(c.local.Port, c)
 		if !c.deadDone {
 			c.deadDone = true
 			close(c.backlog)
@@ -515,10 +828,8 @@ func (c *TCPSocket) teardownLocked(err error) {
 	if err != nil && c.err == nil {
 		c.err = err
 	}
-	if c.rto != nil {
-		c.rto.Stop()
-	}
-	c.table.deregister(c.key)
+	c.disarmRTOLocked()
+	c.table.deregister(c.key, c)
 	c.cond.Broadcast()
 }
 
@@ -549,8 +860,25 @@ func (c *TCPSocket) waitLocked(pred func() bool, d time.Duration) bool {
 	}
 }
 
+// noteMAC caches the flow's reply MAC from a received frame's Ethernet
+// source. Cheap double-checked store: reads race only with one writer
+// value per flow (the peer's stable MAC).
+func (c *TCPSocket) noteMAC(ethSrc *[6]byte) {
+	if ethSrc == nil {
+		return
+	}
+	c.mu.Lock()
+	if !c.hasMAC {
+		c.peerMAC = *ethSrc
+		c.hasMAC = true
+	}
+	c.mu.Unlock()
+}
+
 // sendSegLocked transmits one segment for this connection. The window
-// field is filled from the current receive buffer occupancy.
+// field is filled from the current receive buffer occupancy. When the
+// flow's reply MAC is cached the frame goes straight to the link —
+// retransmits and data never block a pump on ARP resolution.
 func (c *TCPSocket) sendSegLocked(seg tcpSeg, clk *vtime.Clock) {
 	seg.srcPort = c.local.Port
 	seg.dstPort = c.remote.Port
@@ -563,6 +891,10 @@ func (c *TCPSocket) sendSegLocked(seg tcpSeg, clk *vtime.Clock) {
 		vtime.Bytes(c.stack.model.KernelCopyPerByte, len(seg.payload)))
 	c.lastVTime.Store(clk.Now())
 	payload := marshalTCP(c.stack.ip, c.remote.IP, seg)
+	if c.hasMAC {
+		c.stack.sendIPTo(c.peerMAC, ProtoTCP, c.remote.IP, payload, clk)
+		return
+	}
 	c.stack.sendIP(ProtoTCP, c.remote.IP, payload, clk)
 }
 
@@ -613,31 +945,30 @@ func (c *TCPSocket) trySendLocked(clk *vtime.Clock) {
 	}
 }
 
-// armRTOLocked schedules the retransmission safety net.
+// armRTOLocked schedules the retransmission deadline on the socket's
+// home-shard timer wheel.
 func (c *TCPSocket) armRTOLocked() {
-	if c.rto == nil {
-		c.rto = time.AfterFunc(c.rtoD, c.onRTO)
-		return
-	}
-	c.rto.Reset(c.rtoD)
+	c.table.timers[c.shard].arm(c, time.Now().Add(c.rtoD))
 }
 
-// onRTO fires in real time when an ACK is overdue; it retransmits the
-// oldest unacknowledged segment. On the lossless wire this only happens
-// after a queue-overflow drop.
-func (c *TCPSocket) onRTO() {
+func (c *TCPSocket) disarmRTOLocked() {
+	c.table.timers[c.shard].disarm(c)
+}
+
+// onRTO fires when an ACK is overdue; it retransmits the oldest
+// unacknowledged segment on the caller's clock (the servicing FM pump's,
+// on pumped stacks) and doubles the backoff.
+func (c *TCPSocket) onRTO(clk *vtime.Clock) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.state == stateClosed || c.sndNxt == c.sndUna {
 		return
 	}
-	var clk vtime.Clock
-	clk.Sync(c.lastVTime.Load())
 	switch {
 	case c.state == stateSynSent:
-		c.sendSegLocked(tcpSeg{flags: flagSYN, seq: c.sndUna}, &clk)
+		c.sendSegLocked(tcpSeg{flags: flagSYN, seq: c.sndUna}, clk)
 	case c.state == stateSynRcvd:
-		c.sendSegLocked(tcpSeg{flags: flagSYN | flagACK, seq: c.sndUna, ack: c.rcvNxt}, &clk)
+		c.sendSegLocked(tcpSeg{flags: flagSYN | flagACK, seq: c.sndUna, ack: c.rcvNxt}, clk)
 	case uint32(len(c.sndBuf)) > 0:
 		n := uint32(len(c.sndBuf))
 		if n > MSS {
@@ -646,9 +977,9 @@ func (c *TCPSocket) onRTO() {
 		c.sendSegLocked(tcpSeg{
 			flags: flagACK | flagPSH, seq: c.sndUna, ack: c.rcvNxt,
 			payload: c.sndBuf[:n],
-		}, &clk)
+		}, clk)
 	case c.finSent:
-		c.sendSegLocked(tcpSeg{flags: flagFIN | flagACK, seq: c.finSeq, ack: c.rcvNxt}, &clk)
+		c.sendSegLocked(tcpSeg{flags: flagFIN | flagACK, seq: c.finSeq, ack: c.rcvNxt}, clk)
 	}
 	c.rtoD *= 2
 	if c.rtoD > rtoMax {
@@ -657,8 +988,10 @@ func (c *TCPSocket) onRTO() {
 	c.armRTOLocked()
 }
 
-// input demuxes one TCP segment.
-func (t *tcpTable) input(h IPv4Header, payload []byte, clk *vtime.Clock) {
+// input parses, verifies, and demuxes one TCP segment arriving on the
+// classic (copying) path. ethSrc, when non-nil, is the frame's layer-2
+// source for direct replies.
+func (t *tcpTable) input(h IPv4Header, payload []byte, clk *vtime.Clock, shard int, ethSrc *[6]byte) {
 	seg, ok := parseTCP(payload)
 	if !ok {
 		return
@@ -667,29 +1000,46 @@ func (t *tcpTable) input(h IPv4Header, payload []byte, clk *vtime.Clock) {
 	if checksumFold(checksumPartial(sum, payload)) != 0 {
 		return
 	}
-	key := connKey{h.Src, seg.srcPort, seg.dstPort}
-	t.mu.RLock()
-	c := t.conns[key]
-	l := t.listeners[seg.dstPort]
-	t.mu.RUnlock()
+	t.inputSeg(h.Src, seg, clk, shard, ethSrc)
+}
+
+// inputSeg demuxes one already-verified TCP segment through the given
+// shard's replica. The certify-in-place view path enters here directly
+// after its single-snapshot parse and single-pass checksum.
+func (t *tcpTable) inputSeg(src IP4, seg tcpSeg, clk *vtime.Clock, shard int, ethSrc *[6]byte) {
+	if shard < 0 || shard >= len(t.demux) {
+		shard = 0
+	}
+	key := connKey{src, seg.srcPort, seg.dstPort}
+	d := &t.demux[shard]
+	d.mu.RLock()
+	c := d.conns[key]
+	l := d.listeners[seg.dstPort]
+	d.mu.RUnlock()
 
 	t.stack.charge(clk, t.stack.model.KernelTCPPerSegment)
 
 	if c != nil {
+		c.noteMAC(ethSrc)
 		c.segArrives(seg, clk)
 		return
 	}
 	if l != nil && seg.flags&flagSYN != 0 && seg.flags&flagACK == 0 {
-		t.handleSYN(l, key, h, seg, clk)
+		t.handleSYN(l, key, seg, clk, ethSrc)
+		return
+	}
+	if t.cookies && l != nil && seg.flags&flagACK != 0 && seg.flags&(flagSYN|flagRST) == 0 {
+		t.acceptCookie(l, key, seg, clk, ethSrc)
 		return
 	}
 	if seg.flags&flagRST == 0 {
-		t.sendRST(h.Src, seg, clk)
+		t.refuse()
+		t.sendRST(src, ethSrc, seg, clk)
 	}
 }
 
 // sendRST answers a segment that matches no connection.
-func (t *tcpTable) sendRST(dst IP4, in tcpSeg, clk *vtime.Clock) {
+func (t *tcpTable) sendRST(dst IP4, ethSrc *[6]byte, in tcpSeg, clk *vtime.Clock) {
 	out := tcpSeg{
 		srcPort: in.dstPort,
 		dstPort: in.srcPort,
@@ -703,17 +1053,47 @@ func (t *tcpTable) sendRST(dst IP4, in tcpSeg, clk *vtime.Clock) {
 		out.seq = in.ack
 		out.flags = flagRST
 	}
-	pkt := marshalTCP(t.stack.ip, dst, out)
+	t.sendSegTo(dst, ethSrc, out, clk)
+}
+
+// sendSegTo transmits one connectionless segment (SYN|ACK cookie reply,
+// RST). With a frame source MAC in hand the reply goes straight back to
+// the sender's port — never through ARP, so a spoofed source can neither
+// stall a pump on resolution nor grow the neighbour cache.
+func (t *tcpTable) sendSegTo(dst IP4, ethSrc *[6]byte, seg tcpSeg, clk *vtime.Clock) {
+	pkt := marshalTCP(t.stack.ip, dst, seg)
+	if ethSrc != nil {
+		t.stack.sendIPTo(*ethSrc, ProtoTCP, dst, pkt, clk)
+		return
+	}
 	t.stack.sendIP(ProtoTCP, dst, pkt, clk)
 }
 
-// handleSYN spawns a SYN_RCVD child for a listener.
-func (t *tcpTable) handleSYN(l *TCPSocket, key connKey, h IPv4Header, seg tcpSeg, clk *vtime.Clock) {
+// handleSYN answers a listener SYN: statelessly with a SYN-cookie
+// SYN|ACK on the enclave configuration, or by spawning a SYN_RCVD child
+// on the stateful kernel configuration.
+func (t *tcpTable) handleSYN(l *TCPSocket, key connKey, seg tcpSeg, clk *vtime.Clock, ethSrc *[6]byte) {
+	if t.cookies {
+		iss := t.cookieISS(key)
+		out := tcpSeg{
+			srcPort: key.localPort,
+			dstPort: key.remotePort,
+			flags:   flagSYN | flagACK,
+			seq:     iss,
+			ack:     seg.seq + 1,
+			wnd:     rcvBufCap,
+		}
+		if c := t.stack.cfg.Counters; c != nil {
+			c.TCPCookiesSent.Add(1)
+		}
+		t.sendSegTo(key.remoteIP, ethSrc, out, clk)
+		return
+	}
 	c := newTCPSocket(t)
 	c.parent = l
 	c.key = key
 	c.local = Addr{IP: t.stack.ip, Port: seg.dstPort}
-	c.remote = Addr{IP: h.Src, Port: seg.srcPort}
+	c.remote = Addr{IP: key.remoteIP, Port: seg.srcPort}
 	c.rcvNxt = seg.seq + 1
 	iss := t.nextISS()
 	c.sndUna, c.sndNxt = iss, iss+1
@@ -722,6 +1102,7 @@ func (t *tcpTable) handleSYN(l *TCPSocket, key connKey, h IPv4Header, seg tcpSeg
 	if err := t.register(key, c); err != nil {
 		return // stale duplicate SYN
 	}
+	c.noteMAC(ethSrc)
 	c.mu.Lock()
 	c.sendSegLocked(tcpSeg{flags: flagSYN | flagACK, seq: iss, ack: c.rcvNxt}, clk)
 	c.armRTOLocked()
@@ -754,9 +1135,7 @@ func (c *TCPSocket) segArrives(seg tcpSeg, clk *vtime.Clock) {
 			c.sndWnd = uint32(seg.wnd)
 			c.state = stateEstablished
 			c.rtoD = rtoInitial
-			if c.rto != nil {
-				c.rto.Stop()
-			}
+			c.disarmRTOLocked()
 			c.sendAckLocked(clk)
 			c.cond.Broadcast()
 		}
@@ -767,18 +1146,13 @@ func (c *TCPSocket) segArrives(seg tcpSeg, clk *vtime.Clock) {
 			c.sndWnd = uint32(seg.wnd)
 			c.state = stateEstablished
 			c.rtoD = rtoInitial
-			if c.rto != nil {
-				c.rto.Stop()
-			}
+			c.disarmRTOLocked()
 			c.stamp.Raise(clk.Now())
-			if c.parent != nil {
-				select {
-				case c.parent.backlog <- c:
-				default:
-					// Backlog overflow: drop the connection.
-					c.teardownLocked(ErrRefused)
-					return
-				}
+			if c.parent != nil && !c.parent.offerBacklog(c) {
+				// Backlog overflow or listener gone: drop the connection.
+				c.table.refuse()
+				c.teardownLocked(ErrRefused)
+				return
 			}
 			// Fall through: the ACK may carry data.
 		} else {
@@ -803,8 +1177,8 @@ func (c *TCPSocket) segArrives(seg tcpSeg, clk *vtime.Clock) {
 			c.sndBuf = c.sndBuf[dataAcked:]
 			c.sndUna = seg.ack
 			c.rtoD = rtoInitial
-			if c.sndUna == c.sndNxt && c.rto != nil {
-				c.rto.Stop()
+			if c.sndUna == c.sndNxt {
+				c.disarmRTOLocked()
 			} else {
 				c.armRTOLocked()
 			}
@@ -845,11 +1219,14 @@ func (c *TCPSocket) segArrives(seg tcpSeg, clk *vtime.Clock) {
 				c.stamp.Raise(clk.Now())
 				c.cond.Broadcast()
 			}
-			c.sendAckLocked(clk)
-		} else if len(data) > 0 {
-			// Out-of-order or duplicate: dup-ACK so the peer resyncs.
-			c.sendAckLocked(clk)
 		}
+		// Every data-bearing segment is acknowledged — in-sequence,
+		// out-of-order, and one trimmed to nothing (a full duplicate)
+		// alike. Swallowing a full duplicate silently livelocks loss
+		// recovery: when the ACK of a delivered segment is lost, the
+		// peer retransmits that same segment forever and the bytes
+		// queued behind it never unstick.
+		c.sendAckLocked(clk)
 	}
 
 	// FIN processing.

@@ -9,8 +9,9 @@ import (
 
 // viewHeaderSnapMax is the header prefix frozen from an untrusted frame
 // before any parsing decision: Ethernet, a maximal IPv4 header (options
-// included), and the UDP header.
-const viewHeaderSnapMax = EthHeaderBytes + 60 + UDPHeaderBytes
+// included), and a maximal L4 header — 60 bytes covers the largest TCP
+// header (data offset 15) and, a fortiori, the 8-byte UDP header.
+const viewHeaderSnapMax = EthHeaderBytes + 60 + tcpHeaderMax
 
 // SpliceDevice re-queues a certified RX frame view onto the transmit
 // path without copying the payload. n is the frame length to transmit.
@@ -88,9 +89,12 @@ func (s *Stack) InputViewShard(v mem.View, clk *vtime.Clock, shard int) {
 // viewFrameInfo is the trusted digest of a mainstream frame header,
 // produced by validateViewHeader from the frozen snapshot.
 type viewFrameInfo struct {
+	proto    byte
 	ihl      int // IPv4 header length in bytes
 	totalLen int // IPv4 total length
 	ulen     int // UDP length field (header + payload)
+	l4len    int // L4 segment length (totalLen - ihl)
+	dataOff  int // TCP data offset in bytes
 	srcIP    IP4
 	dstIP    IP4
 	srcPort  uint16
@@ -101,11 +105,13 @@ type viewFrameInfo struct {
 
 // validateViewHeader runs every gating check of the in-place parse on
 // the frozen header snapshot: Ethernet type, IPv4 version/ihl/total
-// length/header checksum, no fragmentation, live TTL, UDP protocol, and
-// a UDP length consistent with the IP envelope — all against frameLen,
-// the certified frame length. A true return means the header fields in
-// the digest are safe to use as offsets and bounds within the snapshot
-// and the frame.
+// length/header checksum, no fragmentation, live TTL, a UDP or TCP
+// protocol field, and an L4 header consistent with the IP envelope —
+// all against frameLen, the certified frame length. A true return means
+// the header fields in the digest are safe to use as offsets and bounds
+// within the snapshot and the frame; for TCP it additionally means the
+// whole TCP header (options included) lies inside the snapshot, so
+// every handshake and sequencing decision reads frozen bytes.
 //
 //rakis:validator
 func validateViewHeader(hdr mem.Snap, frameLen int) (viewFrameInfo, bool) {
@@ -139,22 +145,46 @@ func validateViewHeader(hdr mem.Snap, frameLen int) (viewFrameInfo, bool) {
 	if ip[8] == 0 { // TTL expired
 		return fi, false
 	}
-	if ip[9] != ProtoUDP {
-		return fi, false
-	}
 	copy(fi.srcIP[:], ip[12:16])
 	copy(fi.dstIP[:], ip[16:20])
 	copy(fi.ethSrc[:], hdr[6:12])
-	udp := hdr[EthHeaderBytes+ihl:]
-	fi.srcPort = be16(udp[0:2])
-	fi.dstPort = be16(udp[2:4])
-	fi.ulen = int(be16(udp[4:6]))
-	if fi.ulen < UDPHeaderBytes || fi.ulen > totalLen-ihl {
+	fi.proto = ip[9]
+	fi.ihl, fi.totalLen = ihl, totalLen
+	fi.l4len = totalLen - ihl
+	switch fi.proto {
+	case ProtoUDP:
+		udp := hdr[EthHeaderBytes+ihl:]
+		fi.srcPort = be16(udp[0:2])
+		fi.dstPort = be16(udp[2:4])
+		fi.ulen = int(be16(udp[4:6]))
+		if fi.ulen < UDPHeaderBytes || fi.ulen > fi.l4len {
+			return fi, false
+		}
+		fi.hasCsum = be16(udp[6:8]) != 0
+		return fi, true
+	case ProtoTCP:
+		if fi.l4len < TCPHeaderBytes {
+			return fi, false
+		}
+		tcp := hdr[EthHeaderBytes+ihl:]
+		if EthHeaderBytes+ihl+TCPHeaderBytes > hn {
+			return fi, false
+		}
+		fi.srcPort = be16(tcp[0:2])
+		fi.dstPort = be16(tcp[2:4])
+		fi.dataOff = int(tcp[12]>>4) * 4
+		// The option field must fit both the IP envelope and the frozen
+		// snapshot (ihl ≤ 60 and dataOff ≤ 60 keep the sum under
+		// viewHeaderSnapMax whenever it is inside the frame).
+		if fi.dataOff < TCPHeaderBytes || fi.dataOff > fi.l4len ||
+			EthHeaderBytes+ihl+fi.dataOff > hn {
+			return fi, false
+		}
+		fi.hasCsum = true // TCP checksum is mandatory
+		return fi, true
+	default:
 		return fi, false
 	}
-	fi.hasCsum = be16(udp[6:8]) != 0
-	fi.ihl, fi.totalLen = ihl, totalLen
-	return fi, true
 }
 
 // inputViewInPlace handles the mainstream UDP shape in place and reports
@@ -178,6 +208,9 @@ func (s *Stack) inputViewInPlace(v *mem.View, clk *vtime.Clock, shard int) bool 
 	}
 	if fi.dstIP != s.ip {
 		return false
+	}
+	if fi.proto == ProtoTCP {
+		return s.inputViewTCP(v, hdr, fi, clk, shard)
 	}
 	udpOff := EthHeaderBytes + fi.ihl
 	spliceDev := s.spliceFor(fi.dstPort)
@@ -229,6 +262,67 @@ func (s *Stack) inputViewInPlace(v *mem.View, clk *vtime.Clock, shard int) bool 
 		return true
 	}
 	sock.enqueue(ViewDatagram(pv, Addr{IP: fi.srcIP, Port: fi.srcPort}, clk.Now()), s, shard)
+	return true
+}
+
+// inputViewTCP ingests one mainstream TCP segment from a certified view.
+// The trust discipline is stricter than the UDP path's, because TCP
+// bytes drive a state machine: every header decision (ports, sequence
+// numbers, flags, window, data offset) reads the frozen snapshot, and
+// the payload is copied into trusted memory in a single pass *before*
+// the checksum is verified over pseudo-header + frozen header + trusted
+// copy. Untrusted frame bytes are therefore read exactly once each — a
+// host rewriting the frame after certification can only produce a
+// checksum mismatch (deterministic drop), never a byte stream that
+// differs from what was verified.
+func (s *Stack) inputViewTCP(v *mem.View, hdr mem.Snap, fi viewFrameInfo, clk *vtime.Clock, shard int) bool {
+	if s.tcp == nil {
+		return false // trimmed UDP-only build: fallback path drops it
+	}
+	l4Off := EthHeaderBytes + fi.ihl
+	s.charge(clk, s.cfg.PerPacketCost)
+	if s.cfg.Counters != nil {
+		s.cfg.Counters.PacketsRx.Add(1)
+		s.cfg.Counters.BytesRx.Add(uint64(fi.l4len))
+	}
+
+	// One boundary copy of the payload, charged like every app-boundary
+	// crossing. (The TCP receive buffer is trusted memory; unlike a UDP
+	// datagram a segment cannot be parked in untrusted memory awaiting
+	// recv, because ACKing it promises the bytes are safely ours.)
+	var payload []byte
+	if n := fi.l4len - fi.dataOff; n > 0 {
+		payload = make([]byte, n)
+		if _, err := v.CopyOut(payload, l4Off+fi.dataOff); err != nil {
+			v.Release()
+			return true // stale view
+		}
+		clk.Charge(vtime.CompCopy, vtime.Bytes(s.model.BoundaryCopyPerByte, n))
+	}
+
+	// Checksum over pseudo-header, the frozen TCP header, and the
+	// trusted payload copy — never over live untrusted bytes. dataOff is
+	// a multiple of 4, so 16-bit alignment is preserved at the split.
+	sum := pseudoHeaderSum(fi.srcIP, fi.dstIP, ProtoTCP, fi.l4len)
+	sum = checksumPartial(sum, hdr[l4Off:l4Off+fi.dataOff])
+	sum = checksumPartial(sum, payload)
+	if checksumFold(sum) != 0 {
+		v.Release()
+		return true
+	}
+
+	tcp := hdr[l4Off:]
+	seg := tcpSeg{
+		srcPort: fi.srcPort,
+		dstPort: fi.dstPort,
+		seq:     be32(tcp[4:8]),
+		ack:     be32(tcp[8:12]),
+		flags:   tcp[13] & 0x3F,
+		wnd:     be16(tcp[14:16]),
+		payload: payload,
+	}
+	v.Release() // frame economy: the segment now lives in trusted memory
+	s.tcp.inputSeg(fi.srcIP, seg, clk, shard, &fi.ethSrc)
 	return true
 }
 

@@ -208,4 +208,7 @@ func BindCounters(r *Registry, c *vtime.Counters) {
 	r.Reader("vtime.wakeups_coalesced", c.WakeupsCoalesced.Load)
 	r.Reader("vtime.copy_bytes_saved", c.CopyBytesSaved.Load)
 	r.Reader("vtime.splice_frames", c.SpliceFrames.Load)
+	r.Reader("vtime.tcp_cookies_sent", c.TCPCookiesSent.Load)
+	r.Reader("vtime.tcp_cookies_accepted", c.TCPCookiesAccepted.Load)
+	r.Reader("vtime.tcp_refused", c.TCPRefused.Load)
 }

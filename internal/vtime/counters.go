@@ -42,6 +42,13 @@ type Counters struct {
 	// copy (see DESIGN.md, "Zero-copy datapath").
 	CopyBytesSaved atomic.Uint64
 	SpliceFrames   atomic.Uint64
+	// In-enclave TCP counters: stateless SYN cookies minted and
+	// round-tripped by the enclave listen path, and segments refused
+	// deterministically (invalid cookie, full accept queue, no matching
+	// endpoint) — the confinement counters the SYN-flood gate asserts on.
+	TCPCookiesSent     atomic.Uint64
+	TCPCookiesAccepted atomic.Uint64
+	TCPRefused         atomic.Uint64
 }
 
 // Snapshot is a plain-value copy of a Counters, safe to store and print.
@@ -72,6 +79,10 @@ type Snapshot struct {
 
 	CopyBytesSaved uint64
 	SpliceFrames   uint64
+
+	TCPCookiesSent     uint64
+	TCPCookiesAccepted uint64
+	TCPRefused         uint64
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -103,6 +114,10 @@ func (c *Counters) Snapshot() Snapshot {
 
 		CopyBytesSaved: c.CopyBytesSaved.Load(),
 		SpliceFrames:   c.SpliceFrames.Load(),
+
+		TCPCookiesSent:     c.TCPCookiesSent.Load(),
+		TCPCookiesAccepted: c.TCPCookiesAccepted.Load(),
+		TCPRefused:         c.TCPRefused.Load(),
 	}
 }
 
@@ -135,6 +150,10 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 
 		CopyBytesSaved: s.CopyBytesSaved - prev.CopyBytesSaved,
 		SpliceFrames:   s.SpliceFrames - prev.SpliceFrames,
+
+		TCPCookiesSent:     s.TCPCookiesSent - prev.TCPCookiesSent,
+		TCPCookiesAccepted: s.TCPCookiesAccepted - prev.TCPCookiesAccepted,
+		TCPRefused:         s.TCPRefused - prev.TCPRefused,
 	}
 }
 

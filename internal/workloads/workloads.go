@@ -59,6 +59,10 @@ type Env struct {
 	// KernelIP is the server host's kernel address (TCP servers under
 	// RAKIS listen here, since RAKIS uses the host TCP stack).
 	KernelIP sys.IP4
+	// TCPIP, when non-zero, overrides where TCP servers listen: the
+	// in-enclave XSK TCP environment terminates TCP at the enclave
+	// stack's address instead of the host kernel's.
+	TCPIP sys.IP4
 	// Model converts cycles to seconds.
 	Model *vtime.Model
 	// SpliceUDPEcho, when non-nil, can register a zero-copy in-stack UDP
@@ -67,10 +71,17 @@ type Env struct {
 	SpliceUDPEcho func(port uint16, enable bool) bool
 }
 
-// TCPServerIP returns the address TCP servers are reachable at: RAKIS
-// terminates TCP in the host kernel stack (§7, "TCP Stack
-// Considerations"), so it is always the kernel address.
-func (e Env) TCPServerIP() sys.IP4 { return e.KernelIP }
+// TCPServerIP returns the address TCP servers are reachable at. The
+// paper's RAKIS terminates TCP in the host kernel stack (§7, "TCP Stack
+// Considerations"), so the default is the kernel address; the in-enclave
+// XSK TCP environment overrides it with the enclave stack's address via
+// TCPIP.
+func (e Env) TCPServerIP() sys.IP4 {
+	if e.TCPIP != (sys.IP4{}) {
+		return e.TCPIP
+	}
+	return e.KernelIP
+}
 
 // span measures virtual elapsed time over a thread's clock.
 type span struct {

@@ -110,6 +110,13 @@ type Config struct {
 	// BatchHint statically pins the vector width AdviseBatch reports to
 	// applications (default 1). Ignored when Adaptive.
 	BatchHint int
+	// EnclaveTCP runs TCP inside the trimmed enclave stack over the XSK
+	// path instead of proxying it through io_uring: listen/accept/
+	// connect/send/recv on sys.TCP sockets stay enclave-side with zero
+	// steady-state exits, using the stateless SYN-cookie listen path.
+	// Off (the paper's configuration, §4.2/§7), TCP goes to the host
+	// through the io_uring proxy.
+	EnclaveTCP bool
 }
 
 func (c *Config) fill() {
@@ -183,6 +190,7 @@ type entryKind int
 
 const (
 	kindUDP entryKind = iota
+	kindTCP
 	kindHost
 	kindEpoll
 )
@@ -190,8 +198,12 @@ const (
 type entry struct {
 	kind entryKind
 	udp  *netstack.UDPSocket
-	host int
-	ep   *repoll
+	tcp  *netstack.TCPSocket
+	// tcpPort holds a bound-but-not-yet-listening enclave TCP port
+	// (bind() stores it; listen() consumes it).
+	tcpPort uint16
+	host    int
+	ep      *repoll
 }
 
 // Boot initializes RAKIS on a host network namespace: it performs the
@@ -248,7 +260,7 @@ func Boot(kern *hostos.Kernel, ns *hostos.NetNS, cfg Config) (*Runtime, error) {
 
 	rt.link = sm.NewXskLink(rt.socks, ns.Dev.MAC(), ns.Dev.MTU())
 	rt.link.SetRoundRobin(cfg.RoundRobinTX)
-	stack, err := sm.NewEnclaveStack(rt.link, cfg.IP, cfg.Model, cfg.Counters, cfg.GlobalLockStack)
+	stack, err := sm.NewEnclaveStack(rt.link, cfg.IP, cfg.Model, cfg.Counters, cfg.GlobalLockStack, cfg.EnclaveTCP)
 	if err != nil {
 		return nil, err
 	}

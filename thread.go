@@ -111,7 +111,8 @@ func (t *Thread) recvCopy(d *netstack.Datagram, p []byte, clk *vtime.Clock) int 
 // --- sockets ----------------------------------------------------------------
 
 // Socket creates a socket: UDP sockets live in the enclave stack; TCP
-// sockets are host sockets created through the LibOS fallback.
+// sockets live there too when EnclaveTCP is on (zero-exit XSK path),
+// and are otherwise host sockets created through the LibOS fallback.
 func (t *Thread) Socket(typ sys.SockType) (int, error) {
 	t.probe.Begin(telemetry.SpanSocket)
 	defer t.probe.End()
@@ -123,6 +124,12 @@ func (t *Thread) Socket(typ sys.SockType) (int, error) {
 			return -1, err
 		}
 		return t.rt.registerEntry(&entry{kind: kindUDP, udp: sock}), nil
+	}
+	if typ == sys.TCP && t.rt.cfg.EnclaveTCP {
+		// The enclave TCP endpoint materializes at listen/connect time;
+		// until then the entry just carries the bound port.
+		t.hook()
+		return t.rt.registerEntry(&entry{kind: kindTCP}), nil
 	}
 	fd, err := t.lt.Socket(typ)
 	if err != nil {
@@ -149,6 +156,11 @@ func (t *Thread) Bind(fd int, port uint16) error {
 		e.udp = sock
 		return nil
 	}
+	if e.kind == kindTCP {
+		t.hook()
+		e.tcpPort = port // consumed by Listen; Connect picks ephemeral
+		return nil
+	}
 	return t.lt.Bind(e.host, port)
 }
 
@@ -166,26 +178,64 @@ func (t *Thread) Connect(fd int, addr sys.Addr) error {
 		e.udp.Connect(addr)
 		return nil
 	}
+	if e.kind == kindTCP {
+		clk := t.hook()
+		sock, err := t.rt.Stack.TCPConnect(addr, clk)
+		if err != nil {
+			return err
+		}
+		e.tcp = sock
+		return nil
+	}
 	return t.lt.Connect(e.host, addr)
 }
 
-// Listen marks a TCP socket as accepting (LibOS fallback).
+// Listen marks a TCP socket as accepting: the enclave stack's
+// SYN-cookie listen path under EnclaveTCP, the LibOS fallback otherwise.
 func (t *Thread) Listen(fd int, backlog int) error {
 	t.probe.Begin(telemetry.SpanListen)
 	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
-	if !ok || e.kind != kindHost {
+	if !ok {
+		return ErrWrongSocket
+	}
+	if e.kind == kindTCP {
+		clk := t.hook()
+		_ = clk
+		l, err := t.rt.Stack.TCPListen(e.tcpPort, backlog)
+		if err != nil {
+			return err
+		}
+		e.tcp = l
+		return nil
+	}
+	if e.kind != kindHost {
 		return ErrWrongSocket
 	}
 	return t.lt.Listen(e.host, backlog)
 }
 
-// Accept waits for a connection (LibOS fallback).
+// Accept waits for a connection: from the enclave listener's accept
+// queue under EnclaveTCP (no exit), else the LibOS fallback.
 func (t *Thread) Accept(fd int, block bool) (int, sys.Addr, error) {
 	t.probe.Begin(telemetry.SpanAccept)
 	defer t.probe.End()
 	e, ok := t.rt.lookup(fd)
-	if !ok || e.kind != kindHost {
+	if !ok {
+		return -1, sys.Addr{}, ErrWrongSocket
+	}
+	if e.kind == kindTCP {
+		clk := t.hook()
+		if e.tcp == nil {
+			return -1, sys.Addr{}, ErrWrongSocket
+		}
+		c, err := e.tcp.Accept(clk, block)
+		if err != nil {
+			return -1, sys.Addr{}, err
+		}
+		return t.rt.registerEntry(&entry{kind: kindTCP, tcp: c}), c.RemoteAddr(), nil
+	}
+	if e.kind != kindHost {
 		return -1, sys.Addr{}, ErrWrongSocket
 	}
 	nfd, addr, err := t.lt.Accept(e.host, block)
@@ -356,6 +406,12 @@ func (t *Thread) Send(fd int, p []byte) (int, error) {
 		}
 		return len(p), nil
 	}
+	if e.kind == kindTCP {
+		if e.tcp == nil {
+			return 0, ErrWrongSocket
+		}
+		return e.tcp.Send(p, clk)
+	}
 	return t.proxy.Send(e.host, p, clk)
 }
 
@@ -376,6 +432,12 @@ func (t *Thread) Recv(fd int, p []byte, block bool) (int, error) {
 		}
 		n := t.recvCopy(&d, p, clk)
 		return n, nil
+	}
+	if e.kind == kindTCP {
+		if e.tcp == nil {
+			return 0, ErrWrongSocket
+		}
+		return e.tcp.Recv(p, clk, block)
 	}
 	if !block {
 		// The io_uring recv path is blocking; emulate non-blocking via a
@@ -496,9 +558,16 @@ func (t *Thread) Poll(fds []sys.PollFD, timeout time.Duration) (int, error) {
 			continue
 		}
 		srcs[i].Events = f.Events
-		if e.kind == kindUDP {
+		switch e.kind {
+		case kindUDP:
 			srcs[i].UDP = e.udp
-		} else {
+		case kindTCP:
+			if e.tcp == nil {
+				fds[i].Revents = sys.PollErr
+				continue
+			}
+			srcs[i].TCP = e.tcp
+		default:
 			srcs[i].HostFD = e.host
 		}
 	}
@@ -526,6 +595,13 @@ func (t *Thread) Close(fd int) error {
 		t.hook()
 		t.rt.dropFromEpolls(fd)
 		e.udp.Close()
+		return nil
+	case kindTCP:
+		clk := t.hook()
+		t.rt.dropFromEpolls(fd)
+		if e.tcp != nil {
+			return e.tcp.Close(clk)
+		}
 		return nil
 	case kindEpoll:
 		t.hook()
